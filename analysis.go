@@ -1,0 +1,162 @@
+package fascia
+
+import (
+	"repro/internal/enumerate"
+	"repro/internal/exact"
+	"repro/internal/gdd"
+	"repro/internal/gen"
+	"repro/internal/motif"
+)
+
+// ExactCount returns the exact number of non-induced occurrences of the
+// tree template t in g by exhaustive backtracking — the paper's naïve
+// baseline. Running time grows exponentially with t's size; use it on
+// small graphs only.
+func ExactCount(g *Graph, t *Template) int64 {
+	return exact.Count(g, t)
+}
+
+// ExactVertexCounts returns, per vertex, the exact graphlet degree for
+// the orbit of template vertex root: the number of occurrences containing
+// the vertex at that orbit.
+func ExactVertexCounts(g *Graph, t *Template, root int) []int64 {
+	mapped := exact.CountRootedMappings(g, t, root)
+	rAut := t.RootedAutomorphisms(root)
+	out := make([]int64, len(mapped))
+	for v, m := range mapped {
+		out[v] = m / rAut
+	}
+	return out
+}
+
+// EnumerateExact calls visit for every mapping of t into g until visit
+// returns false (exhaustive enumeration baseline).
+func EnumerateExact(g *Graph, t *Template, visit func(mapping []int32) bool) {
+	exact.Enumerate(g, t, visit)
+}
+
+// TreeCounts holds single-pass enumeration results for all trees of one
+// size (the MODA-style simultaneous baseline).
+type TreeCounts = enumerate.Counts
+
+// EnumerateAllTrees counts, exactly and in a single enumeration pass, the
+// occurrences of every free tree on k vertices — the reproduction's
+// MODA-equivalent baseline for the §V-C comparison.
+func EnumerateAllTrees(g *Graph, k int) (TreeCounts, error) {
+	return enumerate.CountAllTrees(g, k)
+}
+
+// MotifProfile holds estimated counts for all free trees of one size in
+// one network.
+type MotifProfile = motif.Profile
+
+// FindMotifs estimates occurrence counts for every free tree on k
+// vertices using iters color-coding iterations per tree (Figures 11-14).
+func FindMotifs(name string, g *Graph, k, iters int, opt Options) (MotifProfile, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return MotifProfile{}, err
+	}
+	return motif.Find(name, g, k, iters, cfg)
+}
+
+// MotifMeanRelativeError is the Figure 11 error metric: mean over trees
+// of |estimate-exact|/exact.
+func MotifMeanRelativeError(p MotifProfile, exactCounts []int64) (float64, error) {
+	return motif.MeanRelativeError(p, exactCounts)
+}
+
+// MotifProfileDistance compares two networks' relative motif-frequency
+// profiles (mean absolute log-ratio; 0 = identical signatures).
+func MotifProfileDistance(a, b MotifProfile) (float64, error) {
+	return motif.ProfileDistance(a, b)
+}
+
+// GraphletDistribution maps graphlet degrees to vertex counts.
+type GraphletDistribution = gdd.Distribution
+
+// GraphletDegrees computes the estimated graphlet degree distribution of
+// g for the orbit of template vertex orbit, using iters iterations
+// (Figure 15).
+func GraphletDegrees(g *Graph, t *Template, orbit, iters int, opt Options) (GraphletDistribution, error) {
+	opt.RootVertex = orbit
+	opt.Iterations = iters
+	counts, err := VertexCounts(g, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	return gdd.FromVertexCounts(counts), nil
+}
+
+// ExactGraphletDegrees computes the exact graphlet degree distribution
+// for the orbit of template vertex orbit.
+func ExactGraphletDegrees(g *Graph, t *Template, orbit int) GraphletDistribution {
+	return gdd.FromExactCounts(ExactVertexCounts(g, t, orbit))
+}
+
+// GDDAgreement returns the Pržulj graphlet-degree-distribution agreement
+// between two distributions (1 = identical; Figure 16).
+func GDDAgreement(a, b GraphletDistribution) float64 {
+	return gdd.Agreement(a, b)
+}
+
+// EngineInternals exposes read-only diagnostics of an engine: the number
+// of colors, the colorful probability used for scaling, and the
+// automorphism count of the template.
+func (e *Engine) EngineInternals() (colors int, colorfulProb float64, automorphisms int64) {
+	return e.inner.Colors(), e.inner.ColorfulProbability(), e.inner.Automorphisms()
+}
+
+// ExactCountInduced returns the exact number of induced occurrences of
+// the tree template (no extra edges allowed between image vertices — the
+// Figure 1 distinction; color coding estimates the non-induced count).
+func ExactCountInduced(g *Graph, t *Template) int64 {
+	return exact.CountInduced(g, t)
+}
+
+// RewireGraph returns a degree-preserving randomization of g via double
+// edge swaps — the standard null model for motif significance.
+func RewireGraph(g *Graph, swaps int64, seed int64) *Graph {
+	return gen.Rewire(g, swaps, seed)
+}
+
+// MotifSignificance holds motif z-scores against the degree-preserving
+// null model.
+type MotifSignificance = motif.Significance
+
+// FindMotifSignificance estimates per-tree z-scores of g's motif counts
+// against an ensemble of `samples` degree-preserving randomizations:
+// positive z marks over-represented subgraphs (motifs in the classical
+// Milo et al. sense the paper's §II-A references).
+func FindMotifSignificance(name string, g *Graph, k, iters, samples int, opt Options) (MotifSignificance, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return MotifSignificance{}, err
+	}
+	return motif.FindSignificance(name, g, k, iters, samples, cfg)
+}
+
+// GraphletOrbit identifies one automorphism orbit of one template in a
+// graphlet-degree-vector computation.
+type GraphletOrbit = gdd.Orbit
+
+// GraphletVectors holds per-vertex graphlet degree vectors across all
+// orbits of a template family (the full Pržulj methodology; the paper's
+// Figures 15-16 use a single orbit).
+type GraphletVectors = gdd.GDV
+
+// ComputeGraphletVectors estimates graphlet degree vectors for every
+// orbit of every supplied template.
+func ComputeGraphletVectors(g *Graph, templates []*Template, iters int, opt Options) (GraphletVectors, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return GraphletVectors{}, err
+	}
+	return gdd.ComputeGDV(g, templates, iters, cfg)
+}
+
+// GDVAgreement returns the arithmetic- and geometric-mean GDD agreements
+// across all orbits of two graphlet-degree-vector sets.
+func GDVAgreement(a, b GraphletVectors) (arith, geom float64, err error) {
+	return gdd.AgreementGDV(a, b)
+}

@@ -1,0 +1,556 @@
+package fascia
+
+// One benchmark per table/figure of the paper's evaluation, plus
+// ablations (see DESIGN.md §4). Benchmarks run on scaled-down networks so
+// `go test -bench=.` finishes on a laptop; the cmd/fasciabench tool runs
+// the same experiments with larger (or -full paper-scale) workloads.
+// Accuracy-shaped figures (10-12, 16) report their error/agreement as
+// custom metrics alongside time.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/dp"
+	"repro/internal/enumerate"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/motif"
+	"repro/internal/part"
+	"repro/internal/table"
+	"repro/internal/tmpl"
+)
+
+// benchGraphs caches generated networks across benchmarks.
+var benchGraphs sync.Map
+
+// benchNet returns a cached scaled network. Million-vertex presets are
+// shrunk harder, like experiments.Quick.
+func benchNet(name string, scale float64) *Graph {
+	key := fmt.Sprintf("%s@%g", name, scale)
+	if g, ok := benchGraphs.Load(key); ok {
+		return g.(*Graph)
+	}
+	pre, err := gen.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	g := pre.Build(scale, 1)
+	benchGraphs.Store(key, g)
+	return g
+}
+
+func benchCfg(seed int64) dp.Config {
+	cfg := dp.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+// oneIteration runs a single DP iteration and returns its result.
+func oneIteration(b *testing.B, g *Graph, t *Template, cfg dp.Config) dp.Result {
+	b.Helper()
+	e, err := dp.New(g, t, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := e.Run(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable1_Networks regenerates all ten Table I networks.
+func BenchmarkTable1_Networks(b *testing.B) {
+	for _, pre := range gen.Presets {
+		pre := pre
+		b.Run(pre.Name, func(b *testing.B) {
+			scale := 0.05
+			if pre.Paper.N > 500_000 {
+				scale = 0.002
+			}
+			for i := 0; i < b.N; i++ {
+				g := pre.Build(scale, int64(i))
+				if g.N() == 0 {
+					b.Fatal("empty network")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3_UnlabeledTemplates measures single-iteration counting
+// time per unlabeled template on the Portland-like network (Figure 3).
+func BenchmarkFig3_UnlabeledTemplates(b *testing.B) {
+	g := benchNet("portland", 0.002)
+	for _, name := range tmpl.NamedTemplateNames {
+		t := tmpl.MustNamed(name)
+		if t.K() > 10 && testing.Short() {
+			continue
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oneIteration(b, g, t, benchCfg(int64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkFig4_LabeledTemplates is Figure 3 with 8 vertex labels
+// (Figure 4): dramatically faster per iteration.
+func BenchmarkFig4_LabeledTemplates(b *testing.B) {
+	g := benchNet("portland", 0.002)
+	if g.Labels == nil {
+		gen.AssignLabels(g, 8, 3)
+	}
+	for _, name := range tmpl.NamedTemplateNames {
+		base := tmpl.MustNamed(name)
+		labels := make([]int32, base.K())
+		for i := range labels {
+			labels[i] = int32((i*5 + 3) % 8)
+		}
+		t, err := base.WithLabels(name+"-lab", labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oneIteration(b, g, t, benchCfg(int64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkFig5_MotifTimes measures one motif-finding iteration over all
+// k-vertex trees per PPI network (Figure 5).
+func BenchmarkFig5_MotifTimes(b *testing.B) {
+	for _, pre := range gen.PPIPresets() {
+		g := benchNet(pre.Name, 0.5)
+		for _, k := range []int{7, 10} {
+			if k > 7 && testing.Short() {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/k%d", pre.Name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := benchCfg(int64(i))
+					if _, err := motif.Find(pre.Name, g, k, 1, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6_MemoryPortland reports peak dynamic-table MB for the
+// U*-2 templates under naive vs improved vs labeled handling (Figure 6).
+func BenchmarkFig6_MemoryPortland(b *testing.B) {
+	g := benchNet("portland", 0.002)
+	labeledG := benchNet("portland", 0.002)
+	if labeledG.Labels == nil {
+		gen.AssignLabels(labeledG, 8, 3)
+	}
+	for _, name := range []string{"U3-2", "U5-2", "U7-2", "U10-2"} {
+		t := tmpl.MustNamed(name)
+		for _, variant := range []string{"naive", "improved", "labeled"} {
+			b.Run(name+"/"+variant, func(b *testing.B) {
+				var peak int64
+				for i := 0; i < b.N; i++ {
+					cfg := benchCfg(int64(i))
+					tpl := t
+					gg := g
+					switch variant {
+					case "naive":
+						cfg.TableKind = table.Naive
+					case "improved":
+						cfg.TableKind = table.Lazy
+					case "labeled":
+						cfg.TableKind = table.Lazy
+						labels := make([]int32, t.K())
+						for j := range labels {
+							labels[j] = int32((j*5 + 3) % 8)
+						}
+						var err error
+						tpl, err = t.WithLabels(name+"-lab", labels)
+						if err != nil {
+							b.Fatal(err)
+						}
+						gg = labeledG
+					}
+					res := oneIteration(b, gg, tpl, cfg)
+					peak = res.PeakTableBytes
+				}
+				b.ReportMetric(float64(peak)/(1<<20), "peakMB")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7_MemoryRoad reports peak table MB for U*-1 path templates
+// under hash vs naive vs improved layouts on the road network (Figure 7).
+func BenchmarkFig7_MemoryRoad(b *testing.B) {
+	g := benchNet("paroad", 0.01)
+	kinds := []struct {
+		name string
+		kind table.Kind
+	}{{"hash", table.Hash}, {"naive", table.Naive}, {"improved", table.Lazy}}
+	for _, name := range []string{"U3-1", "U5-1", "U7-1", "U10-1"} {
+		t := tmpl.MustNamed(name)
+		for _, k := range kinds {
+			b.Run(name+"/"+k.name, func(b *testing.B) {
+				var peak int64
+				for i := 0; i < b.N; i++ {
+					cfg := benchCfg(int64(i))
+					cfg.TableKind = k.kind
+					res := oneIteration(b, g, t, cfg)
+					peak = res.PeakTableBytes
+				}
+				b.ReportMetric(float64(peak)/(1<<20), "peakMB")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8_InnerScaling sweeps worker counts for inner-loop
+// parallelism on a large template (Figure 8). On a single-core host this
+// measures goroutine overhead, not speedup.
+func BenchmarkFig8_InnerScaling(b *testing.B) {
+	g := benchNet("portland", 0.002)
+	t := tmpl.MustNamed("U10-2")
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(int64(i))
+				cfg.Mode = dp.Inner
+				cfg.Workers = w
+				oneIteration(b, g, t, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9_InnerVsOuter compares the two parallelization modes on
+// the Enron-like network with U7-2 (Figure 9).
+func BenchmarkFig9_InnerVsOuter(b *testing.B) {
+	g := benchNet("enron", 0.1)
+	t := tmpl.MustNamed("U7-2")
+	for _, w := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("inner/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(int64(i))
+				cfg.Mode = dp.Inner
+				cfg.Workers = w
+				oneIteration(b, g, t, cfg)
+			}
+		})
+		b.Run(fmt.Sprintf("outer/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(int64(i))
+				cfg.Mode = dp.Outer
+				cfg.Workers = w
+				e, err := dp.New(g, t, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// w concurrent iterations, as the figure plots.
+				if _, err := e.Run(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10_ErrorEnron runs the error-vs-iterations experiment and
+// reports the final relative error as a metric (Figure 10).
+func BenchmarkFig10_ErrorEnron(b *testing.B) {
+	g := benchNet("enron", 0.04)
+	for _, name := range []string{"U3-1", "U5-1"} {
+		t := tmpl.MustNamed(name)
+		want := float64(exact.Count(g, t))
+		b.Run(name, func(b *testing.B) {
+			var relErr float64
+			for i := 0; i < b.N; i++ {
+				e, err := dp.New(g, t, benchCfg(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := e.Run(10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				relErr = math.Abs(res.Estimate-want) / want
+			}
+			b.ReportMetric(relErr, "relErr@10")
+		})
+	}
+}
+
+// BenchmarkFig11_ErrorMotifs reports the mean motif error after 100
+// iterations on the H. pylori-like network (Figure 11).
+func BenchmarkFig11_ErrorMotifs(b *testing.B) {
+	g := benchNet("hpylori", 0.2)
+	enum, err := enumerate.CountAllTrees(g, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var merr float64
+	for i := 0; i < b.N; i++ {
+		prof, err := motif.Find("hpylori", g, 7, 100, benchCfg(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		merr, err = motif.MeanRelativeError(prof, enum.Counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(merr, "meanRelErr@100")
+}
+
+// BenchmarkFig12_MotifCounts compares 1-iteration and 100-iteration motif
+// estimates against exact counts (Figure 12).
+func BenchmarkFig12_MotifCounts(b *testing.B) {
+	g := benchNet("hpylori", 0.2)
+	enum, err := enumerate.CountAllTrees(g, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, iters := range []int{1, 100} {
+		b.Run(fmt.Sprintf("iters%d", iters), func(b *testing.B) {
+			var merr float64
+			for i := 0; i < b.N; i++ {
+				prof, err := motif.Find("hpylori", g, 7, iters, benchCfg(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				merr, err = motif.MeanRelativeError(prof, enum.Counts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(merr, "meanRelErr")
+		})
+	}
+}
+
+// BenchmarkFig13_PPIProfiles times full motif-profile computation on the
+// four PPI networks (Figure 13).
+func BenchmarkFig13_PPIProfiles(b *testing.B) {
+	for _, pre := range gen.PPIPresets() {
+		g := benchNet(pre.Name, 0.3)
+		b.Run(pre.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := motif.Find(pre.Name, g, 7, 10, benchCfg(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14_SocialProfiles times motif profiles on the social, road,
+// and random networks (Figure 14).
+func BenchmarkFig14_SocialProfiles(b *testing.B) {
+	nets := map[string]float64{"portland": 0.001, "slashdot": 0.05, "enron": 0.05, "paroad": 0.005, "gnp": 0.05}
+	for _, name := range []string{"portland", "slashdot", "enron", "paroad", "gnp"} {
+		g := benchNet(name, nets[name])
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := motif.Find(name, g, 7, 5, benchCfg(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig15_GDD times per-vertex graphlet-degree estimation for the
+// U5-2 central orbit (Figure 15).
+func BenchmarkFig15_GDD(b *testing.B) {
+	t := tmpl.MustNamed("U5-2")
+	orbit := 0 // degree-3 center by construction
+	for _, name := range []string{"enron", "gnp", "portland", "slashdot"} {
+		scale := 0.05
+		if name == "portland" {
+			scale = 0.001
+		}
+		g := benchNet(name, scale)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(int64(i))
+				cfg.RootVertex = orbit
+				e, err := dp.New(g, t, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.VertexCounts(5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig16_GDDAgreement reports GDD agreement against the exact
+// distribution after 100 iterations (Figure 16).
+func BenchmarkFig16_GDDAgreement(b *testing.B) {
+	t := tmpl.MustNamed("U5-2")
+	orbit := 0
+	for _, name := range []string{"ecoli", "enron"} {
+		scale := 0.3
+		if name == "enron" {
+			scale = 0.03
+		}
+		g := benchNet(name, scale)
+		exactDist := ExactGraphletDegrees(g, t, orbit)
+		b.Run(name, func(b *testing.B) {
+			var agree float64
+			for i := 0; i < b.N; i++ {
+				est, err := GraphletDegrees(g, t, orbit, 100, DefaultOptions().WithSeed(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				agree = GDDAgreement(est, exactDist)
+			}
+			b.ReportMetric(agree, "agreement@100")
+		})
+	}
+}
+
+// BenchmarkModaComparison reproduces the §V-C three-way comparison on the
+// circuit network: naive exhaustive counting per template, the MODA-style
+// single-pass enumerator, and FASCIA at 100 iterations.
+func BenchmarkModaComparison(b *testing.B) {
+	g := benchNet("circuit", 1.0)
+	trees := tmpl.AllTrees(7)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range trees {
+				exact.Count(g, t)
+			}
+		}
+	})
+	b.Run("moda-style", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := enumerate.CountAllTrees(g, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fascia-100iter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := benchCfg(int64(i))
+			cfg.Workers = 1
+			if _, err := motif.Find("circuit", g, 7, 100, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPartition measures the one-at-a-time vs balanced
+// partitioning trade-off with and without subtemplate sharing.
+func BenchmarkAblationPartition(b *testing.B) {
+	g := benchNet("enron", 0.1)
+	t := tmpl.MustNamed("U10-2")
+	for _, strat := range []part.Strategy{part.OneAtATime, part.Balanced} {
+		for _, share := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/share=%v", strat, share), func(b *testing.B) {
+				var peak int64
+				for i := 0; i < b.N; i++ {
+					cfg := benchCfg(int64(i))
+					cfg.Strategy = strat
+					cfg.Share = share
+					res := oneIteration(b, g, t, cfg)
+					peak = res.PeakTableBytes
+				}
+				b.ReportMetric(float64(peak)/(1<<20), "peakMB")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationTable measures the three table layouts on the road
+// network.
+func BenchmarkAblationTable(b *testing.B) {
+	g := benchNet("paroad", 0.01)
+	t := tmpl.MustNamed("U7-1")
+	for _, kind := range table.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			var peak int64
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(int64(i))
+				cfg.TableKind = kind
+				res := oneIteration(b, g, t, cfg)
+				peak = res.PeakTableBytes
+			}
+			b.ReportMetric(float64(peak)/(1<<20), "peakMB")
+		})
+	}
+}
+
+// BenchmarkAblationLeafSpecial measures the single-vertex-child fast
+// paths' effect on time (results are identical either way).
+func BenchmarkAblationLeafSpecial(b *testing.B) {
+	g := benchNet("enron", 0.1)
+	t := tmpl.MustNamed("U7-1")
+	for _, disable := range []bool{false, true} {
+		b.Run("special="+strconv.FormatBool(!disable), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(int64(i))
+				cfg.DisableLeafSpecial = disable
+				oneIteration(b, g, t, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentHarness smoke-times the full experiment harness at
+// tiny scale (what cmd/fasciabench runs).
+func BenchmarkExperimentHarness(b *testing.B) {
+	p := experiments.Params{
+		Scale: 0.05, SmallScale: 0.0008, ExactScale: 0.03,
+		Seed: 1, Iters: 3, MaxK: 5, Threads: []int{1, 2},
+	}
+	for _, name := range []string{"table1", "fig3", "fig7", "moda"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run(name, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistributed measures the simulated distributed-memory runtime
+// across rank counts, reporting communication volume (the paper's future
+// work, PARSE/SAHAD direction).
+func BenchmarkDistributed(b *testing.B) {
+	g := benchNet("enron", 0.1)
+	t := tmpl.MustNamed("U7-1")
+	for _, ranks := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("ranks%d", ranks), func(b *testing.B) {
+			var comm int64
+			for i := 0; i < b.N; i++ {
+				e, err := dist.New(g, t, dist.Config{Ranks: ranks, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := e.Run(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm = res.CommBytes
+			}
+			b.ReportMetric(float64(comm)/(1<<20), "commMB")
+		})
+	}
+}

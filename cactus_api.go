@@ -1,0 +1,50 @@
+package fascia
+
+import (
+	"repro/internal/cactus"
+)
+
+// CactusTemplate is a "tree-like template with triangles" (§I/§II-C of
+// the paper): a connected template whose biconnected blocks are single
+// edges or triangles.
+type CactusTemplate = cactus.Template
+
+// NewCactusTemplate builds and validates a triangle-cactus template from
+// an undirected edge list over vertices 0..k-1.
+func NewCactusTemplate(name string, k int, edges [][2]int) (*CactusTemplate, error) {
+	return cactus.New(name, k, edges)
+}
+
+// TriangleTemplate returns the 3-cycle template.
+func TriangleTemplate() *CactusTemplate { return cactus.Triangle() }
+
+// TailedTriangleTemplate returns a triangle with a path of tail vertices
+// attached.
+func TailedTriangleTemplate(tail int) *CactusTemplate { return cactus.TailedTriangle(tail) }
+
+// CountCactus estimates the number of non-induced occurrences of a
+// triangle-cactus template by color coding with edge- and triangle-merge
+// DP steps — the paper's "tree-like graph templates with triangles"
+// capability. Iterations, colors and seed come from opt; table layout and
+// parallel-mode options do not apply.
+func CountCactus(g *Graph, t *CactusTemplate, opt Options) (Result, error) {
+	e, err := cactus.NewEngine(g, t, cactus.Config{Colors: opt.Colors, Seed: opt.Seed})
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := e.Run(opt.iterations(t.K()))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Count:        res.Estimate,
+		PerIteration: res.PerIteration,
+		Iterations:   len(res.PerIteration),
+	}, nil
+}
+
+// ExactCountCactus returns the exact occurrence count of a cactus
+// template by exhaustive backtracking (small graphs only).
+func ExactCountCactus(g *Graph, t *CactusTemplate) int64 {
+	return cactus.Count(g, t)
+}

@@ -1,0 +1,205 @@
+// Command fascia counts approximate non-induced occurrences of a tree
+// template in a graph using the color-coding technique.
+//
+// Usage:
+//
+//	fascia -graph g.txt -template U7-1 [-iterations 100] [flags]
+//	fascia -network enron -scale 0.1 -template "0-1 1-2 1-3" -iterations 50
+//
+// The graph comes either from a file (-graph, text edge list or .bin CSR)
+// or from a named synthetic preset (-network, see -list-networks). The
+// template is a paper name (U3-1 ... U12-2), a path size (path:K), a star
+// (star:K), or an explicit edge list ("0-1 1-2 ...").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	fascia "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fascia:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fascia", flag.ContinueOnError)
+	var (
+		graphPath  = fs.String("graph", "", "graph file (text edge list, or .bin CSR)")
+		network    = fs.String("network", "", "generate a named synthetic network instead of loading a file")
+		scale      = fs.Float64("scale", 1.0, "scale factor for -network (1.0 = paper-sized)")
+		templSpec  = fs.String("template", "U5-1", "template: paper name, path:K, star:K, or edge list like \"0-1 1-2\"")
+		iterations = fs.Int("iterations", 1, "number of color-coding iterations")
+		epsilon    = fs.Float64("epsilon", 0, "error bound (with -delta, overrides -iterations)")
+		delta      = fs.Float64("delta", 0, "confidence parameter (with -epsilon)")
+		colors     = fs.Int("colors", 0, "number of colors (0 = template size)")
+		threads    = fs.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
+		mode       = fs.String("parallel", "auto", "parallelization: auto, inner, outer, hybrid")
+		layout     = fs.String("table", "lazy", "table layout: lazy, naive, hash")
+		partition  = fs.String("partition", "one", "partitioning: one (one-at-a-time), balanced")
+		share      = fs.Bool("share", false, "share isomorphic subtemplates (memory for time)")
+		seed       = fs.Int64("seed", 0, "random seed")
+		labels     = fs.Int("labels", 0, "assign this many random vertex labels to the graph")
+		sample     = fs.Int("sample", 0, "also sample this many embeddings (enumeration mode)")
+		exact      = fs.Bool("exact", false, "also compute the exact count by exhaustive search (slow)")
+		induced    = fs.Bool("induced", false, "with -exact, also report the exact induced count")
+		converge   = fs.Float64("converge", 0, "run until the relative stderr drops below this (overrides -iterations)")
+		motifs     = fs.Int("motifs", 0, "instead of one template, profile all trees of this size (3-12)")
+		list       = fs.Bool("list-networks", false, "list network presets and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, p := range fascia.Networks() {
+			fmt.Printf("%-12s %-55s paper: n=%d m=%d\n", p.Name, p.Model, p.Paper.N, p.Paper.M)
+		}
+		return nil
+	}
+
+	g, err := loadGraph(*graphPath, *network, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	if *labels > 0 {
+		fascia.AssignRandomLabels(g, *labels, *seed+1)
+	}
+	t, err := parseTemplate(*templSpec)
+	if err != nil {
+		return err
+	}
+
+	opt := fascia.DefaultOptions().WithSeed(*seed).WithThreads(*threads)
+	opt.Colors = *colors
+	opt.ShareSubtemplates = *share
+	if *epsilon > 0 && *delta > 0 {
+		opt = opt.WithAccuracy(*epsilon, *delta)
+		fmt.Printf("iterations from (eps=%g, delta=%g): %d\n", *epsilon, *delta, fascia.IterationsFor(*epsilon, *delta, t.K()))
+	} else {
+		opt = opt.WithIterations(*iterations)
+	}
+	switch *mode {
+	case "auto":
+		opt = opt.WithParallel(fascia.ParallelAuto)
+	case "inner":
+		opt = opt.WithParallel(fascia.ParallelInner)
+	case "outer":
+		opt = opt.WithParallel(fascia.ParallelOuter)
+	case "hybrid":
+		opt = opt.WithParallel(fascia.ParallelHybrid)
+	default:
+		return fmt.Errorf("unknown -parallel %q", *mode)
+	}
+	switch *layout {
+	case "lazy":
+		opt = opt.WithTable(fascia.TableLazy)
+	case "naive":
+		opt = opt.WithTable(fascia.TableNaive)
+	case "hash":
+		opt = opt.WithTable(fascia.TableHash)
+	default:
+		return fmt.Errorf("unknown -table %q", *layout)
+	}
+	switch *partition {
+	case "one":
+		opt = opt.WithPartition(fascia.PartitionOneAtATime)
+	case "balanced":
+		opt = opt.WithPartition(fascia.PartitionBalanced)
+	default:
+		return fmt.Errorf("unknown -partition %q", *partition)
+	}
+
+	s := g.ComputeStats()
+	if *motifs > 0 {
+		prof, err := fascia.FindMotifs("cli", g, *motifs, max(*iterations, 1), opt)
+		if err != nil {
+			return err
+		}
+		rel := prof.RelativeFrequencies()
+		fmt.Printf("graph: %s\nmotif profile, all %d trees of size %d, %d iterations:\n",
+			s, len(prof.Trees), *motifs, prof.Iterations)
+		for i, tr := range prof.Trees {
+			fmt.Printf("  %2d %-30s count %.6g  rel %.4f\n", i+1, tr.String(), prof.Counts[i], rel[i])
+		}
+		return nil
+	}
+	fmt.Printf("graph: %s\ntemplate: %s (k=%d, aut=%d)\n", s, t.Name(), t.K(), t.Automorphisms())
+	var res fascia.Result
+	if *converge > 0 {
+		res, err = fascia.CountConverged(g, t, *converge, 1_000_000, opt)
+	} else {
+		res, err = fascia.Count(g, t, opt)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimate: %.6g occurrences (±%.3g stderr, %d iterations, %v, %s mode, peak tables %.2f MB)\n",
+		res.Count, res.StdErr, res.Iterations, res.Elapsed.Round(0), res.Parallel, float64(res.PeakTableBytes)/(1<<20))
+
+	if *exact {
+		ex := fascia.ExactCount(g, t)
+		rel := 0.0
+		if ex > 0 {
+			rel = (res.Count - float64(ex)) / float64(ex)
+		}
+		fmt.Printf("exact: %d occurrences (relative error %+.4f)\n", ex, rel)
+		if *induced {
+			fmt.Printf("exact induced: %d occurrences\n", fascia.ExactCountInduced(g, t))
+		}
+	}
+	if *sample > 0 {
+		embs, err := fascia.SampleEmbeddings(g, t, opt, *sample)
+		if err != nil {
+			return err
+		}
+		for i, emb := range embs {
+			fmt.Printf("embedding %d: %v\n", i+1, emb.Mapping)
+		}
+	}
+	return nil
+}
+
+func loadGraph(path, network string, scale float64, seed int64) (*fascia.Graph, error) {
+	switch {
+	case path != "" && network != "":
+		return nil, fmt.Errorf("use either -graph or -network, not both")
+	case path != "":
+		return fascia.LoadGraph(path)
+	case network != "":
+		p, err := fascia.Network(network)
+		if err != nil {
+			return nil, err
+		}
+		return p.Build(scale, seed), nil
+	default:
+		return nil, fmt.Errorf("one of -graph or -network is required")
+	}
+}
+
+func parseTemplate(spec string) (*fascia.Template, error) {
+	switch {
+	case strings.HasPrefix(spec, "path:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "path:"))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad path template %q", spec)
+		}
+		return fascia.PathTemplate(k), nil
+	case strings.HasPrefix(spec, "star:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "star:"))
+		if err != nil || k < 2 {
+			return nil, fmt.Errorf("bad star template %q", spec)
+		}
+		return fascia.StarTemplate(k), nil
+	case strings.Contains(spec, "-") && !strings.HasPrefix(spec, "U"):
+		return fascia.ParseTemplate("custom", spec)
+	default:
+		return fascia.TemplateByName(spec)
+	}
+}

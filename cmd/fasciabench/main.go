@@ -1,0 +1,96 @@
+// Command fasciabench regenerates the tables and figures of the FASCIA
+// paper's evaluation section (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	fasciabench table1            # Table I network statistics
+//	fasciabench fig3 fig4         # one or more figures
+//	fasciabench all               # everything, in paper order
+//	fasciabench -full fig8        # paper-scale workloads (slow, big)
+//	fasciabench -scale 0.2 fig10  # custom network scale
+//
+// Each experiment prints a plain-text table with a note recalling the
+// paper's qualitative result for comparison; EXPERIMENTS.md records a
+// measured-vs-paper discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fasciabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fasciabench", flag.ContinueOnError)
+	var (
+		full    = fs.Bool("full", false, "paper-scale workloads (hours of compute, tens of GB for k=12 runs)")
+		scale   = fs.Float64("scale", 0, "override network scale factor")
+		smallSc = fs.Float64("small-scale", 0, "override scale for million-vertex networks")
+		seed    = fs.Int64("seed", 0, "override random seed")
+		iters   = fs.Int("iterations", 0, "override iteration count for error/profile experiments")
+		maxK    = fs.Int("maxk", 0, "override the largest template size")
+		list    = fs.Bool("list", false, "list experiments and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fasciabench [flags] <experiment>... | all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range experiments.Order {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment named")
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = experiments.Order
+	}
+
+	p := experiments.Quick()
+	if *full {
+		p = experiments.Full()
+	}
+	if *scale > 0 {
+		p.Scale = *scale
+	}
+	if *smallSc > 0 {
+		p.SmallScale = *smallSc
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *iters > 0 {
+		p.Iters = *iters
+	}
+	if *maxK > 0 {
+		p.MaxK = *maxK
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		tab, err := experiments.Run(name, p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

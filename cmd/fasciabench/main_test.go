@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	os.Stdout = os.NewFile(null.Fd(), "null")
+	t.Cleanup(func() {
+		os.Stdout = old
+		null.Close()
+	})
+}
+
+func TestRunList(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	silence(t)
+	args := []string{
+		"-scale", "0.08", "-small-scale", "0.0008", "-iterations", "3",
+		"-maxk", "5", "-seed", "2", "table1",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	silence(t)
+	if err := run(nil); err == nil {
+		t.Error("no experiment accepted")
+	}
+	if err := run([]string{"fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

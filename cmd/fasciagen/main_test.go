@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	fascia "repro"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	os.Stdout = os.NewFile(null.Fd(), "null")
+	t.Cleanup(func() {
+		os.Stdout = old
+		null.Close()
+	})
+}
+
+func TestRunTable1(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-table1", "-scale", "0.05", "-small-scale", "0.0005"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleNetwork(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c.txt")
+	if err := run([]string{"-network", "circuit", "-out", out, "-labels", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fascia.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 252 || g.Labels == nil {
+		t.Fatalf("written graph wrong: n=%d labels=%v", g.N(), g.Labels != nil)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	if err := run([]string{"-all", "-dir", dir, "-scale", "0.05", "-small-scale", "0.0005"}); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if len(files) != 10 {
+		t.Fatalf("wrote %d networks, want 10", len(files))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	silence(t)
+	if err := run(nil); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-network", "bogus"}); err == nil {
+		t.Error("bad network accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package fascia
+
+import (
+	"repro/internal/directed"
+	"repro/internal/part"
+)
+
+// DiGraph is a directed graph with out- and in-adjacency (dual CSR).
+type DiGraph = directed.DiGraph
+
+// DiTemplate is a directed tree template: a tree skeleton with an
+// orientation on every edge.
+type DiTemplate = directed.DiTemplate
+
+// NewDiGraph builds a directed graph over n vertices from (from, to)
+// arcs; duplicates and self-loops are dropped.
+func NewDiGraph(n int, arcs [][2]int32) (*DiGraph, error) {
+	return directed.FromArcs(n, arcs)
+}
+
+// RandomDiGraph generates a seeded uniform random digraph.
+func RandomDiGraph(n int, arcs int64, seed int64) *DiGraph {
+	return directed.RandomDiGraph(n, arcs, seed)
+}
+
+// NewDiTemplate builds a directed tree template from arcs whose
+// underlying edges form a tree on k vertices.
+func NewDiTemplate(name string, k int, arcs [][2]int) (*DiTemplate, error) {
+	return directed.NewDiTemplate(name, k, arcs)
+}
+
+// DiPathTemplate returns the directed path 0→1→…→k-1.
+func DiPathTemplate(k int) *DiTemplate { return directed.DiPath(k) }
+
+// DiStarOutTemplate returns the out-star (center 0, arcs to leaves).
+func DiStarOutTemplate(k int) *DiTemplate { return directed.DiStarOut(k) }
+
+// DiStarInTemplate returns the in-star (arcs from leaves into center 0).
+func DiStarInTemplate(k int) *DiTemplate { return directed.DiStarIn(k) }
+
+// CountDirected estimates the number of non-induced direction-preserving
+// occurrences of the directed tree template t in g — the directed variant
+// of color coding the paper notes as possible but does not analyze
+// (§II-C). Iterations, seed, colors and partition strategy come from opt;
+// table layout and parallel-mode options do not apply.
+func CountDirected(g *DiGraph, t *DiTemplate, opt Options) (Result, error) {
+	strat := part.OneAtATime
+	if opt.Partition == PartitionBalanced {
+		strat = part.Balanced
+	}
+	e, err := directed.New(g, t, directed.Config{
+		Colors:   opt.Colors,
+		Strategy: strat,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := e.Run(opt.iterations(t.K()))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Count:        res.Estimate,
+		PerIteration: res.PerIteration,
+		Iterations:   len(res.PerIteration),
+	}, nil
+}
+
+// ExactCountDirected returns the exact directed occurrence count by
+// exhaustive backtracking (exponential; small graphs only).
+func ExactCountDirected(g *DiGraph, t *DiTemplate) int64 {
+	return directed.Count(g, t)
+}

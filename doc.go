@@ -1,0 +1,22 @@
+// Package fascia is a from-scratch Go reproduction of FASCIA ("Fast
+// Approximate Subgraph Counting and Enumeration", Slota & Madduri, ICPP
+// 2013): approximate counting of non-induced occurrences of tree
+// templates in large undirected graphs via the color-coding technique of
+// Alon, Yuster and Zwick, with the paper's combinatorial indexing, memory
+// optimizations, partitioning heuristics, and shared-memory parallelism.
+//
+// # Quick start
+//
+//	g := fascia.Generate("enron", 0.1, 1)      // synthetic Enron-like network
+//	t := fascia.MustTemplate("U7-1")           // 7-vertex path template
+//	res, err := fascia.Count(g, t, fascia.DefaultOptions().WithIterations(100))
+//	// res.Count ≈ number of non-induced occurrences of t in g
+//
+// The package also exposes motif finding over all trees of a given size
+// (MotifProfile), graphlet degree distributions and GDD agreement
+// (GraphletDegrees, GDDAgreement), exact baselines (ExactCount,
+// EnumerateAllTrees), and colorful-embedding sampling (SampleEmbeddings).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure of the paper.
+package fascia

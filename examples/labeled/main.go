@@ -1,0 +1,65 @@
+// Labeled counting: attach vertex labels to a contact network (the
+// paper's Portland methodology: 2 genders × 4 age groups = 8 labels) and
+// show how label constraints prune the dynamic program — counting a
+// labeled 7-vertex template is orders of magnitude faster and leaner than
+// its unlabeled counterpart (the paper's Figures 4 and 6).
+//
+// Run with: go run ./examples/labeled
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fascia "repro"
+)
+
+func main() {
+	// A scaled-down Portland-like contact network with 8 random labels.
+	g := fascia.Generate("portland", 0.003, 1)
+	fascia.AssignRandomLabels(g, 8, 2)
+	fmt.Printf("network: %s, 8 vertex labels\n\n", g.ComputeStats())
+
+	base := fascia.MustTemplate("U7-2")
+	labels := []int32{0, 1, 2, 3, 4, 5, 6} // one distinct label per vertex
+	labeled, err := base.WithLabels("U7-2-labeled", labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := fascia.DefaultOptions().WithIterations(3).WithSeed(5)
+
+	resU, err := fascia.Count(g, base, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unlabeled %s: estimate %.3e, %v, peak tables %.2f MB\n",
+		base.Name(), resU.Count, resU.Elapsed.Round(0), float64(resU.PeakTableBytes)/(1<<20))
+
+	resL, err := fascia.CountLabeled(g, labeled, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labeled   %s: estimate %.3e, %v, peak tables %.2f MB\n",
+		labeled.Name(), resL.Count, resL.Elapsed.Round(0), float64(resL.PeakTableBytes)/(1<<20))
+
+	fmt.Printf("\nspeedup from labels: %.1fx, memory reduction: %.1fx\n",
+		float64(resU.Elapsed)/float64(resL.Elapsed),
+		float64(resU.PeakTableBytes)/float64(resL.PeakTableBytes))
+
+	// Sanity: the labeled count must be far smaller — only embeddings
+	// whose vertices carry exactly the requested labels survive. With 8
+	// uniform labels and 7 fixed template labels, the expected ratio is
+	// (1/8)^7 times the automorphism-weighted unlabeled count.
+	fmt.Printf("labeled/unlabeled count ratio: %.3e (uniform-label expectation ~%.3e)\n",
+		resL.Count/resU.Count,
+		float64(base.Automorphisms())*pow(1.0/8, 7))
+}
+
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Motif significance: identify which subgraphs are over-represented in a
+// network relative to a degree-preserving random null model — the
+// classical network-motif methodology (Milo et al.) that §II-A of the
+// FASCIA paper references, built on approximate counting so the whole
+// ensemble is cheap.
+//
+// Run with: go run ./examples/significance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fascia "repro"
+)
+
+func main() {
+	const (
+		k       = 5
+		iters   = 150
+		samples = 8
+	)
+
+	// A protein-interaction-style network: duplication-divergence
+	// produces local clustering that degree-preserving rewiring destroys,
+	// so clustered subgraphs surface as motifs.
+	g := fascia.Generate("ecoli", 0.5, 21)
+	fmt.Printf("network: %s\n", g.ComputeStats())
+	fmt.Printf("null model: %d degree-preserving rewirings, %d counting iterations each\n\n",
+		samples, iters)
+
+	sig, err := fascia.FindMotifSignificance("ecoli", g, k, iters, samples,
+		fascia.DefaultOptions().WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %-28s %14s %14s %10s\n", "subgraph", "shape", "count", "null mean", "z")
+	for i, tr := range sig.Real.Trees {
+		fmt.Printf("%-10d %-28s %14.0f %14.0f %10.2f\n",
+			i+1, tr.String(), sig.Real.Counts[i], sig.NullMean[i], sig.Z[i])
+	}
+
+	motifs := sig.Motifs(2.0)
+	fmt.Printf("\nsubgraphs with z >= 2 (motifs): %d of %d\n", len(motifs), len(sig.Z))
+	for _, i := range motifs {
+		fmt.Printf("  subgraph %d: %.1fx the null expectation\n",
+			i+1, sig.Real.Counts[i]/sig.NullMean[i])
+	}
+
+	// Sanity anchor: a same-size Erdős–Rényi graph should show far
+	// weaker significance across the board.
+	er := fascia.ErdosRenyi(g.N(), g.M(), 33)
+	erSig, err := fascia.FindMotifSignificance("gnp", er, k, iters, samples,
+		fascia.DefaultOptions().WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxReal, maxER float64
+	for i := range sig.Z {
+		if z := abs(sig.Z[i]); z > maxReal {
+			maxReal = z
+		}
+		if z := abs(erSig.Z[i]); z > maxER {
+			maxER = z
+		}
+	}
+	fmt.Printf("\nmax |z|: %.1f on the PPI-like network vs %.1f on G(n,m)\n", maxReal, maxER)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,195 @@
+package fascia
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// Graph is an undirected graph in CSR form with optional vertex labels.
+// It is an alias of the internal graph type, so all its methods (N, M,
+// Adj, Degree, Label, ComputeStats, ...) are available to callers.
+type Graph = graph.Graph
+
+// Template is an undirected tree template with optional vertex labels.
+type Template = tmpl.Template
+
+// Embedding is one occurrence of a template: Mapping[i] is the graph
+// vertex that template vertex i maps to.
+type Embedding = dp.Embedding
+
+// Result reports a counting run.
+type Result struct {
+	// Count is the estimated number of non-induced occurrences.
+	Count float64
+	// PerIteration holds each iteration's individual estimate.
+	PerIteration []float64
+	// StdErr is the standard error of the mean across iterations.
+	StdErr float64
+	// PeakTableBytes is the peak dynamic-table footprint of any single
+	// iteration (the quantity of Figures 6 and 7).
+	PeakTableBytes int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Parallel is the resolved parallelization mode.
+	Parallel ParallelMode
+}
+
+func fromDP(res dp.Result) Result {
+	out := Result{
+		Count:          res.Estimate,
+		PerIteration:   res.PerIteration,
+		StdErr:         res.StdErr,
+		PeakTableBytes: res.PeakTableBytes,
+		Elapsed:        res.Elapsed,
+		Iterations:     len(res.PerIteration),
+	}
+	switch res.ModeUsed {
+	case dp.Inner:
+		out.Parallel = ParallelInner
+	case dp.Outer:
+		out.Parallel = ParallelOuter
+	case dp.Hybrid:
+		out.Parallel = ParallelHybrid
+	}
+	return out
+}
+
+// Engine is a reusable counter for one (graph, template) pair: the
+// partition tree and combinatorial index tables are built once and reused
+// across runs.
+type Engine struct {
+	inner *dp.Engine
+}
+
+// NewEngine builds an engine for counting occurrences of t in g.
+func NewEngine(g *Graph, t *Template, opt Options) (*Engine, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return nil, err
+	}
+	e, err := dp.New(g, t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: e}, nil
+}
+
+// Run executes n color-coding iterations and returns the averaged
+// estimate.
+func (e *Engine) Run(n int) (Result, error) {
+	res, err := e.inner.Run(n)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromDP(res), nil
+}
+
+// VertexCounts estimates each vertex's graphlet degree for the template's
+// root orbit (see Options.RootVertex), averaged over n iterations.
+func (e *Engine) VertexCounts(n int) ([]float64, error) {
+	return e.inner.VertexCounts(n)
+}
+
+// SampleEmbeddings draws count colorful embeddings from the engine's last
+// run; the engine must have been created with Options.KeepTables.
+func (e *Engine) SampleEmbeddings(rng *rand.Rand, count int) ([]Embedding, error) {
+	return e.inner.SampleEmbeddings(rng, count)
+}
+
+// VerifyEmbedding checks that an embedding is a genuine occurrence.
+func (e *Engine) VerifyEmbedding(emb Embedding) error {
+	return e.inner.VerifyEmbedding(emb)
+}
+
+// Count estimates the number of non-induced occurrences of the tree
+// template t in g, running opt.Iterations color-coding iterations (or the
+// count derived from opt.Epsilon/Delta).
+func Count(g *Graph, t *Template, opt Options) (Result, error) {
+	e, err := NewEngine(g, t, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(opt.iterations(t.K()))
+}
+
+// CountLabeled is Count for labeled graphs and templates; it exists for
+// discoverability and validates that both sides carry labels (Count also
+// handles labeled inputs).
+func CountLabeled(g *Graph, t *Template, opt Options) (Result, error) {
+	if !t.Labeled() {
+		return Result{}, fmt.Errorf("fascia: CountLabeled requires a labeled template")
+	}
+	if g.Labels == nil {
+		return Result{}, fmt.Errorf("fascia: CountLabeled requires a labeled graph")
+	}
+	return Count(g, t, opt)
+}
+
+// VertexCounts estimates per-vertex graphlet degrees for the orbit of the
+// template vertex selected by opt.RootVertex, averaged over
+// opt.Iterations iterations.
+func VertexCounts(g *Graph, t *Template, opt Options) ([]float64, error) {
+	e, err := NewEngine(g, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.VertexCounts(opt.iterations(t.K()))
+}
+
+// SampleEmbeddings runs one counting iteration with retained tables and
+// draws count colorful embeddings from it — FASCIA's enumeration mode.
+// Each returned embedding is a verified non-induced occurrence of t.
+func SampleEmbeddings(g *Graph, t *Template, opt Options, count int) ([]Embedding, error) {
+	opt.KeepTables = true
+	iters := opt.iterations(t.K())
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
+	// Colorful embeddings can be absent under an unlucky coloring; retry
+	// with fresh colorings like repeated Algorithm 1 rounds.
+	var lastErr error
+	base := opt.Seed
+	for i := 0; i < iters; i++ {
+		opt.Seed = base + int64(i)
+		e, err := NewEngine(g, t, opt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.inner.Run(1); err != nil {
+			return nil, err
+		}
+		embs, err := e.SampleEmbeddings(rng, count)
+		if err == nil {
+			return embs, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// RunConverged runs iterations adaptively until the relative standard
+// error of the estimate drops below relStdErr (bounded by minIters and
+// maxIters) — automated "enough iterations" in place of the conservative
+// theoretical bound.
+func (e *Engine) RunConverged(relStdErr float64, minIters, maxIters int) (Result, error) {
+	res, err := e.inner.RunConverged(relStdErr, minIters, maxIters)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromDP(res), nil
+}
+
+// CountConverged estimates the count, running iterations until the
+// relative standard error falls below relStdErr (at most maxIters).
+func CountConverged(g *Graph, t *Template, relStdErr float64, maxIters int, opt Options) (Result, error) {
+	e, err := NewEngine(g, t, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.RunConverged(relStdErr, 2, maxIters)
+}

@@ -1,0 +1,83 @@
+package fascia
+
+import (
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// NewGraph builds a Graph over n vertices from an undirected edge list.
+// Self-loops and duplicate edges are dropped; labels may be nil.
+func NewGraph(n int, edges [][2]int32, labels []int32) (*Graph, error) {
+	return graph.FromEdges(n, edges, labels)
+}
+
+// LoadGraph reads a graph file (text edge list, or binary CSR for ".bin").
+func LoadGraph(path string) (*Graph, error) {
+	return graph.LoadFile(path)
+}
+
+// SaveGraph writes a graph file (text edge list, or binary CSR for ".bin").
+func SaveGraph(path string, g *Graph) error {
+	return graph.SaveFile(path, g)
+}
+
+// ReadGraph parses a text edge list from r.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	return graph.ReadEdgeList(r)
+}
+
+// WriteGraph writes g as a text edge list to w.
+func WriteGraph(w io.Writer, g *Graph) error {
+	return graph.WriteEdgeList(w, g)
+}
+
+// GraphStats summarizes a graph's size and degrees.
+type GraphStats = graph.Stats
+
+// NetworkPreset describes one of the paper's ten evaluation networks and
+// the synthetic model standing in for it (see DESIGN.md §3).
+type NetworkPreset = gen.Preset
+
+// Networks lists the ten network presets of the paper's Table I.
+func Networks() []NetworkPreset { return gen.Presets }
+
+// Network returns a network preset by name (e.g. "portland", "enron",
+// "gnp", "slashdot", "paroad", "circuit", "ecoli", "scerevisiae",
+// "hpylori", "celegans").
+func Network(name string) (NetworkPreset, error) { return gen.ByName(name) }
+
+// Generate builds the named preset network at the given scale (1.0 =
+// paper-sized) with a deterministic seed, returning its largest connected
+// component. It panics on unknown names; use Network for error handling.
+func Generate(name string, scale float64, seed int64) *Graph {
+	p, err := gen.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p.Build(scale, seed)
+}
+
+// AssignRandomLabels attaches uniform pseudo-random vertex labels in
+// [0, numLabels) to g in place and returns g (the paper's labeled-network
+// methodology, 8 labels for Portland).
+func AssignRandomLabels(g *Graph, numLabels int, seed int64) *Graph {
+	return gen.AssignLabels(g, numLabels, seed)
+}
+
+// ErdosRenyi generates a G(n, m) random graph.
+func ErdosRenyi(n int, m int64, seed int64) *Graph {
+	return gen.ErdosRenyiM(n, m, seed)
+}
+
+// BarabasiAlbert generates a preferential-attachment graph where each new
+// vertex attaches to mPer existing vertices.
+func BarabasiAlbert(n, mPer int, seed int64) *Graph {
+	return gen.BarabasiAlbert(n, mPer, seed)
+}
+
+// WattsStrogatz generates a small-world ring-lattice graph.
+func WattsStrogatz(n, kNear int, beta float64, seed int64) *Graph {
+	return gen.WattsStrogatz(n, kNear, beta, seed)
+}

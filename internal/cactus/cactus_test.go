@@ -1,0 +1,203 @@
+package cactus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomG(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int32
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func bowtie() *Template {
+	// Two triangles sharing vertex 0.
+	return Must("bowtie", 5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {3, 4}, {0, 4}})
+}
+
+func TestValidation(t *testing.T) {
+	// Pure trees are valid cacti.
+	if _, err := New("path", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Triangle, tailed triangle, bowtie: valid.
+	if Triangle().Triangles() != 1 {
+		t.Fatal("triangle not recognized")
+	}
+	if TailedTriangle(2).Triangles() != 1 {
+		t.Fatal("tailed triangle not recognized")
+	}
+	if bowtie().Triangles() != 2 {
+		t.Fatal("bowtie should have two triangle blocks")
+	}
+	// C4 (square): one block with 4 vertices, rejected.
+	if _, err := New("c4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}); err == nil {
+		t.Fatal("4-cycle accepted")
+	}
+	// Two triangles sharing an edge (K4 minus an edge): 4-vertex block.
+	if _, err := New("diamond", 4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}}); err == nil {
+		t.Fatal("diamond accepted")
+	}
+	// Disconnected.
+	if _, err := New("disc", 4, [][2]int{{0, 1}, {2, 3}}); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+	// Duplicate edge / self loop / out of range.
+	if _, err := New("dup", 3, [][2]int{{0, 1}, {1, 0}, {1, 2}}); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if _, err := New("loop", 2, [][2]int{{0, 0}, {0, 1}}); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if _, err := New("oob", 2, [][2]int{{0, 5}}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestAutomorphismsKnown(t *testing.T) {
+	cases := []struct {
+		t    *Template
+		want int64
+	}{
+		{Triangle(), 6},        // S3
+		{TailedTriangle(1), 2}, // swap the two free triangle vertices
+		{bowtie(), 8},          // 2 per triangle × swap triangles
+		{Must("p3", 3, [][2]int{{0, 1}, {1, 2}}), 2},
+	}
+	for _, c := range cases {
+		if got := c.t.Automorphisms(); got != c.want {
+			t.Errorf("Aut(%s) = %d, want %d", c.t.Name(), got, c.want)
+		}
+	}
+}
+
+func TestExactTriangleCounts(t *testing.T) {
+	// Triangles in K4: C(4,3) = 4; in K5: 10.
+	if got := Count(complete(4), Triangle()); got != 4 {
+		t.Fatalf("triangles in K4 = %d, want 4", got)
+	}
+	if got := Count(complete(5), Triangle()); got != 10 {
+		t.Fatalf("triangles in K5 = %d, want 10", got)
+	}
+	// A triangle-free graph has none.
+	ring := graph.MustFromEdges(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, nil)
+	if got := Count(ring, Triangle()); got != 0 {
+		t.Fatalf("triangles in C6 = %d, want 0", got)
+	}
+}
+
+// TestCactusColorfulExactEquivalence is the cactus keystone: the DP's
+// colorful total must exactly match brute force, for triangle-bearing
+// templates on random graphs.
+func TestCactusColorfulExactEquivalence(t *testing.T) {
+	templates := []*Template{
+		Triangle(),
+		TailedTriangle(1),
+		TailedTriangle(2),
+		bowtie(),
+		// Triangle with subtrees on two corners.
+		Must("tri-tree", 6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 4}, {4, 5}}),
+		// Pure tree handled by the same engine.
+		Must("tree", 4, [][2]int{{0, 1}, {1, 2}, {1, 3}}),
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		n := 12 + int(seed)*3
+		g := randomG(rand.New(rand.NewSource(seed)), n, n*3)
+		for _, tpl := range templates {
+			e, err := NewEngine(g, tpl, Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := CountColorfulMappings(g, tpl, e.ColoringFor(seed*7))
+			got := e.ColorfulTotal(seed * 7)
+			if got != float64(want) {
+				t.Fatalf("seed %d %s: DP %v, exact %d", seed, tpl.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestCactusEstimateConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomG(rng, 40, 200)
+	tpl := TailedTriangle(1)
+	want := float64(Count(g, tpl))
+	if want == 0 {
+		t.Skip("degenerate instance")
+	}
+	e, err := NewEngine(g, tpl, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-want)/want > 0.12 {
+		t.Fatalf("estimate %.1f, exact %.1f", res.Estimate, want)
+	}
+}
+
+func TestCactusMatchesTreeEngineOnTrees(t *testing.T) {
+	// For pure trees the cactus engine must agree with exhaustive counts
+	// exactly per coloring (sanity that edge merges alone are correct).
+	rng := rand.New(rand.NewSource(6))
+	g := randomG(rng, 20, 50)
+	tpl := Must("star4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	e, err := NewEngine(g, tpl, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CountColorfulMappings(g, tpl, e.ColoringFor(9))
+	if got := e.ColorfulTotal(9); got != float64(want) {
+		t.Fatalf("tree via cactus engine: %v vs %d", got, want)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomG(rng, 10, 20)
+	if _, err := NewEngine(nil, Triangle(), Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewEngine(g, Triangle(), Config{Colors: 2}); err == nil {
+		t.Fatal("too few colors accepted")
+	}
+	e, _ := NewEngine(g, Triangle(), Config{})
+	if _, err := e.Run(0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	if e.Automorphisms() != 6 {
+		t.Fatal("triangle aut wrong")
+	}
+}
+
+func TestExtraColorsCactus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomG(rng, 15, 45)
+	tpl := TailedTriangle(1)
+	e, err := NewEngine(g, tpl, Config{Colors: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CountColorfulMappings(g, tpl, e.ColoringFor(11))
+	if got := e.ColorfulTotal(11); got != float64(want) {
+		t.Fatalf("extra colors: DP %v, exact %d", got, want)
+	}
+}

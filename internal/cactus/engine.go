@@ -1,0 +1,374 @@
+package cactus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/comb"
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+// planNode is one step of the rooted decomposition: a leaf vertex, a
+// standard edge merge (as in the tree DP), or a triangle merge combining
+// the root part with two child parts whose roots must map to adjacent
+// graph vertices.
+type planNode struct {
+	kind  nodeKind
+	size  int
+	root  int
+	act   *planNode
+	pas1  *planNode
+	pas2  *planNode
+	split *comb.SplitTable // edge merge
+	tri   *triSplit        // triangle merge
+}
+
+type nodeKind int
+
+const (
+	leafNode nodeKind = iota
+	edgeNode
+	triNode
+)
+
+// triSplit precomputes three-way color-set splits: for each set of size
+// h, all (active, child1, child2) index triples.
+type triSplit struct {
+	numSets int
+	per     int
+	a       []int32
+	p1      []int32
+	p2      []int32
+}
+
+func newTriSplit(k, h, aN, p1N, p2N int) *triSplit {
+	nSets := int(comb.Binomial(k, h))
+	per := int(comb.Binomial(h, aN) * comb.Binomial(h-aN, p1N))
+	ts := &triSplit{
+		numSets: nSets, per: per,
+		a:  make([]int32, 0, nSets*per),
+		p1: make([]int32, 0, nSets*per),
+		p2: make([]int32, 0, nSets*per),
+	}
+	set := make([]int, h)
+	comb.First(set)
+	chooseA := make([]int, aN)
+	choose1 := make([]int, p1N)
+	bufA := make([]int, aN)
+	buf1 := make([]int, p1N)
+	buf2 := make([]int, p2N)
+	rest := make([]int, h-aN)
+	for {
+		comb.First(chooseA)
+		for {
+			// Partition positions into active and remainder.
+			ai, ri := 0, 0
+			for pos := 0; pos < h; pos++ {
+				if ai < aN && chooseA[ai] == pos {
+					bufA[ai] = set[pos]
+					ai++
+				} else {
+					rest[ri] = set[pos]
+					ri++
+				}
+			}
+			comb.First(choose1)
+			for {
+				i1, i2 := 0, 0
+				for pos := 0; pos < len(rest); pos++ {
+					if i1 < p1N && choose1[i1] == pos {
+						buf1[i1] = rest[pos]
+						i1++
+					} else {
+						buf2[i2] = rest[pos]
+						i2++
+					}
+				}
+				ts.a = append(ts.a, int32(comb.Rank(bufA)))
+				ts.p1 = append(ts.p1, int32(comb.Rank(buf1)))
+				ts.p2 = append(ts.p2, int32(comb.Rank(buf2)))
+				if !comb.Next(choose1, len(rest)) {
+					break
+				}
+			}
+			if !comb.Next(chooseA, h) {
+				break
+			}
+		}
+		if !comb.Next(set, k) {
+			break
+		}
+	}
+	return ts
+}
+
+// Config controls a cactus counting run.
+type Config struct {
+	Colors int
+	Seed   int64
+}
+
+// Result reports a cactus counting run.
+type Result struct {
+	Estimate     float64
+	PerIteration []float64
+}
+
+// Engine counts non-induced occurrences of a triangle-cactus template by
+// color coding with edge- and triangle-merge DP steps.
+type Engine struct {
+	g    *graph.Graph
+	t    *Template
+	cfg  Config
+	k    int
+	plan *planNode
+	aut  int64
+	prob float64
+	// order lists plan nodes children-first for bottom-up evaluation.
+	order []*planNode
+}
+
+// NewEngine prepares a cactus engine.
+func NewEngine(g *graph.Graph, t *Template, cfg Config) (*Engine, error) {
+	if g == nil || t == nil {
+		return nil, fmt.Errorf("cactus: nil graph or template")
+	}
+	k := cfg.Colors
+	if k == 0 {
+		k = t.K()
+	}
+	if k < t.K() || k > comb.MaxColors {
+		return nil, fmt.Errorf("cactus: invalid color count %d for template size %d", k, t.K())
+	}
+	e := &Engine{
+		g: g, t: t, cfg: cfg, k: k,
+		aut:  t.Automorphisms(),
+		prob: dp.ColorfulProbability(k, t.K()),
+	}
+	e.plan = e.buildPlan()
+	if e.plan.size != t.K() {
+		return nil, fmt.Errorf("cactus: decomposition covers %d of %d vertices", e.plan.size, t.K())
+	}
+	var collect func(n *planNode)
+	collect = func(n *planNode) {
+		if n.kind != leafNode {
+			collect(n.act)
+			collect(n.pas1)
+			if n.pas2 != nil {
+				collect(n.pas2)
+			}
+		}
+		e.order = append(e.order, n)
+	}
+	collect(e.plan)
+	return e, nil
+}
+
+// buildPlan decomposes the template into leaf / edge-merge / triangle-
+// merge steps, peeling blocks one at a time around each root (the
+// cactus analogue of one-at-a-time partitioning).
+func (e *Engine) buildPlan() *planNode {
+	t := e.t
+	// Blocks incident to each vertex.
+	blocksOf := make([][]int, t.k)
+	for bi, b := range t.blocks {
+		for _, v := range b {
+			blocksOf[v] = append(blocksOf[v], bi)
+		}
+	}
+	var build func(root, fromBlock int) *planNode
+	build = func(root, fromBlock int) *planNode {
+		cur := &planNode{kind: leafNode, size: 1, root: root}
+		for _, bi := range blocksOf[root] {
+			if bi == fromBlock {
+				continue
+			}
+			b := t.blocks[bi]
+			if len(b) == 2 {
+				other := b[0]
+				if other == root {
+					other = b[1]
+				}
+				child := build(other, bi)
+				merged := &planNode{
+					kind: edgeNode, size: cur.size + child.size, root: root,
+					act: cur, pas1: child,
+					split: comb.NewSplitTable(e.k, cur.size+child.size, cur.size),
+				}
+				cur = merged
+			} else {
+				var x, y = -1, -1
+				for _, v := range b {
+					if v != root {
+						if x < 0 {
+							x = v
+						} else {
+							y = v
+						}
+					}
+				}
+				c1 := build(x, bi)
+				c2 := build(y, bi)
+				h := cur.size + c1.size + c2.size
+				merged := &planNode{
+					kind: triNode, size: h, root: root,
+					act: cur, pas1: c1, pas2: c2,
+					tri: newTriSplit(e.k, h, cur.size, c1.size, c2.size),
+				}
+				cur = merged
+			}
+		}
+		return cur
+	}
+	return build(0, -1)
+}
+
+// Automorphisms returns |Aut(T)| used for scaling.
+func (e *Engine) Automorphisms() int64 { return e.aut }
+
+// Run executes iters color-coding iterations and averages the estimates.
+func (e *Engine) Run(iters int) (Result, error) {
+	if iters < 1 {
+		return Result{}, fmt.Errorf("cactus: iterations must be >= 1, got %d", iters)
+	}
+	res := Result{PerIteration: make([]float64, iters)}
+	for i := 0; i < iters; i++ {
+		total := e.ColorfulTotal(e.cfg.Seed + int64(i))
+		res.PerIteration[i] = total / (e.prob * float64(e.aut))
+	}
+	var sum float64
+	for _, x := range res.PerIteration {
+		sum += x
+	}
+	res.Estimate = sum / float64(iters)
+	return res, nil
+}
+
+// ColoringFor reproduces the coloring of an iteration seed.
+func (e *Engine) ColoringFor(seed int64) []int8 {
+	rng := rand.New(rand.NewSource(seed))
+	colors := make([]int8, e.g.N())
+	for i := range colors {
+		colors[i] = int8(rng.Intn(e.k))
+	}
+	return colors
+}
+
+// ColorfulTotal runs one DP pass under the coloring of seed and returns
+// the raw colorful mapping total.
+func (e *Engine) ColorfulTotal(seed int64) float64 {
+	colors := e.ColoringFor(seed)
+	n := int32(e.g.N())
+	tabs := map[*planNode][][]float64{}
+	for _, nd := range e.order {
+		rows := make([][]float64, n)
+		switch nd.kind {
+		case leafNode:
+			for v := int32(0); v < n; v++ {
+				row := make([]float64, e.k)
+				row[colors[v]] = 1
+				rows[v] = row
+			}
+		case edgeNode:
+			act, pas := tabs[nd.act], tabs[nd.pas1]
+			split := nd.split
+			nc := split.NumSets
+			spn := split.SplitsPerSet
+			for v := int32(0); v < n; v++ {
+				arow := act[v]
+				if arow == nil {
+					continue
+				}
+				var buf []float64
+				for _, u := range e.g.Adj(v) {
+					prow := pas[u]
+					if prow == nil {
+						continue
+					}
+					if buf == nil {
+						buf = make([]float64, nc)
+					}
+					for ci := 0; ci < nc; ci++ {
+						base := ci * spn
+						var s float64
+						for j := base; j < base+spn; j++ {
+							if av := arow[split.ActiveIdx[j]]; av != 0 {
+								s += av * prow[split.PassiveIdx[j]]
+							}
+						}
+						buf[ci] += s
+					}
+				}
+				rows[v] = compact(buf)
+			}
+		case triNode:
+			act, pas1, pas2 := tabs[nd.act], tabs[nd.pas1], tabs[nd.pas2]
+			ts := nd.tri
+			for v := int32(0); v < n; v++ {
+				arow := act[v]
+				if arow == nil {
+					continue
+				}
+				var buf []float64
+				adj := e.g.Adj(v)
+				for _, u1 := range adj {
+					p1row := pas1[u1]
+					if p1row == nil {
+						continue
+					}
+					for _, u2 := range adj {
+						if u2 == u1 {
+							continue
+						}
+						p2row := pas2[u2]
+						if p2row == nil || !e.g.HasEdge(u1, u2) {
+							continue
+						}
+						if buf == nil {
+							buf = make([]float64, ts.numSets)
+						}
+						for ci := 0; ci < ts.numSets; ci++ {
+							base := ci * ts.per
+							var s float64
+							for j := base; j < base+ts.per; j++ {
+								av := arow[ts.a[j]]
+								if av == 0 {
+									continue
+								}
+								p1 := p1row[ts.p1[j]]
+								if p1 == 0 {
+									continue
+								}
+								s += av * p1 * p2row[ts.p2[j]]
+							}
+							buf[ci] += s
+						}
+					}
+				}
+				rows[v] = compact(buf)
+			}
+		}
+		tabs[nd] = rows
+	}
+	var total float64
+	for _, row := range tabs[e.plan] {
+		for _, x := range row {
+			total += x
+		}
+	}
+	return total
+}
+
+// compact drops all-zero rows.
+func compact(buf []float64) []float64 {
+	if buf == nil {
+		return nil
+	}
+	for _, x := range buf {
+		if x != 0 {
+			return buf
+		}
+	}
+	return nil
+}

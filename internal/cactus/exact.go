@@ -1,0 +1,115 @@
+package cactus
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CountMappings returns the exact number of injective mappings of the
+// cactus template into g by ordered backtracking: every template edge
+// (including triangle closures) must map onto a graph edge.
+func CountMappings(g *graph.Graph, t *Template) int64 {
+	return countMappings(g, t, nil)
+}
+
+// CountColorfulMappings counts mappings whose image is rainbow under the
+// given coloring — the oracle for the cactus DP.
+func CountColorfulMappings(g *graph.Graph, t *Template, colors []int8) int64 {
+	if len(colors) != g.N() {
+		panic("cactus: coloring length mismatch")
+	}
+	return countMappings(g, t, colors)
+}
+
+// Count returns the exact number of non-induced occurrences: mappings
+// divided by the automorphism count.
+func Count(g *graph.Graph, t *Template) int64 {
+	m := CountMappings(g, t)
+	aut := t.Automorphisms()
+	if m%aut != 0 {
+		panic(fmt.Sprintf("cactus: mapping count %d not divisible by aut %d", m, aut))
+	}
+	return m / aut
+}
+
+func countMappings(g *graph.Graph, t *Template, colors []int8) int64 {
+	k := t.K()
+	// BFS order; for each position, its parent and the list of earlier
+	// template neighbors whose graph edges must be checked.
+	order := make([]int, 0, k)
+	parentPos := make([]int, k)
+	backChecks := make([][]int, k) // positions of earlier neighbors (excluding parent)
+	posOf := make([]int, k)
+	seen := make([]bool, k)
+	order = append(order, 0)
+	seen[0] = true
+	parentPos[0] = -1
+	posOf[0] = 0
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, u8 := range t.adj[v] {
+			u := int(u8)
+			if !seen[u] {
+				seen[u] = true
+				parentPos[len(order)] = i
+				posOf[u] = len(order)
+				order = append(order, u)
+			}
+		}
+	}
+	for pos := 1; pos < k; pos++ {
+		v := order[pos]
+		for _, u8 := range t.adj[v] {
+			up := posOf[int(u8)]
+			if up < pos && up != parentPos[pos] {
+				backChecks[pos] = append(backChecks[pos], up)
+			}
+		}
+	}
+
+	assign := make([]int32, k)
+	used := make(map[int32]bool, k)
+	var colorBit uint64
+	var count int64
+	var recurse func(pos int)
+	recurse = func(pos int) {
+		if pos == k {
+			count++
+			return
+		}
+		try := func(gv int32) {
+			if used[gv] {
+				return
+			}
+			for _, bp := range backChecks[pos] {
+				if !g.HasEdge(assign[bp], gv) {
+					return
+				}
+			}
+			if colors != nil {
+				bit := uint64(1) << uint(colors[gv])
+				if colorBit&bit != 0 {
+					return
+				}
+				colorBit |= bit
+				defer func() { colorBit &^= bit }()
+			}
+			used[gv] = true
+			assign[pos] = gv
+			recurse(pos + 1)
+			delete(used, gv)
+		}
+		if pos == 0 {
+			for gv := int32(0); gv < int32(g.N()); gv++ {
+				try(gv)
+			}
+			return
+		}
+		for _, gv := range g.Adj(assign[parentPos[pos]]) {
+			try(gv)
+		}
+	}
+	recurse(0)
+	return count
+}

@@ -1,0 +1,247 @@
+// Package cactus extends counting beyond pure trees to the paper's
+// "tree-like graph templates with triangles" (§I, §II-C): templates whose
+// biconnected blocks are single edges or triangles (a triangle cactus).
+// The dynamic program gains a triangle-merge step — combining a root
+// subtemplate with two child subtemplates whose roots must map to
+// adjacent graph vertices — and is verified exactly against a
+// general-template exhaustive oracle under fixed colorings.
+package cactus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Template is a connected triangle-cactus template: every edge lies in at
+// most one cycle and every cycle is a triangle.
+type Template struct {
+	name  string
+	k     int
+	adj   [][]int8
+	edges [][2]int
+	// blocks lists the biconnected blocks: each is either 2 vertices (an
+	// edge block) or 3 (a triangle block).
+	blocks [][]int
+}
+
+// New validates and builds a triangle-cactus template from an undirected
+// edge list over vertices 0..k-1.
+func New(name string, k int, edges [][2]int) (*Template, error) {
+	if k < 1 || k > 16 {
+		return nil, fmt.Errorf("cactus: template size %d unsupported (1..16)", k)
+	}
+	t := &Template{name: name, k: k, adj: make([][]int8, k)}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= k || v >= k || u == v {
+			return nil, fmt.Errorf("cactus: bad edge (%d,%d)", u, v)
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return nil, fmt.Errorf("cactus: duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+		t.adj[u] = append(t.adj[u], int8(v))
+		t.adj[v] = append(t.adj[v], int8(u))
+		t.edges = append(t.edges, [2]int{u, v})
+	}
+	// Connectivity.
+	visited := make([]bool, k)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range t.adj[v] {
+			if !visited[u] {
+				visited[u] = true
+				count++
+				stack = append(stack, int(u))
+			}
+		}
+	}
+	if count != k {
+		return nil, fmt.Errorf("cactus: template not connected")
+	}
+	if err := t.decomposeBlocks(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Must is New for known-valid inputs; panics on error.
+func Must(name string, k int, edges [][2]int) *Template {
+	t, err := New(name, k, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// decomposeBlocks computes biconnected components via DFS (Hopcroft-
+// Tarjan) and verifies each block is an edge or a triangle.
+func (t *Template) decomposeBlocks() error {
+	k := t.k
+	disc := make([]int, k)
+	low := make([]int, k)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var edgeStack [][2]int
+	timer := 0
+	var vErr error
+
+	emit := func(until [2]int) {
+		verts := map[int]bool{}
+		edgeCount := 0
+		for {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			verts[e[0]] = true
+			verts[e[1]] = true
+			edgeCount++
+			if e == until {
+				break
+			}
+		}
+		vs := make([]int, 0, len(verts))
+		for v := range verts {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		t.blocks = append(t.blocks, vs)
+		// Valid blocks: a bridge (2 vertices, 1 edge) or a triangle
+		// (3 vertices, 3 edges).
+		if !(len(vs) == 2 && edgeCount == 1) && !(len(vs) == 3 && edgeCount == 3) && vErr == nil {
+			vErr = fmt.Errorf("cactus: block with %d vertices and %d edges is neither an edge nor a triangle", len(vs), edgeCount)
+		}
+	}
+
+	var dfs func(v, parent int)
+	dfs = func(v, parent int) {
+		disc[v] = timer
+		low[v] = timer
+		timer++
+		for _, u8 := range t.adj[v] {
+			u := int(u8)
+			if u == parent {
+				continue
+			}
+			if disc[u] < 0 {
+				edgeStack = append(edgeStack, [2]int{v, u})
+				dfs(u, v)
+				if low[u] < low[v] {
+					low[v] = low[u]
+				}
+				if low[u] >= disc[v] {
+					emit([2]int{v, u})
+				}
+			} else if disc[u] < disc[v] {
+				edgeStack = append(edgeStack, [2]int{v, u})
+				if disc[u] < low[v] {
+					low[v] = disc[u]
+				}
+			}
+		}
+	}
+
+	dfs(0, -1)
+	if vErr != nil {
+		t.blocks = nil
+	}
+	return vErr
+}
+
+// K returns the number of template vertices.
+func (t *Template) K() int { return t.k }
+
+// Name returns the template name.
+func (t *Template) Name() string { return t.name }
+
+// Edges returns the template's edges.
+func (t *Template) Edges() [][2]int { return t.edges }
+
+// Blocks returns the biconnected blocks (sorted vertex lists; length 2 =
+// edge block, 3 = triangle block).
+func (t *Template) Blocks() [][]int { return t.blocks }
+
+// Triangles returns the number of triangle blocks.
+func (t *Template) Triangles() int {
+	n := 0
+	for _, b := range t.blocks {
+		if len(b) == 3 {
+			n++
+		}
+	}
+	return n
+}
+
+// HasEdge reports whether template vertices a and b are adjacent.
+func (t *Template) HasEdge(a, b int) bool {
+	for _, u := range t.adj[a] {
+		if int(u) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Automorphisms counts automorphisms of the template by pruned
+// backtracking (templates are tiny: k <= 16 with tree-like structure, so
+// the search prunes aggressively on adjacency mismatches).
+func (t *Template) Automorphisms() int64 {
+	k := t.k
+	deg := make([]int, k)
+	for v := range t.adj {
+		deg[v] = len(t.adj[v])
+	}
+	perm := make([]int, k)
+	used := make([]bool, k)
+	var count int64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			count++
+			return
+		}
+		for img := 0; img < k; img++ {
+			if used[img] || deg[img] != deg[i] {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if t.HasEdge(i, j) != t.HasEdge(img, perm[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				used[img] = true
+				perm[i] = img
+				rec(i + 1)
+				used[img] = false
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+// Triangle returns the 3-cycle template.
+func Triangle() *Template {
+	return Must("triangle", 3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+}
+
+// TailedTriangle returns a triangle with a path of tail vertices attached
+// to vertex 0.
+func TailedTriangle(tail int) *Template {
+	edges := [][2]int{{0, 1}, {1, 2}, {0, 2}}
+	prev := 0
+	for i := 0; i < tail; i++ {
+		edges = append(edges, [2]int{prev, 3 + i})
+		prev = 3 + i
+	}
+	return Must(fmt.Sprintf("tailed-triangle-%d", tail), 3+tail, edges)
+}

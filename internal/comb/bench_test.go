@@ -1,0 +1,39 @@
+package comb
+
+import "testing"
+
+func BenchmarkRank(b *testing.B) {
+	set := []int{1, 3, 4, 7, 9, 11}
+	for i := 0; i < b.N; i++ {
+		Rank(set)
+	}
+}
+
+func BenchmarkUnrank(b *testing.B) {
+	dst := make([]int, 6)
+	for i := 0; i < b.N; i++ {
+		Unrank(int64(i)%Binomial(12, 6), 6, dst)
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	set := make([]int, 6)
+	First(set)
+	for i := 0; i < b.N; i++ {
+		if !Next(set, 12) {
+			First(set)
+		}
+	}
+}
+
+func BenchmarkNewSplitTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewSplitTable(12, 6, 3)
+	}
+}
+
+func BenchmarkSingletonSplits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SingletonSplits(12, 6)
+	}
+}

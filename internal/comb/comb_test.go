@@ -1,0 +1,318 @@
+package comb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, r int
+		want int64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1},
+		{5, 2, 10}, {10, 5, 252}, {12, 6, 924},
+		{12, 0, 1}, {12, 12, 1},
+		{32, 16, 601080390},
+		{4, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.r); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascalIdentity(t *testing.T) {
+	for n := 1; n <= MaxColors; n++ {
+		for r := 1; r <= n; r++ {
+			if Binomial(n, r) != Binomial(n-1, r-1)+Binomial(n-1, r) {
+				t.Fatalf("Pascal identity fails at C(%d,%d)", n, r)
+			}
+		}
+	}
+}
+
+func TestBinomialPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > MaxColors")
+		}
+	}()
+	Binomial(MaxColors+1, 2)
+}
+
+func TestRankFirstCombinationIsZero(t *testing.T) {
+	for h := 1; h <= 12; h++ {
+		set := make([]int, h)
+		First(set)
+		if got := Rank(set); got != 0 {
+			t.Errorf("Rank of first combination size %d = %d, want 0", h, got)
+		}
+	}
+}
+
+func TestRankColexSequential(t *testing.T) {
+	// Enumerating in colex order must produce ranks 0, 1, 2, ...
+	for _, k := range []int{5, 8, 12} {
+		for h := 1; h <= k; h++ {
+			set := make([]int, h)
+			First(set)
+			for want := int64(0); ; want++ {
+				if got := Rank(set); got != want {
+					t.Fatalf("k=%d h=%d: Rank(%v) = %d, want %d", k, h, set, got, want)
+				}
+				if !Next(set, k) {
+					if want+1 != Binomial(k, h) {
+						t.Fatalf("k=%d h=%d: enumerated %d combinations, want %d", k, h, want+1, Binomial(k, h))
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestUnrankRoundTrip(t *testing.T) {
+	for _, k := range []int{4, 7, 12} {
+		for h := 1; h <= k; h++ {
+			dst := make([]int, h)
+			for idx := int64(0); idx < Binomial(k, h); idx++ {
+				Unrank(idx, h, dst)
+				if got := Rank(dst); got != idx {
+					t.Fatalf("k=%d h=%d: Rank(Unrank(%d)) = %d", k, h, idx, got)
+				}
+				for i := 1; i < h; i++ {
+					if dst[i] <= dst[i-1] {
+						t.Fatalf("Unrank(%d, %d) = %v not strictly increasing", idx, h, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRankUnrankProperty uses testing/quick over random combinations.
+func TestRankUnrankProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(MaxColors-2)
+		h := 1 + rng.Intn(k)
+		perm := rng.Perm(k)[:h]
+		// Sort the selection into a combination.
+		for i := 1; i < len(perm); i++ {
+			for j := i; j > 0 && perm[j] < perm[j-1]; j-- {
+				perm[j], perm[j-1] = perm[j-1], perm[j]
+			}
+		}
+		idx := Rank(perm)
+		if idx < 0 || idx >= Binomial(k, h) {
+			return false
+		}
+		back := Unrank(idx, h, make([]int, h))
+		for i := range back {
+			if back[i] != perm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextExhaustsAllCombinations(t *testing.T) {
+	k, h := 10, 4
+	seen := make(map[int64]bool)
+	set := make([]int, h)
+	First(set)
+	for {
+		seen[Rank(set)] = true
+		if !Next(set, k) {
+			break
+		}
+	}
+	if int64(len(seen)) != Binomial(k, h) {
+		t.Fatalf("Next visited %d distinct combinations, want %d", len(seen), Binomial(k, h))
+	}
+}
+
+func TestCombinationsCount(t *testing.T) {
+	all := Combinations(7, 3)
+	if int64(len(all)) != Binomial(7, 3) {
+		t.Fatalf("Combinations(7,3) returned %d sets, want %d", len(all), Binomial(7, 3))
+	}
+	for i, c := range all {
+		if Rank(c) != int64(i) {
+			t.Fatalf("Combinations(7,3)[%d] = %v has rank %d", i, c, Rank(c))
+		}
+	}
+}
+
+func TestRankPanicsOnBadInput(t *testing.T) {
+	for _, bad := range [][]int{{2, 2}, {3, 1}, {-1, 2}, {0, MaxColors}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Rank(%v) did not panic", bad)
+				}
+			}()
+			Rank(bad)
+		}()
+	}
+}
+
+func TestSplitTableSizes(t *testing.T) {
+	st := NewSplitTable(12, 6, 3)
+	if st.NumSets != 924 || st.SplitsPerSet != 20 {
+		t.Fatalf("split table sizes = (%d, %d), want (924, 20)", st.NumSets, st.SplitsPerSet)
+	}
+	if len(st.ActiveIdx) != 924*20 || len(st.PassiveIdx) != 924*20 {
+		t.Fatalf("split table arrays wrong length")
+	}
+}
+
+// TestSplitTablePartition verifies the defining property: for every color
+// set C and every recorded split, the active and passive combinations are
+// disjoint and their union is exactly C.
+func TestSplitTablePartition(t *testing.T) {
+	for _, dims := range [][3]int{{5, 3, 1}, {5, 3, 2}, {7, 5, 2}, {8, 4, 2}, {12, 6, 3}, {6, 6, 5}} {
+		k, h, aN := dims[0], dims[1], dims[2]
+		st := NewSplitTable(k, h, aN)
+		pN := h - aN
+		set := make([]int, h)
+		First(set)
+		act := make([]int, aN)
+		pas := make([]int, pN)
+		for i := 0; ; i++ {
+			inSet := 0
+			for _, c := range set {
+				inSet |= 1 << c
+			}
+			seen := make(map[[2]int32]bool)
+			for s := 0; s < st.SplitsPerSet; s++ {
+				ai := st.ActiveIdx[i*st.SplitsPerSet+s]
+				pi := st.PassiveIdx[i*st.SplitsPerSet+s]
+				pair := [2]int32{ai, pi}
+				if seen[pair] {
+					t.Fatalf("k=%d h=%d aN=%d set %v: duplicate split (%d,%d)", k, h, aN, set, ai, pi)
+				}
+				seen[pair] = true
+				Unrank(int64(ai), aN, act)
+				Unrank(int64(pi), pN, pas)
+				mask := 0
+				for _, c := range act {
+					mask |= 1 << c
+				}
+				for _, c := range pas {
+					if mask&(1<<c) != 0 {
+						t.Fatalf("set %v split (%v,%v) not disjoint", set, act, pas)
+					}
+					mask |= 1 << c
+				}
+				if mask != inSet {
+					t.Fatalf("set %v split (%v,%v) union != set", set, act, pas)
+				}
+			}
+			if !Next(set, k) {
+				break
+			}
+		}
+	}
+}
+
+func TestSplitTablePanicsOnBadSizes(t *testing.T) {
+	for _, dims := range [][3]int{{5, 1, 1}, {5, 3, 0}, {5, 3, 3}, {5, 6, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSplitTable(%v) did not panic", dims)
+				}
+			}()
+			NewSplitTable(dims[0], dims[1], dims[2])
+		}()
+	}
+}
+
+// TestSingletonSplitsComplete verifies every (set, member) pair appears
+// exactly once across all per-color lists and that RestIdx is correct.
+func TestSingletonSplitsComplete(t *testing.T) {
+	for _, dims := range [][2]int{{5, 2}, {5, 5}, {8, 4}, {12, 6}} {
+		k, h := dims[0], dims[1]
+		lists := SingletonSplits(k, h)
+		if len(lists) != k {
+			t.Fatalf("k=%d: got %d color lists", k, len(lists))
+		}
+		total := 0
+		set := make([]int, h)
+		rest := make([]int, h-1)
+		for c := 0; c < k; c++ {
+			want := Binomial(k-1, h-1)
+			if int64(len(lists[c])) != want {
+				t.Fatalf("k=%d h=%d color %d: %d entries, want %d", k, h, c, len(lists[c]), want)
+			}
+			prev := int32(-1)
+			for _, e := range lists[c] {
+				if e.SetIdx <= prev {
+					t.Fatalf("color %d entries not sorted by SetIdx", c)
+				}
+				prev = e.SetIdx
+				Unrank(int64(e.SetIdx), h, set)
+				found := false
+				pi := 0
+				for _, v := range set {
+					if v == c {
+						found = true
+					} else {
+						rest[pi] = v
+						pi++
+					}
+				}
+				if !found {
+					t.Fatalf("color %d: set %v does not contain it", c, set)
+				}
+				if Rank(rest) != int64(e.RestIdx) {
+					t.Fatalf("color %d set %v: RestIdx = %d, want %d", c, set, e.RestIdx, Rank(rest))
+				}
+				total++
+			}
+		}
+		if int64(total) != Binomial(k, h)*int64(h) {
+			t.Fatalf("k=%d h=%d: total entries %d, want %d", k, h, total, Binomial(k, h)*int64(h))
+		}
+	}
+}
+
+func TestPairIndex(t *testing.T) {
+	k := 6
+	seen := make(map[int32]bool)
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			idx := PairIndex(a, b)
+			if idx != PairIndex(b, a) {
+				t.Fatalf("PairIndex not symmetric for (%d,%d)", a, b)
+			}
+			if got := Rank([]int{a, b}); got != int64(idx) {
+				t.Fatalf("PairIndex(%d,%d) = %d, want %d", a, b, idx, got)
+			}
+			if seen[idx] {
+				t.Fatalf("PairIndex collision at (%d,%d)", a, b)
+			}
+			seen[idx] = true
+		}
+	}
+	if int64(len(seen)) != Binomial(k, 2) {
+		t.Fatalf("PairIndex covered %d values, want %d", len(seen), Binomial(k, 2))
+	}
+}
+
+func TestPairIndexPanicsOnEqual(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PairIndex(3,3) did not panic")
+		}
+	}()
+	PairIndex(3, 3)
+}

@@ -1,0 +1,228 @@
+package directed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/part"
+)
+
+func TestFromArcsBasic(t *testing.T) {
+	g := MustFromArcs(4, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {0, 1}, {3, 3}})
+	if g.N() != 4 || g.A() != 3 {
+		t.Fatalf("n=%d a=%d, want 4/3", g.N(), g.A())
+	}
+	if !g.HasArc(0, 1) || g.HasArc(1, 0) {
+		t.Fatal("arc direction wrong")
+	}
+	if len(g.In(1)) != 1 || g.In(1)[0] != 0 {
+		t.Fatalf("In(1) = %v", g.In(1))
+	}
+	if len(g.Out(2)) != 1 || g.Out(2)[0] != 0 {
+		t.Fatalf("Out(2) = %v", g.Out(2))
+	}
+}
+
+func TestFromArcsErrors(t *testing.T) {
+	if _, err := FromArcs(2, [][2]int32{{0, 5}}); err == nil {
+		t.Fatal("out-of-range arc accepted")
+	}
+	if _, err := FromArcs(-1, nil); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestBidirectionalPair(t *testing.T) {
+	g := MustFromArcs(2, [][2]int32{{0, 1}, {1, 0}})
+	if g.A() != 2 || !g.HasArc(0, 1) || !g.HasArc(1, 0) {
+		t.Fatal("bidirectional pair lost")
+	}
+}
+
+func TestUnderlying(t *testing.T) {
+	g := MustFromArcs(3, [][2]int32{{0, 1}, {1, 0}, {1, 2}})
+	u := g.Underlying()
+	if u.M() != 2 {
+		t.Fatalf("underlying m = %d, want 2 (pair collapses)", u.M())
+	}
+}
+
+func TestDiTemplateBasics(t *testing.T) {
+	p := DiPath(3) // 0→1→2
+	if p.K() != 3 || !p.HasArc(0, 1) || p.HasArc(1, 0) {
+		t.Fatal("DiPath wrong")
+	}
+	if len(p.Arcs()) != 2 {
+		t.Fatal("arcs wrong")
+	}
+	if _, err := NewDiTemplate("bad", 3, [][2]int{{0, 1}}); err == nil {
+		t.Fatal("non-tree skeleton accepted")
+	}
+}
+
+func TestDiTemplateAutomorphisms(t *testing.T) {
+	cases := []struct {
+		t    *DiTemplate
+		want int64
+	}{
+		{DiPath(2), 1},    // 0→1: flipping reverses the arc
+		{DiPath(5), 1},    // directed path: rigid
+		{DiStarOut(4), 6}, // 3 out-leaves interchange: 3!
+		{DiStarIn(5), 24}, // 4 in-leaves: 4!
+		{MustDiTemplate("mix", 4, [][2]int{{0, 1}, {0, 2}, {3, 0}}), 2}, // two out-leaves swap, in-leaf fixed
+	}
+	for _, c := range cases {
+		if got := c.t.Automorphisms(); got != c.want {
+			t.Errorf("Aut(%s) = %d, want %d", c.t.Name(), got, c.want)
+		}
+	}
+}
+
+// TestDiAutomorphismsBruteForce cross-checks on random directed trees.
+func TestDiAutomorphismsBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		k := 2 + int(seed%5)
+		dt := RandomDiTemplate(k, seed)
+		want := bruteDiAut(dt)
+		if got := dt.Automorphisms(); got != want {
+			t.Fatalf("seed %d: Aut = %d, brute %d (arcs %v)", seed, got, want, dt.Arcs())
+		}
+	}
+}
+
+func bruteDiAut(dt *DiTemplate) int64 {
+	k := dt.K()
+	arcs := dt.Arcs()
+	var count int64
+	perm := make([]int, k)
+	used := make([]bool, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			for _, a := range arcs {
+				if !dt.HasArc(perm[a[0]], perm[a[1]]) {
+					return
+				}
+			}
+			count++
+			return
+		}
+		for v := 0; v < k; v++ {
+			if !used[v] {
+				used[v] = true
+				perm[i] = v
+				rec(i + 1)
+				used[v] = false
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+func TestExactDirectedPathCounts(t *testing.T) {
+	// Directed cycle 0→1→2→3→0: directed P3 (a→b→c) occurs 4 times;
+	// in-star S3 (two arcs into a center) occurs 0 times.
+	g := MustFromArcs(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if got := Count(g, DiPath(3)); got != 4 {
+		t.Fatalf("directed P3 in C4 = %d, want 4", got)
+	}
+	if got := Count(g, DiStarIn(3)); got != 0 {
+		t.Fatalf("in-star in directed cycle = %d, want 0", got)
+	}
+	// Reversing the graph turns out-stars into in-stars.
+	h := MustFromArcs(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	if Count(h, DiStarOut(4)) != 1 || Count(h, DiStarIn(4)) != 0 {
+		t.Fatal("star orientation confused")
+	}
+}
+
+// TestDirectedColorfulExactEquivalence is the directed keystone: the
+// direction-aware DP's colorful total must exactly match brute force.
+func TestDirectedColorfulExactEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		n := 10 + int(seed)*2
+		g := RandomDiGraph(n, int64(n*3), seed)
+		k := 2 + int(seed%4)
+		dt := RandomDiTemplate(k, seed+100)
+		for _, strat := range []part.Strategy{part.OneAtATime, part.Balanced} {
+			e, err := New(g, dt, Config{Seed: seed, Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := CountColorfulMappings(g, dt, e.ColoringFor(seed*13))
+			got := e.ColorfulTotal(seed * 13)
+			if got != float64(want) {
+				t.Fatalf("seed %d k=%d %v: DP %v, exact %d (arcs %v)",
+					seed, k, strat, got, want, dt.Arcs())
+			}
+		}
+	}
+}
+
+func TestDirectedEstimateConverges(t *testing.T) {
+	g := RandomDiGraph(30, 120, 5)
+	dt := MustDiTemplate("vee", 3, [][2]int{{0, 1}, {2, 1}}) // two arcs into 1
+	want := float64(Count(g, dt))
+	if want == 0 {
+		t.Skip("degenerate instance")
+	}
+	e, err := New(g, dt, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-want)/want > 0.12 {
+		t.Fatalf("directed estimate %.1f, exact %.1f", res.Estimate, want)
+	}
+}
+
+func TestDirectedVsUndirectedConsistency(t *testing.T) {
+	// On a digraph whose arcs all exist in both directions, directed
+	// counting of any orientation equals undirected counting of the
+	// skeleton (mapping-for-mapping).
+	arcs := [][2]int32{}
+	undirected := [][2]int32{{0, 1}, {1, 2}, {1, 3}, {3, 4}, {2, 4}}
+	for _, e := range undirected {
+		arcs = append(arcs, e, [2]int32{e[1], e[0]})
+	}
+	g := MustFromArcs(5, arcs)
+	dt := DiPath(3)
+	// Every undirected P3 mapping respects any orientation here.
+	if got, want := CountMappings(g, dt), int64(2*countUndirectedP3(undirected, 5)); got != want {
+		t.Fatalf("bidirectional digraph P3 mappings = %d, want %d", got, want)
+	}
+}
+
+func countUndirectedP3(edges [][2]int32, n int) int {
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	total := 0
+	for _, d := range deg {
+		total += d * (d - 1) / 2
+	}
+	return total
+}
+
+func TestEngineValidation(t *testing.T) {
+	g := RandomDiGraph(10, 20, 1)
+	if _, err := New(nil, DiPath(3), Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := New(g, DiPath(3), Config{Colors: 2}); err == nil {
+		t.Fatal("too few colors accepted")
+	}
+	e, _ := New(g, DiPath(3), Config{})
+	if _, err := e.Run(0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	if e.Automorphisms() != 1 {
+		t.Fatal("directed path should be rigid")
+	}
+}

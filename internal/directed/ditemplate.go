@@ -1,0 +1,201 @@
+package directed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tmpl"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// DiTemplate is a directed tree template: an undirected tree skeleton
+// plus an orientation for every tree edge. Arcs[i] corresponds to
+// Skeleton().Edges()[i]; true means the arc points from the smaller
+// endpoint to the larger, false the reverse.
+type DiTemplate struct {
+	skel *tmpl.Template
+	// arcFrom[a][b] is true when the template has arc a→b (exactly one
+	// direction per tree edge).
+	dir map[[2]int]bool
+}
+
+// NewDiTemplate builds a directed tree template from arcs (from, to)
+// whose underlying edges must form a tree on k vertices.
+func NewDiTemplate(name string, k int, arcs [][2]int) (*DiTemplate, error) {
+	edges := make([][2]int, len(arcs))
+	for i, a := range arcs {
+		edges[i] = [2]int{a[0], a[1]}
+	}
+	skel, err := tmpl.NewTree(name, k, edges, nil)
+	if err != nil {
+		return nil, fmt.Errorf("directed: invalid skeleton: %w", err)
+	}
+	dt := &DiTemplate{skel: skel, dir: make(map[[2]int]bool, len(arcs))}
+	for _, a := range arcs {
+		dt.dir[[2]int{a[0], a[1]}] = true
+	}
+	return dt, nil
+}
+
+// MustDiTemplate is NewDiTemplate for known-valid inputs.
+func MustDiTemplate(name string, k int, arcs [][2]int) *DiTemplate {
+	t, err := NewDiTemplate(name, k, arcs)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Skeleton returns the underlying undirected tree.
+func (t *DiTemplate) Skeleton() *tmpl.Template { return t.skel }
+
+// K returns the number of template vertices.
+func (t *DiTemplate) K() int { return t.skel.K() }
+
+// Name returns the template name.
+func (t *DiTemplate) Name() string { return t.skel.Name() }
+
+// HasArc reports whether the template contains the arc a → b.
+func (t *DiTemplate) HasArc(a, b int) bool { return t.dir[[2]int{a, b}] }
+
+// Arcs returns all template arcs (from, to).
+func (t *DiTemplate) Arcs() [][2]int {
+	out := make([][2]int, 0, len(t.dir))
+	for a := range t.dir {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// encode produces a direction-aware AHU code of the subtree rooted at v:
+// each child code is prefixed with '>' when the arc points parent→child
+// and '<' when child→parent.
+func (t *DiTemplate) encode(v, parent int) string {
+	var kids []string
+	for _, u := range t.skel.Adj(v) {
+		w := int(u)
+		if w == parent {
+			continue
+		}
+		mark := "<"
+		if t.HasArc(v, w) {
+			mark = ">"
+		}
+		kids = append(kids, mark+t.encode(w, v))
+	}
+	sort.Strings(kids)
+	out := "("
+	for _, k := range kids {
+		out += k
+	}
+	return out + ")"
+}
+
+// rootedAut counts automorphisms of the rooted directed tree (fixing the
+// root and preserving arc directions), alongside its code.
+func (t *DiTemplate) rootedAut(v, parent int) (string, int64) {
+	type kid struct {
+		code string
+		aut  int64
+	}
+	var kids []kid
+	for _, u := range t.skel.Adj(v) {
+		w := int(u)
+		if w == parent {
+			continue
+		}
+		c, a := t.rootedAut(w, v)
+		mark := "<"
+		if t.HasArc(v, w) {
+			mark = ">"
+		}
+		kids = append(kids, kid{mark + c, a})
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].code < kids[j].code })
+	aut := int64(1)
+	run := int64(0)
+	code := "("
+	for i, kd := range kids {
+		aut *= kd.aut
+		if i > 0 && kd.code == kids[i-1].code {
+			run++
+			aut *= run + 1
+		} else {
+			run = 0
+		}
+		code += kd.code
+	}
+	return code + ")", aut
+}
+
+// Automorphisms returns the number of direction-preserving automorphisms
+// of the directed tree, via the same centroid decomposition as the
+// undirected case.
+func (t *DiTemplate) Automorphisms() int64 {
+	cs := t.skel.Centroids()
+	if len(cs) == 1 {
+		_, a := t.rootedAut(cs[0], -1)
+		return a
+	}
+	c1, c2 := cs[0], cs[1]
+	code1, a1 := t.rootedAut(c1, c2)
+	code2, a2 := t.rootedAut(c2, c1)
+	// The two halves can swap only if they are isomorphic as rooted
+	// directed trees AND the bridging arc is symmetric under the swap,
+	// i.e. swapping endpoints maps the arc to itself — impossible for a
+	// single directed arc (c1→c2 becomes c2→c1). So a swap never
+	// preserves directions and the count is just the product.
+	_ = code1
+	_ = code2
+	return a1 * a2
+}
+
+// DiPath returns the directed path 0→1→…→k-1.
+func DiPath(k int) *DiTemplate {
+	arcs := make([][2]int, 0, k-1)
+	for i := 0; i < k-1; i++ {
+		arcs = append(arcs, [2]int{i, i + 1})
+	}
+	return MustDiTemplate(fmt.Sprintf("DP%d", k), k, arcs)
+}
+
+// DiStarOut returns the out-star: center 0 with arcs to k-1 leaves.
+func DiStarOut(k int) *DiTemplate {
+	arcs := make([][2]int, 0, k-1)
+	for i := 1; i < k; i++ {
+		arcs = append(arcs, [2]int{0, i})
+	}
+	return MustDiTemplate(fmt.Sprintf("DSout%d", k), k, arcs)
+}
+
+// DiStarIn returns the in-star: k-1 leaves with arcs into center 0.
+func DiStarIn(k int) *DiTemplate {
+	arcs := make([][2]int, 0, k-1)
+	for i := 1; i < k; i++ {
+		arcs = append(arcs, [2]int{i, 0})
+	}
+	return MustDiTemplate(fmt.Sprintf("DSin%d", k), k, arcs)
+}
+
+// RandomDiTemplate generates a random directed tree on k vertices.
+func RandomDiTemplate(k int, seed int64) *DiTemplate {
+	rng := newRand(seed)
+	arcs := make([][2]int, 0, k-1)
+	for v := 1; v < k; v++ {
+		p := rng.Intn(v)
+		if rng.Intn(2) == 0 {
+			arcs = append(arcs, [2]int{p, v})
+		} else {
+			arcs = append(arcs, [2]int{v, p})
+		}
+	}
+	return MustDiTemplate(fmt.Sprintf("DR%d", k), k, arcs)
+}

@@ -1,0 +1,103 @@
+package directed
+
+import "fmt"
+
+// CountMappings returns the exact number of injective direction-preserving
+// mappings of the directed tree template into g, by ordered backtracking
+// (each template arc a→b must map onto a graph arc).
+func CountMappings(g *DiGraph, t *DiTemplate) int64 {
+	return countMappings(g, t, nil)
+}
+
+// CountColorfulMappings counts mappings whose image is rainbow under the
+// given coloring — the oracle for the directed DP.
+func CountColorfulMappings(g *DiGraph, t *DiTemplate, colors []int8) int64 {
+	if len(colors) != g.N() {
+		panic("directed: coloring length mismatch")
+	}
+	return countMappings(g, t, colors)
+}
+
+// Count returns the exact number of non-induced directed occurrences:
+// mappings divided by the direction-preserving automorphism count.
+func Count(g *DiGraph, t *DiTemplate) int64 {
+	m := CountMappings(g, t)
+	aut := t.Automorphisms()
+	if m%aut != 0 {
+		panic(fmt.Sprintf("directed: mapping count %d not divisible by aut %d", m, aut))
+	}
+	return m / aut
+}
+
+func countMappings(g *DiGraph, t *DiTemplate, colors []int8) int64 {
+	k := t.K()
+	skel := t.Skeleton()
+	// BFS order over the skeleton; record each vertex's parent and the
+	// arc direction between them.
+	order := make([]int, 0, k)
+	parentPos := make([]int, k)
+	parentOut := make([]bool, k) // template arc parent→vertex?
+	seen := make([]bool, k)
+	order = append(order, 0)
+	seen[0] = true
+	parentPos[0] = -1
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, u := range skel.Adj(v) {
+			w := int(u)
+			if !seen[w] {
+				seen[w] = true
+				parentPos[len(order)] = i
+				parentOut[len(order)] = t.HasArc(v, w)
+				order = append(order, w)
+			}
+		}
+	}
+
+	assign := make([]int32, k)
+	used := make(map[int32]bool, k)
+	var colorBit uint64
+	var count int64
+	var recurse func(pos int)
+	recurse = func(pos int) {
+		if pos == k {
+			count++
+			return
+		}
+		try := func(gv int32) {
+			if used[gv] {
+				return
+			}
+			if colors != nil {
+				bit := uint64(1) << uint(colors[gv])
+				if colorBit&bit != 0 {
+					return
+				}
+				colorBit |= bit
+				defer func() { colorBit &^= bit }()
+			}
+			used[gv] = true
+			assign[pos] = gv
+			recurse(pos + 1)
+			delete(used, gv)
+		}
+		if pos == 0 {
+			for gv := int32(0); gv < int32(g.N()); gv++ {
+				try(gv)
+			}
+			return
+		}
+		parent := assign[parentPos[pos]]
+		if parentOut[pos] {
+			for _, gv := range g.Out(parent) {
+				try(gv)
+			}
+		} else {
+			for _, gv := range g.In(parent) {
+				try(gv)
+			}
+		}
+	}
+	recurse(0)
+	return count
+}

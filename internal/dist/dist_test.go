@@ -1,0 +1,273 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/tmpl"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+// TestDistributedMatchesSharedMemory is the keystone: the distributed
+// runtime must produce bit-identical per-iteration estimates to the
+// shared-memory engine under the same seed, for any rank count.
+func TestDistributedMatchesSharedMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3; trial++ {
+		g := randomGraph(rng, 40+20*trial, 120+40*trial)
+		tr := tmpl.MustNamed([]string{"U3-1", "U5-2", "U7-1"}[trial])
+
+		cfg := dp.DefaultConfig()
+		cfg.Seed = 11
+		single, err := dp.New(g, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.Run(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, ranks := range []int{1, 2, 3, 7} {
+			de, err := New(g, tr, Config{Ranks: ranks, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := de.Run(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.PerIteration {
+				if got.PerIteration[i] != want.PerIteration[i] {
+					t.Fatalf("trial %d ranks=%d iter %d: dist %v, shared %v",
+						trial, ranks, i, got.PerIteration[i], want.PerIteration[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDistributedColorfulExact checks against the brute-force oracle too.
+func TestDistributedColorfulExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 25, 70)
+	tr := tmpl.Spider(2, 1, 1)
+	de, err := New(g, tr, Config{Ranks: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := de.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the same coloring.
+	crng := rand.New(rand.NewSource(3))
+	colors := make([]int8, g.N())
+	for i := range colors {
+		colors[i] = int8(crng.Intn(5))
+	}
+	wantColorful := exact.CountColorfulMappings(g, tr, colors)
+	gotColorful := res.PerIteration[0] * de.prob * float64(de.aut)
+	if diff := gotColorful - float64(wantColorful); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("distributed colorful total %v, exact %d", gotColorful, wantColorful)
+	}
+}
+
+func TestCommunicationAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 60, 180)
+	tr := tmpl.Path(4)
+
+	one, err := New(g, tr, Config{Ranks: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := one.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CommBytes != 0 || r1.Messages != 0 {
+		t.Fatalf("single rank should not communicate: %d bytes, %d msgs", r1.CommBytes, r1.Messages)
+	}
+
+	four, err := New(g, tr, Config{Ranks: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := four.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.CommBytes <= 0 || r4.Messages <= 0 {
+		t.Fatal("multi-rank run reported no communication")
+	}
+	// Messages: per iteration, per internal DP step, each ordered rank
+	// pair exchanges exactly one message.
+	internal := 0
+	for _, n := range four.tree.Nodes {
+		if !n.IsLeaf() {
+			internal++
+		}
+	}
+	wantMsgs := int64(2 /*iters*/ * internal * 4 * 3)
+	if r4.Messages != wantMsgs {
+		t.Fatalf("messages = %d, want %d", r4.Messages, wantMsgs)
+	}
+	// Partitioning bounds per-rank rows: with 4 ranks nobody should hold
+	// more rows than a single rank run holds.
+	if r4.MaxRankRows > r1.MaxRankRows {
+		t.Fatalf("per-rank rows %d exceed single-rank %d", r4.MaxRankRows, r1.MaxRankRows)
+	}
+	if r4.MaxRankRows <= 0 {
+		t.Fatal("row accounting broken")
+	}
+}
+
+func TestMoreRanksLessPerRankMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, 400, 1600)
+	tr := tmpl.Path(5)
+	var prev int
+	for i, ranks := range []int{1, 4, 16} {
+		de, err := New(g, tr, Config{Ranks: ranks, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := de.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.MaxRankRows >= prev {
+			t.Fatalf("ranks=%d: per-rank rows %d did not shrink from %d", ranks, res.MaxRankRows, prev)
+		}
+		prev = res.MaxRankRows
+	}
+}
+
+func TestGhostCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 50, 150)
+	de, err := New(g, tmpl.Path(3), Config{Ranks: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := de.GhostCounts()
+	if len(counts) != 5 {
+		t.Fatalf("ghost counts per rank = %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("random graph should have boundary vertices")
+	}
+	// Ghosts are remote by construction.
+	for s := 0; s < 5; s++ {
+		for r := 0; r < 5; r++ {
+			for _, u := range de.needs[s][r] {
+				if u < de.bounds[s] || u >= de.bounds[s+1] {
+					t.Fatalf("need list (%d->%d) contains non-owned vertex %d", s, r, u)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 10, 20)
+	if _, err := New(g, tmpl.Path(3), Config{Ranks: 0}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	lt, _ := tmpl.Path(3).WithLabels("l", []int32{0, 1, 0})
+	if _, err := New(g, lt, Config{Ranks: 2}); err == nil {
+		t.Error("labeled template on unlabeled graph accepted")
+	}
+	if _, err := New(g, tmpl.Path(3), Config{Ranks: 2, Colors: 2}); err == nil {
+		t.Error("too few colors accepted")
+	}
+	de, _ := New(g, tmpl.Path(3), Config{Ranks: 2})
+	if _, err := de.Run(0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestBalancedStrategyWorks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 30, 90)
+	tr := tmpl.MustNamed("U7-2")
+	de, err := New(g, tr, Config{Ranks: 3, Seed: 5, Strategy: part.Balanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := de.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dp.DefaultConfig()
+	cfg.Seed = 5
+	cfg.Strategy = part.Balanced
+	single, err := dp.New(g, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.PerIteration {
+		if got.PerIteration[i] != want.PerIteration[i] {
+			t.Fatalf("balanced iter %d: %v vs %v", i, got.PerIteration[i], want.PerIteration[i])
+		}
+	}
+}
+
+// TestDistributedLabeledMatchesShared verifies labeled pruning works
+// identically in the distributed runtime.
+func TestDistributedLabeledMatchesShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 50, 160)
+	g.Labels = make([]int32, g.N())
+	for i := range g.Labels {
+		g.Labels[i] = int32(rng.Intn(3))
+	}
+	lt, err := tmpl.Spider(2, 1, 1).WithLabels("lab", []int32{0, 1, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dp.DefaultConfig()
+	cfg.Seed = 21
+	shared, err := dp.New(g, lt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := shared.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := New(g, lt, Config{Ranks: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := de.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.PerIteration {
+		if got.PerIteration[i] != want.PerIteration[i] {
+			t.Fatalf("labeled distributed iter %d: %v vs %v", i, got.PerIteration[i], want.PerIteration[i])
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/part"
+)
+
+// packet carries the passive-child rows of one sender's ghost vertices to
+// one receiver for one DP step. Rows follow the precomputed needs list
+// order; a nil row means the sender has no counts for that vertex.
+type packet struct {
+	rows [][]float64
+}
+
+// rankState is the per-rank (per-"process") view: table rows for owned
+// vertices only, plus the ghost row cache for the step in flight.
+type rankState struct {
+	r      int
+	lo, hi int32
+	// tables[node] holds rows for owned vertices, indexed by v - lo.
+	tables map[*part.Node][][]float64
+	// ghost[u] is the received passive-child row of remote vertex u.
+	ghost map[int32][]float64
+}
+
+// Run executes iters distributed color-coding iterations and averages the
+// estimates. Iteration i colors with Seed+i using the same generator as
+// the shared-memory engine, so estimates are directly comparable (and,
+// per iteration, bit-identical).
+func (e *Engine) Run(iters int) (Result, error) {
+	if iters < 1 {
+		return Result{}, fmt.Errorf("dist: iterations must be >= 1, got %d", iters)
+	}
+	res := Result{PerIteration: make([]float64, iters)}
+	var commBytes, messages atomic.Int64
+	var maxRows atomic.Int64
+
+	p := e.cfg.Ranks
+	for iter := 0; iter < iters; iter++ {
+		// The coloring is broadcast state in a real system; every rank
+		// derives it from the shared seed here (identical cost model:
+		// colors are n bytes of setup, not counted as step traffic).
+		rng := rand.New(rand.NewSource(e.cfg.Seed + int64(iter)))
+		colors := make([]int8, e.g.N())
+		for i := range colors {
+			colors[i] = int8(rng.Intn(e.k))
+		}
+
+		// mail[s][r] carries packets from rank s to rank r; buffered so a
+		// sender never blocks (one packet per DP step per pair).
+		mail := make([][]chan packet, p)
+		for s := 0; s < p; s++ {
+			mail[s] = make([]chan packet, p)
+			for r := 0; r < p; r++ {
+				if s != r {
+					mail[s][r] = make(chan packet, len(e.tree.Order)+1)
+				}
+			}
+		}
+
+		totals := make([]float64, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				st := &rankState{
+					r: r, lo: e.bounds[r], hi: e.bounds[r+1],
+					tables: map[*part.Node][][]float64{},
+					ghost:  map[int32][]float64{},
+				}
+				remaining := map[*part.Node]int{}
+				for _, n := range e.tree.Nodes {
+					remaining[n] = n.Consumers
+				}
+				for _, node := range e.tree.Order {
+					if node.IsLeaf() {
+						e.initLeafRank(st, node, colors)
+					} else {
+						// Exchange the passive child's boundary rows,
+						// then compute owned rows.
+						pas := st.tables[node.Passive]
+						for dst := 0; dst < p; dst++ {
+							if dst == r {
+								continue
+							}
+							want := e.needs[r][dst]
+							pk := packet{rows: make([][]float64, len(want))}
+							var bytes int64
+							for i, u := range want {
+								row := pas[u-st.lo]
+								pk.rows[i] = row
+								if row != nil {
+									bytes += int64(len(row))*8 + 4
+								}
+							}
+							mail[r][dst] <- pk
+							commBytes.Add(bytes)
+							messages.Add(1)
+						}
+						clear(st.ghost)
+						for src := 0; src < p; src++ {
+							if src == r {
+								continue
+							}
+							pk := <-mail[src][r]
+							for i, u := range e.needs[src][r] {
+								if pk.rows[i] != nil {
+									st.ghost[u] = pk.rows[i]
+								}
+							}
+						}
+						e.computeRank(st, node, colors)
+					}
+					rows := 0
+					for _, row := range st.tables[node] {
+						if row != nil {
+							rows++
+						}
+					}
+					for {
+						old := maxRows.Load()
+						if int64(rows) <= old || maxRows.CompareAndSwap(old, int64(rows)) {
+							break
+						}
+					}
+					if !node.IsLeaf() {
+						for _, ch := range []*part.Node{node.Active, node.Passive} {
+							remaining[ch]--
+							if remaining[ch] == 0 {
+								delete(st.tables, ch)
+							}
+						}
+					}
+				}
+				var total float64
+				for _, row := range st.tables[e.tree.Root] {
+					for _, x := range row {
+						total += x
+					}
+				}
+				totals[r] = total
+			}(r)
+		}
+		wg.Wait()
+		var sum float64
+		for _, t := range totals {
+			sum += t
+		}
+		res.PerIteration[iter] = sum / (e.prob * float64(e.aut))
+	}
+
+	var sum float64
+	for _, x := range res.PerIteration {
+		sum += x
+	}
+	res.Estimate = sum / float64(iters)
+	res.CommBytes = commBytes.Load()
+	res.Messages = messages.Load()
+	res.MaxRankRows = int(maxRows.Load())
+	return res, nil
+}
+
+// initLeafRank fills the leaf table rows for the rank's owned vertices,
+// applying label pruning for labeled templates.
+func (e *Engine) initLeafRank(st *rankState, node *part.Node, colors []int8) {
+	labeled := e.t.Labeled()
+	var want int32
+	if labeled {
+		want = e.t.Label(node.LeafVertex())
+	}
+	rows := make([][]float64, st.hi-st.lo)
+	for v := st.lo; v < st.hi; v++ {
+		if labeled && e.g.Label(v) != want {
+			continue
+		}
+		row := make([]float64, e.k)
+		row[colors[v]] = 1
+		rows[v-st.lo] = row
+	}
+	st.tables[node] = rows
+}
+
+// computeRank runs the DP step for one internal node over the rank's
+// owned vertices, reading the passive child's rows either locally or from
+// the ghost cache.
+func (e *Engine) computeRank(st *rankState, node *part.Node, colors []int8) {
+	act := st.tables[node.Active]
+	pas := st.tables[node.Passive]
+	split := e.splits[[2]int{node.Size(), node.Active.Size()}]
+	nc := split.NumSets
+	spn := split.SplitsPerSet
+	rows := make([][]float64, st.hi-st.lo)
+	for v := st.lo; v < st.hi; v++ {
+		arow := act[v-st.lo]
+		if arow == nil {
+			continue
+		}
+		var buf []float64
+		for _, u := range e.g.Adj(v) {
+			var prow []float64
+			if u >= st.lo && u < st.hi {
+				prow = pas[u-st.lo]
+			} else {
+				prow = st.ghost[u]
+			}
+			if prow == nil {
+				continue
+			}
+			if buf == nil {
+				buf = make([]float64, nc)
+			}
+			for ci := 0; ci < nc; ci++ {
+				base := ci * spn
+				var s float64
+				for j := base; j < base+spn; j++ {
+					if av := arow[split.ActiveIdx[j]]; av != 0 {
+						s += av * prow[split.PassiveIdx[j]]
+					}
+				}
+				buf[ci] += s
+			}
+		}
+		if buf != nil {
+			nonzero := false
+			for _, x := range buf {
+				if x != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if nonzero {
+				rows[v-st.lo] = buf
+			}
+		}
+	}
+	st.tables[node] = rows
+}

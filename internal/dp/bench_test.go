@@ -1,0 +1,51 @@
+package dp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tmpl"
+)
+
+// BenchmarkIterationByK measures one DP iteration per template size on a
+// fixed random graph — the 2^k cost growth of the paper's Figure 3 at the
+// engine level.
+func BenchmarkIterationByK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 5000, 25000)
+	for _, k := range []int{3, 5, 7, 10} {
+		tr := tmpl.Path(k)
+		cfg := DefaultConfig()
+		e, err := New(g, tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.ColorfulTotal(int64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkLeafSpecialization isolates the single-vertex-child fast path
+// cost difference.
+func BenchmarkLeafSpecialization(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 3000, 15000)
+	tr := tmpl.Path(7)
+	for _, disable := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.DisableLeafSpecial = disable
+		e, err := New(g, tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("special=%v", !disable), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.ColorfulTotal(int64(i))
+			}
+		})
+	}
+}

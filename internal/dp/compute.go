@@ -1,0 +1,389 @@
+package dp
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comb"
+	"repro/internal/part"
+	"repro/internal/table"
+)
+
+// iterState holds everything one color-coding iteration needs.
+type iterState struct {
+	e      *Engine
+	colors []int8
+	tabs   map[*part.Node]table.Table
+	// remaining consumer counts per node; a table is released when its
+	// last consumer finishes (unless the engine keeps tables).
+	remaining map[*part.Node]int
+	// peakBytes tracks the maximum summed footprint of live tables.
+	peakBytes int64
+	// workers for the inner-parallel per-vertex loop (1 = sequential).
+	workers int
+	// keep retains every node's table (disables eager release) so the
+	// caller can read or sample from them after the pass.
+	keep bool
+	// storeMu serializes stores into layouts that are not safe for
+	// concurrent writers (the hash layout).
+	storeMu sync.Mutex
+}
+
+// scratch is per-worker reusable buffer space.
+type scratch struct {
+	buf    []float64 // output row, len = NumSets of current node
+	actRow []float64 // materialized active row (hash layout fallback)
+	pasRow []float64 // materialized passive row (hash layout fallback)
+}
+
+func (e *Engine) newIterState(rng *rand.Rand, workers int) *iterState {
+	st := &iterState{
+		e:         e,
+		colors:    make([]int8, e.g.N()),
+		tabs:      map[*part.Node]table.Table{},
+		remaining: map[*part.Node]int{},
+		workers:   workers,
+		keep:      e.cfg.KeepTables,
+	}
+	for i := range st.colors {
+		st.colors[i] = int8(rng.Intn(e.k))
+	}
+	for _, n := range e.tree.Nodes {
+		st.remaining[n] = n.Consumers
+	}
+	return st
+}
+
+// run executes the bottom-up DP (Algorithm 2) and returns the colorful
+// mapping total of the full template.
+func (st *iterState) run() float64 {
+	e := st.e
+	for _, n := range e.tree.Order {
+		nc := int(comb.Binomial(e.k, n.Size()))
+		tab := table.New(e.cfg.TableKind, e.g.N(), nc)
+		st.tabs[n] = tab
+		if n.IsLeaf() {
+			st.initLeaf(n, tab)
+		} else {
+			st.computeNode(n, tab)
+		}
+		st.trackPeak()
+		if !n.IsLeaf() {
+			st.releaseChildren(n)
+		}
+	}
+	total := st.tabs[e.tree.Root].Total()
+	if st.keep {
+		e.kept = st.tabs
+		e.keptColors = st.colors
+	} else {
+		st.tabs[e.tree.Root].Release()
+	}
+	return total
+}
+
+func (st *iterState) trackPeak() {
+	var sum int64
+	for _, tab := range st.tabs {
+		sum += tab.Bytes()
+	}
+	if sum > st.peakBytes {
+		st.peakBytes = sum
+	}
+}
+
+func (st *iterState) releaseChildren(n *part.Node) {
+	if st.keep {
+		return
+	}
+	for _, ch := range []*part.Node{n.Active, n.Passive} {
+		st.remaining[ch]--
+		if st.remaining[ch] == 0 {
+			st.tabs[ch].Release()
+			delete(st.tabs, ch)
+		}
+	}
+}
+
+// initLeaf fills a single-vertex subtemplate table: vertex v holds count
+// 1 for the singleton color set {color(v)} — but only when v's graph
+// label matches the leaf's template label (Algorithm 2, line 4, plus the
+// labeled pruning of §V-A).
+func (st *iterState) initLeaf(n *part.Node, tab table.Table) {
+	e := st.e
+	labeled := e.t.Labeled()
+	var want int32
+	if labeled {
+		want = e.t.Label(n.LeafVertex())
+	}
+	for v := int32(0); v < int32(e.g.N()); v++ {
+		if labeled && e.g.Label(v) != want {
+			continue
+		}
+		// The combinatorial index of the singleton {c} is c itself.
+		tab.Set(v, int32(st.colors[v]), 1)
+	}
+}
+
+// computeNode fills the table of an internal node from its children's
+// tables (Algorithm 2, lines 7-15), sharding vertices across workers.
+func (st *iterState) computeNode(n *part.Node, tab table.Table) {
+	e := st.e
+	act := st.tabs[n.Active]
+	pas := st.tabs[n.Passive]
+	nc := tab.NumSets()
+	ncP := int(comb.Binomial(e.k, n.Passive.Size()))
+	split := e.splits[[2]int{n.Size(), n.Active.Size()}]
+	special := !e.cfg.DisableLeafSpecial
+	singles := e.singles[n.Size()] // nil unless a child of this size-class is a single vertex
+
+	nVerts := int32(e.g.N())
+	if st.workers <= 1 {
+		sc := &scratch{
+			buf:    make([]float64, nc),
+			actRow: make([]float64, e.maxNC),
+			pasRow: make([]float64, e.maxNC),
+		}
+		for v := int32(0); v < nVerts; v++ {
+			st.vertexPass(n, tab, act, pas, split, special, singles, nc, ncP, v, sc)
+		}
+		return
+	}
+
+	const chunk = 512
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < st.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &scratch{
+				buf:    make([]float64, nc),
+				actRow: make([]float64, e.maxNC),
+				pasRow: make([]float64, e.maxNC),
+			}
+			for {
+				start := next.Add(chunk) - chunk
+				if start >= nVerts {
+					return
+				}
+				end := start + chunk
+				if end > nVerts {
+					end = nVerts
+				}
+				for v := start; v < end; v++ {
+					st.vertexPass(n, tab, act, pas, split, special, singles, nc, ncP, v, sc)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// vertexPass computes the full color-set row of one vertex v for node n.
+func (st *iterState) vertexPass(
+	n *part.Node, tab, act, pas table.Table,
+	split *comb.SplitTable, special bool, singles [][]comb.SingletonEntry,
+	nc, ncP int, v int32, sc *scratch,
+) {
+	if !act.Has(v) {
+		return
+	}
+	e := st.e
+	aN, pN := n.Active.Size(), n.Passive.Size()
+	buf := sc.buf
+	for i := range buf {
+		buf[i] = 0
+	}
+	any := false
+	adj := e.g.Adj(v)
+
+	switch {
+	case special && aN == 1 && pN == 1:
+		// Both children are single vertices: the only contributing color
+		// set is {color(v), color(u)} with distinct colors.
+		av := act.Get(v, int32(st.colors[v]))
+		if av == 0 {
+			return
+		}
+		cv := int(st.colors[v])
+		for _, u := range adj {
+			cu := int(st.colors[u])
+			if cu == cv || !pas.Has(u) {
+				continue
+			}
+			pv := pas.Get(u, int32(cu))
+			if pv != 0 {
+				buf[comb.PairIndex(cv, cu)] += av * pv
+				any = true
+			}
+		}
+
+	case special && singles != nil && aN == 1:
+		// Active child is the root alone: only color sets containing
+		// color(v) contribute, and the passive part is C \ {color(v)} —
+		// the (k-1)/k work reduction of §III-D.
+		av := act.Get(v, int32(st.colors[v]))
+		if av == 0 {
+			return
+		}
+		entries := singles[int(st.colors[v])]
+		for _, u := range adj {
+			if !pas.Has(u) {
+				continue
+			}
+			if prow := pas.Row(u); prow != nil {
+				for _, en := range entries {
+					if pv := prow[en.RestIdx]; pv != 0 {
+						buf[en.SetIdx] += av * pv
+						any = true
+					}
+				}
+			} else {
+				for _, en := range entries {
+					if pv := pas.Get(u, en.RestIdx); pv != 0 {
+						buf[en.SetIdx] += av * pv
+						any = true
+					}
+				}
+			}
+		}
+
+	case special && singles != nil && pN == 1:
+		// Passive child is a single vertex: for neighbor u only color
+		// sets containing color(u) contribute, with the active part
+		// C \ {color(u)}.
+		arow := materializeRow(act, v, sc.actRow, int(comb.Binomial(e.k, aN)))
+		for _, u := range adj {
+			if !pas.Has(u) {
+				continue
+			}
+			pv := pas.Get(u, int32(st.colors[u]))
+			if pv == 0 {
+				continue
+			}
+			for _, en := range singles[int(st.colors[u])] {
+				if av := arow[en.RestIdx]; av != 0 {
+					buf[en.SetIdx] += av * pv
+					any = true
+				}
+			}
+		}
+
+	default:
+		// General split (Algorithm 2 lines 9-12): for every neighbor u
+		// and every color set C, sum products over all (Ca, Cp) splits.
+		arow := materializeRow(act, v, sc.actRow, int(comb.Binomial(e.k, aN)))
+		spn := split.SplitsPerSet
+		for _, u := range adj {
+			if !pas.Has(u) {
+				continue
+			}
+			prow := pas.Row(u)
+			if prow == nil {
+				prow = materializeRow(pas, u, sc.pasRow, ncP)
+			}
+			for ci := 0; ci < nc; ci++ {
+				base := ci * spn
+				var s float64
+				for j := base; j < base+spn; j++ {
+					if av := arow[split.ActiveIdx[j]]; av != 0 {
+						s += av * prow[split.PassiveIdx[j]]
+					}
+				}
+				if s != 0 {
+					buf[ci] += s
+					any = true
+				}
+			}
+		}
+	}
+
+	if !any {
+		return
+	}
+	if _, isHash := tab.(*table.HashTable); isHash && st.workers > 1 {
+		st.storeMu.Lock()
+		tab.StoreRow(v, buf)
+		st.storeMu.Unlock()
+		return
+	}
+	tab.StoreRow(v, buf)
+}
+
+// materializeRow returns a direct row when the layout has one, otherwise
+// copies the row cell-by-cell into dst (hash layout).
+func materializeRow(tab table.Table, v int32, dst []float64, width int) []float64 {
+	if row := tab.Row(v); row != nil {
+		return row
+	}
+	dst = dst[:width]
+	for ci := 0; ci < width; ci++ {
+		dst[ci] = tab.Get(v, int32(ci))
+	}
+	return dst
+}
+
+// IterProfile breaks one iteration's wall time into phases, reproducing
+// the paper's observation (§V-A) that the dominant cost is the inner
+// table-combination step of Algorithm 2 rather than coloring or leaf
+// initialization.
+type IterProfile struct {
+	Coloring time.Duration
+	LeafInit time.Duration
+	Compute  time.Duration // internal-node DP passes (the paper's "step 12")
+	Finalize time.Duration
+	// PerNode holds the compute time of each internal node in
+	// evaluation order.
+	PerNode []time.Duration
+}
+
+// Total returns the summed phase time.
+func (p IterProfile) Total() time.Duration {
+	return p.Coloring + p.LeafInit + p.Compute + p.Finalize
+}
+
+// ComputeShare returns the fraction of time spent in internal-node DP
+// computation.
+func (p IterProfile) ComputeShare() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.Compute) / float64(t)
+}
+
+// ProfileIteration runs one sequential iteration under the given seed and
+// returns its phase breakdown.
+func (e *Engine) ProfileIteration(seed int64) (IterProfile, float64) {
+	var prof IterProfile
+	start := time.Now()
+	st := e.newIterState(rand.New(rand.NewSource(seed)), 1)
+	prof.Coloring = time.Since(start)
+
+	for _, n := range e.tree.Order {
+		nc := int(comb.Binomial(e.k, n.Size()))
+		tab := table.New(e.cfg.TableKind, e.g.N(), nc)
+		st.tabs[n] = tab
+		phase := time.Now()
+		if n.IsLeaf() {
+			st.initLeaf(n, tab)
+			prof.LeafInit += time.Since(phase)
+		} else {
+			st.computeNode(n, tab)
+			d := time.Since(phase)
+			prof.Compute += d
+			prof.PerNode = append(prof.PerNode, d)
+		}
+		if !n.IsLeaf() {
+			st.releaseChildren(n)
+		}
+	}
+	phase := time.Now()
+	total := st.tabs[e.tree.Root].Total()
+	st.tabs[e.tree.Root].Release()
+	prof.Finalize = time.Since(phase)
+	return prof, e.scale(total)
+}

@@ -1,0 +1,251 @@
+// Package dp implements the color-coding dynamic program at the heart of
+// FASCIA (Algorithm 2 of the paper): random graph coloring, a bottom-up
+// pass over the template's partition tree that counts colorful rooted
+// mappings per (subtemplate, vertex, color set), single-vertex-child
+// specializations, labeled-template pruning, two goroutine parallelization
+// modes (inner: vertices sharded per pass; outer: concurrent independent
+// iterations), peak table-memory tracking, per-vertex rooted counts for
+// graphlet-degree analysis, and uniform sampling of colorful embeddings
+// (the "enumeration" side of FASCIA).
+package dp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/comb"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/table"
+	"repro/internal/tmpl"
+)
+
+// Mode selects the parallelization strategy of §III-E.
+type Mode int
+
+const (
+	// Auto picks Inner for large graphs and Outer for small ones, as the
+	// paper recommends.
+	Auto Mode = iota
+	// Inner parallelizes the per-vertex loop inside each DP pass.
+	Inner
+	// Outer runs whole iterations concurrently, each with its own tables.
+	Outer
+	// Hybrid combines both (the paper's stated future work): several
+	// iterations run concurrently, each itself using inner-loop workers.
+	// Worker budget is split roughly evenly between the two levels.
+	Hybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Inner:
+		return "inner"
+	case Outer:
+		return "outer"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// autoInnerThreshold is the vertex count above which Auto chooses Inner:
+// below it, per-pass fork/join overhead dominates and running whole
+// iterations concurrently wins (the paper's observation on Enron-sized
+// graphs versus Portland).
+const autoInnerThreshold = 200_000
+
+// Config controls a counting run.
+type Config struct {
+	// Colors is the number of colors k (>= template size); 0 means
+	// exactly the template size, the paper's default.
+	Colors int
+	// TableKind selects the dynamic-table layout.
+	TableKind table.Kind
+	// Strategy selects the partitioning heuristic.
+	Strategy part.Strategy
+	// Share merges isomorphic rooted subtemplates (memory for time).
+	Share bool
+	// Mode selects the parallelization strategy.
+	Mode Mode
+	// Workers bounds the goroutines used; 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes runs reproducible. Iteration i derives its coloring
+	// from Seed+i, so Inner and Outer modes produce identical estimates.
+	Seed int64
+	// RootVertex, when >= 0, forces the template root vertex; negative
+	// lets the partitioning strategy choose (DefaultConfig sets -1; any
+	// root yields correct totals, the choice only affects performance
+	// and the meaning of per-vertex counts).
+	RootVertex int
+	// DisableLeafSpecial turns off the single-vertex-child fast paths
+	// (ablation switch; results must not change).
+	DisableLeafSpecial bool
+	// KeepTables retains all subtemplate tables after a run, enabling
+	// embedding sampling at the cost of the memory the eager-release
+	// schedule would have saved. It forces Share off.
+	KeepTables bool
+}
+
+// DefaultConfig returns the paper-faithful defaults: k = template size,
+// lazy ("improved") tables, one-at-a-time partitioning without sharing,
+// automatic parallel mode.
+func DefaultConfig() Config {
+	return Config{
+		TableKind:  table.Lazy,
+		Strategy:   part.OneAtATime,
+		Share:      false,
+		Mode:       Auto,
+		RootVertex: -1,
+	}
+}
+
+// Engine runs color-coding iterations for one (graph, template) pair.
+type Engine struct {
+	g   *graph.Graph
+	t   *tmpl.Template
+	cfg Config
+
+	k     int // number of colors
+	tree  *part.Tree
+	prob  float64 // probability a fixed template-size set is colorful
+	aut   int64   // |Aut(T)|
+	rAut  int64   // automorphisms fixing the partition root
+	maxNC int     // largest NumSets over all nodes
+
+	splits  map[[2]int]*comb.SplitTable     // (size, activeSize) -> table
+	singles map[int][][]comb.SingletonEntry // size -> per-color entries
+
+	// kept tables from the last iteration when cfg.KeepTables is set.
+	kept       map[*part.Node]table.Table
+	keptColors []int8
+}
+
+// New validates the configuration and precomputes the partition tree and
+// all combinatorial index tables.
+func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
+	if g == nil || t == nil {
+		return nil, fmt.Errorf("dp: nil graph or template")
+	}
+	k := cfg.Colors
+	if k == 0 {
+		k = t.K()
+	}
+	if k < t.K() {
+		return nil, fmt.Errorf("dp: %d colors for a %d-vertex template", k, t.K())
+	}
+	if k > comb.MaxColors {
+		return nil, fmt.Errorf("dp: %d colors exceeds supported maximum %d", k, comb.MaxColors)
+	}
+	if t.Labeled() && g.Labels == nil {
+		return nil, fmt.Errorf("dp: labeled template requires a labeled graph")
+	}
+	share := cfg.Share
+	if cfg.KeepTables {
+		// Sampling reconstructs embeddings from vertex identities, which
+		// sharing erases.
+		share = false
+	}
+	tree, err := part.BuildRooted(t, cfg.Strategy, share, cfg.RootVertex)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g: g, t: t, cfg: cfg, k: k, tree: tree,
+		prob:    colorfulProbability(k, t.K()),
+		aut:     t.Automorphisms(),
+		rAut:    t.RootedAutomorphisms(tree.Root.Root),
+		splits:  map[[2]int]*comb.SplitTable{},
+		singles: map[int][][]comb.SingletonEntry{},
+	}
+	for _, n := range tree.Nodes {
+		nc := int(comb.Binomial(k, n.Size()))
+		if nc > e.maxNC {
+			e.maxNC = nc
+		}
+		if n.IsLeaf() {
+			continue
+		}
+		h, aN := n.Size(), n.Active.Size()
+		key := [2]int{h, aN}
+		if _, ok := e.splits[key]; !ok {
+			e.splits[key] = comb.NewSplitTable(k, h, aN)
+		}
+		if !cfg.DisableLeafSpecial && h > 2 && (aN == 1 || h-aN == 1) {
+			if _, ok := e.singles[h]; !ok {
+				e.singles[h] = comb.SingletonSplits(k, h)
+			}
+		}
+	}
+	return e, nil
+}
+
+// ColorfulProbability returns k!/((k-t)!·k^t): the probability that a
+// fixed set of t vertices receives t distinct colors out of k. Exported
+// for the distributed runtime, which applies the same estimate scaling.
+func ColorfulProbability(k, t int) float64 {
+	return colorfulProbability(k, t)
+}
+
+// colorfulProbability returns k!/((k-t)!·k^t): the probability that a
+// fixed set of t vertices receives t distinct colors out of k.
+func colorfulProbability(k, t int) float64 {
+	p := 1.0
+	for i := 0; i < t; i++ {
+		p *= float64(k-i) / float64(k)
+	}
+	return p
+}
+
+// Colors returns the number of colors in use.
+func (e *Engine) Colors() int { return e.k }
+
+// Tree exposes the partition tree (for diagnostics and tests).
+func (e *Engine) Tree() *part.Tree { return e.tree }
+
+// ColorfulProbability returns the scaling probability used for estimates.
+func (e *Engine) ColorfulProbability() float64 { return e.prob }
+
+// Automorphisms returns |Aut(T)| used for estimate scaling.
+func (e *Engine) Automorphisms() int64 { return e.aut }
+
+// workers resolves the configured worker count.
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mode resolves Auto into a concrete mode following the paper's guidance.
+func (e *Engine) mode() Mode {
+	if e.cfg.Mode != Auto {
+		return e.cfg.Mode
+	}
+	if e.g.N() >= autoInnerThreshold {
+		return Inner
+	}
+	return Outer
+}
+
+// IterationsFor returns the worst-case iteration count that guarantees a
+// relative error of eps with confidence 1-2·delta for a k-vertex template
+// (Algorithm 1, line 2): ceil(e^k · ln(1/delta) / eps²). As the paper
+// shows, far fewer iterations suffice in practice.
+func IterationsFor(eps, delta float64, k int) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	n := math.Exp(float64(k)) * math.Log(1/delta) / (eps * eps)
+	if n < 1 {
+		return 1
+	}
+	if n > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(n))
+}

@@ -1,0 +1,232 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Result summarizes a counting run.
+type Result struct {
+	// Estimate is the mean over iterations of the scaled colorful count:
+	// the approximate number of non-induced occurrences of the template.
+	Estimate float64
+	// PerIteration holds each iteration's individual estimate.
+	PerIteration []float64
+	// StdErr is the standard error of the mean across iterations (0 for
+	// a single iteration).
+	StdErr float64
+	// PeakTableBytes is the maximum summed table footprint observed in
+	// any single iteration.
+	PeakTableBytes int64
+	// Elapsed is the wall-clock time of the whole run.
+	Elapsed time.Duration
+	// ModeUsed records the resolved parallelization mode.
+	ModeUsed Mode
+}
+
+// Run executes iters color-coding iterations (Algorithm 1) and averages
+// their estimates. Estimates are independent of the parallel mode: the
+// i-th iteration always colors with seed Seed+i.
+func (e *Engine) Run(iters int) (Result, error) {
+	if iters < 1 {
+		return Result{}, fmt.Errorf("dp: iterations must be >= 1, got %d", iters)
+	}
+	start := time.Now()
+	mode := e.mode()
+	res := Result{PerIteration: make([]float64, iters), ModeUsed: mode}
+
+	switch mode {
+	case Outer, Hybrid:
+		// Whole iterations run concurrently, each with private tables
+		// (memory grows with concurrent iterations, as the paper notes).
+		// Hybrid additionally gives each concurrent iteration a share of
+		// inner-loop workers - the combination the paper leaves as
+		// future work.
+		workers := e.workers()
+		if workers > iters {
+			workers = iters
+		}
+		innerW := 1
+		if mode == Hybrid {
+			// Split the budget ~evenly across the two levels.
+			outerW := 1
+			for outerW*outerW < e.workers() {
+				outerW++
+			}
+			if outerW > iters {
+				outerW = iters
+			}
+			workers = outerW
+			innerW = e.workers() / outerW
+			if innerW < 1 {
+				innerW = 1
+			}
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		next := make(chan int, iters)
+		for i := 0; i < iters; i++ {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), innerW)
+					total := st.run()
+					mu.Lock()
+					res.PerIteration[i] = e.scale(total)
+					if st.peakBytes > res.PeakTableBytes {
+						res.PeakTableBytes = st.peakBytes
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	default: // Inner
+		for i := 0; i < iters; i++ {
+			st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), e.workers())
+			total := st.run()
+			res.PerIteration[i] = e.scale(total)
+			if st.peakBytes > res.PeakTableBytes {
+				res.PeakTableBytes = st.peakBytes
+			}
+		}
+	}
+
+	var sum float64
+	for _, x := range res.PerIteration {
+		sum += x
+	}
+	res.Estimate = sum / float64(iters)
+	if iters > 1 {
+		var ss float64
+		for _, x := range res.PerIteration {
+			d := x - res.Estimate
+			ss += d * d
+		}
+		res.StdErr = math.Sqrt(ss / float64(iters-1) / float64(iters))
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// scale converts a colorful mapping total into an occurrence estimate
+// (Algorithm 2, lines 20-23): divide by the colorful probability and the
+// automorphism count of the template.
+func (e *Engine) scale(total float64) float64 {
+	return total / (e.prob * float64(e.aut))
+}
+
+// ColorfulTotal runs a single DP pass with the given coloring seed and
+// returns the raw colorful mapping total (no scaling). It is the hook the
+// correctness tests use to compare against brute-force colorful
+// enumeration under a deterministic coloring.
+func (e *Engine) ColorfulTotal(seed int64) float64 {
+	st := e.newIterState(rand.New(rand.NewSource(seed)), e.workers())
+	return st.run()
+}
+
+// ColoringFor reproduces the vertex coloring used by iteration seed, for
+// tests and external verification.
+func (e *Engine) ColoringFor(seed int64) []int8 {
+	rng := rand.New(rand.NewSource(seed))
+	colors := make([]int8, e.g.N())
+	for i := range colors {
+		colors[i] = int8(rng.Intn(e.k))
+	}
+	return colors
+}
+
+// VertexCounts estimates, for every graph vertex v, the number of
+// template embeddings in which v plays the role of the template root
+// (set Config.RootVertex to pick the role — e.g. the center of U5-2 for
+// the paper's graphlet-degree experiments). Estimates are averaged over
+// iters iterations and scaled by the colorful probability and the number
+// of automorphisms fixing the root.
+func (e *Engine) VertexCounts(iters int) ([]float64, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("dp: iterations must be >= 1, got %d", iters)
+	}
+	if e.cfg.Share {
+		return nil, fmt.Errorf("dp: per-vertex counts require Share=false (shared nodes lose root identity)")
+	}
+	n := e.g.N()
+	acc := make([]float64, n)
+	scale := 1 / (e.prob * float64(e.rAut) * float64(iters))
+	for i := 0; i < iters; i++ {
+		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), e.workers())
+		st.keep = true // retain the root table for reading
+		st.run()
+		root := st.tabs[e.tree.Root]
+		for v := int32(0); v < int32(n); v++ {
+			if root.Has(v) {
+				acc[v] += root.SumRow(v) * scale
+			}
+		}
+		for _, tab := range st.tabs {
+			tab.Release()
+		}
+		e.kept = nil
+		e.keptColors = nil
+	}
+	return acc, nil
+}
+
+// RunConverged runs iterations adaptively until the relative standard
+// error of the mean estimate falls below relStdErr, bounded by minIters
+// and maxIters — a practical alternative to the enormously conservative
+// theoretical bound of IterationsFor (the paper's Figures 10-12 show a
+// few iterations usually suffice; this automates "enough"). Iterations
+// use the same seeds as Run, so a converged run is a prefix of a fixed
+// run. Inner-loop parallelism applies within each iteration.
+func (e *Engine) RunConverged(relStdErr float64, minIters, maxIters int) (Result, error) {
+	if relStdErr <= 0 {
+		return Result{}, fmt.Errorf("dp: relStdErr must be positive, got %v", relStdErr)
+	}
+	if minIters < 2 {
+		minIters = 2
+	}
+	if maxIters < minIters {
+		return Result{}, fmt.Errorf("dp: maxIters %d < minIters %d", maxIters, minIters)
+	}
+	start := time.Now()
+	workers := 1
+	if e.mode() == Inner {
+		workers = e.workers()
+	}
+	res := Result{ModeUsed: e.mode()}
+	var mean, m2 float64
+	for i := 0; i < maxIters; i++ {
+		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), workers)
+		est := e.scale(st.run())
+		if st.peakBytes > res.PeakTableBytes {
+			res.PeakTableBytes = st.peakBytes
+		}
+		res.PerIteration = append(res.PerIteration, est)
+		// Welford's online mean/variance update.
+		n := float64(i + 1)
+		delta := est - mean
+		mean += delta / n
+		m2 += delta * (est - mean)
+		if i+1 >= minIters && mean != 0 {
+			stderr := math.Sqrt(m2 / (n - 1) / n)
+			if stderr/math.Abs(mean) <= relStdErr {
+				break
+			}
+		}
+	}
+	n := float64(len(res.PerIteration))
+	res.Estimate = mean
+	if n > 1 {
+		res.StdErr = math.Sqrt(m2 / (n - 1) / n)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,214 @@
+// Package enumerate implements a single-pass subtree enumerator used as
+// the reproduction's MODA stand-in (the paper compares FASCIA against the
+// MODA motif-discovery tool, a closed Windows binary): it enumerates every
+// k-vertex subtree of the graph exactly once and classifies each by
+// canonical form, producing counts for ALL tree templates of size k
+// simultaneously. Like MODA, its advantage over the naïve baseline is that
+// the enumeration work is shared across templates instead of repeated per
+// template.
+//
+// The enumeration adapts Wernicke's ESU algorithm to edge space: elements
+// are graph edges, two edges are adjacent when they share an endpoint,
+// and a connected set of k-1 edges spanning k distinct vertices is
+// exactly a k-vertex subtree. ESU's exclusive-neighborhood rule guarantees
+// each edge set is produced exactly once.
+package enumerate
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// Counts holds the result of a single-pass enumeration: Counts[i] is the
+// number of non-induced occurrences of Trees[i] (the canonical ordering
+// of tmpl.AllTrees(k)).
+type Counts struct {
+	K      int
+	Trees  []*tmpl.Template
+	Counts []int64
+}
+
+// Total returns the total number of k-vertex subtrees across all shapes.
+func (c Counts) Total() int64 {
+	var t int64
+	for _, x := range c.Counts {
+		t += x
+	}
+	return t
+}
+
+// CountAllTrees enumerates every k-vertex subtree of g once and returns
+// per-shape occurrence counts for all free trees on k vertices.
+func CountAllTrees(g *graph.Graph, k int) (Counts, error) {
+	if k < 2 {
+		return Counts{}, fmt.Errorf("enumerate: k must be >= 2, got %d", k)
+	}
+	trees := tmpl.AllTrees(k)
+	index := make(map[string]int, len(trees))
+	for i, t := range trees {
+		index[t.CanonicalFree()] = i
+	}
+	out := Counts{K: k, Trees: trees, Counts: make([]int64, len(trees))}
+	classify := newClassifier(k, index)
+	err := Subtrees(g, k, func(edges [][2]int32) bool {
+		out.Counts[classify.shape(edges)]++
+		return true
+	})
+	return out, err
+}
+
+// Subtrees calls visit for every k-vertex subtree of g exactly once,
+// passing its edge list (k-1 edges; the slice is reused across calls).
+// visit returns false to stop early.
+func Subtrees(g *graph.Graph, k int, visit func(edges [][2]int32) bool) error {
+	if k < 2 {
+		return fmt.Errorf("enumerate: k must be >= 2, got %d", k)
+	}
+	edges := g.Edges()
+	m := len(edges)
+	// Edge adjacency: edges sharing an endpoint. Built as per-vertex
+	// incidence lists to avoid materializing the full line graph.
+	incid := make([][]int32, g.N())
+	for id, e := range edges {
+		incid[e[0]] = append(incid[e[0]], int32(id))
+		incid[e[1]] = append(incid[e[1]], int32(id))
+	}
+
+	target := k - 1
+	sub := make([]int32, 0, target)
+	subEdges := make([][2]int32, 0, target)
+	inSub := make([]bool, m)
+	// blocked marks edges in N(sub) ∪ sub (the exclusive-neighborhood
+	// test); a counter-stamped array avoids clearing between calls.
+	blockedStamp := make([]int32, m)
+	var stamp int32
+
+	// Distinct-vertex tracking: a stamp array over graph vertices plus a
+	// counter of distinct vertices in the current edge set.
+	vertCnt := make([]int16, g.N())
+	distinct := 0
+
+	addEdge := func(id int32) {
+		e := edges[id]
+		inSub[id] = true
+		sub = append(sub, id)
+		subEdges = append(subEdges, e)
+		if vertCnt[e[0]]++; vertCnt[e[0]] == 1 {
+			distinct++
+		}
+		if vertCnt[e[1]]++; vertCnt[e[1]] == 1 {
+			distinct++
+		}
+	}
+	removeEdge := func(id int32) {
+		e := edges[id]
+		if vertCnt[e[0]]--; vertCnt[e[0]] == 0 {
+			distinct--
+		}
+		if vertCnt[e[1]]--; vertCnt[e[1]] == 0 {
+			distinct--
+		}
+		subEdges = subEdges[:len(subEdges)-1]
+		sub = sub[:len(sub)-1]
+		inSub[id] = false
+	}
+
+	// Per-depth reusable buffers: each recursion level owns a grown and a
+	// next buffer, reused across siblings (the recursive call below a
+	// sibling completes before the next sibling starts).
+	grownBufs := make([][]int32, target+1)
+	nextBufs := make([][]int32, target+1)
+
+	stopped := false
+	var extend func(ext []int32, root int32, depth int)
+	extend = func(ext []int32, root int32, depth int) {
+		if stopped {
+			return
+		}
+		if len(sub) == target {
+			// A connected edge set of size k-1 spans k vertices iff it is
+			// acyclic, i.e. a subtree.
+			if distinct == k {
+				if !visit(subEdges) {
+					stopped = true
+				}
+			}
+			return
+		}
+		// ESU: consume ext elements one at a time; each picked element w
+		// extends with its exclusive neighbors beyond root.
+		for i := 0; i < len(ext) && !stopped; i++ {
+			w := ext[i]
+			// Build w's exclusive neighborhood before adding it.
+			grown := grownBufs[depth][:0]
+			we := edges[w]
+			for _, end := range we {
+				for _, u := range incid[end] {
+					if u > root && u != w && blockedStamp[u] != stamp && !inSub[u] {
+						blockedStamp[u] = stamp
+						grown = append(grown, u)
+					}
+				}
+			}
+			grownBufs[depth] = grown
+			addEdge(w)
+
+			next := append(nextBufs[depth][:0], ext[i+1:]...)
+			next = append(next, grown...)
+			nextBufs[depth] = next
+			extend(next, root, depth+1)
+
+			removeEdge(w)
+			// grown edges stay stamped only while w is in sub: for the
+			// NEXT sibling w' they must be reconsidered, so unstamp them.
+			for _, u := range grownBufs[depth] {
+				blockedStamp[u] = 0
+			}
+		}
+	}
+
+	rootExt := make([]int32, 0, 64)
+	for rootID := int32(0); rootID < int32(m) && !stopped; rootID++ {
+		stamp++
+		// Stamp the root's neighborhood as blocked (it is N(sub)); ext
+		// itself lives in the candidate list, and deeper exclusivity
+		// tests must see N({root}) as non-exclusive.
+		addEdge(rootID)
+		e := edges[rootID]
+		rootExt = rootExt[:0]
+		for _, end := range e {
+			for _, u := range incid[end] {
+				if u > rootID && blockedStamp[u] != stamp {
+					blockedStamp[u] = stamp
+					rootExt = append(rootExt, u)
+				}
+			}
+		}
+		extend(rootExt, rootID, 0)
+		removeEdge(rootID)
+	}
+	return nil
+}
+
+// classifier maps a subtree edge list to its free-tree index via the
+// allocation-free canonical encoder; this is the enumerator's hot path.
+type classifier struct {
+	index map[string]int
+	canon *fastCanon
+}
+
+func newClassifier(k int, index map[string]int) *classifier {
+	return &classifier{index: index, canon: newFastCanon(k)}
+}
+
+// shape returns the free-tree index of the subtree given by edges.
+func (c *classifier) shape(edges [][2]int32) int {
+	code := c.canon.code(edges)
+	idx, ok := c.index[string(code)] // no-alloc map lookup
+	if !ok {
+		panic("enumerate: subtree shape not among free trees")
+	}
+	return idx
+}

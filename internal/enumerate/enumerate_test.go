@@ -1,0 +1,197 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int32
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func randomG(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func TestSubtreesCompleteGraphTotal(t *testing.T) {
+	// The number of k-vertex subtrees of K_n is C(n,k) · k^(k-2)
+	// (Cayley: labeled trees on k vertices).
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10},   // C(5,2)·1
+		{5, 3, 30},   // C(5,3)·3
+		{6, 4, 240},  // C(6,4)·16
+		{7, 5, 2625}, // C(7,5)·125
+	}
+	for _, c := range cases {
+		res, err := CountAllTrees(complete(c.n), c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Total(); got != c.want {
+			t.Errorf("K_%d k=%d: total %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCountAllTreesMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 4; trial++ {
+		g := randomG(rng, 12+trial*3, 30+trial*8)
+		for _, k := range []int{3, 4, 5} {
+			res, err := CountAllTrees(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, tr := range res.Trees {
+				want := exact.Count(g, tr)
+				if res.Counts[i] != want {
+					t.Fatalf("trial %d k=%d tree %s: enumerate %d, exact %d",
+						trial, k, tr.Name(), res.Counts[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountAllTreesSize7(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomG(rng, 16, 24)
+	res, err := CountAllTrees(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trees) != 11 || len(res.Counts) != 11 {
+		t.Fatalf("expected 11 tree shapes at k=7, got %d", len(res.Trees))
+	}
+	// Cross-check two shapes against the oracle.
+	for _, i := range []int{0, 10} {
+		if want := exact.Count(g, res.Trees[i]); res.Counts[i] != want {
+			t.Fatalf("tree %d: enumerate %d, exact %d", i, res.Counts[i], want)
+		}
+	}
+}
+
+func TestSubtreesNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomG(rng, 10, 22)
+	seen := map[string]bool{}
+	err := Subtrees(g, 4, func(edges [][2]int32) bool {
+		key := ""
+		ids := make([]int, 0, len(edges))
+		for _, e := range edges {
+			ids = append(ids, int(e[0])*1000+int(e[1]))
+		}
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			}
+		}
+		for _, id := range ids {
+			key += string(rune(id)) + ","
+		}
+		if seen[key] {
+			t.Fatal("duplicate subtree emitted")
+		}
+		seen[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no subtrees found")
+	}
+}
+
+func TestSubtreesEdgesFormTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomG(rng, 14, 30)
+	err := Subtrees(g, 5, func(edges [][2]int32) bool {
+		if len(edges) != 4 {
+			t.Fatalf("subtree with %d edges", len(edges))
+		}
+		verts := map[int32]bool{}
+		for _, e := range edges {
+			if !g.HasEdge(e[0], e[1]) {
+				t.Fatal("emitted edge not in graph")
+			}
+			verts[e[0]] = true
+			verts[e[1]] = true
+		}
+		if len(verts) != 5 {
+			t.Fatalf("subtree spans %d vertices, want 5", len(verts))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreesEarlyStop(t *testing.T) {
+	g := complete(8)
+	calls := 0
+	if err := Subtrees(g, 3, func([][2]int32) bool {
+		calls++
+		return calls < 7
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Fatalf("early stop after %d calls", calls)
+	}
+}
+
+func TestBadK(t *testing.T) {
+	g := complete(4)
+	if _, err := CountAllTrees(g, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if err := Subtrees(g, 0, func([][2]int32) bool { return true }); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestPathGraphSubtrees(t *testing.T) {
+	// A path on n vertices has exactly n-k+1 subtrees of k vertices (all
+	// paths).
+	var edges [][2]int32
+	for i := 0; i < 9; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	g := graph.MustFromEdges(10, edges, nil)
+	res, err := CountAllTrees(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() != 7 {
+		t.Fatalf("path subtrees = %d, want 7", res.Total())
+	}
+	// All of them are paths.
+	for i, tr := range res.Trees {
+		want := int64(0)
+		if tmpl.IsIsomorphic(tr, tmpl.Path(4)) {
+			want = 7
+		}
+		if res.Counts[i] != want {
+			t.Fatalf("tree %s count %d, want %d", tr.Name(), res.Counts[i], want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package enumerate
+
+import "bytes"
+
+// fastCanon computes AHU canonical codes for small trees given as edge
+// lists, allocation-free after warm-up. It produces byte-for-byte the
+// same encoding as tmpl.(*Template).CanonicalFree for unlabeled trees
+// (nested parentheses, minimum over centroid rootings), so codes index
+// directly into the tmpl.AllTrees ordering. This is the hot path of the
+// MODA-style enumerator: it runs once per enumerated subtree.
+type fastCanon struct {
+	k     int
+	verts []int32 // distinct graph vertices of the current subtree
+	adj   [][]int8
+	size  []int8
+	order []int8
+	par   []int8
+	vbuf  [][]byte // per-vertex encode buffers
+	best  []byte
+	cand  []byte
+	kids  [][]byte
+}
+
+func newFastCanon(k int) *fastCanon {
+	f := &fastCanon{
+		k:     k,
+		verts: make([]int32, 0, k),
+		adj:   make([][]int8, k),
+		size:  make([]int8, k),
+		order: make([]int8, 0, k),
+		par:   make([]int8, k),
+		vbuf:  make([][]byte, k),
+		best:  make([]byte, 0, 4*k),
+		cand:  make([]byte, 0, 4*k),
+		kids:  make([][]byte, 0, k),
+	}
+	for i := range f.adj {
+		f.adj[i] = make([]int8, 0, k)
+		f.vbuf[i] = make([]byte, 0, 4*k)
+	}
+	return f
+}
+
+// local maps a graph vertex to its dense local id, registering it on
+// first sight. Linear scan beats a map for k <= 12.
+func (f *fastCanon) local(v int32) int8 {
+	for i, w := range f.verts {
+		if w == v {
+			return int8(i)
+		}
+	}
+	f.verts = append(f.verts, v)
+	return int8(len(f.verts) - 1)
+}
+
+// code returns the canonical free-tree code of the k-vertex subtree with
+// the given k-1 edges. The returned slice is reused by the next call.
+func (f *fastCanon) code(edges [][2]int32) []byte {
+	f.verts = f.verts[:0]
+	for i := range f.adj {
+		f.adj[i] = f.adj[i][:0]
+	}
+	for _, e := range edges {
+		a, b := f.local(e[0]), f.local(e[1])
+		f.adj[a] = append(f.adj[a], b)
+		f.adj[b] = append(f.adj[b], a)
+	}
+	k := int8(f.k)
+
+	// Subtree sizes from an iterative DFS rooted at 0, then centroid(s)
+	// by the max-component criterion (identical to tmpl.Centroids).
+	f.order = f.order[:0]
+	f.par[0] = -1
+	f.order = append(f.order, 0)
+	for i := 0; i < len(f.order); i++ {
+		v := f.order[i]
+		for _, u := range f.adj[v] {
+			if u != f.par[v] {
+				f.par[u] = v
+				f.order = append(f.order, u)
+			}
+		}
+	}
+	best := int8(k)
+	var c1, c2 int8 = -1, -1
+	for i := len(f.order) - 1; i >= 0; i-- {
+		v := f.order[i]
+		f.size[v] = 1
+		for _, u := range f.adj[v] {
+			if u != f.par[v] {
+				f.size[v] += f.size[u]
+			}
+		}
+	}
+	for v := int8(0); v < k; v++ {
+		maxComp := k - f.size[v]
+		for _, u := range f.adj[v] {
+			if u != f.par[v] && f.size[u] > maxComp {
+				maxComp = f.size[u]
+			}
+		}
+		if maxComp < best {
+			best, c1, c2 = maxComp, v, -1
+		} else if maxComp == best {
+			c2 = v
+		}
+	}
+
+	f.best = f.encode(c1, -1, f.best[:0])
+	if c2 >= 0 {
+		f.cand = f.encode(c2, -1, f.cand[:0])
+		if bytes.Compare(f.cand, f.best) < 0 {
+			f.best, f.cand = f.cand, f.best
+		}
+	}
+	return f.best
+}
+
+// encode writes the AHU code of the subtree rooted at v (entered from
+// parent) into dst, matching tmpl's "(" + sorted child codes + ")".
+func (f *fastCanon) encode(v, parent int8, dst []byte) []byte {
+	nKids := 0
+	for _, u := range f.adj[v] {
+		if u != parent {
+			f.vbuf[u] = f.encode(u, v, f.vbuf[u][:0])
+			nKids++
+		}
+	}
+	// Gather and insertion-sort the children's codes (at most k-1 of
+	// them; sort.Slice's reflection overhead dominates at this size).
+	kids := f.kids[:0]
+	for _, u := range f.adj[v] {
+		if u != parent {
+			kids = append(kids, f.vbuf[u])
+		}
+	}
+	for i := 1; i < len(kids); i++ {
+		for j := i; j > 0 && bytes.Compare(kids[j], kids[j-1]) < 0; j-- {
+			kids[j], kids[j-1] = kids[j-1], kids[j]
+		}
+	}
+	dst = append(dst, '(')
+	for _, kc := range kids {
+		dst = append(dst, kc...)
+	}
+	return append(dst, ')')
+}

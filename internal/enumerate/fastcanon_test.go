@@ -1,0 +1,68 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tmpl"
+)
+
+// TestFastCanonMatchesTemplateCodes verifies the fast encoder produces
+// byte-identical codes to tmpl.CanonicalFree on random trees of every
+// supported size, under arbitrary vertex relabelings.
+func TestFastCanonMatchesTemplateCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for k := 2; k <= 12; k++ {
+		f := newFastCanon(k)
+		for trial := 0; trial < 60; trial++ {
+			edges := make([][2]int, 0, k-1)
+			for v := 1; v < k; v++ {
+				edges = append(edges, [2]int{rng.Intn(v), v})
+			}
+			tr := tmpl.MustTree("r", k, edges, nil)
+			want := tr.CanonicalFree()
+			// Scramble vertex ids into sparse graph-vertex space.
+			offset := int32(rng.Intn(1000))
+			ge := make([][2]int32, len(edges))
+			perm := rng.Perm(k)
+			for i, e := range edges {
+				ge[i] = [2]int32{int32(perm[e[0]])*3 + offset, int32(perm[e[1]])*3 + offset}
+			}
+			if got := string(f.code(ge)); got != want {
+				t.Fatalf("k=%d trial %d: fast %q, tmpl %q", k, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestFastCanonAllTreesDistinct checks the encoder distinguishes all
+// non-isomorphic trees (codes are exactly the AllTrees codes).
+func TestFastCanonAllTreesDistinct(t *testing.T) {
+	for k := 2; k <= 10; k++ {
+		f := newFastCanon(k)
+		seen := map[string]bool{}
+		for _, tr := range tmpl.AllTrees(k) {
+			ge := make([][2]int32, 0, k-1)
+			for _, e := range tr.Edges() {
+				ge = append(ge, [2]int32{int32(e[0]), int32(e[1])})
+			}
+			code := string(f.code(ge))
+			if code != tr.CanonicalFree() {
+				t.Fatalf("k=%d %s: code mismatch", k, tr.Name())
+			}
+			if seen[code] {
+				t.Fatalf("k=%d: duplicate code", k)
+			}
+			seen[code] = true
+		}
+	}
+}
+
+func BenchmarkFastCanon(b *testing.B) {
+	f := newFastCanon(7)
+	edges := [][2]int32{{0, 1}, {1, 2}, {1, 3}, {3, 4}, {4, 5}, {4, 6}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.code(edges)
+	}
+}

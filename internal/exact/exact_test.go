@@ -1,0 +1,248 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int32
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func pathG(n int) *graph.Graph {
+	var edges [][2]int32
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func choose(n, r int64) int64 {
+	num := int64(1)
+	for i := int64(0); i < r; i++ {
+		num = num * (n - i) / (i + 1)
+	}
+	return num
+}
+
+func TestCountPathsInCompleteGraph(t *testing.T) {
+	// Occurrences of P_k in K_n: C(n,k) * k!/2.
+	for _, k := range []int{2, 3, 4} {
+		for _, n := range []int{4, 5, 6} {
+			fact := int64(1)
+			for i := 2; i <= k; i++ {
+				fact *= int64(i)
+			}
+			want := choose(int64(n), int64(k)) * fact / 2
+			if got := Count(complete(n), tmpl.Path(k)); got != want {
+				t.Errorf("P%d in K%d = %d, want %d", k, n, got, want)
+			}
+		}
+	}
+}
+
+func TestCountStarsInCompleteGraph(t *testing.T) {
+	// Occurrences of S_k (star with k-1 leaves) in K_n: n * C(n-1, k-1).
+	for _, k := range []int{3, 4, 5} {
+		n := 6
+		want := int64(n) * choose(int64(n-1), int64(k-1))
+		if got := Count(complete(n), tmpl.Star(k)); got != want {
+			t.Errorf("S%d in K%d = %d, want %d", k, n, got, want)
+		}
+	}
+}
+
+func TestCountPathsInPath(t *testing.T) {
+	// P_k occurs exactly n-k+1 times in P_n.
+	for _, k := range []int{2, 3, 5} {
+		n := 9
+		if got := Count(pathG(n), tmpl.Path(k)); got != int64(n-k+1) {
+			t.Errorf("P%d in path-%d = %d, want %d", k, n, got, n-k+1)
+		}
+	}
+}
+
+func TestCountSingleVertex(t *testing.T) {
+	g := pathG(5)
+	if got := Count(g, tmpl.MustTree("k1", 1, nil, nil)); got != 5 {
+		t.Fatalf("K1 count = %d, want 5", got)
+	}
+}
+
+func TestCountMappingsVsCount(t *testing.T) {
+	g := complete(5)
+	p3 := tmpl.Path(3)
+	if CountMappings(g, p3) != 2*Count(g, p3) {
+		t.Fatal("mappings should be aut × occurrences for P3")
+	}
+}
+
+func TestCountLabeled(t *testing.T) {
+	// Path 0-1-2 with labels: graph a(0)-b(1)-a(2)-b(3).
+	g := graph.MustFromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}}, []int32{0, 1, 0, 1})
+	aba, _ := tmpl.Path(3).WithLabels("aba", []int32{0, 1, 0})
+	bab, _ := tmpl.Path(3).WithLabels("bab", []int32{1, 0, 1})
+	aab, _ := tmpl.Path(3).WithLabels("aab", []int32{0, 0, 1})
+	if got := Count(g, aba); got != 1 {
+		t.Errorf("aba count = %d, want 1", got)
+	}
+	if got := Count(g, bab); got != 1 {
+		t.Errorf("bab count = %d, want 1", got)
+	}
+	if got := Count(g, aab); got != 0 {
+		t.Errorf("aab count = %d, want 0", got)
+	}
+}
+
+func TestCountColorfulMappings(t *testing.T) {
+	// Triangle graph with rainbow coloring: P3 has 6 mappings, all
+	// colorful; with colors {0,0,1} only mappings avoiding the repeated
+	// color pair survive.
+	g := graph.MustFromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}}, nil)
+	p3 := tmpl.Path(3)
+	if got := CountColorfulMappings(g, p3, []int8{0, 1, 2}); got != 6 {
+		t.Errorf("rainbow colorful = %d, want 6", got)
+	}
+	if got := CountColorfulMappings(g, p3, []int8{0, 0, 1}); got != 0 {
+		t.Errorf("two-color colorful on 3 distinct vertices = %d, want 0", got)
+	}
+	if got := CountMappings(g, p3); got != 6 {
+		t.Errorf("total mappings = %d, want 6", got)
+	}
+}
+
+func TestCountColorfulNeverExceedsTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomG(rng, 12, 20)
+	tr := tmpl.Path(4)
+	colors := make([]int8, g.N())
+	for i := range colors {
+		colors[i] = int8(rng.Intn(4))
+	}
+	if CountColorfulMappings(g, tr, colors) > CountMappings(g, tr) {
+		t.Fatal("colorful count exceeds total")
+	}
+}
+
+func randomG(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func TestCountRootedMappings(t *testing.T) {
+	// P3 in a path of 4: rooted at template center (vertex 1), the count
+	// at graph vertex v is the number of P3 mappings with center at v.
+	g := pathG(4)
+	per := CountRootedMappings(g, tmpl.Path(3), 1)
+	want := []int64{0, 2, 2, 0} // centers must be inner vertices; ×2 for flips
+	for v, w := range want {
+		if per[v] != w {
+			t.Errorf("rooted count at %d = %d, want %d", v, per[v], w)
+		}
+	}
+	// Sums across vertices equal total mappings.
+	var sum int64
+	for _, x := range per {
+		sum += x
+	}
+	if sum != CountMappings(g, tmpl.Path(3)) {
+		t.Fatal("rooted counts do not sum to total mappings")
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := complete(6)
+	calls := 0
+	Enumerate(g, tmpl.Path(3), func(m []int32) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop after %d calls, want 5", calls)
+	}
+}
+
+func TestEnumerateMappingsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomG(rng, 10, 18)
+	tr := tmpl.Spider(2, 1, 1)
+	count := 0
+	Enumerate(g, tr, func(m []int32) bool {
+		count++
+		seen := map[int32]bool{}
+		for _, v := range m {
+			if seen[v] {
+				t.Fatal("duplicate vertex in mapping")
+			}
+			seen[v] = true
+		}
+		for _, e := range tr.Edges() {
+			if !g.HasEdge(m[e[0]], m[e[1]]) {
+				t.Fatal("template edge missing in graph")
+			}
+		}
+		return true
+	})
+	if int64(count) != CountMappings(g, tr) {
+		t.Fatalf("enumerated %d mappings, count says %d", count, CountMappings(g, tr))
+	}
+}
+
+func TestCountInducedVsNonInduced(t *testing.T) {
+	// Figure 1's point: non-induced counts dominate induced ones. In
+	// K_4, P3 occurs 12 times non-induced but 0 times induced (every
+	// vertex triple has all three edges).
+	g := complete(4)
+	p3 := tmpl.Path(3)
+	if got := Count(g, p3); got != 12 {
+		t.Fatalf("non-induced P3 in K4 = %d, want 12", got)
+	}
+	if got := CountInduced(g, p3); got != 0 {
+		t.Fatalf("induced P3 in K4 = %d, want 0", got)
+	}
+	// In a path graph every occurrence is induced.
+	pg := pathG(6)
+	if CountInduced(pg, p3) != Count(pg, p3) {
+		t.Fatal("path graph: induced and non-induced should agree")
+	}
+}
+
+func TestCountInducedStarInWheel(t *testing.T) {
+	// Wheel graph (C5 plus a hub): S4 occurs 10 times centered at the
+	// hub (any 3 of 5 rim vertices) and once per rim vertex (its two
+	// cycle neighbors plus the hub), 15 total non-induced. None is
+	// induced: any 3 rim vertices include a cycle-adjacent pair, and the
+	// rim-centered stars contain hub-rim chords.
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	for i := int32(0); i < 5; i++ {
+		edges = append(edges, [2]int32{5, i})
+	}
+	g := graph.MustFromEdges(6, edges, nil)
+	s4 := tmpl.Star(4)
+	induced := CountInduced(g, s4)
+	nonInduced := Count(g, s4)
+	if induced >= nonInduced {
+		t.Fatalf("induced %d should be < non-induced %d", induced, nonInduced)
+	}
+	// Hub stars: C(5,3) = 10 non-induced from the hub; each rim vertex
+	// has degree 3 -> C(3,2)... wait, S4 needs center degree 3: rim
+	// degree is 3 (two cycle + hub): C(3,3) = 1 per rim vertex = 5.
+	if nonInduced != 15 {
+		t.Fatalf("non-induced S4 = %d, want 15", nonInduced)
+	}
+	if induced != 0 {
+		t.Fatalf("induced S4 = %d, want 0 (every triple hits an edge)", induced)
+	}
+}

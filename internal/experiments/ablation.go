@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/part"
+	"repro/internal/table"
+	"repro/internal/tmpl"
+)
+
+// AblationPartition measures the §III-D trade-off: one-at-a-time versus
+// balanced partitioning, with and without isomorphic-subtemplate sharing,
+// on the U12-2 (or largest enabled) template.
+func (p Params) AblationPartition() (Table, error) {
+	g := p.network("enron")
+	name := fmt.Sprintf("U%d-2", p.MaxK)
+	tpl := tmpl.MustNamed(name)
+	t := Table{
+		Title:   fmt.Sprintf("Ablation: partitioning strategy and sharing, %s, enron-like", name),
+		Columns: []string{"strategy", "share", "time_ms", "peak_mb", "estimate"},
+	}
+	for _, strat := range []part.Strategy{part.OneAtATime, part.Balanced} {
+		for _, share := range []bool{false, true} {
+			cfg := p.baseConfig()
+			cfg.Strategy = strat
+			cfg.Share = share
+			d, res, err := singleIterationTime(g, tpl, cfg)
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				strat.String(), fmt.Sprint(share), ms(d), mb(res.PeakTableBytes), sci(res.Estimate),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "paper: one-at-a-time is faster despite symmetry savings; sharing trades time for memory")
+	return t, nil
+}
+
+// AblationTable measures the three table layouts' time/memory trade-off
+// on a path template over the road-like network.
+func (p Params) AblationTable() (Table, error) {
+	g := p.network("paroad")
+	tpl := tmpl.MustNamed(fmt.Sprintf("U%d-1", p.MaxK))
+	t := Table{
+		Title:   fmt.Sprintf("Ablation: table layout, %s, paroad-like", tpl.Name()),
+		Columns: []string{"layout", "time_ms", "peak_mb"},
+	}
+	for _, kind := range []table.Kind{table.Naive, table.Lazy, table.Hash} {
+		cfg := p.baseConfig()
+		cfg.TableKind = kind
+		d, res, err := singleIterationTime(g, tpl, cfg)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{kind.String(), ms(d), mb(res.PeakTableBytes)})
+	}
+	t.Notes = append(t.Notes, "hash trades lookup time for footprint on high-selectivity workloads")
+	return t, nil
+}
+
+// AblationLeafSpecial measures the single-vertex-child specializations'
+// effect (the (k-1)/k inner-loop reduction of §III-D).
+func (p Params) AblationLeafSpecial() (Table, error) {
+	g := p.network("enron")
+	tpl := tmpl.MustNamed(fmt.Sprintf("U%d-1", p.MaxK))
+	t := Table{
+		Title:   fmt.Sprintf("Ablation: leaf specializations, %s, enron-like", tpl.Name()),
+		Columns: []string{"leaf_special", "time_ms", "estimate"},
+	}
+	for _, disable := range []bool{false, true} {
+		cfg := p.baseConfig()
+		cfg.DisableLeafSpecial = disable
+		d, res, err := singleIterationTime(g, tpl, cfg)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(!disable), ms(d), sci(res.Estimate)})
+	}
+	t.Notes = append(t.Notes, "estimates must be identical; only time may differ")
+	return t, nil
+}

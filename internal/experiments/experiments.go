@@ -1,0 +1,173 @@
+// Package experiments implements the reproduction harness for every table
+// and figure in the FASCIA paper's evaluation (§IV-V). Each experiment is
+// a function that generates its workload from the network presets,
+// executes the measurement, and returns printable rows; cmd/fasciabench
+// and the root-package benchmarks are thin wrappers around these
+// functions. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for measured-vs-paper discussion.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// Params controls workload sizes. Quick() keeps every experiment to
+// seconds on a laptop core; Full() approaches the paper's scales (hours
+// of compute and tens of GB for the k=12 Portland runs — use only on a
+// large machine).
+type Params struct {
+	// Scale multiplies every network's vertex count relative to Table I.
+	Scale float64
+	// SmallScale is used for the million-vertex networks (Portland, PA
+	// road) which need a harsher reduction in quick mode.
+	SmallScale float64
+	// ExactScale is used for experiments that need an exhaustive exact
+	// baseline on the social/PPI networks (Figures 10 and 16): brute
+	// force is exponential, so quick mode shrinks those inputs further.
+	ExactScale float64
+	// Seed drives all generators and colorings.
+	Seed int64
+	// Iters is the default iteration count for error/profile experiments.
+	Iters int
+	// MaxK caps template sizes (quick mode skips k = 10, 12 sweeps).
+	MaxK int
+	// Threads lists the worker counts swept in the scaling experiments.
+	Threads []int
+}
+
+// Quick returns parameters sized for CI: every experiment finishes in
+// seconds while preserving each figure's qualitative shape.
+func Quick() Params {
+	return Params{
+		Scale:      0.3,
+		SmallScale: 0.004,
+		ExactScale: 0.05,
+		Seed:       1,
+		Iters:      30,
+		MaxK:       7,
+		Threads:    []int{1, 2, 4, 8, 16},
+	}
+}
+
+// Full returns parameters at the paper's scales. The largest runs need a
+// multicore machine with tens of GB of memory.
+func Full() Params {
+	return Params{
+		Scale:      1.0,
+		SmallScale: 1.0,
+		ExactScale: 1.0,
+		Seed:       1,
+		Iters:      1000,
+		MaxK:       12,
+		Threads:    []int{1, 2, 4, 8, 12, 16},
+	}
+}
+
+// network builds a preset's graph at the parameter scale.
+func (p Params) network(name string) *graph.Graph {
+	pre, err := gen.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	scale := p.Scale
+	if pre.Paper.N > 500_000 {
+		scale = p.SmallScale
+	}
+	return pre.Build(scale, p.Seed)
+}
+
+// exactNetwork builds a preset at ExactScale, for experiments that must
+// also run an exhaustive exact baseline on it.
+func (p Params) exactNetwork(name string) *graph.Graph {
+	pre, err := gen.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return pre.Build(p.ExactScale, p.Seed)
+}
+
+// templates returns the paper's benchmark templates with size <= MaxK.
+func (p Params) templates() []*tmpl.Template {
+	var out []*tmpl.Template
+	for _, t := range tmpl.NamedTemplates() {
+		if t.K() <= p.MaxK {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// singleIterationTime runs one counting iteration and reports its wall
+// time along with the run result.
+func singleIterationTime(g *graph.Graph, t *tmpl.Template, cfg dp.Config) (time.Duration, dp.Result, error) {
+	e, err := dp.New(g, t, cfg)
+	if err != nil {
+		return 0, dp.Result{}, err
+	}
+	start := time.Now()
+	res, err := e.Run(1)
+	if err != nil {
+		return 0, dp.Result{}, err
+	}
+	return time.Since(start), res, nil
+}
+
+// baseConfig returns the engine defaults used across experiments.
+func (p Params) baseConfig() dp.Config {
+	cfg := dp.DefaultConfig()
+	cfg.Seed = p.Seed
+	return cfg
+}
+
+// Table is a generic printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table as aligned plain text.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, cell)
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f4(x float64) string  { return fmt.Sprintf("%.4f", x) }
+func sci(x float64) string { return fmt.Sprintf("%.3e", x) }
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}
+func mb(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns parameters small enough that every experiment runs in
+// well under a second.
+func tiny() Params {
+	return Params{
+		Scale:      0.1,
+		SmallScale: 0.0008,
+		ExactScale: 0.04,
+		Seed:       3,
+		Iters:      5,
+		MaxK:       5,
+		Threads:    []int{1, 2},
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab := tiny().Table1()
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Table I has %d rows, want 10", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	if !strings.Contains(buf.String(), "portland") {
+		t.Fatal("render missing networks")
+	}
+}
+
+// TestAllExperimentsRun exercises every registered experiment end to end
+// at tiny scale and sanity-checks the emitted tables.
+func TestAllExperimentsRun(t *testing.T) {
+	p := tiny()
+	for _, name := range Order {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tab, err := Run(name, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", name)
+			}
+			if len(tab.Columns) == 0 || tab.Title == "" {
+				t.Fatalf("%s: malformed table", name)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s: row width %d != %d columns", name, len(row), len(tab.Columns))
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", tiny()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRegistryAndOrderAgree(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
+	}
+	for _, name := range Order {
+		if _, ok := Registry[name]; !ok {
+			t.Fatalf("ordered experiment %q missing from registry", name)
+		}
+	}
+}
+
+func TestFig10ErrorDecreases(t *testing.T) {
+	p := tiny()
+	p.Iters = 10
+	tab, err := p.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final averaged error should not exceed the first iteration's by
+	// much; typically it shrinks substantially.
+	first, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][1], 64)
+	if last > first*1.5+0.02 {
+		t.Fatalf("U3-1 error grew from %.4f to %.4f", first, last)
+	}
+}
+
+func TestFig16AgreementImproves(t *testing.T) {
+	p := tiny()
+	p.Iters = 100
+	tab, err := p.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agreement is noisy on tiny inputs (rounding fractional estimates
+	// into integer bins); require that it stays in range and does not
+	// collapse as iterations grow.
+	byNet := map[string][]float64{}
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		byNet[row[0]] = append(byNet[row[0]], v)
+	}
+	for net, vals := range byNet {
+		for _, v := range vals {
+			if v < 0 || v > 1.000001 {
+				t.Fatalf("%s: agreement %v outside [0,1]", net, v)
+			}
+		}
+		if len(vals) >= 2 && vals[len(vals)-1] < vals[0]-0.2 {
+			t.Fatalf("%s: agreement collapsed from %.4f to %.4f", net, vals[0], vals[len(vals)-1])
+		}
+	}
+}
+
+func TestModaBaselinesAgree(t *testing.T) {
+	p := tiny()
+	p.Iters = 50
+	tab, err := p.Moda()
+	if err != nil {
+		t.Fatal(err) // includes the internal naive-vs-enumerator check
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("moda rows = %d, want 3 circuit rows + 2 scaling rows", len(tab.Rows))
+	}
+}
+
+func TestAblationLeafSpecialSameEstimates(t *testing.T) {
+	p := tiny()
+	tab, err := p.AblationLeafSpecial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][2] != tab.Rows[1][2] {
+		t.Fatalf("leaf specialization changed the estimate: %s vs %s", tab.Rows[0][2], tab.Rows[1][2])
+	}
+}
+
+func TestQuickAndFullParams(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.MaxK >= f.MaxK || q.Iters >= f.Iters {
+		t.Fatal("quick params should be smaller than full")
+	}
+	if q.SmallScale >= f.SmallScale || q.ExactScale >= f.ExactScale {
+		t.Fatal("quick scales should shrink networks")
+	}
+}

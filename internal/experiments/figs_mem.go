@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/table"
+	"repro/internal/tmpl"
+)
+
+// Fig6 reproduces Figure 6: peak dynamic-table memory on the
+// Portland-like network for the complex templates (U3-2 ... U12-2),
+// comparing the naive layout, the improved (lazy) layout, and the
+// improved layout with a labeled template and graph.
+func (p Params) Fig6() (Table, error) {
+	g := p.network("portland")
+	t := Table{
+		Title:   "Figure 6: peak table memory (MB), portland-like, U*-2 templates",
+		Columns: []string{"template", "k", "naive_mb", "improved_mb", "labeled_mb"},
+	}
+	labeledG := p.network("portland")
+	gen.AssignLabels(labeledG, 8, p.Seed+7)
+	for _, name := range []string{"U3-2", "U5-2", "U7-2", "U10-2", "U12-2"} {
+		tpl := tmpl.MustNamed(name)
+		if tpl.K() > p.MaxK {
+			continue
+		}
+		row := []string{name, fmt.Sprint(tpl.K())}
+		for _, kind := range []table.Kind{table.Naive, table.Lazy} {
+			cfg := p.baseConfig()
+			cfg.TableKind = kind
+			_, res, err := singleIterationTime(g, tpl, cfg)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, mb(res.PeakTableBytes))
+		}
+		labels := make([]int32, tpl.K())
+		for i := range labels {
+			labels[i] = int32((i*5 + 3) % 8)
+		}
+		ltpl, err := tpl.WithLabels(name+"-lab", labels)
+		if err != nil {
+			return t, err
+		}
+		cfg := p.baseConfig()
+		cfg.TableKind = table.Lazy
+		_, res, err := singleIterationTime(labeledG, ltpl, cfg)
+		if err != nil {
+			return t, err
+		}
+		row = append(row, mb(res.PeakTableBytes))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: improved ~20% below naive for unlabeled, >90% below for labeled templates")
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: peak dynamic-table memory on the PA-road-like
+// network for the path templates (U3-1 ... U12-1) across the hash, naive,
+// and improved layouts.
+func (p Params) Fig7() (Table, error) {
+	g := p.network("paroad")
+	t := Table{
+		Title:   "Figure 7: peak table memory (MB), paroad-like, U*-1 templates",
+		Columns: []string{"template", "k", "hash_mb", "naive_mb", "improved_mb"},
+	}
+	for _, name := range []string{"U3-1", "U5-1", "U7-1", "U10-1", "U12-1"} {
+		tpl := tmpl.MustNamed(name)
+		if tpl.K() > p.MaxK {
+			continue
+		}
+		row := []string{name, fmt.Sprint(tpl.K())}
+		for _, kind := range []table.Kind{table.Hash, table.Naive, table.Lazy} {
+			cfg := p.baseConfig()
+			cfg.TableKind = kind
+			_, res, err := singleIterationTime(g, tpl, cfg)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, mb(res.PeakTableBytes))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: improved 2-7% below naive; hash up to 90% below on the largest template")
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/tmpl"
+)
+
+// Fig8 reproduces Figure 8: inner-loop strong scaling of the U12-2
+// template (or the largest enabled template) on the Portland-like
+// network across worker counts.
+func (p Params) Fig8() (Table, error) {
+	g := p.network("portland")
+	name := "U12-2"
+	if p.MaxK < 12 {
+		name = fmt.Sprintf("U%d-2", p.MaxK)
+	}
+	tpl := tmpl.MustNamed(name)
+	t := Table{
+		Title:   fmt.Sprintf("Figure 8: inner-loop scaling, %s, portland-like", name),
+		Columns: []string{"workers", "time_ms", "speedup"},
+	}
+	var base time.Duration
+	for _, w := range p.Threads {
+		cfg := p.baseConfig()
+		cfg.Mode = dp.Inner
+		cfg.Workers = w
+		d, _, err := singleIterationTime(g, tpl, cfg)
+		if err != nil {
+			return t, err
+		}
+		if base == 0 {
+			base = d
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(w), ms(d), f2(float64(base) / float64(d))})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: ~12x speedup at 16 cores; on a single-core host the sweep measures goroutine overhead only")
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: inner-loop vs outer-loop parallelization for
+// U7-2 on the Enron-like network. The outer-loop row reports both the
+// per-iteration average and the total for running `workers` concurrent
+// iterations, as the paper plots.
+func (p Params) Fig9() (Table, error) {
+	g := p.network("enron")
+	tpl := tmpl.MustNamed("U7-2")
+	t := Table{
+		Title:   "Figure 9: inner vs outer parallelization, U7-2, enron-like",
+		Columns: []string{"workers", "inner_ms", "outer_per_iter_ms", "outer_total_ms"},
+	}
+	for _, w := range p.Threads {
+		cfg := p.baseConfig()
+		cfg.Mode = dp.Inner
+		cfg.Workers = w
+		dInner, _, err := singleIterationTime(g, tpl, cfg)
+		if err != nil {
+			return t, err
+		}
+		cfg = p.baseConfig()
+		cfg.Mode = dp.Outer
+		cfg.Workers = w
+		e, err := dp.New(g, tpl, cfg)
+		if err != nil {
+			return t, err
+		}
+		start := time.Now()
+		if _, err := e.Run(w); err != nil { // w iterations across w workers
+			return t, err
+		}
+		total := time.Since(start)
+		perIter := total / time.Duration(w)
+		t.Rows = append(t.Rows, []string{fmt.Sprint(w), ms(dInner), ms(perIter), ms(total)})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: outer-loop wins on small graphs (~6x at 16 cores vs ~2.5x inner)")
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/motif"
+)
+
+// Table1 reproduces Table I: sizes and degree statistics of all ten
+// networks (our synthetic stand-ins next to the paper's originals).
+func (p Params) Table1() Table {
+	t := Table{
+		Title:   "Table I: network sizes and degrees (generated stand-ins vs paper)",
+		Columns: []string{"network", "model", "n", "m", "davg", "dmax", "clustering", "paper_n", "paper_m", "paper_davg", "paper_dmax"},
+	}
+	for _, pre := range gen.Presets {
+		g := p.network(pre.Name)
+		s := g.ComputeStats()
+		t.Rows = append(t.Rows, []string{
+			pre.Name, pre.Model,
+			fmt.Sprint(s.N), fmt.Sprint(s.M), f2(s.AvgDegree), fmt.Sprint(s.MaxDegree), f4(g.GlobalClustering()),
+			fmt.Sprint(pre.Paper.N), fmt.Sprint(pre.Paper.M), f2(pre.Paper.DAvg), fmt.Sprint(pre.Paper.DMax),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("scale=%.3g (small nets), %.3g (million-vertex nets); largest connected component only", p.Scale, p.SmallScale))
+	return t
+}
+
+// Fig3 reproduces Figure 3: single-iteration execution time for the ten
+// unlabeled benchmark templates on the Portland-like network.
+func (p Params) Fig3() (Table, error) {
+	g := p.network("portland")
+	t := Table{
+		Title:   "Figure 3: single-iteration time, unlabeled templates, portland-like",
+		Columns: []string{"template", "k", "time_ms", "estimate"},
+	}
+	for _, tpl := range p.templates() {
+		d, res, err := singleIterationTime(g, tpl, p.baseConfig())
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{tpl.Name(), fmt.Sprint(tpl.K()), ms(d), sci(res.Estimate)})
+	}
+	s := g.ComputeStats()
+	t.Notes = append(t.Notes, fmt.Sprintf("network n=%d m=%d; paper shape: time grows ~2^k, ~2x spread within a size class", s.N, s.M))
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: single-iteration time for the same templates
+// with vertex labels (8 labels, randomly assigned), which prunes the
+// search space dramatically.
+func (p Params) Fig4() (Table, error) {
+	g := p.network("portland")
+	gen.AssignLabels(g, 8, p.Seed+7)
+	t := Table{
+		Title:   "Figure 4: single-iteration time, labeled templates (8 labels), portland-like",
+		Columns: []string{"template", "k", "time_ms", "estimate"},
+	}
+	for _, base := range p.templates() {
+		labels := make([]int32, base.K())
+		for i := range labels {
+			// Deterministic template labeling mirroring the paper's
+			// random assignment.
+			labels[i] = int32((i*5 + 3) % 8)
+		}
+		tpl, err := base.WithLabels(base.Name()+"-lab", labels)
+		if err != nil {
+			return t, err
+		}
+		d, res, err := singleIterationTime(g, tpl, p.baseConfig())
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{tpl.Name(), fmt.Sprint(tpl.K()), ms(d), sci(res.Estimate)})
+	}
+	t.Notes = append(t.Notes, "paper shape: labeled counting is orders of magnitude faster than Figure 3 at equal k")
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: per-iteration motif-finding time (all tree
+// templates of size k) on the four PPI networks.
+func (p Params) Fig5() (Table, error) {
+	t := Table{
+		Title:   "Figure 5: per-iteration motif-finding time over all k-vertex trees, PPI networks",
+		Columns: []string{"network", "k", "templates", "total_time_ms"},
+	}
+	sizes := []int{}
+	for _, k := range []int{7, 10, 12} {
+		if k <= p.MaxK {
+			sizes = append(sizes, k)
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{p.MaxK}
+	}
+	for _, pre := range gen.PPIPresets() {
+		g := p.network(pre.Name)
+		for _, k := range sizes {
+			start := time.Now()
+			prof, err := motif.Find(pre.Name, g, k, 1, p.baseConfig())
+			if err != nil {
+				return t, err
+			}
+			totalMS := float64(time.Since(start).Microseconds()) / 1000
+			t.Rows = append(t.Rows, []string{pre.Name, fmt.Sprint(k), fmt.Sprint(len(prof.Trees)), f2(totalMS)})
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: k=7 well under a second, k=10 seconds, k=12 minutes at full scale")
+	return t, nil
+}

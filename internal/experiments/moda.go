@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/enumerate"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/motif"
+	"repro/internal/tmpl"
+)
+
+// Moda reproduces the §V-C comparison on the circuit network: total time
+// to obtain counts for all 11 seven-vertex tree templates using (a) the
+// naïve per-template exhaustive counter, (b) the MODA-style single-pass
+// enumerator, and (c) FASCIA with enough iterations for ~1% error
+// (1,000 in the paper). It also reports FASCIA's realized mean error.
+func (p Params) Moda() (Table, error) {
+	// The circuit is 252 vertices at paper scale; always use it as-is.
+	pre, err := gen.ByName("circuit")
+	if err != nil {
+		return Table{}, err
+	}
+	g := pre.Build(1.0, p.Seed)
+	t := Table{
+		Title:   "Section V-C: naive vs MODA-style vs FASCIA, all k=7 trees, circuit-like",
+		Columns: []string{"method", "time_ms", "mean_rel_error"},
+	}
+	trees := tmpl.AllTrees(7)
+
+	start := time.Now()
+	naive := make([]int64, len(trees))
+	for i, tr := range trees {
+		naive[i] = exact.Count(g, tr)
+	}
+	naiveTime := time.Since(start)
+
+	start = time.Now()
+	enum, err := enumerate.CountAllTrees(g, 7)
+	if err != nil {
+		return t, err
+	}
+	modaTime := time.Since(start)
+
+	iters := p.Iters
+	cfg := p.baseConfig()
+	cfg.Workers = 1 // the paper's comparison is single-threaded
+	start = time.Now()
+	prof, err := motif.Find("circuit", g, 7, iters, cfg)
+	if err != nil {
+		return t, err
+	}
+	fasciaTime := time.Since(start)
+
+	// Consistency between the two exact baselines is itself a check.
+	for i := range naive {
+		if naive[i] != enum.Counts[i] {
+			return t, fmt.Errorf("moda: baseline disagreement on tree %d: %d vs %d", i, naive[i], enum.Counts[i])
+		}
+	}
+	merr, err := motif.MeanRelativeError(prof, naive)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{"naive-exact", ms(naiveTime), "0"})
+	t.Rows = append(t.Rows, []string{"moda-style", ms(modaTime), "0"})
+	t.Rows = append(t.Rows, []string{fmt.Sprintf("fascia-%diter", iters), ms(fasciaTime), f4(merr)})
+	t.Notes = append(t.Notes,
+		"paper: naive 147s, MODA 32s, FASCIA 22s (~1% error) on s420; shape to check: both beat naive, FASCIA fastest",
+		"on a graph this small an efficient tree-specific backtracking baseline is very fast; the crossover",
+		"appears on denser graphs, measured below with a time budget (the paper: 'MODA is unable to scale')")
+
+	// Scaling part: on a denser PPI-sized network exhaustive enumeration
+	// explodes combinatorially while color coding's per-iteration cost
+	// stays linear in m. Exhaustive methods run under a time budget and
+	// report a lower bound when cut off.
+	budget := 3 * time.Second
+	if p.MaxK >= 12 { // full mode
+		budget = 60 * time.Second
+	}
+	big := p.network("ecoli")
+	bigStats := big.ComputeStats()
+
+	start = time.Now()
+	var enumerated int64
+	complete := true
+	err = enumerate.Subtrees(big, 7, func([][2]int32) bool {
+		enumerated++
+		if enumerated%(1<<20) == 0 && time.Since(start) > budget {
+			complete = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return t, err
+	}
+	enumTime := time.Since(start)
+
+	start = time.Now()
+	cfgBig := p.baseConfig()
+	cfgBig.Workers = 1
+	if _, err := motif.Find("ecoli", big, 7, iters, cfgBig); err != nil {
+		return t, err
+	}
+	fasciaBig := time.Since(start)
+
+	suffix := ""
+	if !complete {
+		suffix = "+ (budget hit)"
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("enumeration(ecoli n=%d m=%d)", bigStats.N, bigStats.M),
+		ms(enumTime) + suffix,
+		fmt.Sprintf("subtrees>=%d", enumerated),
+	})
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("fascia-%diter(ecoli)", iters), ms(fasciaBig), "approx",
+	})
+	return t, nil
+}

@@ -1,0 +1,103 @@
+// Package gdd implements graphlet degree distributions and the Pržulj
+// GDD-agreement metric used in §V-F of the paper (Figures 15 and 16): the
+// graphlet degree of a vertex for a template orbit is the number of
+// template embeddings that contain the vertex at that orbit, and the
+// distribution counts how many vertices have each degree.
+package gdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution maps a graphlet degree d to the number of vertices whose
+// graphlet degree is d. Degree 0 entries are retained for reporting but,
+// following Pržulj, are excluded from agreement computation.
+type Distribution map[int64]int64
+
+// FromVertexCounts bins per-vertex (possibly fractional, for estimates)
+// graphlet-degree values into a distribution by rounding to the nearest
+// integer.
+func FromVertexCounts(counts []float64) Distribution {
+	d := Distribution{}
+	for _, c := range counts {
+		if c < 0 {
+			c = 0
+		}
+		d[int64(math.Round(c))]++
+	}
+	return d
+}
+
+// FromExactCounts bins integer graphlet degrees.
+func FromExactCounts(counts []int64) Distribution {
+	d := Distribution{}
+	for _, c := range counts {
+		d[c]++
+	}
+	return d
+}
+
+// Degrees returns the distribution's support (degrees with at least one
+// vertex), ascending.
+func (d Distribution) Degrees() []int64 {
+	out := make([]int64, 0, len(d))
+	for k := range d {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// normalized computes Pržulj's scaled, normalized distribution
+// N(d) = (D(d)/d) / Σ_j D(j)/j over d >= 1.
+func (d Distribution) normalized() map[int64]float64 {
+	var total float64
+	for deg, cnt := range d {
+		if deg >= 1 {
+			total += float64(cnt) / float64(deg)
+		}
+	}
+	out := make(map[int64]float64, len(d))
+	if total == 0 {
+		return out
+	}
+	for deg, cnt := range d {
+		if deg >= 1 {
+			out[deg] = float64(cnt) / float64(deg) / total
+		}
+	}
+	return out
+}
+
+// Agreement returns the Pržulj GDD agreement between two distributions
+// for one orbit: 1 - (1/√2)·‖N_a - N_b‖₂, where N are the scaled,
+// normalized distributions. Identical distributions score 1; the score is
+// symmetric and lies in [0, 1].
+func Agreement(a, b Distribution) float64 {
+	na, nb := a.normalized(), b.normalized()
+	var ss float64
+	for deg, va := range na {
+		diff := va - nb[deg]
+		ss += diff * diff
+	}
+	for deg, vb := range nb {
+		if _, ok := na[deg]; !ok {
+			ss += vb * vb
+		}
+	}
+	return 1 - math.Sqrt(ss)/math.Sqrt2
+}
+
+// String renders the distribution compactly for reports.
+func (d Distribution) String() string {
+	out := ""
+	for i, deg := range d.Degrees() {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%d", deg, d[deg])
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package gdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromVertexCounts(t *testing.T) {
+	d := FromVertexCounts([]float64{0.2, 0.6, 1.4, 2.0, 2.0, -0.5})
+	if d[0] != 2 || d[1] != 2 || d[2] != 2 {
+		t.Fatalf("distribution %v", d)
+	}
+}
+
+func TestFromExactCounts(t *testing.T) {
+	d := FromExactCounts([]int64{3, 3, 7})
+	if d[3] != 2 || d[7] != 1 {
+		t.Fatalf("distribution %v", d)
+	}
+}
+
+func TestDegreesSorted(t *testing.T) {
+	d := Distribution{5: 1, 1: 2, 3: 4}
+	degs := d.Degrees()
+	if len(degs) != 3 || degs[0] != 1 || degs[1] != 3 || degs[2] != 5 {
+		t.Fatalf("degrees %v", degs)
+	}
+	if d.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAgreementIdentity(t *testing.T) {
+	d := Distribution{1: 5, 2: 3, 7: 1}
+	if got := Agreement(d, d); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self agreement %v, want 1", got)
+	}
+}
+
+func TestAgreementSymmetricAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Distribution {
+			d := Distribution{}
+			for i := 0; i < 1+rng.Intn(10); i++ {
+				d[int64(1+rng.Intn(20))] += int64(1 + rng.Intn(50))
+			}
+			return d
+		}
+		a, b := mk(), mk()
+		x, y := Agreement(a, b), Agreement(b, a)
+		if math.Abs(x-y) > 1e-12 {
+			return false
+		}
+		return x >= -1e-12 && x <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgreementDisjointSupport(t *testing.T) {
+	a := Distribution{1: 10}
+	b := Distribution{10: 10}
+	got := Agreement(a, b)
+	// Two unit-mass distributions at different degrees: ‖N_a-N_b‖₂ = √2,
+	// so agreement is exactly 0.
+	if math.Abs(got) > 1e-12 {
+		t.Fatalf("disjoint agreement %v, want 0", got)
+	}
+}
+
+func TestAgreementIgnoresZeroDegree(t *testing.T) {
+	a := Distribution{0: 100, 1: 5}
+	b := Distribution{1: 5}
+	if got := Agreement(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("zero-degree vertices should not affect agreement, got %v", got)
+	}
+}
+
+func TestAgreementScaleInvariance(t *testing.T) {
+	// Doubling all vertex counts leaves the normalized shape unchanged.
+	a := Distribution{1: 4, 3: 6, 9: 2}
+	b := Distribution{1: 8, 3: 12, 9: 4}
+	if got := Agreement(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("scaled distribution agreement %v, want 1", got)
+	}
+}
+
+func TestAgreementCloserIsHigher(t *testing.T) {
+	base := Distribution{1: 10, 2: 10, 3: 10}
+	near := Distribution{1: 11, 2: 10, 3: 9}
+	far := Distribution{1: 30, 2: 1, 3: 1}
+	if Agreement(base, near) <= Agreement(base, far) {
+		t.Fatal("closer distribution should score higher")
+	}
+}
+
+func TestAgreementEmpty(t *testing.T) {
+	if got := Agreement(Distribution{}, Distribution{}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("empty vs empty = %v", got)
+	}
+	// Empty vs unit mass: distance √1 → agreement 1 - 1/√2.
+	got := Agreement(Distribution{}, Distribution{2: 5})
+	want := 1 - 1/math.Sqrt2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("empty vs point = %v, want %v", got, want)
+	}
+}

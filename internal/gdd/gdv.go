@@ -1,0 +1,95 @@
+package gdd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// Orbit identifies one automorphism orbit of one template: the template's
+// index in the family plus a representative template vertex.
+type Orbit struct {
+	Template       int
+	Representative int
+	Size           int // number of template vertices in the orbit
+}
+
+// GDV holds graphlet degree vectors: for every vertex, its estimated
+// graphlet degree at every orbit of every supplied template — the full
+// Pržulj methodology (the paper's Figures 15-16 use the single central
+// orbit of U5-2; this generalizes to all orbits).
+type GDV struct {
+	Orbits []Orbit
+	// Counts[o][v] is vertex v's graphlet degree at orbit o.
+	Counts [][]float64
+}
+
+// Vector returns vertex v's graphlet degree vector across all orbits.
+func (g GDV) Vector(v int32) []float64 {
+	out := make([]float64, len(g.Orbits))
+	for o := range g.Orbits {
+		out[o] = g.Counts[o][v]
+	}
+	return out
+}
+
+// Distribution returns the degree distribution of one orbit.
+func (g GDV) Distribution(orbit int) Distribution {
+	return FromVertexCounts(g.Counts[orbit])
+}
+
+// ComputeGDV estimates graphlet degree vectors for all orbits of the
+// given templates using iters color-coding iterations per orbit. cfg
+// supplies engine settings; its RootVertex is overridden per orbit.
+func ComputeGDV(g *graph.Graph, templates []*tmpl.Template, iters int, cfg dp.Config) (GDV, error) {
+	if iters < 1 {
+		return GDV{}, fmt.Errorf("gdd: iterations must be >= 1, got %d", iters)
+	}
+	var out GDV
+	for ti, t := range templates {
+		for _, orbit := range t.Orbits() {
+			rep := orbit[0]
+			c := cfg
+			c.RootVertex = rep
+			c.Share = false
+			e, err := dp.New(g, t, c)
+			if err != nil {
+				return GDV{}, fmt.Errorf("gdd: template %d orbit %d: %w", ti, rep, err)
+			}
+			counts, err := e.VertexCounts(iters)
+			if err != nil {
+				return GDV{}, err
+			}
+			out.Orbits = append(out.Orbits, Orbit{Template: ti, Representative: rep, Size: len(orbit)})
+			out.Counts = append(out.Counts, counts)
+		}
+	}
+	return out, nil
+}
+
+// AgreementGDV returns the arithmetic and geometric means of per-orbit
+// GDD agreements between two graphlet degree vector sets, following
+// Pržulj's aggregate agreement measures. The two GDVs must cover the
+// same orbits.
+func AgreementGDV(a, b GDV) (arith, geom float64, err error) {
+	if len(a.Orbits) != len(b.Orbits) || len(a.Orbits) == 0 {
+		return 0, 0, fmt.Errorf("gdd: GDV orbit sets differ (%d vs %d)", len(a.Orbits), len(b.Orbits))
+	}
+	logSum := 0.0
+	for o := range a.Orbits {
+		if a.Orbits[o] != b.Orbits[o] {
+			return 0, 0, fmt.Errorf("gdd: orbit %d mismatch", o)
+		}
+		ag := Agreement(a.Distribution(o), b.Distribution(o))
+		if ag < 0 {
+			ag = 0
+		}
+		arith += ag
+		logSum += math.Log(math.Max(ag, 1e-300))
+	}
+	n := float64(len(a.Orbits))
+	return arith / n, math.Exp(logSum / n), nil
+}

@@ -1,0 +1,116 @@
+package gdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+func randomG(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func TestComputeGDVOrbitLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomG(rng, 20, 50)
+	templates := []*tmpl.Template{tmpl.Path(3), tmpl.Star(4)}
+	cfg := dp.DefaultConfig()
+	cfg.Seed = 1
+	gdv, err := ComputeGDV(g, templates, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P3 has 2 orbits (ends, middle); S4 has 2 (center, leaves).
+	if len(gdv.Orbits) != 4 {
+		t.Fatalf("got %d orbits, want 4", len(gdv.Orbits))
+	}
+	sizes := map[int]int{}
+	for _, o := range gdv.Orbits {
+		sizes[o.Template] += o.Size
+	}
+	if sizes[0] != 3 || sizes[1] != 4 {
+		t.Fatalf("orbit sizes per template: %v", sizes)
+	}
+	if len(gdv.Vector(0)) != 4 {
+		t.Fatal("vector length wrong")
+	}
+	if _, err := ComputeGDV(g, templates, 0, cfg); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+// TestGDVMatchesExactPerOrbit checks each orbit's estimated counts
+// against the exact rooted oracle.
+func TestGDVMatchesExactPerOrbit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomG(rng, 16, 34)
+	templates := []*tmpl.Template{tmpl.Path(3)}
+	cfg := dp.DefaultConfig()
+	cfg.Seed = 2
+	gdv, err := ComputeGDV(g, templates, 1200, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, orbit := range gdv.Orbits {
+		tr := templates[orbit.Template]
+		rooted := exact.CountRootedMappings(g, tr, orbit.Representative)
+		rAut := tr.RootedAutomorphisms(orbit.Representative)
+		var wantTotal, gotTotal float64
+		for v := range rooted {
+			wantTotal += float64(rooted[v]) / float64(rAut)
+			gotTotal += gdv.Counts[o][v]
+		}
+		if wantTotal == 0 {
+			continue
+		}
+		if math.Abs(gotTotal-wantTotal)/wantTotal > 0.15 {
+			t.Fatalf("orbit %d: estimated total %.1f, exact %.1f", o, gotTotal, wantTotal)
+		}
+	}
+}
+
+func TestAgreementGDV(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomG(rng, 24, 60)
+	templates := []*tmpl.Template{tmpl.Path(3), tmpl.Spider(2, 1, 1)}
+	cfg := dp.DefaultConfig()
+	cfg.Seed = 3
+	a, err := ComputeGDV(g, templates, 80, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arith, geom, err := AgreementGDV(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(arith-1) > 1e-9 || math.Abs(geom-1) > 1e-9 {
+		t.Fatalf("self agreement %v/%v, want 1/1", arith, geom)
+	}
+	// A different graph scores lower.
+	h := randomG(rng, 24, 20)
+	b, err := ComputeGDV(h, templates, 80, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arith2, geom2, err := AgreementGDV(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arith2 >= 1 || geom2 > arith2+1e-9 {
+		t.Fatalf("cross agreement arith=%v geom=%v (geom must not exceed arith)", arith2, geom2)
+	}
+	// Mismatched orbit sets rejected.
+	c, _ := ComputeGDV(g, []*tmpl.Template{tmpl.Path(3)}, 5, cfg)
+	if _, _, err := AgreementGDV(a, c); err == nil {
+		t.Fatal("mismatched GDVs accepted")
+	}
+}

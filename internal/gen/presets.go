@@ -1,0 +1,229 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// PaperStats records the size of the original dataset from Table I of the
+// paper, so experiment output can show target vs realized sizes.
+type PaperStats struct {
+	N    int
+	M    int64
+	DAvg float64
+	DMax int
+}
+
+// Preset is a named stand-in for one of the paper's networks. Build
+// generates it at a given scale factor (1.0 = paper-sized; smaller values
+// shrink the vertex count proportionally, preserving average degree) with
+// a deterministic seed. The largest connected component is returned, as
+// the paper analyzes only that.
+type Preset struct {
+	Name   string
+	Source string // what the paper used
+	Model  string // what we generate instead
+	Paper  PaperStats
+	Build  func(scale float64, seed int64) *graph.Graph
+}
+
+func scaledN(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// trimToM prunes a connected graph down to exactly m undirected edges
+// while preserving connectivity: a random spanning tree is always kept and
+// the remaining quota is filled with a random subset of the other edges.
+// If the graph already has <= m edges it is returned unchanged.
+func trimToM(g *graph.Graph, m int64, seed int64) *graph.Graph {
+	if g.M() <= m {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	keep := make([][2]int32, 0, m)
+	rest := make([][2]int32, 0, len(edges))
+	for _, e := range edges {
+		ru, rv := find(e[0]), find(e[1])
+		if ru != rv {
+			parent[ru] = rv
+			keep = append(keep, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	for _, e := range rest {
+		if int64(len(keep)) >= m {
+			break
+		}
+		keep = append(keep, e)
+	}
+	return graph.MustFromEdges(n, keep, nil)
+}
+
+func lcc(g *graph.Graph) *graph.Graph {
+	sub, _ := g.LargestComponent()
+	return sub
+}
+
+// ppi builds a duplication–divergence network trimmed to the target
+// average degree of the modelled protein-interaction network.
+func ppi(paperN int, paperM int64, retain float64) func(scale float64, seed int64) *graph.Graph {
+	return func(scale float64, seed int64) *graph.Graph {
+		n := scaledN(paperN, scale)
+		g := lcc(DuplicationDivergence(n, retain, 0.35, seed))
+		target := scaleM(paperM, g.N(), paperN)
+		return trimToM(g, target, seed+1)
+	}
+}
+
+// Presets lists all ten networks from Table I of the paper in its order.
+var Presets = []Preset{
+	{
+		Name:   "portland",
+		Source: "NDSSL synthetic Portland contact network",
+		Model:  "Watts-Strogatz small world (kNear=20, beta=0.05)",
+		Paper:  PaperStats{N: 1588212, M: 31204286, DAvg: 39.3, DMax: 275},
+		Build: func(scale float64, seed int64) *graph.Graph {
+			n := scaledN(1588212, scale)
+			return lcc(WattsStrogatz(n, 20, 0.05, seed))
+		},
+	},
+	{
+		Name:   "enron",
+		Source: "SNAP email-Enron",
+		Model:  "Barabasi-Albert preferential attachment (mPer=5)",
+		Paper:  PaperStats{N: 33696, M: 180811, DAvg: 10.7, DMax: 1383},
+		Build: func(scale float64, seed int64) *graph.Graph {
+			n := scaledN(33696, scale)
+			return lcc(BarabasiAlbert(n, 5, seed))
+		},
+	},
+	{
+		Name:   "gnp",
+		Source: "Erdos-Renyi G(n,p) matched to Enron",
+		Model:  "Erdos-Renyi G(n,m)",
+		Paper:  PaperStats{N: 33696, M: 181044, DAvg: 10.7, DMax: 27},
+		Build: func(scale float64, seed int64) *graph.Graph {
+			n := scaledN(33696, scale)
+			return lcc(ErdosRenyiM(n, scaleM(181044, n, 33696), seed))
+		},
+	},
+	{
+		Name:   "slashdot",
+		Source: "SNAP soc-Slashdot0902",
+		Model:  "R-MAT (0.57, 0.19, 0.19) heavy-tailed",
+		Paper:  PaperStats{N: 82168, M: 438643, DAvg: 10.7, DMax: 2510},
+		Build: func(scale float64, seed int64) *graph.Graph {
+			// Choose the R-MAT scale so the LCC lands near the target n.
+			n := scaledN(82168, scale)
+			sc := 1
+			for (1 << sc) < n*2 {
+				sc++
+			}
+			m := scaleM(438643, n, 82168)
+			return lcc(RMAT(sc, m, 0.57, 0.19, 0.19, seed))
+		},
+	},
+	{
+		Name:   "paroad",
+		Source: "SNAP roadNet-PA",
+		Model:  "jittered 2-D lattice (keep=0.7)",
+		Paper:  PaperStats{N: 1090917, M: 1541898, DAvg: 2.8, DMax: 9},
+		Build: func(scale float64, seed int64) *graph.Graph {
+			n := scaledN(1090917, scale)
+			side := int(math.Round(math.Sqrt(float64(n))))
+			if side < 4 {
+				side = 4
+			}
+			return lcc(RoadNetwork(side, side, 0.7, seed))
+		},
+	},
+	{
+		Name:   "circuit",
+		Source: "ISCAS89 s420 electrical circuit",
+		Model:  "random tree plus chords (maxDeg=14)",
+		Paper:  PaperStats{N: 252, M: 399, DAvg: 3.1, DMax: 14},
+		Build: func(scale float64, seed int64) *graph.Graph {
+			n := scaledN(252, scale)
+			return lcc(Circuit(n, scaleM(399, n, 252), 14, seed))
+		},
+	},
+	{
+		Name:   "ecoli",
+		Source: "DIP E. coli PPI",
+		Model:  "duplication-divergence (retain=0.55)",
+		Paper:  PaperStats{N: 2546, M: 11520, DAvg: 9.0, DMax: 178},
+		Build:  ppi(2546, 11520, 0.55),
+	},
+	{
+		Name:   "scerevisiae",
+		Source: "DIP S. cerevisiae (yeast) PPI",
+		Model:  "duplication-divergence (retain=0.55)",
+		Paper:  PaperStats{N: 5021, M: 22119, DAvg: 8.8, DMax: 289},
+		Build:  ppi(5021, 22119, 0.55),
+	},
+	{
+		Name:   "hpylori",
+		Source: "DIP H. pylori PPI",
+		Model:  "duplication-divergence (retain=0.45)",
+		Paper:  PaperStats{N: 687, M: 1352, DAvg: 3.9, DMax: 54},
+		Build:  ppi(687, 1352, 0.45),
+	},
+	{
+		Name:   "celegans",
+		Source: "DIP C. elegans PPI",
+		Model:  "duplication-divergence (retain=0.40)",
+		Paper:  PaperStats{N: 2391, M: 3831, DAvg: 3.2, DMax: 187},
+		Build:  ppi(2391, 3831, 0.40),
+	},
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(Presets))
+	for i, p := range Presets {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("gen: unknown network preset %q (have %v)", name, names)
+}
+
+// PPIPresets returns the four protein-interaction presets in paper order.
+func PPIPresets() []Preset {
+	out := make([]Preset, 0, 4)
+	for _, p := range Presets {
+		switch p.Name {
+		case "ecoli", "scerevisiae", "hpylori", "celegans":
+			out = append(out, p)
+		}
+	}
+	return out
+}

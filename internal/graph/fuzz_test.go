@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text parser never panics and that anything
+// it accepts is a valid graph that round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("# 4 2\n0 1\n2 3\n")
+	f.Add("0 1\n1 2\nl 0 7\n")
+	f.Add("# junk header\n\n5 5\n")
+	f.Add("l 0 1\n")
+	f.Add("0 1 extra tokens ok\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N() < g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed size: %d/%d -> %d/%d", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary parser is robust against corruption.
+func FuzzReadBinary(f *testing.F) {
+	g := MustFromEdges(5, [][2]int32{{0, 1}, {1, 2}, {3, 4}}, []int32{1, 2, 3, 4, 5})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted binary fails validation: %v", err)
+		}
+	})
+}

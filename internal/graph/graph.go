@@ -1,0 +1,341 @@
+// Package graph provides the compressed-sparse-row (CSR) undirected graph
+// substrate used by FASCIA: construction from edge lists, optional vertex
+// labels, connected-component extraction, degree statistics, and simple
+// text / binary persistence.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected graph in CSR form. Vertices are dense int32
+// identifiers in [0, N). Each undirected edge {u, v} is stored twice, once
+// in each endpoint's adjacency list; adjacency lists are sorted ascending
+// and contain no duplicates or self-loops.
+//
+// Labels, when non-nil, has length N and assigns each vertex an integer
+// label used by labeled-template counting.
+type Graph struct {
+	offsets []int64 // length N+1
+	adj     []int32 // length 2*M
+	Labels  []int32 // nil for unlabeled graphs
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int64 { return int64(len(g.adj)) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Adj returns the sorted adjacency list of vertex v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Adj(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int32) bool {
+	a := g.Adj(u)
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// Label returns the label of vertex v, or 0 for unlabeled graphs.
+func (g *Graph) Label(v int32) int32 {
+	if g.Labels == nil {
+		return 0
+	}
+	return g.Labels[v]
+}
+
+// Edges returns every undirected edge exactly once (u < v), in order.
+func (g *Graph) Edges() [][2]int32 {
+	out := make([][2]int32, 0, g.M())
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Adj(u) {
+			if u < v {
+				out = append(out, [2]int32{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes a graph for the Table I analogue.
+type Stats struct {
+	N         int
+	M         int64
+	AvgDegree float64
+	MaxDegree int
+}
+
+// ComputeStats returns size and degree statistics for g.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{N: g.N(), M: g.M()}
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := g.Degree(v)
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if s.N > 0 {
+		s.AvgDegree = float64(2*s.M) / float64(s.N)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d davg=%.1f dmax=%d", s.N, s.M, s.AvgDegree, s.MaxDegree)
+}
+
+// FromEdges builds a Graph over n vertices from an undirected edge list.
+// Self-loops and duplicate edges (in either orientation) are dropped.
+// Endpoints must lie in [0, n). labels may be nil; otherwise it must have
+// length n and is copied.
+func FromEdges(n int, edges [][2]int32, labels []int32) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if labels != nil && len(labels) != n {
+		return nil, fmt.Errorf("graph: %d labels for %d vertices", len(labels), n)
+	}
+	deg := make([]int64, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			continue
+		}
+		deg[u]++
+		deg[v]++
+	}
+	offsets := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	adj := make([]int32, offsets[n])
+	fill := make([]int64, n)
+	copy(fill, offsets[:n])
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		adj[fill[u]] = v
+		fill[u]++
+		adj[fill[v]] = u
+		fill[v]++
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	g.sortAndDedup()
+	if labels != nil {
+		g.Labels = append([]int32(nil), labels...)
+	}
+	return g, nil
+}
+
+// MustFromEdges is FromEdges for inputs known to be valid (tests,
+// generators); it panics on error.
+func MustFromEdges(n int, edges [][2]int32, labels []int32) *Graph {
+	g, err := FromEdges(n, edges, labels)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortAndDedup sorts every adjacency list and removes duplicate
+// neighbors, compacting storage in place.
+func (g *Graph) sortAndDedup() {
+	n := g.N()
+	newOff := make([]int64, n+1)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		row := g.adj[lo:hi]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		newOff[v] = w
+		var prev int32 = -1
+		for _, u := range row {
+			if u != prev {
+				g.adj[w] = u
+				w++
+				prev = u
+			}
+		}
+	}
+	newOff[n] = w
+	g.offsets = newOff
+	g.adj = g.adj[:w:w]
+}
+
+// ConnectedComponents returns a component id per vertex and the number of
+// components, using an iterative BFS.
+func (g *Graph) ConnectedComponents() (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	for s := int32(0); s < int32(n); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Adj(v) {
+				if comp[u] < 0 {
+					comp[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component, with vertices renumbered densely. Labels are carried over.
+// The second return value maps new vertex ids to original ids.
+func (g *Graph) LargestComponent() (*Graph, []int32) {
+	comp, count := g.ConnectedComponents()
+	if count <= 1 {
+		orig := make([]int32, g.N())
+		for i := range orig {
+			orig[i] = int32(i)
+		}
+		return g, orig
+	}
+	sizes := make([]int64, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := int32(0)
+	for c := int32(1); c < int32(count); c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	remap := make([]int32, g.N())
+	orig := make([]int32, 0, sizes[best])
+	for v := int32(0); v < int32(g.N()); v++ {
+		if comp[v] == best {
+			remap[v] = int32(len(orig))
+			orig = append(orig, v)
+		} else {
+			remap[v] = -1
+		}
+	}
+	edges := make([][2]int32, 0, g.M())
+	for _, e := range g.Edges() {
+		if comp[e[0]] == best {
+			edges = append(edges, [2]int32{remap[e[0]], remap[e[1]]})
+		}
+	}
+	var labels []int32
+	if g.Labels != nil {
+		labels = make([]int32, len(orig))
+		for i, v := range orig {
+			labels[i] = g.Labels[v]
+		}
+	}
+	sub := MustFromEdges(len(orig), edges, labels)
+	return sub, orig
+}
+
+// Validate checks CSR structural invariants: sorted adjacency, no
+// self-loops, no duplicates, and symmetry. It is used by tests and when
+// loading untrusted files.
+func (g *Graph) Validate() error {
+	n := g.N()
+	if len(g.offsets) != n+1 || g.offsets[0] != 0 {
+		return fmt.Errorf("graph: malformed offsets")
+	}
+	if g.Labels != nil && len(g.Labels) != n {
+		return fmt.Errorf("graph: label array length %d != n %d", len(g.Labels), n)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		row := g.Adj(v)
+		for i, u := range row {
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", u, v)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not sorted/deduped", v)
+			}
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Triangles returns the number of triangles in g, counted once each, via
+// the standard ordered neighbor-intersection method.
+func (g *Graph) Triangles() int64 {
+	var count int64
+	for v := int32(0); v < int32(g.N()); v++ {
+		adj := g.Adj(v)
+		for i, u := range adj {
+			if u <= v {
+				continue
+			}
+			// Intersect v's and u's higher neighbors.
+			a := adj[i+1:]
+			b := g.Adj(u)
+			ai, bi := 0, 0
+			for ai < len(a) && bi < len(b) {
+				switch {
+				case a[ai] == b[bi]:
+					if a[ai] > u {
+						count++
+					}
+					ai++
+					bi++
+				case a[ai] < b[bi]:
+					ai++
+				default:
+					bi++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// GlobalClustering returns the global clustering coefficient (transitivity):
+// 3 × triangles / number of connected vertex triples (paths of length 2).
+// It is 0 for triangle-free graphs and 1 for cliques, and distinguishes
+// the clustered biological/contact networks from G(n,p)-like graphs.
+func (g *Graph) GlobalClustering() float64 {
+	var wedges int64
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := int64(g.Degree(v))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(g.Triangles()) / float64(wedges)
+}

@@ -1,0 +1,328 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Graph {
+	edges := make([][2]int32, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	return MustFromEdges(n, edges, nil)
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := MustFromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, nil)
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("cycle graph: n=%d m=%d", g.N(), g.M())
+	}
+	for v := int32(0); v < 4; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesDedupAndSelfLoops(t *testing.T) {
+	g := MustFromEdges(3, [][2]int32{{0, 1}, {1, 0}, {0, 1}, {1, 1}, {2, 2}}, nil)
+	if g.M() != 1 {
+		t.Fatalf("m = %d, want 1 after dedup", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) missing")
+	}
+	if g.HasEdge(1, 1) || g.HasEdge(0, 2) {
+		t.Fatal("unexpected edge present")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(2, [][2]int32{{0, 5}}, nil); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(-1, nil, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := FromEdges(3, nil, []int32{1, 2}); err == nil {
+		t.Error("wrong label length accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := MustFromEdges(0, nil, nil)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatal("empty graph malformed")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	if s.AvgDegree != 0 {
+		t.Fatal("empty graph avg degree nonzero")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := MustFromEdges(5, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {3, 4}}, nil)
+	es := g.Edges()
+	if int64(len(es)) != g.M() {
+		t.Fatalf("Edges() returned %d, want %d", len(es), g.M())
+	}
+	g2 := MustFromEdges(5, es, nil)
+	if g2.M() != g.M() {
+		t.Fatal("round-trip changed edge count")
+	}
+	for _, e := range es {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not in canonical orientation", e)
+		}
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v missing after round trip", e)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := MustFromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}}, nil) // star
+	s := g.ComputeStats()
+	if s.N != 4 || s.M != 3 || s.MaxDegree != 3 || s.AvgDegree != 1.5 {
+		t.Fatalf("star stats wrong: %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=4") {
+		t.Fatalf("stats string %q", s.String())
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := MustFromEdges(7, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {5, 6}}, nil)
+	comp, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("vertices 0-2 not in same component")
+	}
+	if comp[0] == comp[3] || comp[3] == comp[5] {
+		t.Error("distinct components merged")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	labels := []int32{7, 7, 7, 9, 9, 1, 1}
+	g := MustFromEdges(7, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {5, 6}}, labels)
+	sub, orig := g.LargestComponent()
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("largest component n=%d m=%d, want 3/3", sub.N(), sub.M())
+	}
+	for i, v := range orig {
+		if sub.Label(int32(i)) != g.Label(v) {
+			t.Fatalf("label not carried for new vertex %d", i)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargestComponentSingleComponent(t *testing.T) {
+	g := pathGraph(5)
+	sub, orig := g.LargestComponent()
+	if sub != g {
+		t.Fatal("connected graph should return itself")
+	}
+	if len(orig) != 5 || orig[3] != 3 {
+		t.Fatal("identity mapping expected")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := MustFromEdges(3, [][2]int32{{0, 1}}, []int32{4, 5, 6})
+	if g.Label(1) != 5 {
+		t.Fatalf("Label(1) = %d", g.Label(1))
+	}
+	u := MustFromEdges(3, [][2]int32{{0, 1}}, nil)
+	if u.Label(2) != 0 {
+		t.Fatal("unlabeled graph should report label 0")
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return MustFromEdges(n, edges, nil)
+}
+
+// TestValidateProperty: random multigraph inputs always produce valid CSR.
+func TestValidateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := randomGraph(rng, n, rng.Intn(200))
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomGraph(rng, 40, 120)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestEdgeListLabeledRoundTrip(t *testing.T) {
+	labels := []int32{3, 1, 4, 1, 5}
+	g := MustFromEdges(5, [][2]int32{{0, 1}, {2, 3}, {3, 4}}, labels)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 5; v++ {
+		if g2.Label(v) != g.Label(v) {
+			t.Fatalf("label(%d) = %d, want %d", v, g2.Label(v), g.Label(v))
+		}
+	}
+}
+
+func TestReadEdgeListSNAPStyle(t *testing.T) {
+	in := "# Comment line\n# another\n0 1\n1 2\n4 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 3 {
+		t.Fatalf("snap parse: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "l 1\n", "l x y\n", "0 1\nl 9 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 100, 400)
+	g.Labels = make([]int32, g.N())
+	for i := range g.Labels {
+		g.Labels[i] = int32(rng.Intn(8))
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("binary round trip size mismatch")
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if g2.Label(v) != g.Label(v) {
+			t.Fatal("binary round trip label mismatch")
+		}
+		a, b := g.Adj(v), g2.Adj(v)
+		if len(a) != len(b) {
+			t.Fatal("binary round trip adjacency mismatch")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("binary round trip adjacency mismatch")
+			}
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	g := pathGraph(10)
+	for _, name := range []string{dir + "/g.txt", dir + "/g.bin"} {
+		if err := SaveFile(name, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := LoadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.N() != 10 || g2.M() != 9 {
+			t.Fatalf("%s: n=%d m=%d", name, g2.N(), g2.M())
+		}
+	}
+	if _, err := LoadFile(dir + "/missing.txt"); err == nil {
+		t.Fatal("missing file load succeeded")
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int64
+	}{
+		{"triangle", MustFromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}}, nil), 1},
+		{"path", pathGraph(5), 0},
+		{"k4", MustFromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, nil), 4},
+		{"two-triangles", MustFromEdges(5, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}}, nil), 2},
+	}
+	for _, c := range cases {
+		if got := c.g.Triangles(); got != c.want {
+			t.Errorf("%s: triangles = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGlobalClustering(t *testing.T) {
+	k4 := MustFromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, nil)
+	if got := k4.GlobalClustering(); got != 1.0 {
+		t.Fatalf("K4 clustering = %v, want 1", got)
+	}
+	if got := pathGraph(6).GlobalClustering(); got != 0 {
+		t.Fatalf("path clustering = %v, want 0", got)
+	}
+	if got := MustFromEdges(2, [][2]int32{{0, 1}}, nil).GlobalClustering(); got != 0 {
+		t.Fatalf("edge clustering = %v, want 0", got)
+	}
+}

@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g as a plain text edge list: a header line
+// "# n m [labeled]" followed by one "u v" pair per undirected edge, and,
+// for labeled graphs, a trailing block of "l <v> <label>" lines.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	tag := ""
+	if g.Labels != nil {
+		tag = " labeled"
+	}
+	if _, err := fmt.Fprintf(bw, "# %d %d%s\n", g.N(), g.M(), tag); err != nil {
+		return err
+	}
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Adj(u) {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if g.Labels != nil {
+		for v, l := range g.Labels {
+			if _, err := fmt.Fprintf(bw, "l %d %d\n", v, l); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// maxFileVertices bounds the vertex count a graph file may declare or
+// imply, protecting loaders from hostile headers that would otherwise
+// force enormous allocations (found by fuzzing). 100M vertices needs
+// ~1 GB for the offset array alone, a sensible ceiling for this library.
+const maxFileVertices = 100_000_000
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' (other than the optional leading header) and blank lines are
+// ignored, so plain SNAP-style edge lists also load; in that case the
+// vertex count is inferred as max id + 1. Declared or implied vertex
+// counts above maxFileVertices are rejected.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := -1
+	var edges [][2]int32
+	labelMap := map[int32]int32{}
+	maxID := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if n < 0 {
+				fields := strings.Fields(strings.TrimPrefix(line, "#"))
+				if len(fields) >= 2 {
+					if v, err := strconv.Atoi(fields[0]); err == nil {
+						n = v
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "l" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed label line %q", lineNo, line)
+			}
+			v, err1 := strconv.ParseInt(fields[1], 10, 32)
+			l, err2 := strconv.ParseInt(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed label line %q", lineNo, line)
+			}
+			labelMap[int32(v)] = int32(l)
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
+		}
+		u, err1 := strconv.ParseInt(fields[0], 10, 32)
+		v, err2 := strconv.ParseInt(fields[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
+		}
+		if int32(u) > maxID {
+			maxID = int32(u)
+		}
+		if int32(v) > maxID {
+			maxID = int32(v)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxID) + 1
+	}
+	if n > maxFileVertices {
+		return nil, fmt.Errorf("graph: file declares %d vertices, above the %d limit", n, maxFileVertices)
+	}
+	if int(maxID) >= n {
+		return nil, fmt.Errorf("graph: edge endpoint %d outside declared vertex count %d", maxID, n)
+	}
+	var labels []int32
+	if len(labelMap) > 0 {
+		labels = make([]int32, n)
+		for v, l := range labelMap {
+			if int(v) >= n {
+				return nil, fmt.Errorf("graph: label for out-of-range vertex %d", v)
+			}
+			labels[v] = l
+		}
+	}
+	return FromEdges(n, edges, labels)
+}
+
+const binMagic = uint32(0xfa5c1a01)
+
+// WriteBinary writes g in a compact little-endian binary CSR format,
+// suitable for fast reloading of large generated networks.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hasLabels := uint32(0)
+	if g.Labels != nil {
+		hasLabels = 1
+	}
+	hdr := []uint32{binMagic, uint32(g.N()), hasLabels}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	if g.Labels != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.Labels); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format written by WriteBinary and validates the
+// result.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, n, hasLabels uint32
+	for _, p := range []*uint32{&magic, &n, &hasLabels} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad binary magic %#x", magic)
+	}
+	if n > maxFileVertices {
+		return nil, fmt.Errorf("graph: binary declares %d vertices, above the %d limit", n, maxFileVertices)
+	}
+	g := &Graph{offsets: make([]int64, n+1)}
+	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		return nil, err
+	}
+	total := g.offsets[n]
+	if total < 0 || total > int64(maxFileVertices)*64 {
+		return nil, fmt.Errorf("graph: implausible adjacency length %d", total)
+	}
+	g.adj = make([]int32, total)
+	if err := binary.Read(br, binary.LittleEndian, g.adj); err != nil {
+		return nil, err
+	}
+	if hasLabels == 1 {
+		g.Labels = make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, g.Labels); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveFile writes g to path, choosing the binary format for ".bin"
+// suffixes and the text edge list otherwise.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		if err := WriteBinary(f, g); err != nil {
+			return err
+		}
+	} else if err := WriteEdgeList(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from path using the format implied by its suffix
+// (see SaveFile).
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ReadBinary(f)
+	}
+	return ReadEdgeList(f)
+}

@@ -1,0 +1,133 @@
+// Package motif implements motif finding on top of the color-coding
+// counter: estimating the occurrence counts of ALL tree templates of a
+// given size in a network and comparing networks by their relative motif
+// frequency profiles, as in §V-E of the paper (Figures 11-14).
+package motif
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// Profile holds estimated counts for every free tree of size K in one
+// network. Trees are in the canonical order of tmpl.AllTrees, so
+// "subgraph i" is comparable across networks and runs, matching the
+// paper's numbered x-axes.
+type Profile struct {
+	Network    string
+	K          int
+	Iterations int
+	Trees      []*tmpl.Template
+	Counts     []float64
+}
+
+// Find estimates occurrence counts for all free trees on k vertices using
+// iters color-coding iterations per tree. cfg supplies engine settings
+// (table layout, strategy, workers, seed); its Colors and RootVertex
+// fields are reset per template.
+func Find(name string, g *graph.Graph, k, iters int, cfg dp.Config) (Profile, error) {
+	if iters < 1 {
+		return Profile{}, fmt.Errorf("motif: iterations must be >= 1, got %d", iters)
+	}
+	trees := tmpl.AllTrees(k)
+	p := Profile{
+		Network:    name,
+		K:          k,
+		Iterations: iters,
+		Trees:      trees,
+		Counts:     make([]float64, len(trees)),
+	}
+	for i, tr := range trees {
+		c := cfg
+		c.Colors = 0
+		c.RootVertex = -1
+		// Decorrelate templates while keeping runs reproducible.
+		c.Seed = cfg.Seed + int64(i)*1_000_003
+		e, err := dp.New(g, tr, c)
+		if err != nil {
+			return Profile{}, fmt.Errorf("motif: template %s: %w", tr.Name(), err)
+		}
+		res, err := e.Run(iters)
+		if err != nil {
+			return Profile{}, fmt.Errorf("motif: template %s: %w", tr.Name(), err)
+		}
+		p.Counts[i] = res.Estimate
+	}
+	return p, nil
+}
+
+// Mean returns the average count across all trees in the profile.
+func (p Profile) Mean() float64 {
+	if len(p.Counts) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range p.Counts {
+		s += c
+	}
+	return s / float64(len(p.Counts))
+}
+
+// RelativeFrequencies returns each tree's count divided by the profile
+// mean — the normalization the paper uses to overlay profiles of
+// different-sized networks in Figures 13 and 14.
+func (p Profile) RelativeFrequencies() []float64 {
+	mean := p.Mean()
+	out := make([]float64, len(p.Counts))
+	if mean == 0 {
+		return out
+	}
+	for i, c := range p.Counts {
+		out[i] = c / mean
+	}
+	return out
+}
+
+// MeanRelativeError returns the mean over trees of |est-exact|/exact,
+// skipping trees with zero exact count — the error metric of Figure 11.
+func MeanRelativeError(est Profile, exactCounts []int64) (float64, error) {
+	if len(exactCounts) != len(est.Counts) {
+		return 0, fmt.Errorf("motif: %d exact counts for %d trees", len(exactCounts), len(est.Counts))
+	}
+	var sum float64
+	n := 0
+	for i, want := range exactCounts {
+		if want == 0 {
+			continue
+		}
+		sum += math.Abs(est.Counts[i]-float64(want)) / float64(want)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("motif: all exact counts are zero")
+	}
+	return sum / float64(n), nil
+}
+
+// ProfileDistance compares two relative-frequency profiles by mean
+// absolute log-ratio distance, a simple scalar for "how different do
+// these networks' motif signatures look" used in the comparative
+// experiments.
+func ProfileDistance(a, b Profile) (float64, error) {
+	if a.K != b.K {
+		return 0, fmt.Errorf("motif: profiles of different sizes %d vs %d", a.K, b.K)
+	}
+	ra, rb := a.RelativeFrequencies(), b.RelativeFrequencies()
+	var sum float64
+	n := 0
+	for i := range ra {
+		if ra[i] <= 0 || rb[i] <= 0 {
+			continue
+		}
+		sum += math.Abs(math.Log(ra[i] / rb[i]))
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("motif: no comparable trees")
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,141 @@
+package motif
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func randomG(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+func TestFindSmallSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomG(rng, 25, 70)
+	cfg := dp.DefaultConfig()
+	cfg.Seed = 42
+	p, err := Find("test", g, 4, 300, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 || len(p.Trees) != 2 || len(p.Counts) != 2 {
+		t.Fatalf("profile malformed: %+v", p)
+	}
+	for i, tr := range p.Trees {
+		want := float64(exact.Count(g, tr))
+		if want == 0 {
+			continue
+		}
+		if math.Abs(p.Counts[i]-want)/want > 0.20 {
+			t.Errorf("tree %s: estimate %.1f, exact %.1f", tr.Name(), p.Counts[i], want)
+		}
+	}
+}
+
+func TestFindValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomG(rng, 10, 20)
+	if _, err := Find("x", g, 3, 0, dp.DefaultConfig()); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestRelativeFrequencies(t *testing.T) {
+	p := Profile{K: 3, Counts: []float64{10, 30}}
+	rf := p.RelativeFrequencies()
+	if rf[0] != 0.5 || rf[1] != 1.5 {
+		t.Fatalf("relative frequencies %v", rf)
+	}
+	if p.Mean() != 20 {
+		t.Fatalf("mean %v", p.Mean())
+	}
+	empty := Profile{}
+	if empty.Mean() != 0 || len(empty.RelativeFrequencies()) != 0 {
+		t.Fatal("empty profile should degrade gracefully")
+	}
+	zero := Profile{Counts: []float64{0, 0}}
+	if rf := zero.RelativeFrequencies(); rf[0] != 0 || rf[1] != 0 {
+		t.Fatal("zero profile should yield zeros")
+	}
+}
+
+func TestMeanRelativeError(t *testing.T) {
+	p := Profile{Counts: []float64{90, 220, 5}}
+	got, err := MeanRelativeError(p, []int64{100, 200, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.1 + 0.1) / 2 // zero-count tree skipped
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("error %v, want %v", got, want)
+	}
+	if _, err := MeanRelativeError(p, []int64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MeanRelativeError(Profile{Counts: []float64{1}}, []int64{0}); err == nil {
+		t.Fatal("all-zero exact accepted")
+	}
+}
+
+func TestProfileDistance(t *testing.T) {
+	a := Profile{K: 3, Counts: []float64{10, 20}}
+	b := Profile{K: 3, Counts: []float64{10, 20}}
+	d, err := ProfileDistance(a, b)
+	if err != nil || d != 0 {
+		t.Fatalf("identical profiles distance %v err %v", d, err)
+	}
+	c := Profile{K: 3, Counts: []float64{20, 10}}
+	d2, err := ProfileDistance(a, c)
+	if err != nil || d2 <= 0 {
+		t.Fatalf("different profiles distance %v err %v", d2, err)
+	}
+	if _, err := ProfileDistance(a, Profile{K: 4}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := ProfileDistance(Profile{K: 3, Counts: []float64{0}}, Profile{K: 3, Counts: []float64{0}}); err == nil {
+		t.Fatal("incomparable profiles accepted")
+	}
+}
+
+// TestFindConsistentWithEnumeration: motif profile ranks must broadly
+// agree with the exact relative magnitudes (Figure 12's observation that
+// even 1 iteration preserves relative magnitudes is probabilistic; with
+// 300 iterations ordering of well-separated counts must hold).
+func TestFindOrderingPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomG(rng, 30, 100)
+	cfg := dp.DefaultConfig()
+	cfg.Seed = 7
+	p, err := Find("test", g, 5, 300, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct {
+		est   float64
+		exact int64
+	}
+	pairs := make([]pair, len(p.Trees))
+	for i, tr := range p.Trees {
+		pairs[i] = pair{p.Counts[i], exact.Count(g, tr)}
+	}
+	for i := range pairs {
+		for j := range pairs {
+			// Only check well-separated pairs (2× difference).
+			if pairs[i].exact > 2*pairs[j].exact && pairs[j].exact > 0 {
+				if pairs[i].est <= pairs[j].est {
+					t.Errorf("ordering violated: exact %d vs %d but est %.1f vs %.1f",
+						pairs[i].exact, pairs[j].exact, pairs[i].est, pairs[j].est)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,514 @@
+// Package part builds the partition tree that drives FASCIA's bottom-up
+// dynamic program: the template is recursively split by single edge cuts
+// adjacent to the current root into an active child (which keeps the root)
+// and a passive child (rooted at the far endpoint of the cut edge), down
+// to single vertices. The package implements the paper's one-at-a-time
+// partitioning heuristic, a balanced alternative, rooted-isomorphism
+// sharing between subtemplate nodes, and the cost/memory model used to
+// reason about the trade-offs.
+package part
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/comb"
+	"repro/internal/tmpl"
+)
+
+// Strategy selects how cut edges are chosen during partitioning.
+type Strategy int
+
+const (
+	// OneAtATime peels a single vertex per cut whenever possible (the
+	// paper's preferred strategy): single-vertex children let the DP skip
+	// all color sets not containing the vertex's own color.
+	OneAtATime Strategy = iota
+	// Balanced cuts the edge that splits the subtemplate most evenly,
+	// minimizing the dominant multiplicative cost terms for large
+	// templates at the price of fewer single-vertex specializations.
+	Balanced
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case OneAtATime:
+		return "one-at-a-time"
+	case Balanced:
+		return "balanced"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Node is one subtemplate in the partition tree. Leaves are single
+// template vertices; every internal node has an active child (same root)
+// and a passive child (rooted across the cut edge).
+type Node struct {
+	ID    int
+	Verts []int // template vertices of this subtemplate, sorted ascending
+	Root  int   // template vertex acting as the root
+
+	Active  *Node // nil iff leaf
+	Passive *Node // nil iff leaf
+
+	// Consumers counts how many parents read this node's table (2 when a
+	// shared node serves both children of isomorphic shape). The DP engine
+	// uses it to release tables as early as possible.
+	Consumers int
+
+	// Code is the label-aware AHU encoding of the subtemplate rooted at
+	// Root; nodes with equal codes are interchangeable in the DP.
+	Code string
+}
+
+// Size returns the number of template vertices in the subtemplate.
+func (n *Node) Size() int { return len(n.Verts) }
+
+// IsLeaf reports whether the node is a single template vertex.
+func (n *Node) IsLeaf() bool { return n.Active == nil }
+
+// LeafVertex returns the template vertex of a leaf node.
+func (n *Node) LeafVertex() int {
+	if !n.IsLeaf() {
+		panic("part: LeafVertex on internal node")
+	}
+	return n.Verts[0]
+}
+
+// Tree is a fully built partition tree plus the evaluation order used by
+// the dynamic program.
+type Tree struct {
+	Template *tmpl.Template
+	Strategy Strategy
+	Shared   bool
+	Root     *Node
+
+	// Nodes lists the unique nodes; Order lists them in evaluation order
+	// (children strictly before parents).
+	Nodes []*Node
+	Order []*Node
+}
+
+// Build constructs the partition tree for t under the given strategy.
+// When share is true, subtemplate nodes with identical rooted canonical
+// codes are merged so their table is computed once (the paper's
+// symmetry exploitation, e.g. the two arms of U7-2).
+func Build(t *tmpl.Template, strategy Strategy, share bool) (*Tree, error) {
+	return BuildRooted(t, strategy, share, -1)
+}
+
+// BuildRooted is Build with an explicit template root vertex (or -1 to
+// let the strategy choose). Rooting at a specific vertex makes the DP's
+// per-vertex root-table sums count embeddings in which that vertex plays
+// the root's role — the basis of graphlet-degree computation.
+func BuildRooted(t *tmpl.Template, strategy Strategy, share bool, rootVertex int) (*Tree, error) {
+	k := t.K()
+	if k < 1 {
+		return nil, fmt.Errorf("part: empty template")
+	}
+	if rootVertex >= k {
+		return nil, fmt.Errorf("part: root vertex %d out of range for k=%d", rootVertex, k)
+	}
+	b := &builder{t: t, strategy: strategy}
+
+	if rootVertex < 0 {
+		rootVertex = chooseTemplateRoot(t, strategy)
+	}
+	verts := make([]int, k)
+	for i := range verts {
+		verts[i] = i
+	}
+	root := b.partition(verts, rootVertex)
+
+	tree := &Tree{Template: t, Strategy: strategy, Shared: share, Root: root}
+	if share {
+		merge := map[string]*Node{}
+		root = dedup(root, merge)
+		tree.Root = root
+	}
+	collect(tree)
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("part: built invalid tree: %w", err)
+	}
+	return tree, nil
+}
+
+// MustBuild is Build for known-valid inputs; it panics on error.
+func MustBuild(t *tmpl.Template, strategy Strategy, share bool) *Tree {
+	tr, err := Build(t, strategy, share)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+type builder struct {
+	t        *tmpl.Template
+	strategy Strategy
+	nextID   int
+}
+
+// chooseTemplateRoot picks the root of the whole template: a leaf for
+// one-at-a-time (the first cut then peels the root itself, so the active
+// child of the full template is a single vertex) and a centroid for
+// balanced cuts.
+func chooseTemplateRoot(t *tmpl.Template, s Strategy) int {
+	if s == Balanced {
+		return t.Centroids()[0]
+	}
+	for v := 0; v < t.K(); v++ {
+		if t.Degree(v) == 1 {
+			return v
+		}
+	}
+	return 0 // k == 1
+}
+
+// partition recursively splits the subtemplate induced on verts, rooted
+// at root, returning its node.
+func (b *builder) partition(verts []int, root int) *Node {
+	sort.Ints(verts)
+	n := &Node{ID: b.nextID, Verts: verts, Root: root}
+	b.nextID++
+	n.Code = b.encode(verts, root)
+	if len(verts) == 1 {
+		return n
+	}
+	cut := b.chooseCut(verts, root)
+	passiveVerts := b.subtreeAcross(verts, root, cut)
+	passiveSet := map[int]bool{}
+	for _, v := range passiveVerts {
+		passiveSet[v] = true
+	}
+	activeVerts := make([]int, 0, len(verts)-len(passiveVerts))
+	for _, v := range verts {
+		if !passiveSet[v] {
+			activeVerts = append(activeVerts, v)
+		}
+	}
+	n.Active = b.partition(activeVerts, root)
+	n.Passive = b.partition(passiveVerts, cut)
+	return n
+}
+
+// neighborsIn returns root's template neighbors restricted to the
+// subtemplate vertex set.
+func (b *builder) neighborsIn(verts []int, v int) []int {
+	in := map[int]bool{}
+	for _, w := range verts {
+		in[w] = true
+	}
+	var out []int
+	for _, u := range b.t.Adj(v) {
+		if in[int(u)] {
+			out = append(out, int(u))
+		}
+	}
+	return out
+}
+
+// subtreeAcross returns the vertices of the component containing
+// neighbor after removing edge (root, neighbor) from the subtemplate.
+func (b *builder) subtreeAcross(verts []int, root, neighbor int) []int {
+	in := map[int]bool{}
+	for _, w := range verts {
+		in[w] = true
+	}
+	seen := map[int]bool{neighbor: true, root: true}
+	stack := []int{neighbor}
+	out := []int{neighbor}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range b.t.Adj(v) {
+			w := int(u)
+			if in[w] && !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+	return out
+}
+
+// chooseCut picks which of root's incident edges to cut, returning the
+// far endpoint (the passive child's root).
+func (b *builder) chooseCut(verts []int, root int) int {
+	nbrs := b.neighborsIn(verts, root)
+	if len(nbrs) == 1 {
+		// Forced: cutting root's only edge makes the active child the
+		// single vertex {root} — the specialization one-at-a-time chases.
+		return nbrs[0]
+	}
+	best := nbrs[0]
+	bestSize := len(b.subtreeAcross(verts, root, nbrs[0]))
+	for _, u := range nbrs[1:] {
+		s := len(b.subtreeAcross(verts, root, u))
+		better := false
+		switch b.strategy {
+		case OneAtATime:
+			// Peel the smallest subtree (ideally a single leaf).
+			better = s < bestSize
+		case Balanced:
+			half := len(verts) / 2
+			better = abs(s-half) < abs(bestSize-half)
+		}
+		if better {
+			best, bestSize = u, s
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// encode computes the label-aware AHU code of the subtemplate induced on
+// verts, rooted at root.
+func (b *builder) encode(verts []int, root int) string {
+	in := map[int]bool{}
+	for _, v := range verts {
+		in[v] = true
+	}
+	var rec func(v, parent int) string
+	rec = func(v, parent int) string {
+		var kids []string
+		for _, u := range b.t.Adj(v) {
+			w := int(u)
+			if w != parent && in[w] {
+				kids = append(kids, rec(w, v))
+			}
+		}
+		sort.Strings(kids)
+		out := ""
+		if b.t.Labeled() {
+			out = fmt.Sprintf("%d", b.t.Label(v))
+		}
+		out += "("
+		for _, kid := range kids {
+			out += kid
+		}
+		return out + ")"
+	}
+	return rec(root, -1)
+}
+
+// dedup merges nodes with identical rooted codes bottom-up, counting
+// consumers on the survivors.
+func dedup(n *Node, merge map[string]*Node) *Node {
+	if existing, ok := merge[n.Code]; ok {
+		existing.Consumers++
+		return existing
+	}
+	if !n.IsLeaf() {
+		n.Active = dedup(n.Active, merge)
+		n.Passive = dedup(n.Passive, merge)
+	}
+	n.Consumers = 1
+	merge[n.Code] = n
+	return n
+}
+
+// collect fills tree.Nodes and tree.Order (post-order, children before
+// parents) and normalizes Consumers for the unshared case.
+func collect(tree *Tree) {
+	seen := map[*Node]bool{}
+	var order []*Node
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if !n.IsLeaf() {
+			// Evaluate the larger child first (Sethi–Ullman style): the
+			// smaller one is then produced immediately before this node
+			// consumes it, which keeps the number of live tables at the
+			// "at most four" the paper reports.
+			first, second := n.Active, n.Passive
+			if second.Size() > first.Size() {
+				first, second = second, first
+			}
+			rec(first)
+			rec(second)
+		}
+		order = append(order, n)
+	}
+	rec(tree.Root)
+	tree.Order = order
+	tree.Nodes = order
+	if !tree.Shared {
+		for _, n := range tree.Nodes {
+			n.Consumers = 1
+		}
+	}
+	// The root has no parents; its dedup-assigned count of 1 (or the
+	// unshared default) stands in for a consumer that does not exist.
+	tree.Root.Consumers = 0
+	// Renumber IDs in evaluation order for stable diagnostics.
+	for i, n := range tree.Order {
+		n.ID = i
+	}
+}
+
+// Validate checks the structural invariants of the partition tree.
+func (t *Tree) Validate() error {
+	k := t.Template.K()
+	if t.Root.Size() != k {
+		return fmt.Errorf("root covers %d of %d vertices", t.Root.Size(), k)
+	}
+	pos := map[*Node]int{}
+	for i, n := range t.Order {
+		pos[n] = i
+	}
+	for _, n := range t.Nodes {
+		inVerts := map[int]bool{}
+		for _, v := range n.Verts {
+			inVerts[v] = true
+		}
+		if !inVerts[n.Root] {
+			return fmt.Errorf("node %d: root %d not among vertices %v", n.ID, n.Root, n.Verts)
+		}
+		if n.IsLeaf() {
+			if n.Size() != 1 {
+				return fmt.Errorf("node %d: leaf with %d vertices", n.ID, n.Size())
+			}
+			continue
+		}
+		if n.Passive == nil {
+			return fmt.Errorf("node %d: active child without passive", n.ID)
+		}
+		if pos[n.Active] >= pos[n] || pos[n.Passive] >= pos[n] {
+			return fmt.Errorf("node %d: children do not precede it in evaluation order", n.ID)
+		}
+		// Vertex-identity invariants only hold without sharing: a merged
+		// node stands for an isomorphic shape, not specific vertices.
+		if !t.Shared && n.Active.Root != n.Root {
+			return fmt.Errorf("node %d: active child root %d != %d", n.ID, n.Active.Root, n.Root)
+		}
+		if n.Active.Size()+n.Passive.Size() != n.Size() {
+			return fmt.Errorf("node %d: children sizes %d+%d != %d", n.ID, n.Active.Size(), n.Passive.Size(), n.Size())
+		}
+		if !t.Shared {
+			// Without sharing the children literally partition the
+			// vertex set and the cut edge must exist in the template.
+			seen := map[int]bool{}
+			for _, v := range n.Active.Verts {
+				seen[v] = true
+			}
+			for _, v := range n.Passive.Verts {
+				if seen[v] {
+					return fmt.Errorf("node %d: children overlap at %d", n.ID, v)
+				}
+				seen[v] = true
+			}
+			for _, v := range n.Verts {
+				if !seen[v] {
+					return fmt.Errorf("node %d: vertex %d missing from children", n.ID, v)
+				}
+			}
+			cutOK := false
+			for _, u := range t.Template.Adj(n.Root) {
+				if int(u) == n.Passive.Root {
+					cutOK = true
+				}
+			}
+			if !cutOK {
+				return fmt.Errorf("node %d: cut edge (%d,%d) not in template", n.ID, n.Root, n.Passive.Root)
+			}
+		}
+	}
+	return nil
+}
+
+// Cost models the work and memory of running the DP with this tree.
+type Cost struct {
+	// Work is the paper's operation-count model: the sum over internal
+	// nodes of C(k, |S|) * C(|S|, |active|), to be multiplied by the edge
+	// count of the data graph.
+	Work int64
+	// TableEntries is the total number of color-set slots across all
+	// unique node tables (× n vertices for the dense layout).
+	TableEntries int64
+	// PeakLiveEntries is the maximum, over the evaluation schedule with
+	// eager release, of the summed color-set slots of live tables.
+	PeakLiveEntries int64
+	// PeakLiveTables is the maximum number of simultaneously live tables.
+	PeakLiveTables int
+}
+
+// Model evaluates the cost model for k colors.
+func (t *Tree) Model(k int) Cost {
+	var c Cost
+	live := map[*Node]int64{}
+	remaining := map[*Node]int{}
+	for _, n := range t.Nodes {
+		remaining[n] = n.Consumers
+	}
+	var cur int64
+	for _, n := range t.Order {
+		slots := comb.Binomial(k, n.Size())
+		c.TableEntries += slots
+		if !n.IsLeaf() {
+			c.Work += comb.Binomial(k, n.Size()) * comb.Binomial(n.Size(), n.Active.Size())
+		}
+		live[n] = slots
+		cur += slots
+		if cur > c.PeakLiveEntries {
+			c.PeakLiveEntries = cur
+		}
+		if len(live) > c.PeakLiveTables {
+			c.PeakLiveTables = len(live)
+		}
+		if !n.IsLeaf() {
+			for _, ch := range []*Node{n.Active, n.Passive} {
+				remaining[ch]--
+				if remaining[ch] == 0 {
+					cur -= live[ch]
+					delete(live, ch)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// String renders the tree structure for diagnostics.
+func (t *Tree) String() string {
+	out := fmt.Sprintf("partition of %s (%s, shared=%v):\n", t.Template.Name(), t.Strategy, t.Shared)
+	for _, n := range t.Order {
+		if n.IsLeaf() {
+			out += fmt.Sprintf("  node %d: leaf vertex %d (consumers %d)\n", n.ID, n.LeafVertex(), n.Consumers)
+		} else {
+			out += fmt.Sprintf("  node %d: verts %v root %d active=%d passive=%d (consumers %d)\n",
+				n.ID, n.Verts, n.Root, n.Active.ID, n.Passive.ID, n.Consumers)
+		}
+	}
+	return out
+}
+
+// Dot renders the partition tree in Graphviz DOT format: each node shows
+// its subtemplate vertices and root, with edges to its active (solid) and
+// passive (dashed) children.
+func (t *Tree) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph partition {\n  node [shape=box];\n")
+	for _, n := range t.Order {
+		if n.IsLeaf() {
+			fmt.Fprintf(&sb, "  n%d [label=\"leaf %d\"];\n", n.ID, n.LeafVertex())
+		} else {
+			fmt.Fprintf(&sb, "  n%d [label=\"%v root=%d\"];\n", n.ID, n.Verts, n.Root)
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=a];\n", n.ID, n.Active.ID)
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=p, style=dashed];\n", n.ID, n.Passive.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,221 @@
+package part
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tmpl"
+)
+
+func TestBuildPathOneAtATime(t *testing.T) {
+	tree := MustBuild(tmpl.Path(5), OneAtATime, false)
+	if tree.Root.Size() != 5 {
+		t.Fatalf("root size %d", tree.Root.Size())
+	}
+	// One-at-a-time on a path rooted at an end: every internal node's
+	// active child is the single root vertex.
+	for _, n := range tree.Nodes {
+		if !n.IsLeaf() && n.Active.Size() != 1 {
+			t.Errorf("node %d: active size %d, want 1 on a path", n.ID, n.Active.Size())
+		}
+	}
+	// Unshared full binary partition over k leaves has 2k-1 nodes.
+	if len(tree.Nodes) != 9 {
+		t.Fatalf("path-5 partition has %d nodes, want 9", len(tree.Nodes))
+	}
+}
+
+func TestBuildSingleVertex(t *testing.T) {
+	tree := MustBuild(tmpl.MustTree("k1", 1, nil, nil), OneAtATime, false)
+	if !tree.Root.IsLeaf() || len(tree.Order) != 1 {
+		t.Fatal("single-vertex template should be a lone leaf")
+	}
+}
+
+func TestBuildBalancedSplitsEvenly(t *testing.T) {
+	tree := MustBuild(tmpl.Path(12), Balanced, false)
+	a, p := tree.Root.Active.Size(), tree.Root.Passive.Size()
+	if a+p != 12 {
+		t.Fatalf("children sizes %d+%d", a, p)
+	}
+	if a < 4 || a > 8 {
+		t.Errorf("balanced top cut %d/%d not near-even", a, p)
+	}
+}
+
+func TestEvaluationOrderChildrenFirst(t *testing.T) {
+	for _, s := range []Strategy{OneAtATime, Balanced} {
+		tree := MustBuild(tmpl.MustNamed("U12-2"), s, false)
+		pos := map[*Node]int{}
+		for i, n := range tree.Order {
+			pos[n] = i
+		}
+		for _, n := range tree.Nodes {
+			if !n.IsLeaf() && (pos[n.Active] > pos[n] || pos[n.Passive] > pos[n]) {
+				t.Fatalf("%v: children after parent in order", s)
+			}
+		}
+	}
+}
+
+func TestSharingMergesSymmetricArms(t *testing.T) {
+	u72 := tmpl.MustNamed("U7-2")
+	unshared := MustBuild(u72, OneAtATime, false)
+	shared := MustBuild(u72, OneAtATime, true)
+	if len(shared.Nodes) >= len(unshared.Nodes) {
+		t.Fatalf("sharing did not shrink U7-2: %d vs %d nodes", len(shared.Nodes), len(unshared.Nodes))
+	}
+	// All unlabeled leaves collapse to one under sharing.
+	leaves := 0
+	for _, n := range shared.Nodes {
+		if n.IsLeaf() {
+			leaves++
+		}
+	}
+	if leaves != 1 {
+		t.Fatalf("shared unlabeled tree has %d leaf nodes, want 1", leaves)
+	}
+}
+
+func TestSharedConsumerCounts(t *testing.T) {
+	tree := MustBuild(tmpl.MustNamed("U7-2"), OneAtATime, true)
+	if tree.Root.Consumers != 0 {
+		t.Fatalf("root consumers = %d, want 0", tree.Root.Consumers)
+	}
+	// Total consumer references must equal total child slots (2 per
+	// internal node).
+	internal := 0
+	totalConsumers := 0
+	for _, n := range tree.Nodes {
+		if !n.IsLeaf() {
+			internal++
+		}
+		totalConsumers += n.Consumers
+	}
+	if totalConsumers != 2*internal {
+		t.Fatalf("consumer refs %d != 2×internal %d", totalConsumers, 2*internal)
+	}
+}
+
+func TestLabeledCodesPreventBadSharing(t *testing.T) {
+	labeled, err := tmpl.Star(5).WithLabels("ls", []int32{0, 1, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := MustBuild(labeled, OneAtATime, true)
+	// Leaves with labels 1 and 2 must stay distinct; so >= 3 leaf nodes
+	// (root-label leaf may or may not appear depending on cuts).
+	kinds := map[string]bool{}
+	for _, n := range tree.Nodes {
+		if n.IsLeaf() {
+			kinds[n.Code] = true
+		}
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("labeled leaves merged: %v", kinds)
+	}
+}
+
+// TestPartitionInvariantsProperty builds partition trees for random trees
+// under both strategies and validates all invariants.
+func TestPartitionInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(11)
+		edges := make([][2]int, 0, k-1)
+		for v := 1; v < k; v++ {
+			edges = append(edges, [2]int{rng.Intn(v), v})
+		}
+		tr := tmpl.MustTree("r", k, edges, nil)
+		for _, s := range []Strategy{OneAtATime, Balanced} {
+			for _, share := range []bool{false, true} {
+				tree, err := Build(tr, s, share)
+				if err != nil {
+					return false
+				}
+				if err := tree.Validate(); err != nil {
+					return false
+				}
+				// Leaves must cover every template vertex (unshared).
+				if !share {
+					covered := map[int]bool{}
+					for _, n := range tree.Nodes {
+						if n.IsLeaf() {
+							covered[n.LeafVertex()] = true
+						}
+					}
+					if len(covered) != k {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelCosts(t *testing.T) {
+	k := 7
+	tree := MustBuild(tmpl.MustNamed("U7-1"), OneAtATime, false)
+	c := tree.Model(k)
+	if c.Work <= 0 || c.TableEntries <= 0 {
+		t.Fatalf("degenerate cost %+v", c)
+	}
+	// The paper: at most ~4 subtemplate tables need to be live at once.
+	if c.PeakLiveTables > 4 {
+		t.Errorf("peak live tables %d > 4 for a path", c.PeakLiveTables)
+	}
+	// Eager release must beat keeping everything.
+	if c.PeakLiveEntries > c.TableEntries {
+		t.Fatal("peak exceeds total")
+	}
+}
+
+func TestModelBalancedVsOneAtATime(t *testing.T) {
+	// For large templates balanced partitioning should not increase the
+	// multiplicative work model dramatically; one-at-a-time should keep
+	// peak live tables small. This documents the trade-off from §III-D.
+	u12 := tmpl.MustNamed("U12-1")
+	oat := MustBuild(u12, OneAtATime, false).Model(12)
+	bal := MustBuild(u12, Balanced, false).Model(12)
+	if oat.PeakLiveTables > 4 {
+		t.Errorf("one-at-a-time peak live tables = %d", oat.PeakLiveTables)
+	}
+	if bal.Work <= 0 || oat.Work <= 0 {
+		t.Fatal("work model degenerate")
+	}
+}
+
+func TestStringRenders(t *testing.T) {
+	tree := MustBuild(tmpl.Path(3), OneAtATime, false)
+	s := tree.String()
+	if s == "" || tree.Strategy.String() != "one-at-a-time" {
+		t.Fatal("diagnostics broken")
+	}
+	if Balanced.String() != "balanced" || Strategy(9).String() == "" {
+		t.Fatal("strategy strings broken")
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	tree := MustBuild(tmpl.MustNamed("U5-2"), OneAtATime, false)
+	dot := tree.Dot()
+	if !strings.Contains(dot, "digraph partition") || !strings.Contains(dot, "leaf") {
+		t.Fatalf("malformed dot output:\n%s", dot)
+	}
+	// One arrow pair per internal node.
+	internal := 0
+	for _, n := range tree.Nodes {
+		if !n.IsLeaf() {
+			internal++
+		}
+	}
+	if got := strings.Count(dot, "->"); got != 2*internal {
+		t.Fatalf("dot has %d edges, want %d", got, 2*internal)
+	}
+}

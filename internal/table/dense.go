@@ -1,0 +1,72 @@
+package table
+
+// Dense is the paper's naive layout: a fully preallocated n × NumSets
+// array. Rows exist for every vertex from the start, so Has is always
+// true and no allocation happens during the DP.
+type Dense struct {
+	numSets int
+	data    []float64 // n * numSets, row-major
+	n       int
+}
+
+// NewDense allocates a dense table for n vertices.
+func NewDense(n, numSets int) *Dense {
+	return &Dense{
+		numSets: numSets,
+		n:       n,
+		data:    make([]float64, n*numSets),
+	}
+}
+
+// NumSets implements Table.
+func (d *Dense) NumSets() int { return d.numSets }
+
+// Has implements Table; dense rows always exist.
+func (d *Dense) Has(v int32) bool { return d.data != nil }
+
+// Get implements Table.
+func (d *Dense) Get(v int32, ci int32) float64 {
+	return d.data[int(v)*d.numSets+int(ci)]
+}
+
+// Row implements Table.
+func (d *Dense) Row(v int32) []float64 {
+	base := int(v) * d.numSets
+	return d.data[base : base+d.numSets : base+d.numSets]
+}
+
+// Set implements Table.
+func (d *Dense) Set(v int32, ci int32, val float64) {
+	d.data[int(v)*d.numSets+int(ci)] = val
+}
+
+// StoreRow implements Table.
+func (d *Dense) StoreRow(v int32, row []float64) {
+	copy(d.Row(v), row)
+}
+
+// SumRow implements Table.
+func (d *Dense) SumRow(v int32) float64 {
+	var s float64
+	for _, x := range d.Row(v) {
+		s += x
+	}
+	return s
+}
+
+// Total implements Table.
+func (d *Dense) Total() float64 {
+	var s float64
+	for _, x := range d.data {
+		s += x
+	}
+	return s
+}
+
+// Bytes implements Table.
+func (d *Dense) Bytes() int64 {
+	return int64(len(d.data))*float64Size + sliceHeaderLen
+}
+
+// Release implements Table.
+func (d *Dense) Release() { d.data = nil }

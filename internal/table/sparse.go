@@ -1,0 +1,151 @@
+package table
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sparse is the paper's "improved" layout: per-vertex rows allocated only
+// when a vertex first receives a count. The Has check lets the DP skip
+// vertices whose active child is uninitialized and neighbors whose
+// passive child is uninitialized, saving both memory and work.
+//
+// Rows live in bump-allocated arena blocks indexed by a compact int32
+// offset table (4 bytes per vertex, versus 24-byte slice headers for a
+// naive slice-of-slices), so the layout's footprint stays below the dense
+// layout's whenever any vertices are untouched. Rows are never freed
+// individually; the whole table is released at once, matching the DP's
+// eager-release schedule.
+type Sparse struct {
+	numSets int
+	index   []int32 // per-vertex arena slot (-1 = absent)
+	blocks  [][]float64
+	cur     []float64    // current block remainder
+	live    atomic.Int64 // number of allocated rows, for Bytes
+	mu      sync.Mutex   // guards arena growth for concurrent writers
+}
+
+// sparseBlockRows is the number of rows per arena block.
+const sparseBlockRows = 256
+
+// NewSparse creates a sparse table for n vertices with no rows allocated.
+func NewSparse(n, numSets int) *Sparse {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	return &Sparse{numSets: numSets, index: idx}
+}
+
+// NumSets implements Table.
+func (s *Sparse) NumSets() int { return s.numSets }
+
+// Has implements Table.
+func (s *Sparse) Has(v int32) bool { return s.index[v] >= 0 }
+
+// rowAt returns the row for an allocated slot id.
+func (s *Sparse) rowAt(slot int32) []float64 {
+	b := int(slot) / sparseBlockRows
+	r := (int(slot) % sparseBlockRows) * s.numSets
+	return s.blocks[b][r : r+s.numSets : r+s.numSets]
+}
+
+// Get implements Table.
+func (s *Sparse) Get(v int32, ci int32) float64 {
+	slot := s.index[v]
+	if slot < 0 {
+		return 0
+	}
+	return s.rowAt(slot)[ci]
+}
+
+// Row implements Table.
+func (s *Sparse) Row(v int32) []float64 {
+	slot := s.index[v]
+	if slot < 0 {
+		return nil
+	}
+	return s.rowAt(slot)
+}
+
+// ensure materializes v's row. Concurrent calls for DISTINCT vertices are
+// safe: each vertex's index entry is only written by its owning worker
+// and the shared arena grows under a mutex, with the returned row slice
+// pointing directly into the (immutable once allocated) block storage.
+func (s *Sparse) ensure(v int32) []float64 {
+	if slot := s.index[v]; slot >= 0 {
+		return s.rowAt(slot)
+	}
+	s.mu.Lock()
+	if len(s.cur) == 0 {
+		block := make([]float64, sparseBlockRows*s.numSets)
+		s.blocks = append(s.blocks, block)
+		s.cur = block
+	}
+	row := s.cur[:s.numSets:s.numSets]
+	s.cur = s.cur[s.numSets:]
+	slot := int32(s.live.Load())
+	s.live.Add(1)
+	s.mu.Unlock()
+	s.index[v] = slot
+	return row
+}
+
+// Set implements Table.
+func (s *Sparse) Set(v int32, ci int32, val float64) {
+	s.ensure(v)[ci] = val
+}
+
+// StoreRow implements Table. An all-zero row for an absent vertex is
+// skipped, preserving the selectivity of Has.
+func (s *Sparse) StoreRow(v int32, row []float64) {
+	if s.index[v] < 0 {
+		nonzero := false
+		for _, x := range row {
+			if x != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			return
+		}
+	}
+	copy(s.ensure(v), row)
+}
+
+// SumRow implements Table.
+func (s *Sparse) SumRow(v int32) float64 {
+	var sum float64
+	for _, x := range s.Row(v) {
+		sum += x
+	}
+	return sum
+}
+
+// Total implements Table.
+func (s *Sparse) Total() float64 {
+	var sum float64
+	n := s.live.Load()
+	for slot := int64(0); slot < n; slot++ {
+		for _, x := range s.rowAt(int32(slot)) {
+			sum += x
+		}
+	}
+	return sum
+}
+
+// Bytes implements Table.
+func (s *Sparse) Bytes() int64 {
+	return int64(len(s.index))*4 +
+		int64(len(s.blocks))*(int64(sparseBlockRows)*int64(s.numSets)*float64Size+sliceHeaderLen) +
+		sliceHeaderLen
+}
+
+// Release implements Table.
+func (s *Sparse) Release() {
+	s.index = nil
+	s.blocks = nil
+	s.cur = nil
+	s.live.Store(0)
+}

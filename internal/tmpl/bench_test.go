@@ -1,0 +1,23 @@
+package tmpl
+
+import "testing"
+
+func BenchmarkAllTrees12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AllTrees(12)
+	}
+}
+
+func BenchmarkCanonicalFree(b *testing.B) {
+	t := MustNamed("U12-2")
+	for i := 0; i < b.N; i++ {
+		t.CanonicalFree()
+	}
+}
+
+func BenchmarkAutomorphisms(b *testing.B) {
+	t := MustNamed("U12-2")
+	for i := 0; i < b.N; i++ {
+		t.Automorphisms()
+	}
+}

@@ -1,0 +1,36 @@
+package tmpl
+
+import "testing"
+
+// FuzzParse checks the template parser never panics and anything it
+// accepts is a valid tree whose canonical form is stable.
+func FuzzParse(f *testing.F) {
+	f.Add("0-1 1-2")
+	f.Add("0-1 1-2 1-3 3-4")
+	f.Add("0-0")
+	f.Add("a-b")
+	f.Add("0-1 2-3")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		tr, err := Parse("fuzz", spec)
+		if err != nil {
+			return
+		}
+		if tr.K() < 1 || len(tr.Edges()) != tr.K()-1 {
+			t.Fatalf("accepted template malformed: %v", tr)
+		}
+		if tr.CanonicalFree() != tr.CanonicalFree() {
+			t.Fatal("canonical form unstable")
+		}
+		if tr.Automorphisms() < 1 {
+			t.Fatal("automorphism count < 1")
+		}
+		total := 0
+		for _, o := range tr.Orbits() {
+			total += len(o)
+		}
+		if total != tr.K() {
+			t.Fatal("orbits do not partition vertices")
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package tmpl
+
+import "fmt"
+
+// The paper benchmarks ten unlabeled templates: a simple path at each of
+// 3, 5, 7, 10, and 12 vertices (U3-1, U5-1, U7-1, U10-1, U12-1) and a more
+// complex structure at each size (U3-2, U5-2, U7-2, U10-2, U12-2), shown
+// only as pictures in its Figure 2. The non-path shapes here are
+// reconstructions consistent with everything the text states about them:
+//
+//   - U3-2: the only free tree on 3 vertices is the path, so U3-2 is the
+//     same shape as U3-1 (the original also ships a triangle variant; we
+//     restrict to trees, as the evaluation does).
+//   - U5-2: has a central degree-3 vertex (Figure 15 uses "the central
+//     orbit of the U5-2 template (vertex with degree of 3)"): the spider
+//     with leg lengths (2, 1, 1).
+//   - U7-2: has an "obvious" rooted automorphism exploited in §III-C: the
+//     symmetric spider with three legs of length 2.
+//   - U10-2: a symmetric double star (two adjacent centers, four leaves
+//     each).
+//   - U12-2: "explicitly designed to stress subtemplate partitioning": a
+//     bushy balanced binary tree on 12 vertices, whose every cut leaves
+//     large children on both sides.
+var named = map[string]func() *Template{
+	"U3-1":  func() *Template { return rename(Path(3), "U3-1") },
+	"U3-2":  func() *Template { return rename(Star(3), "U3-2") },
+	"U5-1":  func() *Template { return rename(Path(5), "U5-1") },
+	"U5-2":  func() *Template { return rename(Spider(2, 1, 1), "U5-2") },
+	"U7-1":  func() *Template { return rename(Path(7), "U7-1") },
+	"U7-2":  func() *Template { return rename(Spider(2, 2, 2), "U7-2") },
+	"U10-1": func() *Template { return rename(Path(10), "U10-1") },
+	"U10-2": func() *Template {
+		// Double star: centers 0-1, leaves 2..5 on 0 and 6..9 on 1.
+		return MustTree("U10-2", 10, [][2]int{
+			{0, 1},
+			{0, 2}, {0, 3}, {0, 4}, {0, 5},
+			{1, 6}, {1, 7}, {1, 8}, {1, 9},
+		}, nil)
+	},
+	"U12-1": func() *Template { return rename(Path(12), "U12-1") },
+	"U12-2": func() *Template {
+		// Balanced binary tree: 0 root; 1,2 children; 3..6 grandchildren;
+		// 7..11 great-grandchildren spread across the grandchildren.
+		return MustTree("U12-2", 12, [][2]int{
+			{0, 1}, {0, 2},
+			{1, 3}, {1, 4}, {2, 5}, {2, 6},
+			{3, 7}, {3, 8}, {4, 9}, {5, 10}, {6, 11},
+		}, nil)
+	},
+}
+
+func rename(t *Template, name string) *Template {
+	t.name = name
+	return t
+}
+
+// NamedTemplateNames lists the paper's template names in evaluation order.
+var NamedTemplateNames = []string{
+	"U3-1", "U3-2", "U5-1", "U5-2", "U7-1", "U7-2", "U10-1", "U10-2", "U12-1", "U12-2",
+}
+
+// Named returns one of the paper's templates by name (e.g. "U7-2").
+func Named(name string) (*Template, error) {
+	f, ok := named[name]
+	if !ok {
+		return nil, fmt.Errorf("tmpl: unknown template %q (have %v)", name, NamedTemplateNames)
+	}
+	return f(), nil
+}
+
+// MustNamed is Named for known-valid names; it panics on error.
+func MustNamed(name string) *Template {
+	t, err := Named(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NamedTemplates returns all ten paper templates in evaluation order.
+func NamedTemplates() []*Template {
+	out := make([]*Template, 0, len(NamedTemplateNames))
+	for _, n := range NamedTemplateNames {
+		out = append(out, MustNamed(n))
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+// Package tmpl implements tree templates for subgraph counting: template
+// construction and validation, the paper's named templates (U3-1 ...
+// U12-2), AHU canonical forms for rooted and free trees, automorphism and
+// orbit computation, and exhaustive enumeration of all free trees of a
+// given size for motif finding.
+package tmpl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Template is an undirected tree on K() vertices numbered 0..K()-1.
+// Labels, when non-nil, assigns an integer label per template vertex for
+// labeled counting. Templates are immutable after construction.
+type Template struct {
+	name   string
+	adj    [][]int8
+	labels []int32
+}
+
+// NewTree builds a template from an undirected edge list over vertices
+// 0..k-1 and verifies it is a tree (connected, acyclic, no self-loops or
+// duplicate edges). labels may be nil or have length k.
+func NewTree(name string, k int, edges [][2]int, labels []int32) (*Template, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("tmpl: template must have at least 1 vertex, got %d", k)
+	}
+	if k > 64 {
+		return nil, fmt.Errorf("tmpl: template size %d unsupported (max 64)", k)
+	}
+	if len(edges) != k-1 {
+		return nil, fmt.Errorf("tmpl: a tree on %d vertices needs %d edges, got %d", k, k-1, len(edges))
+	}
+	if labels != nil && len(labels) != k {
+		return nil, fmt.Errorf("tmpl: %d labels for %d vertices", len(labels), k)
+	}
+	adj := make([][]int8, k)
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= k || v >= k {
+			return nil, fmt.Errorf("tmpl: edge (%d,%d) out of range [0,%d)", u, v, k)
+		}
+		if u == v {
+			return nil, fmt.Errorf("tmpl: self-loop at %d", u)
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return nil, fmt.Errorf("tmpl: duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+		adj[u] = append(adj[u], int8(v))
+		adj[v] = append(adj[v], int8(u))
+	}
+	t := &Template{name: name, adj: adj}
+	if labels != nil {
+		t.labels = append([]int32(nil), labels...)
+	}
+	// k-1 edges + connected => tree.
+	visited := make([]bool, k)
+	stack := []int8{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !visited[u] {
+				visited[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	if count != k {
+		return nil, fmt.Errorf("tmpl: template is not connected (%d of %d vertices reachable)", count, k)
+	}
+	return t, nil
+}
+
+// MustTree is NewTree for statically known-valid inputs; it panics on
+// error.
+func MustTree(name string, k int, edges [][2]int, labels []int32) *Template {
+	t, err := NewTree(name, k, edges, labels)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// K returns the number of template vertices.
+func (t *Template) K() int { return len(t.adj) }
+
+// Name returns the template's display name.
+func (t *Template) Name() string { return t.name }
+
+// Adj returns the neighbors of template vertex v. The slice aliases
+// internal storage and must not be modified.
+func (t *Template) Adj(v int) []int8 { return t.adj[v] }
+
+// Degree returns the degree of template vertex v.
+func (t *Template) Degree(v int) int { return len(t.adj[v]) }
+
+// Labeled reports whether the template carries vertex labels.
+func (t *Template) Labeled() bool { return t.labels != nil }
+
+// Label returns the label of template vertex v (0 when unlabeled).
+func (t *Template) Label(v int) int32 {
+	if t.labels == nil {
+		return 0
+	}
+	return t.labels[v]
+}
+
+// Edges returns each tree edge once with smaller endpoint first.
+func (t *Template) Edges() [][2]int {
+	out := make([][2]int, 0, t.K()-1)
+	for v := range t.adj {
+		for _, u := range t.adj[v] {
+			if v < int(u) {
+				out = append(out, [2]int{v, int(u)})
+			}
+		}
+	}
+	return out
+}
+
+// WithLabels returns a copy of t carrying the given vertex labels.
+func (t *Template) WithLabels(name string, labels []int32) (*Template, error) {
+	return NewTree(name, t.K(), t.Edges(), labels)
+}
+
+// String renders the template as its name and edge list.
+func (t *Template) String() string {
+	var sb strings.Builder
+	if t.name != "" {
+		sb.WriteString(t.name)
+		sb.WriteByte(' ')
+	}
+	fmt.Fprintf(&sb, "k=%d", t.K())
+	for _, e := range t.Edges() {
+		fmt.Fprintf(&sb, " %d-%d", e[0], e[1])
+	}
+	return sb.String()
+}
+
+// Parse builds a template from a compact edge-list string such as
+// "0-1 1-2 1-3". Vertex count is max id + 1.
+func Parse(name, s string) (*Template, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("tmpl: empty template spec")
+	}
+	edges := make([][2]int, 0, len(fields))
+	k := 0
+	for _, f := range fields {
+		parts := strings.Split(f, "-")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("tmpl: malformed edge %q (want u-v)", f)
+		}
+		u, err1 := strconv.Atoi(parts[0])
+		v, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("tmpl: malformed edge %q", f)
+		}
+		edges = append(edges, [2]int{u, v})
+		if u+1 > k {
+			k = u + 1
+		}
+		if v+1 > k {
+			k = v + 1
+		}
+	}
+	return NewTree(name, k, edges, nil)
+}
+
+// Path returns the path template on k vertices (0-1-2-...-k-1).
+func Path(k int) *Template {
+	edges := make([][2]int, 0, k-1)
+	for i := 0; i < k-1; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return MustTree(fmt.Sprintf("P%d", k), k, edges, nil)
+}
+
+// Star returns the star template on k vertices (vertex 0 is the center).
+func Star(k int) *Template {
+	edges := make([][2]int, 0, k-1)
+	for i := 1; i < k; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return MustTree(fmt.Sprintf("S%d", k), k, edges, nil)
+}
+
+// Spider returns a spider: vertex 0 is the center and one path of each
+// given length is attached to it.
+func Spider(lengths ...int) *Template {
+	k := 1
+	for _, l := range lengths {
+		if l < 1 {
+			panic("tmpl: spider leg length must be >= 1")
+		}
+		k += l
+	}
+	edges := make([][2]int, 0, k-1)
+	next := 1
+	for _, l := range lengths {
+		prev := 0
+		for i := 0; i < l; i++ {
+			edges = append(edges, [2]int{prev, next})
+			prev = next
+			next++
+		}
+	}
+	name := "spider"
+	for _, l := range lengths {
+		name += fmt.Sprintf("-%d", l)
+	}
+	return MustTree(name, k, edges, nil)
+}
+
+// Dot renders the template in Graphviz DOT format (labels shown when
+// present), for documentation and debugging.
+func (t *Template) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", t.name)
+	for v := 0; v < t.K(); v++ {
+		if t.Labeled() {
+			fmt.Fprintf(&sb, "  %d [label=\"%d (L%d)\"];\n", v, v, t.Label(v))
+		} else {
+			fmt.Fprintf(&sb, "  %d;\n", v)
+		}
+	}
+	for _, e := range t.Edges() {
+		fmt.Fprintf(&sb, "  %d -- %d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,266 @@
+package fascia
+
+import (
+	"fmt"
+
+	"repro/internal/dp"
+	"repro/internal/part"
+	"repro/internal/table"
+)
+
+// TableLayout selects the dynamic-table storage layout (§III-C).
+type TableLayout int
+
+const (
+	// TableLazy is the paper's improved layout: per-vertex rows allocated
+	// on demand. The default.
+	TableLazy TableLayout = iota
+	// TableNaive preallocates all rows (the paper's baseline).
+	TableNaive
+	// TableHash stores only nonzero cells in a hash table keyed by
+	// vid·Nc + colorIndex (best for high-selectivity templates).
+	TableHash
+)
+
+func (l TableLayout) String() string {
+	switch l {
+	case TableLazy:
+		return "lazy"
+	case TableNaive:
+		return "naive"
+	case TableHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("TableLayout(%d)", int(l))
+	}
+}
+
+func (l TableLayout) kind() (table.Kind, error) {
+	switch l {
+	case TableLazy:
+		return table.Lazy, nil
+	case TableNaive:
+		return table.Naive, nil
+	case TableHash:
+		return table.Hash, nil
+	default:
+		return 0, fmt.Errorf("fascia: unknown table layout %d", int(l))
+	}
+}
+
+// PartitionStrategy selects the template partitioning heuristic (§III-D).
+type PartitionStrategy int
+
+const (
+	// PartitionOneAtATime peels single vertices whenever possible (the
+	// paper's preferred strategy). The default.
+	PartitionOneAtATime PartitionStrategy = iota
+	// PartitionBalanced cuts subtemplates as evenly as possible.
+	PartitionBalanced
+)
+
+func (s PartitionStrategy) String() string {
+	switch s {
+	case PartitionOneAtATime:
+		return "one-at-a-time"
+	case PartitionBalanced:
+		return "balanced"
+	default:
+		return fmt.Sprintf("PartitionStrategy(%d)", int(s))
+	}
+}
+
+func (s PartitionStrategy) strategy() (part.Strategy, error) {
+	switch s {
+	case PartitionOneAtATime:
+		return part.OneAtATime, nil
+	case PartitionBalanced:
+		return part.Balanced, nil
+	default:
+		return 0, fmt.Errorf("fascia: unknown partition strategy %d", int(s))
+	}
+}
+
+// ParallelMode selects between the paper's two multithreading schemes
+// (§III-E).
+type ParallelMode int
+
+const (
+	// ParallelAuto picks inner-loop parallelism for large graphs and
+	// outer-loop for small ones. The default.
+	ParallelAuto ParallelMode = iota
+	// ParallelInner shards the per-vertex loop of each DP pass.
+	ParallelInner
+	// ParallelOuter runs whole iterations concurrently.
+	ParallelOuter
+	// ParallelHybrid nests inner-loop workers inside concurrent
+	// iterations (the paper's stated future work, implemented here).
+	ParallelHybrid
+)
+
+func (m ParallelMode) String() string {
+	switch m {
+	case ParallelAuto:
+		return "auto"
+	case ParallelInner:
+		return "inner"
+	case ParallelOuter:
+		return "outer"
+	case ParallelHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("ParallelMode(%d)", int(m))
+	}
+}
+
+func (m ParallelMode) mode() (dp.Mode, error) {
+	switch m {
+	case ParallelAuto:
+		return dp.Auto, nil
+	case ParallelInner:
+		return dp.Inner, nil
+	case ParallelOuter:
+		return dp.Outer, nil
+	case ParallelHybrid:
+		return dp.Hybrid, nil
+	default:
+		return 0, fmt.Errorf("fascia: unknown parallel mode %d", int(m))
+	}
+}
+
+// Options configures a counting run. The zero value is usable and equals
+// DefaultOptions() except for RootVertex, which DefaultOptions sets to -1
+// (automatic); prefer DefaultOptions().With... chains.
+type Options struct {
+	// Iterations is the number of color-coding iterations (Algorithm 1).
+	// When 0, the count is derived from Epsilon/Delta if set, else 1.
+	Iterations int
+	// Epsilon and Delta request the theoretical iteration count
+	// guaranteeing relative error Epsilon with confidence 1-2·Delta.
+	// Only consulted when Iterations == 0.
+	Epsilon, Delta float64
+	// Colors is the number of colors (0 = template size, the default).
+	Colors int
+	// Threads bounds worker goroutines (0 = GOMAXPROCS).
+	Threads int
+	// Parallel selects the multithreading scheme.
+	Parallel ParallelMode
+	// Table selects the dynamic-table layout.
+	Table TableLayout
+	// Partition selects the template partitioning heuristic.
+	Partition PartitionStrategy
+	// ShareSubtemplates merges isomorphic rooted subtemplates, trading
+	// time for memory (§III-C/D).
+	ShareSubtemplates bool
+	// Seed makes runs reproducible; iteration i colors with Seed+i.
+	Seed int64
+	// RootVertex (>= 0) forces the template root; negative = automatic.
+	// The root determines which orbit per-vertex counts measure.
+	RootVertex int
+	// DisableLeafSpecial turns off the single-vertex-child fast paths
+	// (for ablations; results are unchanged).
+	DisableLeafSpecial bool
+	// KeepTables retains the final iteration's tables for
+	// SampleEmbeddings.
+	KeepTables bool
+}
+
+// DefaultOptions returns the paper-faithful defaults.
+func DefaultOptions() Options {
+	return Options{RootVertex: -1}
+}
+
+// WithIterations returns a copy of o running exactly n iterations.
+func (o Options) WithIterations(n int) Options {
+	o.Iterations = n
+	return o
+}
+
+// WithAccuracy returns a copy of o deriving the iteration count from the
+// (eps, delta) guarantee. Beware: the theoretical bound is enormous for
+// large templates; the paper's experiments show a handful of iterations
+// suffice in practice.
+func (o Options) WithAccuracy(eps, delta float64) Options {
+	o.Iterations = 0
+	o.Epsilon, o.Delta = eps, delta
+	return o
+}
+
+// WithSeed returns a copy of o with the given random seed.
+func (o Options) WithSeed(seed int64) Options {
+	o.Seed = seed
+	return o
+}
+
+// WithThreads returns a copy of o bounded to n worker goroutines.
+func (o Options) WithThreads(n int) Options {
+	o.Threads = n
+	return o
+}
+
+// WithTable returns a copy of o using the given table layout.
+func (o Options) WithTable(l TableLayout) Options {
+	o.Table = l
+	return o
+}
+
+// WithPartition returns a copy of o using the given partition strategy.
+func (o Options) WithPartition(s PartitionStrategy) Options {
+	o.Partition = s
+	return o
+}
+
+// WithParallel returns a copy of o using the given parallel mode.
+func (o Options) WithParallel(m ParallelMode) Options {
+	o.Parallel = m
+	return o
+}
+
+// iterations resolves the iteration count.
+func (o Options) iterations(templateK int) int {
+	if o.Iterations > 0 {
+		return o.Iterations
+	}
+	if o.Epsilon > 0 && o.Delta > 0 {
+		return dp.IterationsFor(o.Epsilon, o.Delta, templateK)
+	}
+	return 1
+}
+
+// config lowers Options to the internal engine configuration.
+func (o Options) config() (dp.Config, error) {
+	kind, err := o.Table.kind()
+	if err != nil {
+		return dp.Config{}, err
+	}
+	strat, err := o.Partition.strategy()
+	if err != nil {
+		return dp.Config{}, err
+	}
+	mode, err := o.Parallel.mode()
+	if err != nil {
+		return dp.Config{}, err
+	}
+	root := o.RootVertex
+	if root < 0 {
+		root = -1
+	}
+	return dp.Config{
+		Colors:             o.Colors,
+		TableKind:          kind,
+		Strategy:           strat,
+		Share:              o.ShareSubtemplates,
+		Mode:               mode,
+		Workers:            o.Threads,
+		Seed:               o.Seed,
+		RootVertex:         root,
+		DisableLeafSpecial: o.DisableLeafSpecial,
+		KeepTables:         o.KeepTables,
+	}, nil
+}
+
+// IterationsFor returns the theoretical iteration count for an (eps,
+// delta) guarantee on k-vertex templates: ceil(e^k·ln(1/delta)/eps²).
+func IterationsFor(eps, delta float64, k int) int {
+	return dp.IterationsFor(eps, delta, k)
+}

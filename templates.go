@@ -1,0 +1,52 @@
+package fascia
+
+import "repro/internal/tmpl"
+
+// NewTemplate builds a tree template from an undirected edge list over
+// vertices 0..k-1; labels may be nil.
+func NewTemplate(name string, k int, edges [][2]int, labels []int32) (*Template, error) {
+	return tmpl.NewTree(name, k, edges, labels)
+}
+
+// ParseTemplate builds a template from a compact edge-list string such as
+// "0-1 1-2 1-3".
+func ParseTemplate(name, spec string) (*Template, error) {
+	return tmpl.Parse(name, spec)
+}
+
+// TemplateByName returns one of the paper's benchmark templates: U3-1,
+// U3-2, U5-1, U5-2, U7-1, U7-2, U10-1, U10-2, U12-1, U12-2.
+func TemplateByName(name string) (*Template, error) {
+	return tmpl.Named(name)
+}
+
+// MustTemplate is TemplateByName for known-valid names; panics on error.
+func MustTemplate(name string) *Template {
+	return tmpl.MustNamed(name)
+}
+
+// PaperTemplates returns all ten benchmark templates in the paper's
+// evaluation order.
+func PaperTemplates() []*Template { return tmpl.NamedTemplates() }
+
+// PaperTemplateNames lists the benchmark template names in order.
+func PaperTemplateNames() []string {
+	return append([]string(nil), tmpl.NamedTemplateNames...)
+}
+
+// PathTemplate returns the path on k vertices.
+func PathTemplate(k int) *Template { return tmpl.Path(k) }
+
+// StarTemplate returns the star on k vertices (vertex 0 is the center).
+func StarTemplate(k int) *Template { return tmpl.Star(k) }
+
+// AllTrees returns every non-isomorphic free tree on k vertices
+// (1 <= k <= 12): 11 at k=7, 106 at k=10, 551 at k=12.
+func AllTrees(k int) []*Template { return tmpl.AllTrees(k) }
+
+// NumFreeTrees returns the number of free trees on k vertices.
+func NumFreeTrees(k int) int { return tmpl.NumFreeTrees(k) }
+
+// TemplatesIsomorphic reports whether two templates are isomorphic as
+// free (optionally labeled) trees.
+func TemplatesIsomorphic(a, b *Template) bool { return tmpl.IsIsomorphic(a, b) }
