@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is the tier-1+ verification gate:
+# vet, build, full tests, race coverage of the concurrent packages, and
+# a one-shot smoke run of the kernel benchmarks (compiles and exercises
+# the direct/aggregate/auto matrix without timing anything meaningful).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench-kernel
+
+ci: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/dp ./internal/table
+
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkKernel -benchtime=1x ./internal/dp
+
+# Full kernel comparison (the numbers quoted in DESIGN.md "DP kernels").
+bench-kernel:
+	$(GO) test -run='^$$' -bench=BenchmarkKernelDirectVsAggregate -benchtime=10x -count=3 ./internal/dp

@@ -43,6 +43,7 @@ func run(args []string) error {
 		threads    = fs.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
 		mode       = fs.String("parallel", "auto", "parallelization: auto, inner, outer, hybrid")
 		layout     = fs.String("table", "lazy", "table layout: lazy, naive, hash")
+		kernel     = fs.String("kernel", "auto", "DP combination kernel: auto, direct, aggregate")
 		partition  = fs.String("partition", "one", "partitioning: one (one-at-a-time), balanced")
 		share      = fs.Bool("share", false, "share isomorphic subtemplates (memory for time)")
 		seed       = fs.Int64("seed", 0, "random seed")
@@ -106,6 +107,16 @@ func run(args []string) error {
 		opt = opt.WithTable(fascia.TableHash)
 	default:
 		return fmt.Errorf("unknown -table %q", *layout)
+	}
+	switch *kernel {
+	case "auto":
+		opt = opt.WithKernel(fascia.KernelAuto)
+	case "direct":
+		opt = opt.WithKernel(fascia.KernelDirect)
+	case "aggregate":
+		opt = opt.WithKernel(fascia.KernelAggregate)
+	default:
+		return fmt.Errorf("unknown -kernel %q", *kernel)
 	}
 	switch *partition {
 	case "one":

@@ -19,23 +19,50 @@ type iterState struct {
 	// remaining consumer counts per node; a table is released when its
 	// last consumer finishes (unless the engine keeps tables).
 	remaining map[*part.Node]int
-	// peakBytes tracks the maximum summed footprint of live tables.
+	// liveBytes is the running summed footprint of live tables, updated
+	// on table fill and release — O(1) peak tracking instead of
+	// re-summing the table map after every node.
+	liveBytes int64
+	// peakBytes tracks the maximum liveBytes observed.
 	peakBytes int64
 	// workers for the inner-parallel per-vertex loop (1 = sequential).
 	workers int
 	// keep retains every node's table (disables eager release) so the
 	// caller can read or sample from them after the pass.
 	keep bool
-	// storeMu serializes stores into layouts that are not safe for
-	// concurrent writers (the hash layout).
-	storeMu sync.Mutex
 }
 
-// scratch is per-worker reusable buffer space.
+// scratch is per-worker reusable buffer space, pooled on the Engine so it
+// is reused across nodes, workers, and iterations instead of reallocated
+// per computeNode call. All row buffers are sized to the engine's widest
+// table (maxNC >= ncP for every node).
 type scratch struct {
-	buf    []float64 // output row, len = NumSets of current node
-	actRow []float64 // materialized active row (hash layout fallback)
-	pasRow []float64 // materialized passive row (hash layout fallback)
+	buf      []float64 // output row, sliced to NumSets of current node
+	actRow   []float64 // materialized active row (hash layout fallback)
+	pasRow   []float64 // materialized passive row (hash layout fallback)
+	agg      []float64 // aggregated neighbor passive rows (SpMM kernel)
+	colorAgg []float64 // per-color neighbor sums (pN == 1 kernels), len k
+	// kernel-choice tallies, flushed to the engine counters on putScratch.
+	directN int64
+	aggN    int64
+}
+
+// getScratch hands out pooled per-worker scratch space.
+func (e *Engine) getScratch() *scratch {
+	return e.scratchPool.Get().(*scratch)
+}
+
+// putScratch returns scratch to the pool, flushing its kernel tallies.
+func (e *Engine) putScratch(sc *scratch) {
+	if sc.directN != 0 {
+		e.kernelDirect.Add(sc.directN)
+		sc.directN = 0
+	}
+	if sc.aggN != 0 {
+		e.kernelAggregate.Add(sc.aggN)
+		sc.aggN = 0
+	}
+	e.scratchPool.Put(sc)
 }
 
 func (e *Engine) newIterState(rng *rand.Rand, workers int) *iterState {
@@ -69,7 +96,10 @@ func (st *iterState) run() float64 {
 		} else {
 			st.computeNode(n, tab)
 		}
-		st.trackPeak()
+		st.liveBytes += tab.Bytes()
+		if st.liveBytes > st.peakBytes {
+			st.peakBytes = st.liveBytes
+		}
 		if !n.IsLeaf() {
 			st.releaseChildren(n)
 		}
@@ -84,16 +114,6 @@ func (st *iterState) run() float64 {
 	return total
 }
 
-func (st *iterState) trackPeak() {
-	var sum int64
-	for _, tab := range st.tabs {
-		sum += tab.Bytes()
-	}
-	if sum > st.peakBytes {
-		st.peakBytes = sum
-	}
-}
-
 func (st *iterState) releaseChildren(n *part.Node) {
 	if st.keep {
 		return
@@ -101,7 +121,9 @@ func (st *iterState) releaseChildren(n *part.Node) {
 	for _, ch := range []*part.Node{n.Active, n.Passive} {
 		st.remaining[ch]--
 		if st.remaining[ch] == 0 {
-			st.tabs[ch].Release()
+			tab := st.tabs[ch]
+			st.liveBytes -= tab.Bytes()
+			tab.Release()
 			delete(st.tabs, ch)
 		}
 	}
@@ -129,41 +151,46 @@ func (st *iterState) initLeaf(n *part.Node, tab table.Table) {
 
 // computeNode fills the table of an internal node from its children's
 // tables (Algorithm 2, lines 7-15), sharding vertices across workers.
+//
+// Workers never read the table being written (vertex passes read only the
+// children's completed tables), so for layouts that are unsafe for
+// concurrent writers (Hash) each worker fills a private staging table
+// lock-free and the stagings are merged after the barrier — no global
+// store mutex serializing the workers.
 func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 	e := st.e
-	act := st.tabs[n.Active]
-	pas := st.tabs[n.Passive]
-	nc := tab.NumSets()
-	ncP := int(comb.Binomial(e.k, n.Passive.Size()))
-	split := e.splits[[2]int{n.Size(), n.Active.Size()}]
-	special := !e.cfg.DisableLeafSpecial
-	singles := e.singles[n.Size()] // nil unless a child of this size-class is a single vertex
-
+	ctx := st.nodeContext(n, tab)
 	nVerts := int32(e.g.N())
+
 	if st.workers <= 1 {
-		sc := &scratch{
-			buf:    make([]float64, nc),
-			actRow: make([]float64, e.maxNC),
-			pasRow: make([]float64, e.maxNC),
-		}
+		sc := e.getScratch()
 		for v := int32(0); v < nVerts; v++ {
-			st.vertexPass(n, tab, act, pas, split, special, singles, nc, ncP, v, sc)
+			st.vertexPass(ctx, tab, v, sc)
 		}
+		e.putScratch(sc)
 		return
 	}
 
+	mainHash, stage := tab.(*table.HashTable)
+	var stagings []*table.HashTable
+	if stage {
+		stagings = make([]*table.HashTable, st.workers)
+	}
 	const chunk = 512
 	var next atomic.Int32
 	var wg sync.WaitGroup
 	for w := 0; w < st.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			sc := &scratch{
-				buf:    make([]float64, nc),
-				actRow: make([]float64, e.maxNC),
-				pasRow: make([]float64, e.maxNC),
+			target := tab
+			if stage {
+				s := table.NewHash(int(nVerts), ctx.nc)
+				stagings[w] = s
+				target = s
 			}
+			sc := e.getScratch()
+			defer e.putScratch(sc)
 			for {
 				start := next.Add(chunk) - chunk
 				if start >= nVerts {
@@ -174,143 +201,20 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 					end = nVerts
 				}
 				for v := start; v < end; v++ {
-					st.vertexPass(n, tab, act, pas, split, special, singles, nc, ncP, v, sc)
+					st.vertexPass(ctx, target, v, sc)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-}
-
-// vertexPass computes the full color-set row of one vertex v for node n.
-func (st *iterState) vertexPass(
-	n *part.Node, tab, act, pas table.Table,
-	split *comb.SplitTable, special bool, singles [][]comb.SingletonEntry,
-	nc, ncP int, v int32, sc *scratch,
-) {
-	if !act.Has(v) {
-		return
-	}
-	e := st.e
-	aN, pN := n.Active.Size(), n.Passive.Size()
-	buf := sc.buf
-	for i := range buf {
-		buf[i] = 0
-	}
-	any := false
-	adj := e.g.Adj(v)
-
-	switch {
-	case special && aN == 1 && pN == 1:
-		// Both children are single vertices: the only contributing color
-		// set is {color(v), color(u)} with distinct colors.
-		av := act.Get(v, int32(st.colors[v]))
-		if av == 0 {
-			return
-		}
-		cv := int(st.colors[v])
-		for _, u := range adj {
-			cu := int(st.colors[u])
-			if cu == cv || !pas.Has(u) {
-				continue
-			}
-			pv := pas.Get(u, int32(cu))
-			if pv != 0 {
-				buf[comb.PairIndex(cv, cu)] += av * pv
-				any = true
-			}
-		}
-
-	case special && singles != nil && aN == 1:
-		// Active child is the root alone: only color sets containing
-		// color(v) contribute, and the passive part is C \ {color(v)} —
-		// the (k-1)/k work reduction of §III-D.
-		av := act.Get(v, int32(st.colors[v]))
-		if av == 0 {
-			return
-		}
-		entries := singles[int(st.colors[v])]
-		for _, u := range adj {
-			if !pas.Has(u) {
-				continue
-			}
-			if prow := pas.Row(u); prow != nil {
-				for _, en := range entries {
-					if pv := prow[en.RestIdx]; pv != 0 {
-						buf[en.SetIdx] += av * pv
-						any = true
-					}
-				}
-			} else {
-				for _, en := range entries {
-					if pv := pas.Get(u, en.RestIdx); pv != 0 {
-						buf[en.SetIdx] += av * pv
-						any = true
-					}
-				}
-			}
-		}
-
-	case special && singles != nil && pN == 1:
-		// Passive child is a single vertex: for neighbor u only color
-		// sets containing color(u) contribute, with the active part
-		// C \ {color(u)}.
-		arow := materializeRow(act, v, sc.actRow, int(comb.Binomial(e.k, aN)))
-		for _, u := range adj {
-			if !pas.Has(u) {
-				continue
-			}
-			pv := pas.Get(u, int32(st.colors[u]))
-			if pv == 0 {
-				continue
-			}
-			for _, en := range singles[int(st.colors[u])] {
-				if av := arow[en.RestIdx]; av != 0 {
-					buf[en.SetIdx] += av * pv
-					any = true
-				}
-			}
-		}
-
-	default:
-		// General split (Algorithm 2 lines 9-12): for every neighbor u
-		// and every color set C, sum products over all (Ca, Cp) splits.
-		arow := materializeRow(act, v, sc.actRow, int(comb.Binomial(e.k, aN)))
-		spn := split.SplitsPerSet
-		for _, u := range adj {
-			if !pas.Has(u) {
-				continue
-			}
-			prow := pas.Row(u)
-			if prow == nil {
-				prow = materializeRow(pas, u, sc.pasRow, ncP)
-			}
-			for ci := 0; ci < nc; ci++ {
-				base := ci * spn
-				var s float64
-				for j := base; j < base+spn; j++ {
-					if av := arow[split.ActiveIdx[j]]; av != 0 {
-						s += av * prow[split.PassiveIdx[j]]
-					}
-				}
-				if s != 0 {
-					buf[ci] += s
-					any = true
-				}
+	if stage {
+		for _, s := range stagings {
+			if s != nil {
+				mainHash.MergeFrom(s)
+				s.Release()
 			}
 		}
 	}
-
-	if !any {
-		return
-	}
-	if _, isHash := tab.(*table.HashTable); isHash && st.workers > 1 {
-		st.storeMu.Lock()
-		tab.StoreRow(v, buf)
-		st.storeMu.Unlock()
-		return
-	}
-	tab.StoreRow(v, buf)
 }
 
 // materializeRow returns a direct row when the layout has one, otherwise

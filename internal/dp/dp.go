@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/comb"
 	"repro/internal/graph"
@@ -85,6 +87,12 @@ type Config struct {
 	// DisableLeafSpecial turns off the single-vertex-child fast paths
 	// (ablation switch; results must not change).
 	DisableLeafSpecial bool
+	// Kernel selects the internal-node combination kernel: KernelAuto
+	// (default) picks per vertex by a degree/width cost model,
+	// KernelDirect forces per-neighbor split contraction, and
+	// KernelAggregate forces the SpMM-style neighbor-aggregation kernel.
+	// Results are identical in all modes.
+	Kernel KernelMode
 	// KeepTables retains all subtemplate tables after a run, enabling
 	// embedding sampling at the cost of the memory the eager-release
 	// schedule would have saved. It forces Share off.
@@ -119,6 +127,15 @@ type Engine struct {
 
 	splits  map[[2]int]*comb.SplitTable     // (size, activeSize) -> table
 	singles map[int][][]comb.SingletonEntry // size -> per-color entries
+
+	// scratchPool recycles per-worker scratch buffers across nodes,
+	// workers, and iterations (outer-parallel iterations share it too).
+	scratchPool sync.Pool
+	// kernelDirect / kernelAggregate count vertex passes executed by each
+	// kernel since engine creation, for diagnostics and the fasciabench
+	// kernel ablation.
+	kernelDirect    atomic.Int64
+	kernelAggregate atomic.Int64
 
 	// kept tables from the last iteration when cfg.KeepTables is set.
 	kept       map[*part.Node]table.Table
@@ -181,7 +198,22 @@ func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	e.scratchPool.New = func() any {
+		return &scratch{
+			buf:      make([]float64, e.maxNC),
+			actRow:   make([]float64, e.maxNC),
+			pasRow:   make([]float64, e.maxNC),
+			agg:      make([]float64, e.maxNC),
+			colorAgg: make([]float64, e.k),
+		}
+	}
 	return e, nil
+}
+
+// KernelStats returns cumulative counts of internal-node vertex passes
+// executed by the direct and aggregated kernels since engine creation.
+func (e *Engine) KernelStats() (direct, aggregated int64) {
+	return e.kernelDirect.Load(), e.kernelAggregate.Load()
 }
 
 // ColorfulProbability returns k!/((k-t)!·k^t): the probability that a

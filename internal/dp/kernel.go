@@ -1,0 +1,422 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comb"
+	"repro/internal/part"
+	"repro/internal/table"
+)
+
+// KernelMode selects how an internal node combines its children's tables
+// (the hot inner step of Algorithm 2).
+//
+// The direct kernel re-runs the full (Ca, Cp) split contraction for every
+// neighbor: O(deg(v) · C(k,h)·C(h,aN)) work per vertex. The aggregated
+// kernel exploits that the contraction distributes over the neighbor sum
+// — it first accumulates agg[Cp] = Σ_{u∈N(v)} table_p[u][Cp] into a dense
+// per-worker scratch buffer (an SpMM row: adjacency × passive-count
+// matrix) and then contracts ONCE against the active row, reducing the
+// dominant term to O(deg(v) · C(k,pN) + C(k,h)·C(h,aN)) on sequential
+// memory. Counts are integer-valued float64s, so both summation orders
+// are exact and the results are bit-identical (up to 2^53).
+type KernelMode int
+
+const (
+	// KernelAuto picks direct or aggregated per vertex using a
+	// degree/width cost model (the default).
+	KernelAuto KernelMode = iota
+	// KernelDirect always re-contracts per neighbor (the seed behavior).
+	KernelDirect
+	// KernelAggregate always aggregates neighbor rows first.
+	KernelAggregate
+)
+
+func (m KernelMode) String() string {
+	switch m {
+	case KernelAuto:
+		return "auto"
+	case KernelDirect:
+		return "direct"
+	case KernelAggregate:
+		return "aggregate"
+	default:
+		return fmt.Sprintf("KernelMode(%d)", int(m))
+	}
+}
+
+// kernel branch identifiers: which specialization an internal node uses.
+// The branch is a property of the node (child sizes + config), fixed for
+// all vertices of a pass.
+type kernelBranch uint8
+
+const (
+	branchGeneral       kernelBranch = iota // general (Ca, Cp) split contraction
+	branchSize2                             // both children single vertices
+	branchActiveSingle                      // active child is a single vertex
+	branchPassiveSingle                     // passive child is a single vertex
+)
+
+// neverAggregate is an unreachable degree threshold.
+const neverAggregate = math.MaxInt
+
+// directCellCost calibrates the cost model for memory behavior: one cell
+// touched by the direct kernel (a split-table-indexed gather plus a
+// dependent multiply-add, repeated per neighbor) costs about this many
+// aggregated-kernel cell operations (a sequential streaming add that the
+// compiler can pipeline). Measured ~2x on amd64 across the three table
+// layouts; a pure operation count (factor 1) makes auto under-aggregate
+// badly on mid-size nodes where the direct gather footprint no longer
+// fits in L1.
+const directCellCost = 2
+
+// nodeCtx carries everything a vertex pass needs for one internal node,
+// precomputed once per computeNode call instead of re-derived per vertex.
+type nodeCtx struct {
+	n        *part.Node
+	act, pas table.Table
+	split    *comb.SplitTable
+	singles  [][]comb.SingletonEntry
+
+	branch kernelBranch
+	aN, pN int
+	nc     int // NumSets of this node: C(k, h)
+	ncA    int // active child width: C(k, aN)
+	ncP    int // passive child width: C(k, pN)
+	spn    int // splits per color set: C(h, aN)
+
+	mode KernelMode
+	// aggMinDeg is the KernelAuto decision threshold: vertices with
+	// degree >= aggMinDeg run the aggregated kernel.
+	aggMinDeg int
+}
+
+// nodeContext builds the per-node kernel context, resolving the kernel
+// choice. The cost model compares per-vertex work at degree d, weighting
+// each cell the direct kernel touches by its access pattern: the general
+// direct kernel accumulates into a register (one gather per split cell,
+// weight α = directCellCost), while the singleton-entry kernels scatter
+// into buf per entry (source gather + buf scatter, weight 2α). Aggregated
+// cells are sequential streaming adds (weight 1), and the aggregated
+// contraction runs the same direct inner loop once per vertex instead of
+// once per neighbor:
+//
+//	general:        α·d·nc·spn vs d·ncP + α·nc·spn    (E = C(k-1,h-1))
+//	active-single:  2α·d·E     vs d·ncP + 2α·E
+//	passive-single: 2α·d·E     vs d + 2α·k·E
+//	size-2:         α·d        vs d + k   (colorAgg grouping)
+//
+// and solves each inequality for the break-even degree once per node.
+// Aggregation never wins where the inequality has no solution — only
+// active-single nodes on the upper half of the template, where each
+// neighbor's dense passive row (ncP = C(k,h-1) cells) is wider than the
+// 2α-weighted entry list the direct kernel reads.
+func (st *iterState) nodeContext(n *part.Node, tab table.Table) *nodeCtx {
+	e := st.e
+	ctx := &nodeCtx{
+		n:       n,
+		act:     st.tabs[n.Active],
+		pas:     st.tabs[n.Passive],
+		split:   e.splits[[2]int{n.Size(), n.Active.Size()}],
+		singles: e.singles[n.Size()],
+		aN:      n.Active.Size(),
+		pN:      n.Passive.Size(),
+		nc:      tab.NumSets(),
+		mode:    e.cfg.Kernel,
+	}
+	ctx.ncA = int(comb.Binomial(e.k, ctx.aN))
+	ctx.ncP = int(comb.Binomial(e.k, ctx.pN))
+	ctx.spn = ctx.split.SplitsPerSet
+
+	special := !e.cfg.DisableLeafSpecial
+	scatter := 2 * directCellCost // per-entry weight of the scatter kernels
+	switch {
+	case special && ctx.aN == 1 && ctx.pN == 1:
+		ctx.branch = branchSize2
+		// Grouping neighbors by color saves the per-neighbor pair-index
+		// scatter: α·d vs d + k, i.e. d·(α-1) > k.
+		ctx.aggMinDeg = e.k/(directCellCost-1) + 1
+	case special && ctx.singles != nil && ctx.aN == 1:
+		ctx.branch = branchActiveSingle
+		// E = entries per color = C(k-1, h-1); aggregation streams the
+		// full ncP-wide passive row per neighbor instead of E scattered
+		// entries, so it wins when 2α·d·E > d·ncP + 2α·E, i.e.
+		// d·(2α·E - ncP) > 2α·E.
+		if entries := int(comb.Binomial(e.k-1, n.Size()-1)); scatter*entries > ctx.ncP {
+			ctx.aggMinDeg = (scatter*entries)/(scatter*entries-ctx.ncP) + 1
+		} else {
+			ctx.aggMinDeg = neverAggregate
+		}
+	case special && ctx.singles != nil && ctx.pN == 1:
+		ctx.branch = branchPassiveSingle
+		// E = entries per color = C(k-1, h-1); folding neighbors into k
+		// per-color sums costs one L1 add each and defers the entry
+		// scatter to once per color: 2α·d·E > d + 2α·k·E, i.e.
+		// d·(2α·E - 1) > 2α·k·E.
+		entries := int(comb.Binomial(e.k-1, n.Size()-1))
+		ctx.aggMinDeg = (scatter*e.k*entries)/(scatter*entries-1) + 1
+	default:
+		ctx.branch = branchGeneral
+		// Aggregate wins when α·d·nc·spn > d·ncP + α·nc·spn, i.e.
+		// d·(α·nc·spn - ncP) > α·nc·spn. Since nc·spn counts disjoint
+		// (Ca, Cp) pairs it is always ≥ ncP, so the threshold is finite
+		// (2 at the root, where nc·spn == ncP).
+		ncSpn := directCellCost * ctx.nc * ctx.spn
+		ctx.aggMinDeg = ncSpn/(ncSpn-ctx.ncP) + 1
+	}
+	return ctx
+}
+
+// useAggregate resolves the kernel for one vertex of degree deg.
+func (ctx *nodeCtx) useAggregate(deg int) bool {
+	switch ctx.mode {
+	case KernelDirect:
+		return false
+	case KernelAggregate:
+		return true
+	default:
+		return deg >= ctx.aggMinDeg
+	}
+}
+
+// vertexPass computes the full color-set row of one vertex v for node
+// ctx.n and stores it into tab (which is ctx's node table or a per-worker
+// staging table in Hash inner-parallel mode).
+func (st *iterState) vertexPass(ctx *nodeCtx, tab table.Table, v int32, sc *scratch) {
+	if !ctx.act.Has(v) {
+		return
+	}
+	adj := st.e.g.Adj(v)
+	if len(adj) == 0 {
+		return
+	}
+	aggregate := ctx.useAggregate(len(adj))
+	if aggregate {
+		sc.aggN++
+	} else {
+		sc.directN++
+	}
+	buf := sc.buf[:ctx.nc]
+	for i := range buf {
+		buf[i] = 0
+	}
+
+	var any bool
+	switch ctx.branch {
+	case branchSize2:
+		any = st.passSize2(ctx, v, adj, buf, sc, aggregate)
+	case branchActiveSingle:
+		any = st.passActiveSingle(ctx, v, adj, buf, sc, aggregate)
+	case branchPassiveSingle:
+		any = st.passPassiveSingle(ctx, v, adj, buf, sc, aggregate)
+	default:
+		if aggregate {
+			any = st.passGeneralAggregate(ctx, v, adj, buf, sc)
+		} else {
+			any = st.passGeneralDirect(ctx, v, adj, buf, sc)
+		}
+	}
+	if any {
+		tab.StoreRow(v, buf)
+	}
+}
+
+// passSize2 handles h == 2: both children are single vertices, so the
+// only contributing color set is {color(v), color(u)} with distinct
+// colors. The aggregated variant groups neighbors by color first.
+func (st *iterState) passSize2(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch, aggregate bool) bool {
+	act, pas := ctx.act, ctx.pas
+	av := act.Get(v, int32(st.colors[v]))
+	if av == 0 {
+		return false
+	}
+	cv := int(st.colors[v])
+	any := false
+	if !aggregate {
+		for _, u := range adj {
+			cu := int(st.colors[u])
+			if cu == cv {
+				continue
+			}
+			// Get returns 0 for absent rows on every layout, so no Has
+			// probe is needed (here and in the other single-vertex
+			// branches): zero contributions fall out of the != 0 check.
+			if pv := pas.Get(u, int32(cu)); pv != 0 {
+				buf[comb.PairIndex(cv, cu)] += av * pv
+				any = true
+			}
+		}
+		return any
+	}
+	colorAgg := sc.colorAgg
+	for i := range colorAgg {
+		colorAgg[i] = 0
+	}
+	table.GatherColorsInto(pas, adj, st.colors, colorAgg)
+	// Same-color neighbors were folded into colorAgg[cv] by the bulk
+	// gather; they contribute nothing (no valid pair set), so drop them.
+	colorAgg[cv] = 0
+	for c, s := range colorAgg {
+		if s != 0 {
+			buf[comb.PairIndex(cv, c)] += av * s
+			any = true
+		}
+	}
+	return any
+}
+
+// passActiveSingle handles aN == 1, h > 2: the active child is the root
+// alone, so only color sets containing color(v) contribute and the
+// passive part is C \ {color(v)} — the (k-1)/k work reduction of §III-D.
+// The aggregated variant sums whole passive rows first, then walks the
+// singleton entries once.
+func (st *iterState) passActiveSingle(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch, aggregate bool) bool {
+	act, pas := ctx.act, ctx.pas
+	av := act.Get(v, int32(st.colors[v]))
+	if av == 0 {
+		return false
+	}
+	entries := ctx.singles[int(st.colors[v])]
+	any := false
+	if !aggregate {
+		for _, u := range adj {
+			// Row-first: a non-nil row needs no Has probe; only the Hash
+			// layout (Row always nil) still wants the cheap presence
+			// check before cell-wise Gets.
+			if prow := pas.Row(u); prow != nil {
+				for _, en := range entries {
+					if pv := prow[en.RestIdx]; pv != 0 {
+						buf[en.SetIdx] += av * pv
+						any = true
+					}
+				}
+			} else if pas.Has(u) {
+				for _, en := range entries {
+					if pv := pas.Get(u, en.RestIdx); pv != 0 {
+						buf[en.SetIdx] += av * pv
+						any = true
+					}
+				}
+			}
+		}
+		return any
+	}
+	agg := sc.agg[:ctx.ncP]
+	for i := range agg {
+		agg[i] = 0
+	}
+	table.AccumulateRowsInto(pas, adj, agg)
+	for _, en := range entries {
+		if s := agg[en.RestIdx]; s != 0 {
+			buf[en.SetIdx] += av * s
+			any = true
+		}
+	}
+	return any
+}
+
+// passPassiveSingle handles pN == 1, h > 2: the passive child is a single
+// vertex, so for neighbor u only color sets containing color(u)
+// contribute, with the active part C \ {color(u)}. The aggregated variant
+// folds all neighbors into k per-color sums and walks the singleton
+// entries once per color instead of once per neighbor.
+func (st *iterState) passPassiveSingle(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch, aggregate bool) bool {
+	act, pas := ctx.act, ctx.pas
+	arow := materializeRow(act, v, sc.actRow, ctx.ncA)
+	any := false
+	if !aggregate {
+		for _, u := range adj {
+			pv := pas.Get(u, int32(st.colors[u]))
+			if pv == 0 {
+				continue
+			}
+			for _, en := range ctx.singles[int(st.colors[u])] {
+				if av := arow[en.RestIdx]; av != 0 {
+					buf[en.SetIdx] += av * pv
+					any = true
+				}
+			}
+		}
+		return any
+	}
+	colorAgg := sc.colorAgg
+	for i := range colorAgg {
+		colorAgg[i] = 0
+	}
+	table.GatherColorsInto(pas, adj, st.colors, colorAgg)
+	for c, s := range colorAgg {
+		if s == 0 {
+			continue
+		}
+		for _, en := range ctx.singles[c] {
+			if av := arow[en.RestIdx]; av != 0 {
+				buf[en.SetIdx] += av * s
+				any = true
+			}
+		}
+	}
+	return any
+}
+
+// passGeneralDirect is Algorithm 2 lines 9-12 as in the seed: for every
+// neighbor u and every color set C, sum products over all (Ca, Cp)
+// splits.
+func (st *iterState) passGeneralDirect(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch) bool {
+	act, pas := ctx.act, ctx.pas
+	arow := materializeRow(act, v, sc.actRow, ctx.ncA)
+	split, spn, nc := ctx.split, ctx.spn, ctx.nc
+	any := false
+	for _, u := range adj {
+		prow := pas.Row(u)
+		if prow == nil {
+			if !pas.Has(u) {
+				continue
+			}
+			prow = materializeRow(pas, u, sc.pasRow, ctx.ncP)
+		}
+		for ci := 0; ci < nc; ci++ {
+			base := ci * spn
+			var s float64
+			for j := base; j < base+spn; j++ {
+				if av := arow[split.ActiveIdx[j]]; av != 0 {
+					s += av * prow[split.PassiveIdx[j]]
+				}
+			}
+			if s != 0 {
+				buf[ci] += s
+				any = true
+			}
+		}
+	}
+	return any
+}
+
+// passGeneralAggregate is the SpMM-style restructure of the general
+// split: one neighbor-aggregation sweep building agg[Cp] on sequential
+// memory, then a single split contraction against the active row.
+func (st *iterState) passGeneralAggregate(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch) bool {
+	act, pas := ctx.act, ctx.pas
+	agg := sc.agg[:ctx.ncP]
+	for i := range agg {
+		agg[i] = 0
+	}
+	table.AccumulateRowsInto(pas, adj, agg)
+	arow := materializeRow(act, v, sc.actRow, ctx.ncA)
+	split, spn, nc := ctx.split, ctx.spn, ctx.nc
+	any := false
+	for ci := 0; ci < nc; ci++ {
+		base := ci * spn
+		var s float64
+		for j := base; j < base+spn; j++ {
+			if av := arow[split.ActiveIdx[j]]; av != 0 {
+				s += av * agg[split.PassiveIdx[j]]
+			}
+		}
+		if s != 0 {
+			buf[ci] += s
+			any = true
+		}
+	}
+	return any
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package dp
+
+// raceEnabled is true when the race detector is on.
+const raceEnabled = false

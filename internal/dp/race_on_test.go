@@ -1,0 +1,8 @@
+//go:build race
+
+package dp
+
+// raceEnabled is true when the race detector is on; its instrumentation
+// adds a handful of allocations per iteration, so allocation-budget
+// assertions loosen slightly.
+const raceEnabled = true

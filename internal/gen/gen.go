@@ -53,16 +53,24 @@ func BarabasiAlbert(n, mPer int, seed int64) *graph.Graph {
 			targets = append(targets, int32(u), int32(v))
 		}
 	}
+	// picks records the distinct targets in sampling order: iterating the
+	// dedup map instead would make the graph depend on Go's randomized map
+	// order, breaking seed reproducibility.
 	chosen := make(map[int32]bool, mPer)
+	picks := make([]int32, 0, mPer)
 	for u := seedN; u < n; u++ {
-		for k := range chosen {
-			delete(chosen, k)
+		for _, v := range picks {
+			delete(chosen, v)
 		}
-		for len(chosen) < mPer {
+		picks = picks[:0]
+		for len(picks) < mPer {
 			v := targets[rng.Intn(len(targets))]
-			chosen[v] = true
+			if !chosen[v] {
+				chosen[v] = true
+				picks = append(picks, v)
+			}
 		}
-		for v := range chosen {
+		for _, v := range picks {
 			edges = append(edges, [2]int32{int32(u), v})
 			targets = append(targets, int32(u), v)
 		}

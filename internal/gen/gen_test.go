@@ -221,6 +221,44 @@ func TestPresetsDeterministic(t *testing.T) {
 	}
 }
 
+// adjacencyEqual compares the full wiring, not just sizes: map-iteration
+// bugs produce same-shaped but differently-wired graphs.
+func adjacencyEqual(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := int32(0); v < int32(a.N()); v++ {
+		av, bv := a.Adj(v), b.Adj(v)
+		if len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBarabasiAlbertDeterministic pins exact seed reproducibility of the
+// preferential-attachment generator. Regression: the duplicate-target
+// dedup set used to be flushed edge-ward by ranging over a map, so two
+// runs with the same seed produced identically sized but differently
+// wired graphs (and different CLI estimates for -network enron).
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(500, 5, 42)
+	b := BarabasiAlbert(500, 5, 42)
+	if !adjacencyEqual(a, b) {
+		t.Fatal("BarabasiAlbert wiring differs across runs with the same seed")
+	}
+	// The BA-backed preset (enron) must be wiring-deterministic too.
+	p, _ := ByName("enron")
+	if !adjacencyEqual(p.Build(0.05, 7), p.Build(0.05, 7)) {
+		t.Fatal("enron preset wiring differs across runs with the same seed")
+	}
+}
+
 func statsEqual(a, b *graph.Graph) bool {
 	return a.N() == b.N() && a.M() == b.M()
 }

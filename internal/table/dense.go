@@ -45,6 +45,34 @@ func (d *Dense) StoreRow(v int32, row []float64) {
 	copy(d.Row(v), row)
 }
 
+// AccumulateRow implements RowAccumulator: dst[i] += row(v)[i].
+func (d *Dense) AccumulateRow(v int32, dst []float64) {
+	for i, x := range d.Row(v) {
+		dst[i] += x
+	}
+}
+
+// AccumulateRows implements BulkAccumulator.
+func (d *Dense) AccumulateRows(vs []int32, dst []float64) {
+	ns := d.numSets
+	for _, v := range vs {
+		base := int(v) * ns
+		row := d.data[base : base+ns]
+		for i, x := range row {
+			dst[i] += x
+		}
+	}
+}
+
+// GatherColors implements ColorGatherer.
+func (d *Dense) GatherColors(vs []int32, colors []int8, dst []float64) {
+	ns := d.numSets
+	for _, v := range vs {
+		c := colors[v]
+		dst[c] += d.data[int(v)*ns+int(c)]
+	}
+}
+
 // SumRow implements Table.
 func (d *Dense) SumRow(v int32) float64 {
 	var s float64

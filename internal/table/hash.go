@@ -73,6 +73,57 @@ func (h *HashTable) Get(v int32, ci int32) float64 {
 // Row implements Table; the hash layout has no materialized rows.
 func (h *HashTable) Row(v int32) []float64 { return nil }
 
+// AccumulateRow implements RowAccumulator. The hash layout cannot expose
+// a contiguous row, but it can probe all of the row's cells in a single
+// pass with the key base hoisted — one multiply per row instead of one
+// per cell, and no interface dispatch — which is what keeps the DP's
+// aggregated kernel from degrading to per-cell Get calls.
+func (h *HashTable) AccumulateRow(v int32, dst []float64) {
+	if !h.Has(v) {
+		return
+	}
+	base := int64(v) * int64(h.numSets)
+	for ci := 0; ci < h.numSets; ci++ {
+		key := base + int64(ci)
+		for i := h.mix(key); ; i = (i + 1) & h.mask {
+			k := h.keys[i]
+			if k == key {
+				dst[ci] += h.vals[i]
+				break
+			}
+			if k == emptyKey {
+				break
+			}
+		}
+	}
+}
+
+// AccumulateRows implements BulkAccumulator.
+func (h *HashTable) AccumulateRows(vs []int32, dst []float64) {
+	for _, v := range vs {
+		h.AccumulateRow(v, dst)
+	}
+}
+
+// GatherColors implements ColorGatherer: one probe per vertex for its
+// single relevant cell (v, colors[v]).
+func (h *HashTable) GatherColors(vs []int32, colors []int8, dst []float64) {
+	for _, v := range vs {
+		c := colors[v]
+		key := int64(v)*int64(h.numSets) + int64(c)
+		for i := h.mix(key); ; i = (i + 1) & h.mask {
+			k := h.keys[i]
+			if k == key {
+				dst[c] += h.vals[i]
+				break
+			}
+			if k == emptyKey {
+				break
+			}
+		}
+	}
+}
+
 func (h *HashTable) grow() {
 	oldKeys, oldVals := h.keys, h.vals
 	h.init(len(oldKeys) * 2)
@@ -173,3 +224,30 @@ func (h *HashTable) Release() {
 // Load returns the number of stored cells; exposed for tests and memory
 // diagnostics.
 func (h *HashTable) Load() int { return h.count }
+
+// MergeFrom inserts every cell of src into h (overwriting duplicates) and
+// ORs src's presence bits in. Both tables must have the same NumSets and
+// vertex count for the keys and bitsets to correspond. The DP's
+// inner-parallel mode uses this to combine per-worker staging tables
+// after a pass barrier, which is what lets workers fill Hash-layout
+// tables lock-free.
+func (h *HashTable) MergeFrom(src *HashTable) {
+	if src == nil || src.numSets != h.numSets {
+		if src != nil {
+			panic("table: MergeFrom across differing NumSets")
+		}
+		return
+	}
+	for i, k := range src.keys {
+		if k == emptyKey {
+			continue
+		}
+		if 10*(h.count+1) > 7*len(h.keys) {
+			h.grow()
+		}
+		h.put(k, src.vals[i])
+	}
+	for i := range src.present {
+		h.present[i] |= src.present[i]
+	}
+}

@@ -114,6 +114,40 @@ func (s *Sparse) StoreRow(v int32, row []float64) {
 	copy(s.ensure(v), row)
 }
 
+// AccumulateRow implements RowAccumulator: dst[i] += row(v)[i], a no-op
+// for absent rows.
+func (s *Sparse) AccumulateRow(v int32, dst []float64) {
+	for i, x := range s.Row(v) {
+		dst[i] += x
+	}
+}
+
+// AccumulateRows implements BulkAccumulator; absent rows contribute
+// nothing.
+func (s *Sparse) AccumulateRows(vs []int32, dst []float64) {
+	for _, v := range vs {
+		slot := s.index[v]
+		if slot < 0 {
+			continue
+		}
+		for i, x := range s.rowAt(slot) {
+			dst[i] += x
+		}
+	}
+}
+
+// GatherColors implements ColorGatherer; absent rows contribute nothing.
+func (s *Sparse) GatherColors(vs []int32, colors []int8, dst []float64) {
+	for _, v := range vs {
+		slot := s.index[v]
+		if slot < 0 {
+			continue
+		}
+		c := colors[v]
+		dst[c] += s.rowAt(slot)[c]
+	}
+}
+
 // SumRow implements Table.
 func (s *Sparse) SumRow(v int32) float64 {
 	var sum float64

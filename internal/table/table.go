@@ -93,6 +93,76 @@ func New(kind Kind, n int, numSets int) Table {
 // Kinds lists all layouts, for cross-implementation tests and ablations.
 var Kinds = []Kind{Naive, Lazy, Hash}
 
+// RowAccumulator is an optional fast path for neighbor aggregation:
+// AccumulateRow adds vertex v's row into dst (len >= NumSets), doing
+// nothing when the row is absent. All built-in layouts implement it; the
+// DP's aggregated (SpMM-style) kernel uses it to sum neighbor passive
+// rows into a dense scratch buffer without a per-cell interface call.
+type RowAccumulator interface {
+	AccumulateRow(v int32, dst []float64)
+}
+
+// AccumulateRowInto adds v's row into dst using the RowAccumulator fast
+// path when available, falling back to Row and finally per-cell Get.
+func AccumulateRowInto(tab Table, v int32, dst []float64) {
+	if acc, ok := tab.(RowAccumulator); ok {
+		acc.AccumulateRow(v, dst)
+		return
+	}
+	if row := tab.Row(v); row != nil {
+		for i, x := range row {
+			dst[i] += x
+		}
+		return
+	}
+	for ci := 0; ci < tab.NumSets(); ci++ {
+		dst[ci] += tab.Get(v, int32(ci))
+	}
+}
+
+// BulkAccumulator is the batched form of RowAccumulator: it adds the rows
+// of every vertex in vs into dst with one interface dispatch for the
+// whole adjacency list. The aggregated DP kernel is bound by per-neighbor
+// call overhead on wide-degree vertices, so built-in layouts implement
+// this with a tight concrete loop.
+type BulkAccumulator interface {
+	AccumulateRows(vs []int32, dst []float64)
+}
+
+// AccumulateRowsInto adds the rows of all vs into dst via the
+// BulkAccumulator fast path when available.
+func AccumulateRowsInto(tab Table, vs []int32, dst []float64) {
+	if acc, ok := tab.(BulkAccumulator); ok {
+		acc.AccumulateRows(vs, dst)
+		return
+	}
+	for _, v := range vs {
+		AccumulateRowInto(tab, v, dst)
+	}
+}
+
+// ColorGatherer is the bulk primitive behind the single-vertex-child
+// aggregated kernel: for each vertex v in vs it adds the cell
+// (v, colors[v]) into dst[colors[v]], folding an adjacency list into at
+// most NumSets per-color sums with one interface dispatch. Absent cells
+// contribute zero.
+type ColorGatherer interface {
+	GatherColors(vs []int32, colors []int8, dst []float64)
+}
+
+// GatherColorsInto folds the (v, colors[v]) cells of all vs into dst
+// using the ColorGatherer fast path when available.
+func GatherColorsInto(tab Table, vs []int32, colors []int8, dst []float64) {
+	if g, ok := tab.(ColorGatherer); ok {
+		g.GatherColors(vs, colors, dst)
+		return
+	}
+	for _, v := range vs {
+		c := colors[v]
+		dst[c] += tab.Get(v, int32(c))
+	}
+}
+
 const (
 	float64Size    = 8
 	sliceHeaderLen = 24

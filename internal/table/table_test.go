@@ -90,6 +90,129 @@ func TestStoreRowAndRow(t *testing.T) {
 	}
 }
 
+func TestAccumulateRow(t *testing.T) {
+	for _, kind := range Kinds {
+		tab := New(kind, 40, 6)
+		tab.Set(3, 1, 2)
+		tab.Set(3, 5, 7)
+		tab.Set(9, 0, 1.5)
+
+		// Every built-in layout must implement the fast path.
+		if _, ok := tab.(RowAccumulator); !ok {
+			t.Fatalf("%v: does not implement RowAccumulator", kind)
+		}
+		dst := []float64{1, 0, 0, 0, 0, 1}
+		AccumulateRowInto(tab, 3, dst)
+		want := []float64{1, 2, 0, 0, 0, 8}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("%v: dst[%d] = %v, want %v", kind, i, dst[i], want[i])
+			}
+		}
+		// Accumulating twice adds again.
+		AccumulateRowInto(tab, 9, dst)
+		if dst[0] != 2.5 {
+			t.Fatalf("%v: second accumulate got %v", kind, dst[0])
+		}
+		// Absent vertex: no change (Naive has all rows, so skip it there).
+		if kind != Naive {
+			before := append([]float64(nil), dst...)
+			AccumulateRowInto(tab, 20, dst)
+			for i := range dst {
+				if dst[i] != before[i] {
+					t.Fatalf("%v: absent vertex modified dst", kind)
+				}
+			}
+		}
+	}
+}
+
+func TestBulkAccumulateAndGather(t *testing.T) {
+	colors := []int8{2, 0, 1, 3, 2, 1, 0, 3, 1, 2}
+	for _, kind := range Kinds {
+		tab := New(kind, 10, 4)
+		if _, ok := tab.(BulkAccumulator); !ok {
+			t.Fatalf("%v: does not implement BulkAccumulator", kind)
+		}
+		if _, ok := tab.(ColorGatherer); !ok {
+			t.Fatalf("%v: does not implement ColorGatherer", kind)
+		}
+		tab.StoreRow(1, []float64{1, 2, 0, 4})
+		tab.StoreRow(3, []float64{0, 0, 5, 1})
+		tab.Set(7, 3, 9)
+
+		// AccumulateRows over present, absent, and repeated vertices must
+		// equal the sum of per-row accumulations.
+		vs := []int32{1, 3, 5, 1}
+		dst := []float64{0, 0, 0, 100}
+		AccumulateRowsInto(tab, vs, dst)
+		want := []float64{2, 4, 5, 109}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("%v: AccumulateRows dst[%d] = %v, want %v", kind, i, dst[i], want[i])
+			}
+		}
+
+		// GatherColors folds cell (v, colors[v]) into dst[colors[v]]:
+		// v=1 (color 0, val 1), v=3 (color 3, val 1), v=7 (color 3, val
+		// 9), v=5 absent.
+		bins := make([]float64, 4)
+		GatherColorsInto(tab, []int32{1, 3, 7, 5}, colors, bins)
+		wantBins := []float64{1, 0, 0, 10}
+		for i := range wantBins {
+			if bins[i] != wantBins[i] {
+				t.Fatalf("%v: GatherColors bins[%d] = %v, want %v", kind, i, bins[i], wantBins[i])
+			}
+		}
+	}
+}
+
+func TestHashMergeFrom(t *testing.T) {
+	main := NewHash(100, 5)
+	main.Set(1, 2, 3)
+	a := NewHash(100, 5)
+	b := NewHash(100, 5)
+	for v := int32(10); v < 40; v++ {
+		a.Set(v, v%5, float64(v))
+	}
+	for v := int32(40); v < 90; v++ {
+		b.Set(v, v%5, float64(2*v))
+	}
+	main.MergeFrom(a)
+	main.MergeFrom(b)
+	main.MergeFrom(nil) // no-op
+	if main.Get(1, 2) != 3 {
+		t.Fatal("pre-existing cell lost")
+	}
+	for v := int32(10); v < 40; v++ {
+		if main.Get(v, v%5) != float64(v) || !main.Has(v) {
+			t.Fatalf("merged cell %d wrong", v)
+		}
+	}
+	for v := int32(40); v < 90; v++ {
+		if main.Get(v, v%5) != float64(2*v) || !main.Has(v) {
+			t.Fatalf("merged cell %d wrong", v)
+		}
+	}
+	if main.Has(95) {
+		t.Fatal("unmerged vertex present")
+	}
+	// Overlapping keys overwrite.
+	c := NewHash(100, 5)
+	c.Set(1, 2, 9)
+	main.MergeFrom(c)
+	if main.Get(1, 2) != 9 {
+		t.Fatal("overlapping merge did not overwrite")
+	}
+	// NumSets mismatch must panic rather than corrupt keys.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on NumSets mismatch")
+		}
+	}()
+	main.MergeFrom(NewHash(100, 7))
+}
+
 func TestSparseSkipsAllZeroRows(t *testing.T) {
 	tab := NewSparse(10, 4)
 	tab.StoreRow(2, []float64{0, 0, 0, 0})

@@ -81,6 +81,50 @@ func (s PartitionStrategy) strategy() (part.Strategy, error) {
 	}
 }
 
+// KernelChoice selects the internal-node DP combination kernel. The
+// direct kernel re-runs the (Ca, Cp) split contraction for every
+// neighbor; the aggregated kernel first sums neighbor passive rows into a
+// dense scratch buffer (an SpMM-style neighbor aggregation) and contracts
+// once per vertex, which wins on high-degree vertices. Results are
+// identical in every mode; only speed differs.
+type KernelChoice int
+
+const (
+	// KernelAuto picks direct or aggregated per vertex with a
+	// degree/width cost model. The default.
+	KernelAuto KernelChoice = iota
+	// KernelDirect always contracts per neighbor.
+	KernelDirect
+	// KernelAggregate always aggregates neighbor rows first.
+	KernelAggregate
+)
+
+func (c KernelChoice) String() string {
+	switch c {
+	case KernelAuto:
+		return "auto"
+	case KernelDirect:
+		return "direct"
+	case KernelAggregate:
+		return "aggregate"
+	default:
+		return fmt.Sprintf("KernelChoice(%d)", int(c))
+	}
+}
+
+func (c KernelChoice) kernel() (dp.KernelMode, error) {
+	switch c {
+	case KernelAuto:
+		return dp.KernelAuto, nil
+	case KernelDirect:
+		return dp.KernelDirect, nil
+	case KernelAggregate:
+		return dp.KernelAggregate, nil
+	default:
+		return 0, fmt.Errorf("fascia: unknown kernel choice %d", int(c))
+	}
+}
+
 // ParallelMode selects between the paper's two multithreading schemes
 // (§III-E).
 type ParallelMode int
@@ -160,6 +204,9 @@ type Options struct {
 	// DisableLeafSpecial turns off the single-vertex-child fast paths
 	// (for ablations; results are unchanged).
 	DisableLeafSpecial bool
+	// Kernel selects the internal-node DP kernel (auto, direct, or
+	// aggregate); see KernelChoice. Results are unchanged, only speed.
+	Kernel KernelChoice
 	// KeepTables retains the final iteration's tables for
 	// SampleEmbeddings.
 	KeepTables bool
@@ -216,6 +263,12 @@ func (o Options) WithParallel(m ParallelMode) Options {
 	return o
 }
 
+// WithKernel returns a copy of o using the given DP kernel choice.
+func (o Options) WithKernel(c KernelChoice) Options {
+	o.Kernel = c
+	return o
+}
+
 // iterations resolves the iteration count.
 func (o Options) iterations(templateK int) int {
 	if o.Iterations > 0 {
@@ -241,6 +294,10 @@ func (o Options) config() (dp.Config, error) {
 	if err != nil {
 		return dp.Config{}, err
 	}
+	kern, err := o.Kernel.kernel()
+	if err != nil {
+		return dp.Config{}, err
+	}
 	root := o.RootVertex
 	if root < 0 {
 		root = -1
@@ -255,6 +312,7 @@ func (o Options) config() (dp.Config, error) {
 		Seed:               o.Seed,
 		RootVertex:         root,
 		DisableLeafSpecial: o.DisableLeafSpecial,
+		Kernel:             kern,
 		KeepTables:         o.KeepTables,
 	}, nil
 }
