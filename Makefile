@@ -1,13 +1,15 @@
 # Developer entry points. `make ci` is the tier-1+ verification gate:
-# vet, build, full tests, race coverage of the concurrent packages, and
-# a one-shot smoke run of the kernel benchmarks (compiles and exercises
-# the direct/aggregate/auto matrix without timing anything meaningful).
+# vet, build, full tests, race coverage of the concurrent packages
+# (including the cancellation tests, which exercise mid-run aborts in
+# every parallel mode), the metrics-endpoint smoke test, and a one-shot
+# smoke run of the kernel benchmarks (compiles and exercises the
+# direct/aggregate/auto matrix without timing anything meaningful).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-kernel
+.PHONY: ci vet build test race race-cancel metrics-smoke bench-smoke bench-kernel
 
-ci: vet build test race bench-smoke
+ci: vet build test race race-cancel metrics-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +21,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dp ./internal/table
+	$(GO) test -race ./internal/dp ./internal/table ./internal/dist
+
+# Cancellation paths under the race detector: the dp context tests (all
+# three parallel modes, goroutine-leak checked) and the public-API
+# cancel/timeout tests in the root package.
+race-cancel:
+	$(GO) test -race -run 'Context|Cancel|Timeout|OnIteration' . ./internal/dp
+
+# The -metrics-addr expvar/pprof endpoint end to end on an ephemeral port.
+metrics-smoke:
+	$(GO) test -run TestMetricsSmoke ./cmd/fascia
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkKernel -benchtime=1x ./internal/dp

@@ -1,6 +1,8 @@
 package fascia
 
 import (
+	"context"
+
 	"repro/internal/enumerate"
 	"repro/internal/exact"
 	"repro/internal/gdd"
@@ -53,11 +55,17 @@ type MotifProfile = motif.Profile
 // FindMotifs estimates occurrence counts for every free tree on k
 // vertices using iters color-coding iterations per tree (Figures 11-14).
 func FindMotifs(name string, g *Graph, k, iters int, opt Options) (MotifProfile, error) {
+	return FindMotifsContext(context.Background(), name, g, k, iters, opt)
+}
+
+// FindMotifsContext is FindMotifs with cooperative cancellation, checked
+// between templates and inside every per-template counting run.
+func FindMotifsContext(ctx context.Context, name string, g *Graph, k, iters int, opt Options) (MotifProfile, error) {
 	cfg, err := opt.config()
 	if err != nil {
 		return MotifProfile{}, err
 	}
-	return motif.Find(name, g, k, iters, cfg)
+	return motif.FindContext(ctx, name, g, k, iters, cfg)
 }
 
 // MotifMeanRelativeError is the Figure 11 error metric: mean over trees
@@ -79,9 +87,19 @@ type GraphletDistribution = gdd.Distribution
 // g for the orbit of template vertex orbit, using iters iterations
 // (Figure 15).
 func GraphletDegrees(g *Graph, t *Template, orbit, iters int, opt Options) (GraphletDistribution, error) {
+	return GraphletDegreesContext(context.Background(), g, t, orbit, iters, opt)
+}
+
+// GraphletDegreesContext is GraphletDegrees with cooperative cancellation
+// of the underlying per-vertex counting run.
+func GraphletDegreesContext(ctx context.Context, g *Graph, t *Template, orbit, iters int, opt Options) (GraphletDistribution, error) {
 	opt.RootVertex = orbit
 	opt.Iterations = iters
-	counts, err := VertexCounts(g, t, opt)
+	e, err := NewEngine(g, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := e.VertexCountsContext(ctx, opt.iterations(t.K()))
 	if err != nil {
 		return nil, err
 	}
@@ -129,11 +147,18 @@ type MotifSignificance = motif.Significance
 // positive z marks over-represented subgraphs (motifs in the classical
 // Milo et al. sense the paper's §II-A references).
 func FindMotifSignificance(name string, g *Graph, k, iters, samples int, opt Options) (MotifSignificance, error) {
+	return FindMotifSignificanceContext(context.Background(), name, g, k, iters, samples, opt)
+}
+
+// FindMotifSignificanceContext is FindMotifSignificance with cooperative
+// cancellation, checked between null-model samples and inside every
+// counting run.
+func FindMotifSignificanceContext(ctx context.Context, name string, g *Graph, k, iters, samples int, opt Options) (MotifSignificance, error) {
 	cfg, err := opt.config()
 	if err != nil {
 		return MotifSignificance{}, err
 	}
-	return motif.FindSignificance(name, g, k, iters, samples, cfg)
+	return motif.FindSignificanceContext(ctx, name, g, k, iters, samples, cfg)
 }
 
 // GraphletOrbit identifies one automorphism orbit of one template in a
@@ -148,11 +173,18 @@ type GraphletVectors = gdd.GDV
 // ComputeGraphletVectors estimates graphlet degree vectors for every
 // orbit of every supplied template.
 func ComputeGraphletVectors(g *Graph, templates []*Template, iters int, opt Options) (GraphletVectors, error) {
+	return ComputeGraphletVectorsContext(context.Background(), g, templates, iters, opt)
+}
+
+// ComputeGraphletVectorsContext is ComputeGraphletVectors with
+// cooperative cancellation, checked between orbits and inside every
+// per-orbit counting run.
+func ComputeGraphletVectorsContext(ctx context.Context, g *Graph, templates []*Template, iters int, opt Options) (GraphletVectors, error) {
 	cfg, err := opt.config()
 	if err != nil {
 		return GraphletVectors{}, err
 	}
-	return gdd.ComputeGDV(g, templates, iters, cfg)
+	return gdd.ComputeGDVContext(ctx, g, templates, iters, cfg)
 }
 
 // GDVAgreement returns the arithmetic- and geometric-mean GDD agreements

@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	fascia "repro"
 )
@@ -54,6 +58,9 @@ func run(args []string) error {
 		converge   = fs.Float64("converge", 0, "run until the relative stderr drops below this (overrides -iterations)")
 		motifs     = fs.Int("motifs", 0, "instead of one template, profile all trees of this size (3-12)")
 		list       = fs.Bool("list-networks", false, "list network presets and exit")
+		metricsA   = fs.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address")
+		timeout    = fs.Duration("timeout", 0, "bound the counting run; on expiry the partial estimate is reported")
+		progress   = fs.Bool("progress", false, "print each iteration's estimate as it completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +70,20 @@ func run(args []string) error {
 			fmt.Printf("%-12s %-55s paper: n=%d m=%d\n", p.Name, p.Model, p.Paper.N, p.Paper.M)
 		}
 		return nil
+	}
+
+	// Ctrl-C (or -timeout) aborts the run promptly and reports the
+	// partial estimate over completed iterations.
+	ctx, cancelCtx := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelCtx()
+
+	if *metricsA != "" {
+		addr, shutdown, err := startMetrics(*metricsA)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
 	}
 
 	g, err := loadGraph(*graphPath, *network, *scale, *seed)
@@ -80,6 +101,18 @@ func run(args []string) error {
 	opt := fascia.DefaultOptions().WithSeed(*seed).WithThreads(*threads)
 	opt.Colors = *colors
 	opt.ShareSubtemplates = *share
+	if *timeout > 0 {
+		opt = opt.WithTimeout(*timeout)
+	}
+	if *metricsA != "" || *progress {
+		verbose := *progress
+		opt = opt.WithOnIteration(func(i int, est float64, elapsed time.Duration) {
+			onIteration(i, est, elapsed)
+			if verbose {
+				fmt.Fprintf(os.Stderr, "iteration %d: estimate %.6g (%v elapsed)\n", i+1, est, elapsed.Round(time.Millisecond))
+			}
+		})
+	}
 	if *epsilon > 0 && *delta > 0 {
 		opt = opt.WithAccuracy(*epsilon, *delta)
 		fmt.Printf("iterations from (eps=%g, delta=%g): %d\n", *epsilon, *delta, fascia.IterationsFor(*epsilon, *delta, t.K()))
@@ -129,7 +162,7 @@ func run(args []string) error {
 
 	s := g.ComputeStats()
 	if *motifs > 0 {
-		prof, err := fascia.FindMotifs("cli", g, *motifs, max(*iterations, 1), opt)
+		prof, err := fascia.FindMotifsContext(ctx, "cli", g, *motifs, max(*iterations, 1), opt)
 		if err != nil {
 			return err
 		}
@@ -144,15 +177,23 @@ func run(args []string) error {
 	fmt.Printf("graph: %s\ntemplate: %s (k=%d, aut=%d)\n", s, t.Name(), t.K(), t.Automorphisms())
 	var res fascia.Result
 	if *converge > 0 {
-		res, err = fascia.CountConverged(g, t, *converge, 1_000_000, opt)
+		res, err = fascia.CountConvergedContext(ctx, g, t, *converge, 1_000_000, opt)
 	} else {
-		res, err = fascia.Count(g, t, opt)
+		res, err = fascia.CountContext(ctx, g, t, opt)
 	}
+	publishStats(res)
 	if err != nil {
-		return err
+		if res.Iterations == 0 {
+			return err
+		}
+		// Cancelled or timed out mid-run: report the partial estimate.
+		fmt.Fprintf(os.Stderr, "run interrupted (%v); reporting partial result over %d iterations\n", err, res.Iterations)
 	}
 	fmt.Printf("estimate: %.6g occurrences (±%.3g stderr, %d iterations, %v, %s mode, peak tables %.2f MB)\n",
 		res.Count, res.StdErr, res.Iterations, res.Elapsed.Round(0), res.Parallel, float64(res.PeakTableBytes)/(1<<20))
+	if err != nil {
+		return nil // partial result already reported; exit cleanly
+	}
 
 	if *exact {
 		ex := fascia.ExactCount(g, t)
@@ -166,7 +207,7 @@ func run(args []string) error {
 		}
 	}
 	if *sample > 0 {
-		embs, err := fascia.SampleEmbeddings(g, t, opt, *sample)
+		embs, err := fascia.SampleEmbeddingsContext(ctx, g, t, opt, *sample)
 		if err != nil {
 			return err
 		}

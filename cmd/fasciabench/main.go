@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -83,9 +86,14 @@ func run(args []string) error {
 		p.MaxK = *maxK
 	}
 
+	// Ctrl-C aborts the current experiment promptly (cancellation is
+	// polled inside every counting run) instead of killing mid-print.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	for _, name := range names {
 		start := time.Now()
-		tab, err := experiments.Run(name, p)
+		tab, err := experiments.RunContext(ctx, name, p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

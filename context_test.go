@@ -1,0 +1,234 @@
+package fascia
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dp"
+)
+
+// TestCountContextCancelled checks the public counting entry points honor
+// a pre-cancelled context: no iterations run, the context error is
+// returned, and the observability snapshot marks the run cancelled.
+func TestCountContextCancelled(t *testing.T) {
+	g := testGraph(21)
+	tr := PathTemplate(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res, err := CountContext(ctx, g, tr, DefaultOptions().WithIterations(50))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountContext err = %v, want context.Canceled", err)
+	}
+	if res.Iterations != 0 || len(res.PerIteration) != 0 {
+		t.Fatalf("pre-cancelled count ran %d iterations", res.Iterations)
+	}
+	if !res.Stats.Cancelled {
+		t.Error("Stats.Cancelled not set")
+	}
+
+	if _, err := CountConvergedContext(ctx, g, tr, 0.01, 100, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountConvergedContext err = %v, want context.Canceled", err)
+	}
+	if _, err := SampleEmbeddingsContext(ctx, g, tr, DefaultOptions().WithIterations(5), 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SampleEmbeddingsContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCountContextMidRunCancel cancels a many-iteration run shortly after
+// it starts and checks a partial mean over completed iterations comes
+// back alongside the context error.
+func TestCountContextMidRunCancel(t *testing.T) {
+	g := ErdosRenyi(400, 4000, 7)
+	tr := PathTemplate(8)
+	e, err := NewEngine(g, tr, DefaultOptions().WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate: one iteration's duration decides how long to let the
+	// cancelled run proceed so some (but not all) iterations complete.
+	start := time.Now()
+	if _, err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	per := time.Since(start)
+	iters := 2000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	timer := time.AfterFunc(3*per+5*time.Millisecond, cancel)
+	defer timer.Stop()
+	res, err := e.RunContext(ctx, iters)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Iterations >= iters {
+		t.Fatalf("all %d iterations completed despite cancellation", iters)
+	}
+	if res.Iterations > 0 && (res.Count <= 0 || math.IsNaN(res.Count)) {
+		t.Fatalf("partial result has bad count %v over %d iterations", res.Count, res.Iterations)
+	}
+	if !res.Stats.Cancelled {
+		t.Error("Stats.Cancelled not set")
+	}
+}
+
+// TestOptionsTimeout checks Options.Timeout bounds runs through every
+// entry point that honors it, surfacing context.DeadlineExceeded.
+func TestOptionsTimeout(t *testing.T) {
+	g := ErdosRenyi(400, 4000, 9)
+	tr := PathTemplate(8)
+	opt := DefaultOptions().WithIterations(100000).WithTimeout(30 * time.Millisecond)
+	start := time.Now()
+	res, err := Count(g, tr, opt)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res.Iterations >= 100000 {
+		t.Fatal("timeout did not interrupt the run")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timed-out run took %v", elapsed)
+	}
+	if !res.Stats.Cancelled {
+		t.Error("Stats.Cancelled not set on timeout")
+	}
+}
+
+// TestCountConvergedMinIters checks the minimum-iteration floor: the
+// adaptive runner must execute max(2, opt.Iterations) iterations before
+// convergence may stop it, even under a tolerance it meets immediately.
+func TestCountConvergedMinIters(t *testing.T) {
+	g := testGraph(31)
+	tr := PathTemplate(4)
+	// A huge tolerance converges at the first opportunity, so the floor
+	// alone decides the iteration count.
+	res, err := CountConverged(g, tr, 100.0, 1000, DefaultOptions().WithSeed(2).WithIterations(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 5 {
+		t.Fatalf("opt.Iterations=5 but converged run stopped after %d iterations", res.Iterations)
+	}
+	// Without opt.Iterations the floor is 2 (a standard error needs two
+	// samples).
+	res, err = CountConverged(g, tr, 100.0, 1000, DefaultOptions().WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("converged run stopped after %d iterations, want >= 2", res.Iterations)
+	}
+}
+
+// TestSampleEmbeddingsDeterministic checks sampling is reproducible for a
+// fixed seed and that retry seeds are decorrelated from the base seed
+// schedule (mixSeed(base, i) must avoid the caller's own base+i runs).
+func TestSampleEmbeddingsDeterministic(t *testing.T) {
+	g := testGraph(5)
+	tr := MustTemplate("U5-2")
+	opt := DefaultOptions().WithIterations(20).WithSeed(2)
+	a, err := SampleEmbeddings(g, tr, opt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleEmbeddings(g, tr, opt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("got %d and %d embeddings, want 5 each", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Mapping) != len(b[i].Mapping) {
+			t.Fatalf("embedding %d sizes differ", i)
+		}
+		for j := range a[i].Mapping {
+			if a[i].Mapping[j] != b[i].Mapping[j] {
+				t.Fatalf("embedding %d not reproducible: %v vs %v", i, a[i].Mapping, b[i].Mapping)
+			}
+		}
+	}
+	// Seed mixing: no retry seed may collide with the naive base+i
+	// schedule of independent runs (the bug the mixer fixes).
+	const base = 2
+	for i := 0; i < 64; i++ {
+		got := mixSeed(base, i)
+		for j := 0; j < 64; j++ {
+			if got == base+int64(j) {
+				t.Fatalf("mixSeed(%d, %d) = %d collides with base+%d", base, i, got, j)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if mixSeed(base, j) == got {
+				t.Fatalf("mixSeed repeats at retries %d and %d", j, i)
+			}
+		}
+	}
+}
+
+// TestFromDPModeMapping checks the internal result translation covers
+// every parallel mode and surfaces unknown modes verbatim instead of
+// collapsing them to the zero value.
+func TestFromDPModeMapping(t *testing.T) {
+	cases := []struct {
+		in   dp.Mode
+		want ParallelMode
+	}{
+		{dp.Auto, ParallelAuto},
+		{dp.Inner, ParallelInner},
+		{dp.Outer, ParallelOuter},
+		{dp.Hybrid, ParallelHybrid},
+	}
+	for _, c := range cases {
+		out := fromDP(dp.Result{ModeUsed: c.in})
+		if out.Parallel != c.want {
+			t.Errorf("fromDP(%v).Parallel = %v, want %v", c.in, out.Parallel, c.want)
+		}
+	}
+	// An out-of-range internal mode must not masquerade as ParallelAuto.
+	if out := fromDP(dp.Result{ModeUsed: dp.Mode(97)}); out.Parallel == ParallelAuto {
+		t.Error("unknown internal mode collapsed to ParallelAuto")
+	}
+	// Zero-iteration (cancelled) results still report the resolved mode.
+	if out := fromDP(dp.Result{ModeUsed: dp.Inner}); out.Parallel != ParallelInner || out.Iterations != 0 {
+		t.Errorf("zero-iteration translation: parallel=%v iterations=%d", out.Parallel, out.Iterations)
+	}
+}
+
+// TestOnIterationPublic checks the Options.OnIteration hook fires once
+// per completed iteration through the public Count entry point.
+func TestOnIterationPublic(t *testing.T) {
+	g := testGraph(41)
+	tr := PathTemplate(4)
+	var calls int
+	var lastElapsed time.Duration
+	opt := DefaultOptions().WithIterations(6).WithSeed(8).
+		WithOnIteration(func(i int, est float64, elapsed time.Duration) {
+			calls++
+			if i < 0 || i >= 6 {
+				t.Errorf("iteration index %d out of range", i)
+			}
+			if math.IsNaN(est) {
+				t.Errorf("iteration %d: NaN estimate", i)
+			}
+			lastElapsed = elapsed
+		})
+	res, err := Count(g, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Fatalf("OnIteration fired %d times, want 6", calls)
+	}
+	if lastElapsed <= 0 {
+		t.Error("elapsed never set")
+	}
+	if res.Stats.Iterations != 6 || len(res.Stats.IterTimes) != 6 {
+		t.Fatalf("Stats: iterations=%d iterTimes=%d", res.Stats.Iterations, len(res.Stats.IterTimes))
+	}
+}

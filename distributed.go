@@ -1,6 +1,8 @@
 package fascia
 
 import (
+	"context"
+
 	"repro/internal/dist"
 	"repro/internal/part"
 )
@@ -31,6 +33,15 @@ type DistributedResult struct {
 // Iterations and seed come from opt; table layout and parallel-mode
 // options do not apply (each rank owns a dense slice of rows).
 func CountDistributed(g *Graph, t *Template, ranks int, opt Options) (DistributedResult, error) {
+	return CountDistributedContext(context.Background(), g, t, ranks, opt)
+}
+
+// CountDistributedContext is CountDistributed with cooperative
+// cancellation: each rank completes the current iteration's
+// message-passing protocol (skipping the compute, so no rank deadlocks),
+// the partial iteration is discarded, and the mean over completed
+// iterations is returned alongside the context's error.
+func CountDistributedContext(ctx context.Context, g *Graph, t *Template, ranks int, opt Options) (DistributedResult, error) {
 	strat := part.OneAtATime
 	if opt.Partition == PartitionBalanced {
 		strat = part.Balanced
@@ -44,7 +55,7 @@ func CountDistributed(g *Graph, t *Template, ranks int, opt Options) (Distribute
 	if err != nil {
 		return DistributedResult{}, err
 	}
-	res, err := e.Run(opt.iterations(t.K()))
+	res, err := e.RunContext(ctx, opt.iterations(t.K()))
 	if err != nil {
 		return DistributedResult{}, err
 	}

@@ -1,6 +1,7 @@
 package fascia
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -22,11 +23,21 @@ type Template = tmpl.Template
 // vertex that template vertex i maps to.
 type Embedding = dp.Embedding
 
+// RunStats is the per-run observability snapshot: per-subtemplate-node
+// wall times, per-iteration timings, kernel decisions, and table row
+// traffic. See the dp package for field documentation.
+type RunStats = dp.RunStats
+
+// NodeStat is one partition-tree node's accumulated compute time within
+// a RunStats snapshot.
+type NodeStat = dp.NodeStat
+
 // Result reports a counting run.
 type Result struct {
 	// Count is the estimated number of non-induced occurrences.
 	Count float64
-	// PerIteration holds each iteration's individual estimate.
+	// PerIteration holds each iteration's individual estimate. For a
+	// cancelled run it holds only the completed iterations.
 	PerIteration []float64
 	// StdErr is the standard error of the mean across iterations.
 	StdErr float64
@@ -39,6 +50,9 @@ type Result struct {
 	Iterations int
 	// Parallel is the resolved parallelization mode.
 	Parallel ParallelMode
+	// Stats is the run's observability snapshot (node times, iteration
+	// times, kernel decisions, row traffic).
+	Stats RunStats
 }
 
 func fromDP(res dp.Result) Result {
@@ -49,14 +63,22 @@ func fromDP(res dp.Result) Result {
 		PeakTableBytes: res.PeakTableBytes,
 		Elapsed:        res.Elapsed,
 		Iterations:     len(res.PerIteration),
+		Stats:          res.Stats,
 	}
+	// The resolved mode is reported even for zero-iteration (cancelled
+	// or empty) runs, and an unknown internal mode is surfaced verbatim
+	// rather than silently collapsing to the ParallelAuto zero value.
 	switch res.ModeUsed {
+	case dp.Auto:
+		out.Parallel = ParallelAuto
 	case dp.Inner:
 		out.Parallel = ParallelInner
 	case dp.Outer:
 		out.Parallel = ParallelOuter
 	case dp.Hybrid:
 		out.Parallel = ParallelHybrid
+	default:
+		out.Parallel = ParallelMode(res.ModeUsed)
 	}
 	return out
 }
@@ -66,6 +88,8 @@ func fromDP(res dp.Result) Result {
 // across runs.
 type Engine struct {
 	inner *dp.Engine
+	// timeout, when positive, bounds every run (Options.Timeout).
+	timeout time.Duration
 }
 
 // NewEngine builds an engine for counting occurrences of t in g.
@@ -78,15 +102,36 @@ func NewEngine(g *Graph, t *Template, opt Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inner: e}, nil
+	return &Engine{inner: e, timeout: opt.Timeout}, nil
+}
+
+// runCtx applies the engine's Options.Timeout on top of ctx.
+func (e *Engine) runCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.timeout > 0 {
+		return context.WithTimeout(ctx, e.timeout)
+	}
+	return ctx, func() {}
 }
 
 // Run executes n color-coding iterations and returns the averaged
-// estimate.
+// estimate. It honors Options.Timeout; use RunContext for caller-driven
+// cancellation.
 func (e *Engine) Run(n int) (Result, error) {
-	res, err := e.inner.Run(n)
+	return e.RunContext(context.Background(), n)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled at
+// iteration boundaries and at vertex granularity inside every DP pass,
+// so all parallel modes abort promptly. On cancellation (or
+// Options.Timeout expiry) it returns the partial result — the mean over
+// completed iterations, with Result.Stats.Cancelled set — alongside the
+// context's error.
+func (e *Engine) RunContext(ctx context.Context, n int) (Result, error) {
+	ctx, cancel := e.runCtx(ctx)
+	defer cancel()
+	res, err := e.inner.RunContext(ctx, n)
 	if err != nil {
-		return Result{}, err
+		return fromDP(res), err
 	}
 	return fromDP(res), nil
 }
@@ -94,7 +139,16 @@ func (e *Engine) Run(n int) (Result, error) {
 // VertexCounts estimates each vertex's graphlet degree for the template's
 // root orbit (see Options.RootVertex), averaged over n iterations.
 func (e *Engine) VertexCounts(n int) ([]float64, error) {
-	return e.inner.VertexCounts(n)
+	return e.VertexCountsContext(context.Background(), n)
+}
+
+// VertexCountsContext is VertexCounts with cooperative cancellation; on
+// cancellation it returns partial estimates rescaled to the completed
+// iterations alongside the context's error.
+func (e *Engine) VertexCountsContext(ctx context.Context, n int) ([]float64, error) {
+	ctx, cancel := e.runCtx(ctx)
+	defer cancel()
+	return e.inner.VertexCountsContext(ctx, n)
 }
 
 // SampleEmbeddings draws count colorful embeddings from the engine's last
@@ -112,11 +166,18 @@ func (e *Engine) VerifyEmbedding(emb Embedding) error {
 // template t in g, running opt.Iterations color-coding iterations (or the
 // count derived from opt.Epsilon/Delta).
 func Count(g *Graph, t *Template, opt Options) (Result, error) {
+	return CountContext(context.Background(), g, t, opt)
+}
+
+// CountContext is Count with cooperative cancellation (and
+// Options.Timeout): cancelling ctx aborts the run within milliseconds of
+// DP work and returns the partial estimate alongside the context error.
+func CountContext(ctx context.Context, g *Graph, t *Template, opt Options) (Result, error) {
 	e, err := NewEngine(g, t, opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Run(opt.iterations(t.K()))
+	return e.RunContext(ctx, opt.iterations(t.K()))
 }
 
 // CountLabeled is Count for labeled graphs and templates; it exists for
@@ -143,24 +204,46 @@ func VertexCounts(g *Graph, t *Template, opt Options) ([]float64, error) {
 	return e.VertexCounts(opt.iterations(t.K()))
 }
 
+// mixSeed decorrelates retry seeds: a splitmix64-style avalanche of
+// (base, i) so that retry i's coloring shares nothing with the colorings
+// of an independent run seeded base+i (a plain base+i retry schedule
+// collides with the caller's own Seed+1, Seed+2, ... runs).
+func mixSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // SampleEmbeddings runs one counting iteration with retained tables and
 // draws count colorful embeddings from it — FASCIA's enumeration mode.
 // Each returned embedding is a verified non-induced occurrence of t.
+// Colorful embeddings can be absent under an unlucky coloring, so up to
+// opt.iterations colorings are attempted; the engine (partition tree,
+// split tables) is built once and reseeded per retry with a mixed seed
+// that cannot collide with independent runs at Seed+1, Seed+2, ...
 func SampleEmbeddings(g *Graph, t *Template, opt Options, count int) ([]Embedding, error) {
+	return SampleEmbeddingsContext(context.Background(), g, t, opt, count)
+}
+
+// SampleEmbeddingsContext is SampleEmbeddings with cooperative
+// cancellation of the underlying counting runs.
+func SampleEmbeddingsContext(ctx context.Context, g *Graph, t *Template, opt Options, count int) ([]Embedding, error) {
 	opt.KeepTables = true
 	iters := opt.iterations(t.K())
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
-	// Colorful embeddings can be absent under an unlucky coloring; retry
-	// with fresh colorings like repeated Algorithm 1 rounds.
-	var lastErr error
 	base := opt.Seed
+	e, err := NewEngine(g, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Retry with fresh colorings like repeated Algorithm 1 rounds,
+	// reusing the one engine; only the coloring seed changes per retry.
+	var lastErr error
 	for i := 0; i < iters; i++ {
-		opt.Seed = base + int64(i)
-		e, err := NewEngine(g, t, opt)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := e.inner.Run(1); err != nil {
+		e.inner.Reseed(mixSeed(base, i))
+		e.inner.ReleaseKept()
+		if _, err := e.inner.RunContext(ctx, 1); err != nil {
 			return nil, err
 		}
 		embs, err := e.SampleEmbeddings(rng, count)
@@ -177,19 +260,42 @@ func SampleEmbeddings(g *Graph, t *Template, opt Options, count int) ([]Embeddin
 // maxIters) — automated "enough iterations" in place of the conservative
 // theoretical bound.
 func (e *Engine) RunConverged(relStdErr float64, minIters, maxIters int) (Result, error) {
-	res, err := e.inner.RunConverged(relStdErr, minIters, maxIters)
+	return e.RunConvergedContext(context.Background(), relStdErr, minIters, maxIters)
+}
+
+// RunConvergedContext is RunConverged with cooperative cancellation; on
+// cancellation it returns the partial result alongside the context's
+// error.
+func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, minIters, maxIters int) (Result, error) {
+	ctx, cancel := e.runCtx(ctx)
+	defer cancel()
+	res, err := e.inner.RunConvergedContext(ctx, relStdErr, minIters, maxIters)
 	if err != nil {
-		return Result{}, err
+		return fromDP(res), err
 	}
 	return fromDP(res), nil
 }
 
 // CountConverged estimates the count, running iterations until the
-// relative standard error falls below relStdErr (at most maxIters).
+// relative standard error falls below relStdErr (at most maxIters). The
+// minimum iteration count is max(2, opt.Iterations): at least two
+// iterations are always run (a standard error needs them), and a caller
+// who sets opt.Iterations asks for at least that many before convergence
+// may stop the run. opt.Iterations must not exceed maxIters.
 func CountConverged(g *Graph, t *Template, relStdErr float64, maxIters int, opt Options) (Result, error) {
+	return CountConvergedContext(context.Background(), g, t, relStdErr, maxIters, opt)
+}
+
+// CountConvergedContext is CountConverged with cooperative cancellation
+// (and Options.Timeout).
+func CountConvergedContext(ctx context.Context, g *Graph, t *Template, relStdErr float64, maxIters int, opt Options) (Result, error) {
 	e, err := NewEngine(g, t, opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.RunConverged(relStdErr, 2, maxIters)
+	minIters := 2
+	if opt.Iterations > minIters {
+		minIters = opt.Iterations
+	}
+	return e.RunConvergedContext(ctx, relStdErr, minIters, maxIters)
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -25,6 +26,15 @@ type rankState struct {
 	tables map[*part.Node][][]float64
 	// ghost[u] is the received passive-child row of remote vertex u.
 	ghost map[int32][]float64
+	// stop, when non-nil, is the run's cancellation flag; local DP
+	// sweeps poll it per vertex and fast-forward (the message-passing
+	// protocol still completes so no rank blocks on a vanished sender).
+	stop *atomic.Bool
+}
+
+// cancelled polls the rank's stop flag.
+func (st *rankState) cancelled() bool {
+	return st.stop != nil && st.stop.Load()
 }
 
 // Run executes iters distributed color-coding iterations and averages the
@@ -32,15 +42,31 @@ type rankState struct {
 // the shared-memory engine, so estimates are directly comparable (and,
 // per iteration, bit-identical).
 func (e *Engine) Run(iters int) (Result, error) {
+	return e.RunContext(context.Background(), iters)
+}
+
+// RunContext is Run with cooperative cancellation. The context is polled
+// at iteration boundaries and inside each rank's local DP sweeps; on
+// cancellation every rank still completes the current iteration's
+// message-passing protocol (skipping the compute work, so the fast-
+// forward is cheap and deadlock-free), the partial iteration is
+// discarded, and the mean over completed iterations is returned
+// alongside ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	if iters < 1 {
 		return Result{}, fmt.Errorf("dist: iterations must be >= 1, got %d", iters)
 	}
-	res := Result{PerIteration: make([]float64, iters)}
+	stop, release := watchContext(ctx)
+	defer release()
+	res := Result{PerIteration: make([]float64, 0, iters)}
 	var commBytes, messages atomic.Int64
 	var maxRows atomic.Int64
 
 	p := e.cfg.Ranks
 	for iter := 0; iter < iters; iter++ {
+		if stop != nil && stop.Load() {
+			break
+		}
 		// The coloring is broadcast state in a real system; every rank
 		// derives it from the shared seed here (identical cost model:
 		// colors are n bytes of setup, not counted as step traffic).
@@ -72,6 +98,7 @@ func (e *Engine) Run(iters int) (Result, error) {
 					r: r, lo: e.bounds[r], hi: e.bounds[r+1],
 					tables: map[*part.Node][][]float64{},
 					ghost:  map[int32][]float64{},
+					stop:   stop,
 				}
 				remaining := map[*part.Node]int{}
 				for _, n := range e.tree.Nodes {
@@ -147,22 +174,47 @@ func (e *Engine) Run(iters int) (Result, error) {
 			}(r)
 		}
 		wg.Wait()
+		if stop != nil && stop.Load() {
+			// The iteration's compute was cut short; its totals are
+			// partial garbage — discard the iteration.
+			break
+		}
 		var sum float64
 		for _, t := range totals {
 			sum += t
 		}
-		res.PerIteration[iter] = sum / (e.prob * float64(e.aut))
+		res.PerIteration = append(res.PerIteration, sum/(e.prob*float64(e.aut)))
 	}
 
-	var sum float64
-	for _, x := range res.PerIteration {
-		sum += x
+	if n := len(res.PerIteration); n > 0 {
+		var sum float64
+		for _, x := range res.PerIteration {
+			sum += x
+		}
+		res.Estimate = sum / float64(n)
 	}
-	res.Estimate = sum / float64(iters)
 	res.CommBytes = commBytes.Load()
 	res.Messages = messages.Load()
 	res.MaxRankRows = int(maxRows.Load())
-	return res, nil
+	return res, ctx.Err()
+}
+
+// watchContext arms a cancellation flag the rank-local DP sweeps poll
+// with one atomic load per vertex. The release func detaches the
+// watcher.
+func watchContext(ctx context.Context) (stop *atomic.Bool, release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, func() {}
+	}
+	var b atomic.Bool
+	if ctx.Err() != nil {
+		// AfterFunc fires asynchronously even for a dead context; set the
+		// flag synchronously so not a single iteration starts.
+		b.Store(true)
+		return &b, func() {}
+	}
+	cancel := context.AfterFunc(ctx, func() { b.Store(true) })
+	return &b, func() { cancel() }
 }
 
 // initLeafRank fills the leaf table rows for the rank's owned vertices,
@@ -196,6 +248,9 @@ func (e *Engine) computeRank(st *rankState, node *part.Node, colors []int8) {
 	spn := split.SplitsPerSet
 	rows := make([][]float64, st.hi-st.lo)
 	for v := st.lo; v < st.hi; v++ {
+		if st.cancelled() {
+			break // iteration will be discarded; skip remaining compute
+		}
 		arow := act[v-st.lo]
 		if arow == nil {
 			continue

@@ -30,6 +30,28 @@ type iterState struct {
 	// keep retains every node's table (disables eager release) so the
 	// caller can read or sample from them after the pass.
 	keep bool
+
+	// stop, when non-nil, is the cancellation flag armed by the run's
+	// context watcher. DP loops poll it at vertex granularity (one
+	// atomic load per vertex pass, negligible next to the pass itself).
+	stop *atomic.Bool
+	// aborted records that this iteration was cut short; its total is
+	// meaningless and its tables have been released.
+	aborted bool
+	// total is the iteration's colorful mapping total (set by run();
+	// carried here so parallel drivers can hand the whole state back).
+	total float64
+	// nodeTimes, when non-nil, accumulates per-node wall time in tree
+	// evaluation order (observability; nil skips the clock calls).
+	nodeTimes []time.Duration
+	// Table-traffic accounting for RunStats.
+	rowsAllocated, rowsReleased     int64
+	tablesAllocated, tablesReleased int64
+}
+
+// cancelled polls the iteration's stop flag.
+func (st *iterState) cancelled() bool {
+	return st.stop != nil && st.stop.Load()
 }
 
 // scratch is per-worker reusable buffer space, pooled on the Engine so it
@@ -84,10 +106,20 @@ func (e *Engine) newIterState(rng *rand.Rand, workers int) *iterState {
 }
 
 // run executes the bottom-up DP (Algorithm 2) and returns the colorful
-// mapping total of the full template.
+// mapping total of the full template. When the iteration's context is
+// cancelled mid-pass, run releases all live tables, marks the state
+// aborted, and returns 0 — the caller must discard the iteration.
 func (st *iterState) run() float64 {
 	e := st.e
-	for _, n := range e.tree.Order {
+	for ni, n := range e.tree.Order {
+		if st.cancelled() {
+			st.abort()
+			return 0
+		}
+		var nodeStart time.Time
+		if st.nodeTimes != nil {
+			nodeStart = time.Now()
+		}
 		nc := int(comb.Binomial(e.k, n.Size()))
 		tab := table.New(e.cfg.TableKind, e.g.N(), nc)
 		st.tabs[n] = tab
@@ -95,6 +127,16 @@ func (st *iterState) run() float64 {
 			st.initLeaf(n, tab)
 		} else {
 			st.computeNode(n, tab)
+		}
+		if st.nodeTimes != nil {
+			st.nodeTimes[ni] += time.Since(nodeStart)
+		}
+		st.tablesAllocated++
+		st.rowsAllocated += tab.Rows()
+		if st.cancelled() {
+			// The pass aborted mid-node; the table is partial garbage.
+			st.abort()
+			return 0
 		}
 		st.liveBytes += tab.Bytes()
 		if st.liveBytes > st.peakBytes {
@@ -109,9 +151,25 @@ func (st *iterState) run() float64 {
 		e.kept = st.tabs
 		e.keptColors = st.colors
 	} else {
-		st.tabs[e.tree.Root].Release()
+		root := st.tabs[e.tree.Root]
+		st.rowsReleased += root.Rows()
+		st.tablesReleased++
+		root.Release()
 	}
 	return total
+}
+
+// abort releases every live table after a cancellation and marks the
+// iteration as discarded.
+func (st *iterState) abort() {
+	st.aborted = true
+	for n, tab := range st.tabs {
+		st.rowsReleased += tab.Rows()
+		st.tablesReleased++
+		tab.Release()
+		delete(st.tabs, n)
+	}
+	st.liveBytes = 0
 }
 
 func (st *iterState) releaseChildren(n *part.Node) {
@@ -123,6 +181,8 @@ func (st *iterState) releaseChildren(n *part.Node) {
 		if st.remaining[ch] == 0 {
 			tab := st.tabs[ch]
 			st.liveBytes -= tab.Bytes()
+			st.rowsReleased += tab.Rows()
+			st.tablesReleased++
 			tab.Release()
 			delete(st.tabs, ch)
 		}
@@ -165,6 +225,9 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 	if st.workers <= 1 {
 		sc := e.getScratch()
 		for v := int32(0); v < nVerts; v++ {
+			if st.cancelled() {
+				break
+			}
 			st.vertexPass(ctx, tab, v, sc)
 		}
 		e.putScratch(sc)
@@ -192,6 +255,9 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 			sc := e.getScratch()
 			defer e.putScratch(sc)
 			for {
+				if st.cancelled() {
+					return
+				}
 				start := next.Add(chunk) - chunk
 				if start >= nVerts {
 					return
@@ -201,6 +267,9 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 					end = nVerts
 				}
 				for v := start; v < end; v++ {
+					if st.cancelled() {
+						return
+					}
 					st.vertexPass(ctx, target, v, sc)
 				}
 			}

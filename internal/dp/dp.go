@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/comb"
 	"repro/internal/graph"
@@ -97,6 +98,13 @@ type Config struct {
 	// embedding sampling at the cost of the memory the eager-release
 	// schedule would have saved. It forces Share off.
 	KeepTables bool
+	// OnIteration, when non-nil, is called after every completed
+	// iteration with its seed index, its estimate, and the wall time
+	// elapsed since the run started — a progress hook. Under outer and
+	// hybrid parallelism calls are serialized but indices may arrive out
+	// of order; the callback must not block for long (it holds the
+	// run's result lock).
+	OnIteration func(i int, estimate float64, elapsed time.Duration)
 }
 
 // DefaultConfig returns the paper-faithful defaults: k = template size,

@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,7 +14,9 @@ type Result struct {
 	// Estimate is the mean over iterations of the scaled colorful count:
 	// the approximate number of non-induced occurrences of the template.
 	Estimate float64
-	// PerIteration holds each iteration's individual estimate.
+	// PerIteration holds each iteration's individual estimate. For a
+	// cancelled run it holds only the iterations that completed, in seed
+	// order.
 	PerIteration []float64
 	// StdErr is the standard error of the mean across iterations (0 for
 	// a single iteration).
@@ -25,18 +28,50 @@ type Result struct {
 	Elapsed time.Duration
 	// ModeUsed records the resolved parallelization mode.
 	ModeUsed Mode
+	// Stats is the observability snapshot of the run (per-node times,
+	// kernel decisions, table row traffic, per-iteration timings).
+	Stats RunStats
 }
 
 // Run executes iters color-coding iterations (Algorithm 1) and averages
 // their estimates. Estimates are independent of the parallel mode: the
 // i-th iteration always colors with seed Seed+i.
 func (e *Engine) Run(iters int) (Result, error) {
+	return e.RunContext(context.Background(), iters)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// at iteration boundaries and inside every DP pass at vertex granularity,
+// so all three parallel modes abort promptly (typically well under a
+// millisecond of DP work after cancellation). On cancellation it returns
+// the partial result — the mean over the iterations that completed, with
+// Stats.Cancelled set — alongside ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	if iters < 1 {
 		return Result{}, fmt.Errorf("dp: iterations must be >= 1, got %d", iters)
 	}
 	start := time.Now()
 	mode := e.mode()
-	res := Result{PerIteration: make([]float64, iters), ModeUsed: mode}
+	stop, release := watchContext(ctx)
+	defer release()
+	kd0, ka0 := e.KernelStats()
+
+	estimates := make([]float64, iters)
+	iterTimes := make([]time.Duration, iters)
+	completed := make([]bool, iters)
+	stats := e.newRunStats()
+	res := Result{ModeUsed: mode}
+
+	// runIter executes one full iteration and returns its state; the
+	// caller folds the result in under its own synchronization.
+	runIter := func(i, innerW int) (*iterState, time.Duration) {
+		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), innerW)
+		st.stop = stop
+		st.nodeTimes = make([]time.Duration, len(e.tree.Order))
+		t0 := time.Now()
+		st.total = st.run()
+		return st, time.Since(t0)
+	}
 
 	switch mode {
 	case Outer, Hybrid:
@@ -77,12 +112,22 @@ func (e *Engine) Run(iters int) (Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), innerW)
-					total := st.run()
+					if stop != nil && stop.Load() {
+						continue // drain remaining iteration slots
+					}
+					st, d := runIter(i, innerW)
 					mu.Lock()
-					res.PerIteration[i] = e.scale(total)
+					stats.mergeIter(st)
 					if st.peakBytes > res.PeakTableBytes {
 						res.PeakTableBytes = st.peakBytes
+					}
+					if !st.aborted {
+						estimates[i] = e.scale(st.total)
+						iterTimes[i] = d
+						completed[i] = true
+						if e.cfg.OnIteration != nil {
+							e.cfg.OnIteration(i, estimates[i], time.Since(start))
+						}
 					}
 					mu.Unlock()
 				}
@@ -91,29 +136,61 @@ func (e *Engine) Run(iters int) (Result, error) {
 		wg.Wait()
 	default: // Inner
 		for i := 0; i < iters; i++ {
-			st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), e.workers())
-			total := st.run()
-			res.PerIteration[i] = e.scale(total)
+			if stop != nil && stop.Load() {
+				break
+			}
+			st, d := runIter(i, e.workers())
+			stats.mergeIter(st)
 			if st.peakBytes > res.PeakTableBytes {
 				res.PeakTableBytes = st.peakBytes
+			}
+			if st.aborted {
+				break
+			}
+			estimates[i] = e.scale(st.total)
+			iterTimes[i] = d
+			completed[i] = true
+			if e.cfg.OnIteration != nil {
+				e.cfg.OnIteration(i, estimates[i], time.Since(start))
 			}
 		}
 	}
 
-	var sum float64
-	for _, x := range res.PerIteration {
-		sum += x
+	// Compact to completed iterations (all of them when not cancelled).
+	for i := 0; i < iters; i++ {
+		if completed[i] {
+			res.PerIteration = append(res.PerIteration, estimates[i])
+			stats.IterTimes = append(stats.IterTimes, iterTimes[i])
+		}
 	}
-	res.Estimate = sum / float64(iters)
-	if iters > 1 {
+	n := len(res.PerIteration)
+	stats.Iterations = n
+	if n > 0 {
+		var sum float64
+		for _, x := range res.PerIteration {
+			sum += x
+		}
+		res.Estimate = sum / float64(n)
+	}
+	if n > 1 {
 		var ss float64
 		for _, x := range res.PerIteration {
 			d := x - res.Estimate
 			ss += d * d
 		}
-		res.StdErr = math.Sqrt(ss / float64(iters-1) / float64(iters))
+		res.StdErr = math.Sqrt(ss / float64(n-1) / float64(n))
 	}
+	kd1, ka1 := e.KernelStats()
+	stats.KernelDirect = kd1 - kd0
+	stats.KernelAggregate = ka1 - ka0
+	stats.PeakTableBytes = res.PeakTableBytes
 	res.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		stats.Cancelled = true
+		res.Stats = stats
+		return res, err
+	}
+	res.Stats = stats
 	return res, nil
 }
 
@@ -144,6 +221,22 @@ func (e *Engine) ColoringFor(seed int64) []int8 {
 	return colors
 }
 
+// Reseed changes the engine's base coloring seed for subsequent runs.
+// All precomputed structures (partition tree, split tables) are
+// seed-independent, so reseeding a built engine is free — the retry loop
+// of embedding sampling uses it instead of rebuilding the engine.
+func (e *Engine) Reseed(seed int64) { e.cfg.Seed = seed }
+
+// ReleaseKept drops tables retained by a KeepTables run, returning their
+// storage before a re-run replaces them.
+func (e *Engine) ReleaseKept() {
+	for _, tab := range e.kept {
+		tab.Release()
+	}
+	e.kept = nil
+	e.keptColors = nil
+}
+
 // VertexCounts estimates, for every graph vertex v, the number of
 // template embeddings in which v plays the role of the template root
 // (set Config.RootVertex to pick the role — e.g. the center of U5-2 for
@@ -151,19 +244,36 @@ func (e *Engine) ColoringFor(seed int64) []int8 {
 // iters iterations and scaled by the colorful probability and the number
 // of automorphisms fixing the root.
 func (e *Engine) VertexCounts(iters int) ([]float64, error) {
+	return e.VertexCountsContext(context.Background(), iters)
+}
+
+// VertexCountsContext is VertexCounts with cooperative cancellation. On
+// cancellation it returns the partial per-vertex estimates rescaled to
+// the iterations that completed (nil when none did) alongside ctx.Err().
+func (e *Engine) VertexCountsContext(ctx context.Context, iters int) ([]float64, error) {
 	if iters < 1 {
 		return nil, fmt.Errorf("dp: iterations must be >= 1, got %d", iters)
 	}
 	if e.cfg.Share {
 		return nil, fmt.Errorf("dp: per-vertex counts require Share=false (shared nodes lose root identity)")
 	}
+	stop, release := watchContext(ctx)
+	defer release()
 	n := e.g.N()
 	acc := make([]float64, n)
 	scale := 1 / (e.prob * float64(e.rAut) * float64(iters))
+	done := 0
 	for i := 0; i < iters; i++ {
+		if stop != nil && stop.Load() {
+			break
+		}
 		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), e.workers())
+		st.stop = stop
 		st.keep = true // retain the root table for reading
 		st.run()
+		if st.aborted {
+			break
+		}
 		root := st.tabs[e.tree.Root]
 		for v := int32(0); v < int32(n); v++ {
 			if root.Has(v) {
@@ -175,6 +285,18 @@ func (e *Engine) VertexCounts(iters int) ([]float64, error) {
 		}
 		e.kept = nil
 		e.keptColors = nil
+		done++
+	}
+	if err := ctx.Err(); err != nil {
+		if done == 0 {
+			return nil, err
+		}
+		// Rescale the partial sum from 1/iters to 1/done.
+		f := float64(iters) / float64(done)
+		for v := range acc {
+			acc[v] *= f
+		}
+		return acc, err
 	}
 	return acc, nil
 }
@@ -187,6 +309,14 @@ func (e *Engine) VertexCounts(iters int) ([]float64, error) {
 // use the same seeds as Run, so a converged run is a prefix of a fixed
 // run. Inner-loop parallelism applies within each iteration.
 func (e *Engine) RunConverged(relStdErr float64, minIters, maxIters int) (Result, error) {
+	return e.RunConvergedContext(context.Background(), relStdErr, minIters, maxIters)
+}
+
+// RunConvergedContext is RunConverged with cooperative cancellation,
+// polled at iteration boundaries and at vertex granularity inside each
+// DP pass. On cancellation it returns the partial result alongside
+// ctx.Err().
+func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, minIters, maxIters int) (Result, error) {
 	if relStdErr <= 0 {
 		return Result{}, fmt.Errorf("dp: relStdErr must be positive, got %v", relStdErr)
 	}
@@ -197,25 +327,45 @@ func (e *Engine) RunConverged(relStdErr float64, minIters, maxIters int) (Result
 		return Result{}, fmt.Errorf("dp: maxIters %d < minIters %d", maxIters, minIters)
 	}
 	start := time.Now()
+	stop, release := watchContext(ctx)
+	defer release()
+	kd0, ka0 := e.KernelStats()
 	workers := 1
 	if e.mode() == Inner {
 		workers = e.workers()
 	}
+	stats := e.newRunStats()
 	res := Result{ModeUsed: e.mode()}
 	var mean, m2 float64
 	for i := 0; i < maxIters; i++ {
+		if stop != nil && stop.Load() {
+			break
+		}
 		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), workers)
-		est := e.scale(st.run())
+		st.stop = stop
+		st.nodeTimes = make([]time.Duration, len(e.tree.Order))
+		t0 := time.Now()
+		total := st.run()
+		d := time.Since(t0)
+		stats.mergeIter(st)
 		if st.peakBytes > res.PeakTableBytes {
 			res.PeakTableBytes = st.peakBytes
 		}
+		if st.aborted {
+			break
+		}
+		est := e.scale(total)
 		res.PerIteration = append(res.PerIteration, est)
+		stats.IterTimes = append(stats.IterTimes, d)
 		// Welford's online mean/variance update.
-		n := float64(i + 1)
+		n := float64(len(res.PerIteration))
 		delta := est - mean
 		mean += delta / n
 		m2 += delta * (est - mean)
-		if i+1 >= minIters && mean != 0 {
+		if e.cfg.OnIteration != nil {
+			e.cfg.OnIteration(i, est, time.Since(start))
+		}
+		if len(res.PerIteration) >= minIters && mean != 0 {
 			stderr := math.Sqrt(m2 / (n - 1) / n)
 			if stderr/math.Abs(mean) <= relStdErr {
 				break
@@ -227,6 +377,17 @@ func (e *Engine) RunConverged(relStdErr float64, minIters, maxIters int) (Result
 	if n > 1 {
 		res.StdErr = math.Sqrt(m2 / (n - 1) / n)
 	}
+	stats.Iterations = len(res.PerIteration)
+	kd1, ka1 := e.KernelStats()
+	stats.KernelDirect = kd1 - kd0
+	stats.KernelAggregate = ka1 - ka0
+	stats.PeakTableBytes = res.PeakTableBytes
 	res.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		stats.Cancelled = true
+		res.Stats = stats
+		return res, err
+	}
+	res.Stats = stats
 	return res, nil
 }

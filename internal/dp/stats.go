@@ -1,0 +1,116 @@
+package dp
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// NodeStat records the accumulated wall time spent computing one
+// partition-tree node across all iterations of a run, in evaluation
+// order. Leaf nodes measure leaf-table initialization; internal nodes
+// measure the DP combination pass (the paper's "step 12", the dominant
+// cost per §V-A).
+type NodeStat struct {
+	// Index is the node's position in the tree's evaluation order.
+	Index int
+	// Size is the subtemplate's vertex count.
+	Size int
+	// Leaf marks single-vertex subtemplates.
+	Leaf bool
+	// Time is the wall time spent filling this node's table, summed over
+	// every iteration the run executed (including aborted ones). Under
+	// outer/hybrid parallelism concurrent iterations' times add up, so
+	// the total can exceed the run's wall-clock elapsed time.
+	Time time.Duration
+}
+
+// RunStats is the per-run observability snapshot populated by RunContext
+// and friends: where the time went (per node, per iteration), which
+// kernels the cost model chose, and how much table storage moved.
+type RunStats struct {
+	// Layout names the table layout used ("lazy", "naive", "hash").
+	Layout string
+	// Iterations is the number of iterations that ran to completion
+	// (cancelled iterations are excluded).
+	Iterations int
+	// IterTimes holds the wall time of each completed iteration, in seed
+	// order.
+	IterTimes []time.Duration
+	// Nodes holds per-partition-tree-node accumulated compute times in
+	// evaluation order.
+	Nodes []NodeStat
+	// KernelDirect and KernelAggregate count internal-node vertex passes
+	// executed by each DP kernel during this run (the cost-model
+	// decisions; forced modes land everything on one counter).
+	KernelDirect    int64
+	KernelAggregate int64
+	// RowsAllocated and RowsReleased count materialized table rows over
+	// the whole run (dense layouts materialize every vertex; sparse and
+	// hash layouts only touched vertices). With the eager-release
+	// schedule and no KeepTables the two are equal at run end.
+	RowsAllocated int64
+	RowsReleased  int64
+	// TablesAllocated and TablesReleased count whole subtemplate tables.
+	TablesAllocated int64
+	TablesReleased  int64
+	// PeakTableBytes mirrors Result.PeakTableBytes: the largest live
+	// table footprint of any single iteration.
+	PeakTableBytes int64
+	// Cancelled reports whether the run was cut short by its context.
+	Cancelled bool
+}
+
+// NodeTimeTotal sums the per-node times — in sequential (inner, one
+// worker per pass) runs this closely tracks the run's elapsed time.
+func (s RunStats) NodeTimeTotal() time.Duration {
+	var t time.Duration
+	for _, n := range s.Nodes {
+		t += n.Time
+	}
+	return t
+}
+
+// newRunStats seeds the per-node stat slots from the engine's partition
+// tree.
+func (e *Engine) newRunStats() RunStats {
+	st := RunStats{
+		Layout: e.cfg.TableKind.String(),
+		Nodes:  make([]NodeStat, len(e.tree.Order)),
+	}
+	for i, n := range e.tree.Order {
+		st.Nodes[i] = NodeStat{Index: i, Size: n.Size(), Leaf: n.IsLeaf()}
+	}
+	return st
+}
+
+// mergeIter folds one iteration's iterState accounting into the stats.
+// Callers serialize access (outer/hybrid modes hold the result mutex).
+func (s *RunStats) mergeIter(st *iterState) {
+	for i, d := range st.nodeTimes {
+		s.Nodes[i].Time += d
+	}
+	s.RowsAllocated += st.rowsAllocated
+	s.RowsReleased += st.rowsReleased
+	s.TablesAllocated += st.tablesAllocated
+	s.TablesReleased += st.tablesReleased
+}
+
+// watchContext arms a cancellation flag that DP inner loops can poll
+// with a single atomic load (cheap enough to check at every vertex).
+// The returned release func detaches the watcher; it must be called to
+// avoid leaking the AfterFunc registration.
+func watchContext(ctx context.Context) (stop *atomic.Bool, release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, func() {}
+	}
+	var b atomic.Bool
+	if ctx.Err() != nil {
+		// AfterFunc fires asynchronously even for a dead context; set the
+		// flag synchronously so not a single iteration starts.
+		b.Store(true)
+		return &b, func() {}
+	}
+	cancel := context.AfterFunc(ctx, func() { b.Store(true) })
+	return &b, func() { cancel() }
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,7 +14,7 @@ import (
 // AblationPartition measures the §III-D trade-off: one-at-a-time versus
 // balanced partitioning, with and without isomorphic-subtemplate sharing,
 // on the U12-2 (or largest enabled) template.
-func (p Params) AblationPartition() (Table, error) {
+func (p Params) AblationPartition(ctx context.Context) (Table, error) {
 	g := p.network("enron")
 	name := fmt.Sprintf("U%d-2", p.MaxK)
 	tpl := tmpl.MustNamed(name)
@@ -26,7 +27,7 @@ func (p Params) AblationPartition() (Table, error) {
 			cfg := p.baseConfig()
 			cfg.Strategy = strat
 			cfg.Share = share
-			d, res, err := singleIterationTime(g, tpl, cfg)
+			d, res, err := singleIterationTime(ctx, g, tpl, cfg)
 			if err != nil {
 				return t, err
 			}
@@ -41,7 +42,7 @@ func (p Params) AblationPartition() (Table, error) {
 
 // AblationTable measures the three table layouts' time/memory trade-off
 // on a path template over the road-like network.
-func (p Params) AblationTable() (Table, error) {
+func (p Params) AblationTable(ctx context.Context) (Table, error) {
 	g := p.network("paroad")
 	tpl := tmpl.MustNamed(fmt.Sprintf("U%d-1", p.MaxK))
 	t := Table{
@@ -51,7 +52,7 @@ func (p Params) AblationTable() (Table, error) {
 	for _, kind := range []table.Kind{table.Naive, table.Lazy, table.Hash} {
 		cfg := p.baseConfig()
 		cfg.TableKind = kind
-		d, res, err := singleIterationTime(g, tpl, cfg)
+		d, res, err := singleIterationTime(ctx, g, tpl, cfg)
 		if err != nil {
 			return t, err
 		}
@@ -65,7 +66,7 @@ func (p Params) AblationTable() (Table, error) {
 // SpMM-style neighbor-aggregation kernel, and the auto cost model on a
 // degree-skewed network. Estimates must be identical across kernels; the
 // vertex-pass split shows what the cost model chose.
-func (p Params) AblationKernel() (Table, error) {
+func (p Params) AblationKernel(ctx context.Context) (Table, error) {
 	g := p.network("enron")
 	tpl := tmpl.MustNamed(fmt.Sprintf("U%d-1", p.MaxK))
 	t := Table{
@@ -81,7 +82,7 @@ func (p Params) AblationKernel() (Table, error) {
 			return t, err
 		}
 		start := time.Now()
-		res, err := e.Run(1)
+		res, err := e.RunContext(ctx, 1)
 		if err != nil {
 			return t, err
 		}
@@ -102,7 +103,7 @@ func (p Params) AblationKernel() (Table, error) {
 
 // AblationLeafSpecial measures the single-vertex-child specializations'
 // effect (the (k-1)/k inner-loop reduction of §III-D).
-func (p Params) AblationLeafSpecial() (Table, error) {
+func (p Params) AblationLeafSpecial(ctx context.Context) (Table, error) {
 	g := p.network("enron")
 	tpl := tmpl.MustNamed(fmt.Sprintf("U%d-1", p.MaxK))
 	t := Table{
@@ -112,7 +113,7 @@ func (p Params) AblationLeafSpecial() (Table, error) {
 	for _, disable := range []bool{false, true} {
 		cfg := p.baseConfig()
 		cfg.DisableLeafSpecial = disable
-		d, res, err := singleIterationTime(g, tpl, cfg)
+		d, res, err := singleIterationTime(ctx, g, tpl, cfg)
 		if err != nil {
 			return t, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,7 +14,7 @@ import (
 // the Enron-like network it reports wall time, total communication
 // volume, and the per-rank table-row bound, and checks that the estimate
 // is invariant across rank counts.
-func (p Params) Distributed() (Table, error) {
+func (p Params) Distributed(ctx context.Context) (Table, error) {
 	g := p.network("enron")
 	tpl := tmpl.MustNamed(fmt.Sprintf("U%d-1", p.MaxK))
 	t := Table{
@@ -27,7 +28,7 @@ func (p Params) Distributed() (Table, error) {
 			return t, err
 		}
 		start := time.Now()
-		res, err := e.Run(1)
+		res, err := e.RunContext(ctx, 1)
 		if err != nil {
 			return t, err
 		}

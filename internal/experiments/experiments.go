@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -104,15 +105,15 @@ func (p Params) templates() []*tmpl.Template {
 	return out
 }
 
-// singleIterationTime runs one counting iteration and reports its wall
-// time along with the run result.
-func singleIterationTime(g *graph.Graph, t *tmpl.Template, cfg dp.Config) (time.Duration, dp.Result, error) {
+// singleIterationTime runs one counting iteration under ctx and reports
+// its wall time along with the run result.
+func singleIterationTime(ctx context.Context, g *graph.Graph, t *tmpl.Template, cfg dp.Config) (time.Duration, dp.Result, error) {
 	e, err := dp.New(g, t, cfg)
 	if err != nil {
 		return 0, dp.Result{}, err
 	}
 	start := time.Now()
-	res, err := e.Run(1)
+	res, err := e.RunContext(ctx, 1)
 	if err != nil {
 		return 0, dp.Result{}, err
 	}

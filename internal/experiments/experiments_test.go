@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -65,6 +67,19 @@ func TestRunUnknown(t *testing.T) {
 	}
 }
 
+// TestRunContextCancelled checks that a pre-cancelled context aborts an
+// experiment and surfaces the context error.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, "fig3", tiny()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fig3 returned %v, want context.Canceled", err)
+	}
+	if _, err := RunContext(ctx, "profile", tiny()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled profile returned %v, want context.Canceled", err)
+	}
+}
+
 func TestRegistryAndOrderAgree(t *testing.T) {
 	if len(Order) != len(Registry) {
 		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
@@ -79,7 +94,7 @@ func TestRegistryAndOrderAgree(t *testing.T) {
 func TestFig10ErrorDecreases(t *testing.T) {
 	p := tiny()
 	p.Iters = 10
-	tab, err := p.Fig10()
+	tab, err := p.Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +110,7 @@ func TestFig10ErrorDecreases(t *testing.T) {
 func TestFig16AgreementImproves(t *testing.T) {
 	p := tiny()
 	p.Iters = 100
-	tab, err := p.Fig16()
+	tab, err := p.Fig16(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +137,7 @@ func TestFig16AgreementImproves(t *testing.T) {
 func TestModaBaselinesAgree(t *testing.T) {
 	p := tiny()
 	p.Iters = 50
-	tab, err := p.Moda()
+	tab, err := p.Moda(context.Background())
 	if err != nil {
 		t.Fatal(err) // includes the internal naive-vs-enumerator check
 	}
@@ -133,7 +148,7 @@ func TestModaBaselinesAgree(t *testing.T) {
 
 func TestAblationLeafSpecialSameEstimates(t *testing.T) {
 	p := tiny()
-	tab, err := p.AblationLeafSpecial()
+	tab, err := p.AblationLeafSpecial(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,7 +15,7 @@ import (
 // Fig10 reproduces Figure 10: approximation error versus iteration count
 // for the U3-1 and U5-1 templates on the Enron-like network. The error at
 // i iterations is |mean(first i estimates) - exact| / exact.
-func (p Params) Fig10() (Table, error) {
+func (p Params) Fig10(ctx context.Context) (Table, error) {
 	g := p.exactNetwork("enron")
 	t := Table{
 		Title:   "Figure 10: approximation error vs iterations, enron-like",
@@ -32,7 +33,7 @@ func (p Params) Fig10() (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		res, err := e.Run(maxIters)
+		res, err := e.RunContext(ctx, maxIters)
 		if err != nil {
 			return t, err
 		}
@@ -54,7 +55,7 @@ func (p Params) Fig10() (Table, error) {
 // Fig11 reproduces Figure 11: mean relative error of motif counts (all
 // 11 seven-vertex trees) on the H. pylori-like network as iterations grow
 // from 1 to Iters (paper: 1 to 10,000).
-func (p Params) Fig11() (Table, error) {
+func (p Params) Fig11(ctx context.Context) (Table, error) {
 	g := p.network("hpylori")
 	t := Table{
 		Title:   "Figure 11: mean motif error vs iterations, hpylori-like, k=7",
@@ -69,7 +70,7 @@ func (p Params) Fig11() (Table, error) {
 		if it > p.Iters {
 			break
 		}
-		prof, err := motif.Find("hpylori", g, 7, it, p.baseConfig())
+		prof, err := motif.FindContext(ctx, "hpylori", g, 7, it, p.baseConfig())
 		if err != nil {
 			return t, err
 		}
@@ -85,7 +86,7 @@ func (p Params) Fig11() (Table, error) {
 
 // Fig12 reproduces Figure 12: exact motif counts versus estimates after 1
 // iteration and after many iterations on the H. pylori-like network.
-func (p Params) Fig12() (Table, error) {
+func (p Params) Fig12(ctx context.Context) (Table, error) {
 	g := p.network("hpylori")
 	t := Table{
 		Title:   "Figure 12: motif counts, exact vs 1 iteration vs many, hpylori-like, k=7",
@@ -95,11 +96,11 @@ func (p Params) Fig12() (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	one, err := motif.Find("hpylori", g, 7, 1, p.baseConfig())
+	one, err := motif.FindContext(ctx, "hpylori", g, 7, 1, p.baseConfig())
 	if err != nil {
 		return t, err
 	}
-	many, err := motif.Find("hpylori", g, 7, p.Iters, p.baseConfig())
+	many, err := motif.FindContext(ctx, "hpylori", g, 7, p.Iters, p.baseConfig())
 	if err != nil {
 		return t, err
 	}

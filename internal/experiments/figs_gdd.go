@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dp"
@@ -23,7 +24,7 @@ func u52CenterOrbit() (*tmpl.Template, int) {
 
 // gddFor estimates the graphlet degree distribution of the U5-2 central
 // orbit on a network.
-func (p Params) gddFor(network string, iters int) (gdd.Distribution, error) {
+func (p Params) gddFor(ctx context.Context, network string, iters int) (gdd.Distribution, error) {
 	g := p.network(network)
 	tpl, orbit := u52CenterOrbit()
 	cfg := p.baseConfig()
@@ -32,7 +33,7 @@ func (p Params) gddFor(network string, iters int) (gdd.Distribution, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts, err := e.VertexCounts(iters)
+	counts, err := e.VertexCountsContext(ctx, iters)
 	if err != nil {
 		return nil, err
 	}
@@ -43,13 +44,13 @@ func (p Params) gddFor(network string, iters int) (gdd.Distribution, error) {
 // U5-2 central orbit on the Enron, G(n,p), Portland, and Slashdot
 // networks. Distributions are summarized as (support size, max degree,
 // vertices at degree >= 1) plus the first decades of the histogram.
-func (p Params) Fig15() (Table, error) {
+func (p Params) Fig15(ctx context.Context) (Table, error) {
 	t := Table{
 		Title:   "Figure 15: graphlet degree distribution (U5-2 center orbit)",
 		Columns: []string{"network", "degree_bucket", "vertices"},
 	}
 	for _, name := range []string{"enron", "gnp", "portland", "slashdot"} {
-		dist, err := p.gddFor(name, p.Iters/10+1)
+		dist, err := p.gddFor(ctx, name, p.Iters/10+1)
 		if err != nil {
 			return t, err
 		}
@@ -82,7 +83,7 @@ func (p Params) Fig15() (Table, error) {
 // Fig16 reproduces Figure 16: Pržulj GDD agreement between the exact
 // graphlet degree distribution and the color-coding estimate as
 // iterations grow, on the E. coli-like and Enron-like networks.
-func (p Params) Fig16() (Table, error) {
+func (p Params) Fig16(ctx context.Context) (Table, error) {
 	t := Table{
 		Title:   "Figure 16: GDD agreement vs iterations (U5-2 center orbit)",
 		Columns: []string{"network", "iterations", "agreement"},
@@ -108,7 +109,7 @@ func (p Params) Fig16() (Table, error) {
 			if iters > p.Iters {
 				break
 			}
-			counts, err := e.VertexCounts(iters)
+			counts, err := e.VertexCountsContext(ctx, iters)
 			if err != nil {
 				return t, err
 			}

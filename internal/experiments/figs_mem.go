@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gen"
@@ -12,7 +13,7 @@ import (
 // Portland-like network for the complex templates (U3-2 ... U12-2),
 // comparing the naive layout, the improved (lazy) layout, and the
 // improved layout with a labeled template and graph.
-func (p Params) Fig6() (Table, error) {
+func (p Params) Fig6(ctx context.Context) (Table, error) {
 	g := p.network("portland")
 	t := Table{
 		Title:   "Figure 6: peak table memory (MB), portland-like, U*-2 templates",
@@ -29,7 +30,7 @@ func (p Params) Fig6() (Table, error) {
 		for _, kind := range []table.Kind{table.Naive, table.Lazy} {
 			cfg := p.baseConfig()
 			cfg.TableKind = kind
-			_, res, err := singleIterationTime(g, tpl, cfg)
+			_, res, err := singleIterationTime(ctx, g, tpl, cfg)
 			if err != nil {
 				return t, err
 			}
@@ -45,7 +46,7 @@ func (p Params) Fig6() (Table, error) {
 		}
 		cfg := p.baseConfig()
 		cfg.TableKind = table.Lazy
-		_, res, err := singleIterationTime(labeledG, ltpl, cfg)
+		_, res, err := singleIterationTime(ctx, labeledG, ltpl, cfg)
 		if err != nil {
 			return t, err
 		}
@@ -60,7 +61,7 @@ func (p Params) Fig6() (Table, error) {
 // Fig7 reproduces Figure 7: peak dynamic-table memory on the PA-road-like
 // network for the path templates (U3-1 ... U12-1) across the hash, naive,
 // and improved layouts.
-func (p Params) Fig7() (Table, error) {
+func (p Params) Fig7(ctx context.Context) (Table, error) {
 	g := p.network("paroad")
 	t := Table{
 		Title:   "Figure 7: peak table memory (MB), paroad-like, U*-1 templates",
@@ -75,7 +76,7 @@ func (p Params) Fig7() (Table, error) {
 		for _, kind := range []table.Kind{table.Hash, table.Naive, table.Lazy} {
 			cfg := p.baseConfig()
 			cfg.TableKind = kind
-			_, res, err := singleIterationTime(g, tpl, cfg)
+			_, res, err := singleIterationTime(ctx, g, tpl, cfg)
 			if err != nil {
 				return t, err
 			}

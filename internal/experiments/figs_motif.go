@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gen"
@@ -9,13 +10,13 @@ import (
 
 // profileTable renders per-network relative motif frequencies for all
 // 7-vertex trees (one column per network), the format of Figures 13/14.
-func (p Params) profileTable(title string, networks []string) (Table, error) {
+func (p Params) profileTable(ctx context.Context, title string, networks []string) (Table, error) {
 	t := Table{Title: title}
 	t.Columns = append([]string{"subgraph"}, networks...)
 	var profiles []motif.Profile
 	for _, name := range networks {
 		g := p.network(name)
-		prof, err := motif.Find(name, g, 7, p.Iters, p.baseConfig())
+		prof, err := motif.FindContext(ctx, name, g, 7, p.Iters, p.baseConfig())
 		if err != nil {
 			return t, err
 		}
@@ -39,12 +40,12 @@ func (p Params) profileTable(title string, networks []string) (Table, error) {
 // Fig13 reproduces Figure 13: relative frequencies of all 7-vertex tree
 // motifs across the four PPI networks (counts scaled by each network's
 // mean).
-func (p Params) Fig13() (Table, error) {
+func (p Params) Fig13(ctx context.Context) (Table, error) {
 	names := make([]string, 0, 4)
 	for _, pre := range gen.PPIPresets() {
 		names = append(names, pre.Name)
 	}
-	t, err := p.profileTable("Figure 13: relative motif frequencies, k=7, PPI networks", names)
+	t, err := p.profileTable(ctx, "Figure 13: relative motif frequencies, k=7, PPI networks", names)
 	if err != nil {
 		return t, err
 	}
@@ -54,8 +55,8 @@ func (p Params) Fig13() (Table, error) {
 
 // Fig14 reproduces Figure 14: relative frequencies of all 7-vertex tree
 // motifs on the social, road, and random networks.
-func (p Params) Fig14() (Table, error) {
-	t, err := p.profileTable(
+func (p Params) Fig14(ctx context.Context) (Table, error) {
+	t, err := p.profileTable(ctx,
 		"Figure 14: relative motif frequencies, k=7, social/road/random networks",
 		[]string{"portland", "slashdot", "enron", "paroad", "gnp"})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 // Fig8 reproduces Figure 8: inner-loop strong scaling of the U12-2
 // template (or the largest enabled template) on the Portland-like
 // network across worker counts.
-func (p Params) Fig8() (Table, error) {
+func (p Params) Fig8(ctx context.Context) (Table, error) {
 	g := p.network("portland")
 	name := "U12-2"
 	if p.MaxK < 12 {
@@ -27,7 +28,7 @@ func (p Params) Fig8() (Table, error) {
 		cfg := p.baseConfig()
 		cfg.Mode = dp.Inner
 		cfg.Workers = w
-		d, _, err := singleIterationTime(g, tpl, cfg)
+		d, _, err := singleIterationTime(ctx, g, tpl, cfg)
 		if err != nil {
 			return t, err
 		}
@@ -45,7 +46,7 @@ func (p Params) Fig8() (Table, error) {
 // U7-2 on the Enron-like network. The outer-loop row reports both the
 // per-iteration average and the total for running `workers` concurrent
 // iterations, as the paper plots.
-func (p Params) Fig9() (Table, error) {
+func (p Params) Fig9(ctx context.Context) (Table, error) {
 	g := p.network("enron")
 	tpl := tmpl.MustNamed("U7-2")
 	t := Table{
@@ -56,7 +57,7 @@ func (p Params) Fig9() (Table, error) {
 		cfg := p.baseConfig()
 		cfg.Mode = dp.Inner
 		cfg.Workers = w
-		dInner, _, err := singleIterationTime(g, tpl, cfg)
+		dInner, _, err := singleIterationTime(ctx, g, tpl, cfg)
 		if err != nil {
 			return t, err
 		}
@@ -68,7 +69,7 @@ func (p Params) Fig9() (Table, error) {
 			return t, err
 		}
 		start := time.Now()
-		if _, err := e.Run(w); err != nil { // w iterations across w workers
+		if _, err := e.RunContext(ctx, w); err != nil { // w iterations across w workers
 			return t, err
 		}
 		total := time.Since(start)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,14 +31,14 @@ func (p Params) Table1() Table {
 
 // Fig3 reproduces Figure 3: single-iteration execution time for the ten
 // unlabeled benchmark templates on the Portland-like network.
-func (p Params) Fig3() (Table, error) {
+func (p Params) Fig3(ctx context.Context) (Table, error) {
 	g := p.network("portland")
 	t := Table{
 		Title:   "Figure 3: single-iteration time, unlabeled templates, portland-like",
 		Columns: []string{"template", "k", "time_ms", "estimate"},
 	}
 	for _, tpl := range p.templates() {
-		d, res, err := singleIterationTime(g, tpl, p.baseConfig())
+		d, res, err := singleIterationTime(ctx, g, tpl, p.baseConfig())
 		if err != nil {
 			return t, err
 		}
@@ -51,7 +52,7 @@ func (p Params) Fig3() (Table, error) {
 // Fig4 reproduces Figure 4: single-iteration time for the same templates
 // with vertex labels (8 labels, randomly assigned), which prunes the
 // search space dramatically.
-func (p Params) Fig4() (Table, error) {
+func (p Params) Fig4(ctx context.Context) (Table, error) {
 	g := p.network("portland")
 	gen.AssignLabels(g, 8, p.Seed+7)
 	t := Table{
@@ -69,7 +70,7 @@ func (p Params) Fig4() (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		d, res, err := singleIterationTime(g, tpl, p.baseConfig())
+		d, res, err := singleIterationTime(ctx, g, tpl, p.baseConfig())
 		if err != nil {
 			return t, err
 		}
@@ -81,7 +82,7 @@ func (p Params) Fig4() (Table, error) {
 
 // Fig5 reproduces Figure 5: per-iteration motif-finding time (all tree
 // templates of size k) on the four PPI networks.
-func (p Params) Fig5() (Table, error) {
+func (p Params) Fig5(ctx context.Context) (Table, error) {
 	t := Table{
 		Title:   "Figure 5: per-iteration motif-finding time over all k-vertex trees, PPI networks",
 		Columns: []string{"network", "k", "templates", "total_time_ms"},
@@ -99,7 +100,7 @@ func (p Params) Fig5() (Table, error) {
 		g := p.network(pre.Name)
 		for _, k := range sizes {
 			start := time.Now()
-			prof, err := motif.Find(pre.Name, g, k, 1, p.baseConfig())
+			prof, err := motif.FindContext(ctx, pre.Name, g, k, 1, p.baseConfig())
 			if err != nil {
 				return t, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,7 +17,7 @@ import (
 // naïve per-template exhaustive counter, (b) the MODA-style single-pass
 // enumerator, and (c) FASCIA with enough iterations for ~1% error
 // (1,000 in the paper). It also reports FASCIA's realized mean error.
-func (p Params) Moda() (Table, error) {
+func (p Params) Moda(ctx context.Context) (Table, error) {
 	// The circuit is 252 vertices at paper scale; always use it as-is.
 	pre, err := gen.ByName("circuit")
 	if err != nil {
@@ -32,6 +33,9 @@ func (p Params) Moda() (Table, error) {
 	start := time.Now()
 	naive := make([]int64, len(trees))
 	for i, tr := range trees {
+		if err := ctx.Err(); err != nil {
+			return t, err
+		}
 		naive[i] = exact.Count(g, tr)
 	}
 	naiveTime := time.Since(start)
@@ -47,7 +51,7 @@ func (p Params) Moda() (Table, error) {
 	cfg := p.baseConfig()
 	cfg.Workers = 1 // the paper's comparison is single-threaded
 	start = time.Now()
-	prof, err := motif.Find("circuit", g, 7, iters, cfg)
+	prof, err := motif.FindContext(ctx, "circuit", g, 7, iters, cfg)
 	if err != nil {
 		return t, err
 	}
@@ -87,7 +91,7 @@ func (p Params) Moda() (Table, error) {
 	complete := true
 	err = enumerate.Subtrees(big, 7, func([][2]int32) bool {
 		enumerated++
-		if enumerated%(1<<20) == 0 && time.Since(start) > budget {
+		if enumerated%(1<<20) == 0 && (time.Since(start) > budget || ctx.Err() != nil) {
 			complete = false
 			return false
 		}
@@ -101,7 +105,7 @@ func (p Params) Moda() (Table, error) {
 	start = time.Now()
 	cfgBig := p.baseConfig()
 	cfgBig.Workers = 1
-	if _, err := motif.Find("ecoli", big, 7, iters, cfgBig); err != nil {
+	if _, err := motif.FindContext(ctx, "ecoli", big, 7, iters, cfgBig); err != nil {
 		return t, err
 	}
 	fasciaBig := time.Since(start)

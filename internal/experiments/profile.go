@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/dp"
 )
 
@@ -8,13 +10,16 @@ import (
 // 90% of time is spent in step 12 of Algorithm 2" (the DP table
 // combination step). One iteration per template is phase-profiled on the
 // Portland-like network.
-func (p Params) Profile() (Table, error) {
+func (p Params) Profile(ctx context.Context) (Table, error) {
 	g := p.network("portland")
 	t := Table{
 		Title:   "Section V-A: time breakdown per iteration, portland-like",
 		Columns: []string{"template", "coloring_ms", "leaf_init_ms", "compute_ms", "compute_share"},
 	}
 	for _, tpl := range p.templates() {
+		if err := ctx.Err(); err != nil {
+			return t, err
+		}
 		cfg := p.baseConfig()
 		cfg.Workers = 1
 		e, err := dp.New(g, tpl, cfg)

@@ -1,17 +1,21 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
 
-// Runner executes one experiment under the given parameters.
-type Runner func(Params) (Table, error)
+// Runner executes one experiment under the given parameters. The context
+// is checked between workload units (templates, networks, iteration
+// sweeps) and plumbed into every counting run, so cancelling it aborts an
+// experiment promptly with a partial table and the context's error.
+type Runner func(Params, context.Context) (Table, error)
 
 // Registry maps experiment names (as used by `fasciabench <name>`) to
 // their runners, in the paper's presentation order.
 var Registry = map[string]Runner{
-	"table1":             func(p Params) (Table, error) { return p.Table1(), nil },
+	"table1":             func(p Params, _ context.Context) (Table, error) { return p.Table1(), nil },
 	"fig3":               Params.Fig3,
 	"fig4":               Params.Fig4,
 	"fig5":               Params.Fig5,
@@ -43,8 +47,14 @@ var Order = []string{
 	"distributed", "profile",
 }
 
-// Run executes the named experiment.
+// Run executes the named experiment without cancellation.
 func Run(name string, p Params) (Table, error) {
+	return RunContext(context.Background(), name, p)
+}
+
+// RunContext executes the named experiment under ctx; cancelling ctx
+// aborts the experiment between workload units and inside counting runs.
+func RunContext(ctx context.Context, name string, p Params) (Table, error) {
 	r, ok := Registry[name]
 	if !ok {
 		names := make([]string, 0, len(Registry))
@@ -54,5 +64,5 @@ func Run(name string, p Params) (Table, error) {
 		sort.Strings(names)
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
 	}
-	return r(p)
+	return r(p, ctx)
 }

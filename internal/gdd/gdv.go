@@ -1,6 +1,7 @@
 package gdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,12 +46,21 @@ func (g GDV) Distribution(orbit int) Distribution {
 // given templates using iters color-coding iterations per orbit. cfg
 // supplies engine settings; its RootVertex is overridden per orbit.
 func ComputeGDV(g *graph.Graph, templates []*tmpl.Template, iters int, cfg dp.Config) (GDV, error) {
+	return ComputeGDVContext(context.Background(), g, templates, iters, cfg)
+}
+
+// ComputeGDVContext is ComputeGDV with cooperative cancellation, checked
+// between orbits and plumbed into every per-orbit counting run.
+func ComputeGDVContext(ctx context.Context, g *graph.Graph, templates []*tmpl.Template, iters int, cfg dp.Config) (GDV, error) {
 	if iters < 1 {
 		return GDV{}, fmt.Errorf("gdd: iterations must be >= 1, got %d", iters)
 	}
 	var out GDV
 	for ti, t := range templates {
 		for _, orbit := range t.Orbits() {
+			if err := ctx.Err(); err != nil {
+				return GDV{}, err
+			}
 			rep := orbit[0]
 			c := cfg
 			c.RootVertex = rep
@@ -59,7 +69,7 @@ func ComputeGDV(g *graph.Graph, templates []*tmpl.Template, iters int, cfg dp.Co
 			if err != nil {
 				return GDV{}, fmt.Errorf("gdd: template %d orbit %d: %w", ti, rep, err)
 			}
-			counts, err := e.VertexCounts(iters)
+			counts, err := e.VertexCountsContext(ctx, iters)
 			if err != nil {
 				return GDV{}, err
 			}

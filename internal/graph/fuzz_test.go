@@ -14,6 +14,12 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("# junk header\n\n5 5\n")
 	f.Add("l 0 1\n")
 	f.Add("0 1 extra tokens ok\n")
+	// Regressions: label id above the declared vertex count, duplicate
+	// label lines, and a negative label id (which used to panic in the
+	// labels-slice fill).
+	f.Add("# 2 1\n0 1\nl 5 3\n")
+	f.Add("l 0 1\nl 0 2\n0 1\n")
+	f.Add("0 1\nl -1 5\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadEdgeList(strings.NewReader(input))
 		if err != nil {

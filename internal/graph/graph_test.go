@@ -236,6 +236,39 @@ func TestReadEdgeListErrors(t *testing.T) {
 	}
 }
 
+// TestReadEdgeListLabelValidation covers the label-line error paths:
+// ids above the declared or implied vertex count, duplicate labels, and
+// negative ids (which used to panic). Errors must carry line numbers.
+func TestReadEdgeListLabelValidation(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"above declared n", "# 2 1\n0 1\nl 5 3\n", "line 3"},
+		{"above implied n", "0 1\nl 7 3\n", "line 2"},
+		{"duplicate", "l 0 1\nl 0 2\n0 1\n", "line 2"},
+		{"duplicate cites first", "l 0 1\nl 0 2\n0 1\n", "line 1"},
+		{"negative id", "0 1\nl -1 5\n", "line 2"},
+	}
+	for _, tc := range cases {
+		_, err := ReadEdgeList(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: input %q accepted", tc.name, tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+	// A well-formed labeled file still loads.
+	g, err := ReadEdgeList(strings.NewReader("# 3 2 labeled\n0 1\n1 2\nl 0 5\nl 2 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Label(0) != 5 || g.Label(1) != 0 || g.Label(2) != 7 {
+		t.Fatalf("labels = %v", g.Labels)
+	}
+}
+
 func TestBinaryRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	g := randomGraph(rng, 100, 400)

@@ -58,6 +58,10 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	n := -1
 	var edges [][2]int32
 	labelMap := map[int32]int32{}
+	// labelLines remembers where each vertex's label was declared so that
+	// errors detected after parsing (out-of-range ids against a header or
+	// implied vertex count) still point at the offending line.
+	labelLines := map[int32]int{}
 	maxID := int32(-1)
 	lineNo := 0
 	for sc.Scan() {
@@ -87,7 +91,14 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("graph: line %d: malformed label line %q", lineNo, line)
 			}
+			if v < 0 {
+				return nil, fmt.Errorf("graph: line %d: label for negative vertex %d", lineNo, v)
+			}
+			if first, ok := labelLines[int32(v)]; ok {
+				return nil, fmt.Errorf("graph: line %d: duplicate label for vertex %d (first declared on line %d)", lineNo, v, first)
+			}
 			labelMap[int32(v)] = int32(l)
+			labelLines[int32(v)] = lineNo
 			continue
 		}
 		if len(fields) < 2 {
@@ -123,7 +134,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		labels = make([]int32, n)
 		for v, l := range labelMap {
 			if int(v) >= n {
-				return nil, fmt.Errorf("graph: label for out-of-range vertex %d", v)
+				return nil, fmt.Errorf("graph: line %d: label for vertex %d outside vertex count %d", labelLines[v], v, n)
 			}
 			labels[v] = l
 		}

@@ -5,6 +5,7 @@
 package motif
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,6 +31,13 @@ type Profile struct {
 // (table layout, strategy, workers, seed); its Colors and RootVertex
 // fields are reset per template.
 func Find(name string, g *graph.Graph, k, iters int, cfg dp.Config) (Profile, error) {
+	return FindContext(context.Background(), name, g, k, iters, cfg)
+}
+
+// FindContext is Find with cooperative cancellation: the context is
+// checked between templates and plumbed into every per-template run, so
+// a profile over dozens of trees aborts promptly mid-tree.
+func FindContext(ctx context.Context, name string, g *graph.Graph, k, iters int, cfg dp.Config) (Profile, error) {
 	if iters < 1 {
 		return Profile{}, fmt.Errorf("motif: iterations must be >= 1, got %d", iters)
 	}
@@ -42,6 +50,9 @@ func Find(name string, g *graph.Graph, k, iters int, cfg dp.Config) (Profile, er
 		Counts:     make([]float64, len(trees)),
 	}
 	for i, tr := range trees {
+		if err := ctx.Err(); err != nil {
+			return Profile{}, err
+		}
 		c := cfg
 		c.Colors = 0
 		c.RootVertex = -1
@@ -51,7 +62,7 @@ func Find(name string, g *graph.Graph, k, iters int, cfg dp.Config) (Profile, er
 		if err != nil {
 			return Profile{}, fmt.Errorf("motif: template %s: %w", tr.Name(), err)
 		}
-		res, err := e.Run(iters)
+		res, err := e.RunContext(ctx, iters)
 		if err != nil {
 			return Profile{}, fmt.Errorf("motif: template %s: %w", tr.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package motif
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,10 +33,17 @@ type Significance struct {
 // model), returning per-tree z-scores. Positive z marks over-represented
 // subgraphs (motifs); negative z marks anti-motifs.
 func FindSignificance(name string, g *graph.Graph, k, iters, samples int, cfg dp.Config) (Significance, error) {
+	return FindSignificanceContext(context.Background(), name, g, k, iters, samples, cfg)
+}
+
+// FindSignificanceContext is FindSignificance with cooperative
+// cancellation, checked between ensemble samples and inside every
+// per-template counting run.
+func FindSignificanceContext(ctx context.Context, name string, g *graph.Graph, k, iters, samples int, cfg dp.Config) (Significance, error) {
 	if samples < 2 {
 		return Significance{}, fmt.Errorf("motif: significance needs >= 2 null samples, got %d", samples)
 	}
-	real, err := Find(name, g, k, iters, cfg)
+	real, err := FindContext(ctx, name, g, k, iters, cfg)
 	if err != nil {
 		return Significance{}, err
 	}
@@ -43,10 +51,13 @@ func FindSignificance(name string, g *graph.Graph, k, iters, samples int, cfg dp
 	sum := make([]float64, nTrees)
 	sumSq := make([]float64, nTrees)
 	for s := 0; s < samples; s++ {
+		if err := ctx.Err(); err != nil {
+			return Significance{}, err
+		}
 		null := gen.Rewire(g, 10*g.M(), cfg.Seed+int64(s)*7919+1)
 		ncfg := cfg
 		ncfg.Seed = cfg.Seed + int64(s)*104729 + 13
-		prof, err := Find(fmt.Sprintf("%s-null%d", name, s), null, k, iters, ncfg)
+		prof, err := FindContext(ctx, fmt.Sprintf("%s-null%d", name, s), null, k, iters, ncfg)
 		if err != nil {
 			return Significance{}, err
 		}

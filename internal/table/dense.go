@@ -91,6 +91,14 @@ func (d *Dense) Total() float64 {
 	return s
 }
 
+// Rows implements Table: every vertex row is preallocated.
+func (d *Dense) Rows() int64 {
+	if d.data == nil {
+		return 0
+	}
+	return int64(d.n)
+}
+
 // Bytes implements Table.
 func (d *Dense) Bytes() int64 {
 	return int64(len(d.data))*float64Size + sliceHeaderLen

@@ -1,5 +1,7 @@
 package table
 
+import "math/bits"
+
 // HashTable stores only nonzero cells in a single open-addressed hash
 // table keyed by key = vid·NumSets + colorIndex — the paper's hashing
 // scheme, which "ensures unique values for all combinations of vertices
@@ -212,6 +214,16 @@ func (h *HashTable) Total() float64 {
 // Bytes implements Table.
 func (h *HashTable) Bytes() int64 {
 	return int64(len(h.keys))*(8+float64Size) + int64(len(h.present))*8 + 3*sliceHeaderLen
+}
+
+// Rows implements Table: the number of vertices with at least one
+// stored cell (a popcount over the presence bitset).
+func (h *HashTable) Rows() int64 {
+	var n int64
+	for _, w := range h.present {
+		n += int64(bits.OnesCount64(w))
+	}
+	return n
 }
 
 // Release implements Table.

@@ -169,6 +169,9 @@ func (s *Sparse) Total() float64 {
 	return sum
 }
 
+// Rows implements Table: the number of arena rows allocated so far.
+func (s *Sparse) Rows() int64 { return s.live.Load() }
+
 // Bytes implements Table.
 func (s *Sparse) Bytes() int64 {
 	return int64(len(s.index))*4 +

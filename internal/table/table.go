@@ -71,6 +71,11 @@ type Table interface {
 	Total() float64
 	// Bytes returns the current heap footprint of the table's storage.
 	Bytes() int64
+	// Rows returns the number of materialized vertex rows: every vertex
+	// for the dense layout, allocated rows for the sparse layout, and
+	// vertices with at least one stored cell for the hash layout. It
+	// powers the run-stats row-traffic accounting.
+	Rows() int64
 	// Release drops all storage; the table must not be used afterwards.
 	Release()
 }

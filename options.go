@@ -2,6 +2,7 @@ package fascia
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dp"
 	"repro/internal/part"
@@ -210,6 +211,18 @@ type Options struct {
 	// KeepTables retains the final iteration's tables for
 	// SampleEmbeddings.
 	KeepTables bool
+	// Timeout, when positive, bounds every run of an Engine built from
+	// these options (each Run/Count call gets a fresh timeout). On expiry
+	// the run returns its partial result alongside the context error,
+	// exactly as caller-driven cancellation does.
+	Timeout time.Duration
+	// OnIteration, when non-nil, is invoked after each completed
+	// iteration with the iteration's index, its individual estimate, and
+	// the elapsed wall time since the run started. Calls are serialized,
+	// but under outer/hybrid parallelism iterations complete out of
+	// order, so i is not monotone. The hook runs on the engine's
+	// goroutines: keep it fast.
+	OnIteration func(i int, estimate float64, elapsed time.Duration)
 }
 
 // DefaultOptions returns the paper-faithful defaults.
@@ -269,6 +282,19 @@ func (o Options) WithKernel(c KernelChoice) Options {
 	return o
 }
 
+// WithTimeout returns a copy of o bounding every run to d.
+func (o Options) WithTimeout(d time.Duration) Options {
+	o.Timeout = d
+	return o
+}
+
+// WithOnIteration returns a copy of o calling fn after each completed
+// iteration; see Options.OnIteration for the calling convention.
+func (o Options) WithOnIteration(fn func(i int, estimate float64, elapsed time.Duration)) Options {
+	o.OnIteration = fn
+	return o
+}
+
 // iterations resolves the iteration count.
 func (o Options) iterations(templateK int) int {
 	if o.Iterations > 0 {
@@ -314,6 +340,7 @@ func (o Options) config() (dp.Config, error) {
 		DisableLeafSpecial: o.DisableLeafSpecial,
 		Kernel:             kern,
 		KeepTables:         o.KeepTables,
+		OnIteration:        o.OnIteration,
 	}, nil
 }
 
