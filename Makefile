@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-cancel metrics-smoke bench-smoke bench-kernel
+.PHONY: ci vet build test race race-cancel metrics-smoke bench-smoke bench-kernel bench-batch bench-batch-full
 
-ci: vet build test race race-cancel metrics-smoke bench-smoke
+ci: vet build test race race-cancel metrics-smoke bench-smoke bench-batch
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,17 @@ metrics-smoke:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkKernel -benchtime=1x ./internal/dp
 
+# Batched-DP smoke: B=1 vs B=4 on a small graph with an equivalence
+# assertion, so the CI run doubles as an end-to-end batched-vs-unbatched
+# bit-identity check.
+bench-batch:
+	$(GO) test -run='^$$' -bench=BenchmarkBatchedDPSmall -benchtime=1x ./internal/dp
+
 # Full kernel comparison (the numbers quoted in DESIGN.md "DP kernels").
 bench-kernel:
 	$(GO) test -run='^$$' -bench=BenchmarkKernelDirectVsAggregate -benchtime=10x -count=3 ./internal/dp
+
+# The acceptance benchmark behind BENCH_batch.json (slow: 100k-vertex
+# graphs, k=7, the full lane-width sweep, three samples).
+bench-batch-full:
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedDP/' -benchtime=1x -count=3 ./internal/dp

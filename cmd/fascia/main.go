@@ -48,6 +48,7 @@ func run(args []string) error {
 		mode       = fs.String("parallel", "auto", "parallelization: auto, inner, outer, hybrid")
 		layout     = fs.String("table", "lazy", "table layout: lazy, naive, hash")
 		kernel     = fs.String("kernel", "auto", "DP combination kernel: auto, direct, aggregate")
+		batch      = fs.String("batch", "1", "iteration batch width: lanes per DP traversal (an integer, or \"auto\")")
 		partition  = fs.String("partition", "one", "partitioning: one (one-at-a-time), balanced")
 		share      = fs.Bool("share", false, "share isomorphic subtemplates (memory for time)")
 		seed       = fs.Int64("seed", 0, "random seed")
@@ -158,6 +159,13 @@ func run(args []string) error {
 		opt = opt.WithPartition(fascia.PartitionBalanced)
 	default:
 		return fmt.Errorf("unknown -partition %q", *partition)
+	}
+	if *batch == "auto" {
+		opt = opt.WithBatch(fascia.BatchAuto)
+	} else if b, err := strconv.Atoi(*batch); err == nil && b >= 1 {
+		opt = opt.WithBatch(b)
+	} else {
+		return fmt.Errorf("bad -batch %q (want a positive integer or \"auto\")", *batch)
 	}
 
 	s := g.ComputeStats()

@@ -30,6 +30,10 @@ var (
 	mRowsAllocated   = expvar.NewInt("fascia.rows_allocated")
 	mRowsReleased    = expvar.NewInt("fascia.rows_released")
 	mCancelled       = expvar.NewInt("fascia.cancelled_runs")
+	mBatchSize       = expvar.NewInt("fascia.batch_size")
+	mBatchesRun      = expvar.NewInt("fascia.batches_run")
+	mArenaHits       = expvar.NewInt("fascia.arena_hits")
+	mArenaMisses     = expvar.NewInt("fascia.arena_misses")
 )
 
 // onIteration is the Options.OnIteration hook: it streams per-iteration
@@ -51,6 +55,10 @@ func publishStats(res fascia.Result) {
 	}
 	mRowsAllocated.Add(res.Stats.RowsAllocated)
 	mRowsReleased.Add(res.Stats.RowsReleased)
+	mBatchSize.Set(int64(res.Stats.BatchSize))
+	mBatchesRun.Add(res.Stats.BatchesRun)
+	mArenaHits.Add(res.Stats.ArenaHits)
+	mArenaMisses.Add(res.Stats.ArenaMisses)
 	if res.Stats.Cancelled {
 		mCancelled.Add(1)
 	}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +44,7 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 0, "override random seed")
 		iters   = fs.Int("iterations", 0, "override iteration count for error/profile experiments")
 		maxK    = fs.Int("maxk", 0, "override the largest template size")
+		batch   = fs.String("batch", "", "override the batch widths swept by ablation-batch (comma-separated, e.g. 1,4,16)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 	)
 	fs.Usage = func() {
@@ -84,6 +87,17 @@ func run(args []string) error {
 	}
 	if *maxK > 0 {
 		p.MaxK = *maxK
+	}
+	if *batch != "" {
+		var widths []int
+		for _, f := range strings.Split(*batch, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || b < 1 {
+				return fmt.Errorf("bad -batch %q (want comma-separated positive integers)", *batch)
+			}
+			widths = append(widths, b)
+		}
+		p.Batches = widths
 	}
 
 	// Ctrl-C aborts the current experiment promptly (cancellation is

@@ -1,0 +1,335 @@
+package dp
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comb"
+	"repro/internal/part"
+	"repro/internal/table"
+)
+
+// batchState runs L independent color-coding iterations ("lanes")
+// through ONE bottom-up DP traversal: per-vertex colors widen to
+// lane-strided vectors, table cells widen to [L]float64 lane blocks
+// (table.Multi), and every computeNode pass walks the adjacency and
+// enumerates the (Ca, Cp) splits once per batch instead of once per
+// iteration. Lane j colors with seed base+j — exactly the seed stream
+// the unbatched schedule uses — and counts are integer-valued float64s,
+// so per-lane totals are bit-identical to L unbatched iterations.
+type batchState struct {
+	e     *Engine
+	lanes int
+	// colors is the lane-strided coloring: lane j of vertex v is
+	// colors[v*lanes+j].
+	colors    []int8
+	tabs      map[*part.Node]*table.Multi
+	remaining map[*part.Node]int
+	liveBytes int64
+	peakBytes int64
+	workers   int
+
+	stop    *atomic.Bool
+	aborted bool
+	// totals holds the per-lane colorful mapping totals after run.
+	totals    []float64
+	nodeTimes []time.Duration
+
+	rowsAllocated, rowsReleased     int64
+	tablesAllocated, tablesReleased int64
+}
+
+// batchScratch is the lane-widened per-worker scratch: every row buffer
+// of the scalar scratch times the engine's batch width.
+type batchScratch struct {
+	buf      []float64 // output rows, nc*B
+	actRow   []float64 // materialized active lane row (hash fallback)
+	pasRow   []float64 // materialized passive lane row (hash fallback)
+	agg      []float64 // aggregated neighbor lane rows, ncP*B
+	colorAgg []float64 // per-(color, lane) neighbor sums, k*B
+	avB      []float64 // per-lane active root-cell values, B
+	// kernel-choice tallies (in lane units, so counts stay comparable
+	// with unbatched runs), flushed on putBatchScratch.
+	directN int64
+	aggN    int64
+}
+
+func (e *Engine) getBatchScratch() *batchScratch {
+	return e.batchScratchPool.Get().(*batchScratch)
+}
+
+func (e *Engine) putBatchScratch(sc *batchScratch) {
+	if sc.directN != 0 {
+		e.kernelDirect.Add(sc.directN)
+		sc.directN = 0
+	}
+	if sc.aggN != 0 {
+		e.kernelAggregate.Add(sc.aggN)
+		sc.aggN = 0
+	}
+	e.batchScratchPool.Put(sc)
+}
+
+// newBatchState prepares a batch of lanes colorings: lane j is colored
+// by rand.NewSource(baseSeed+j) drawing exactly the per-vertex stream an
+// unbatched iteration with that seed would draw.
+func (e *Engine) newBatchState(baseSeed int64, lanes, workers int) *batchState {
+	n := e.g.N()
+	st := &batchState{
+		e:         e,
+		lanes:     lanes,
+		colors:    e.arena.I8(n * lanes),
+		tabs:      map[*part.Node]*table.Multi{},
+		remaining: map[*part.Node]int{},
+		workers:   workers,
+		totals:    make([]float64, lanes),
+	}
+	for j := 0; j < lanes; j++ {
+		rng := rand.New(rand.NewSource(baseSeed + int64(j)))
+		for v := 0; v < n; v++ {
+			st.colors[v*lanes+j] = int8(rng.Intn(e.k))
+		}
+	}
+	for _, nd := range e.tree.Nodes {
+		st.remaining[nd] = nd.Consumers
+	}
+	return st
+}
+
+func (st *batchState) cancelled() bool {
+	return st.stop != nil && st.stop.Load()
+}
+
+// run executes the bottom-up DP once for all lanes and fills st.totals
+// with the per-lane colorful mapping totals. On cancellation it releases
+// everything, marks the state aborted, and returns early — the caller
+// must discard the whole batch.
+func (st *batchState) run() {
+	e := st.e
+	for ni, n := range e.tree.Order {
+		if st.cancelled() {
+			st.abort()
+			return
+		}
+		var nodeStart time.Time
+		if st.nodeTimes != nil {
+			nodeStart = time.Now()
+		}
+		nc := int(comb.Binomial(e.k, n.Size()))
+		tab := table.NewMulti(e.cfg.TableKind, e.g.N(), nc, st.lanes, e.arena)
+		st.tabs[n] = tab
+		if n.IsLeaf() {
+			st.initLeafB(n, tab)
+		} else {
+			st.computeNodeB(n, tab)
+		}
+		if st.nodeTimes != nil {
+			st.nodeTimes[ni] += time.Since(nodeStart)
+		}
+		st.tablesAllocated++
+		st.rowsAllocated += tab.Rows()
+		if st.cancelled() {
+			st.abort()
+			return
+		}
+		st.liveBytes += tab.Bytes()
+		if st.liveBytes > st.peakBytes {
+			st.peakBytes = st.liveBytes
+		}
+		if !n.IsLeaf() {
+			st.releaseChildrenB(n)
+		}
+	}
+	root := st.tabs[e.tree.Root]
+	root.Totals(st.totals)
+	st.rowsReleased += root.Rows()
+	st.tablesReleased++
+	root.Release()
+	e.arena.PutI8(st.colors)
+	st.colors = nil
+}
+
+func (st *batchState) abort() {
+	st.aborted = true
+	for n, tab := range st.tabs {
+		st.rowsReleased += tab.Rows()
+		st.tablesReleased++
+		tab.Release()
+		delete(st.tabs, n)
+	}
+	st.liveBytes = 0
+	st.e.arena.PutI8(st.colors)
+	st.colors = nil
+}
+
+func (st *batchState) releaseChildrenB(n *part.Node) {
+	for _, ch := range []*part.Node{n.Active, n.Passive} {
+		st.remaining[ch]--
+		if st.remaining[ch] == 0 {
+			tab := st.tabs[ch]
+			st.liveBytes -= tab.Bytes()
+			st.rowsReleased += tab.Rows()
+			st.tablesReleased++
+			tab.Release()
+			delete(st.tabs, ch)
+		}
+	}
+}
+
+// initLeafB fills a leaf's lane table: vertex v holds count 1 for the
+// singleton color set {color_j(v)} in lane j (label pruning is
+// lane-independent).
+func (st *batchState) initLeafB(n *part.Node, tab *table.Multi) {
+	e := st.e
+	L := st.lanes
+	labeled := e.t.Labeled()
+	var want int32
+	if labeled {
+		want = e.t.Label(n.LeafVertex())
+	}
+	for v := int32(0); v < int32(e.g.N()); v++ {
+		if labeled && e.g.Label(v) != want {
+			continue
+		}
+		base := int(v) * L
+		for j := 0; j < L; j++ {
+			tab.Set(v, int32(st.colors[base+j]), j, 1)
+		}
+	}
+}
+
+// batchCtx binds a node's kernel shape to this batch's lane tables.
+type batchCtx struct {
+	kernelShape
+	act, pas *table.Multi
+}
+
+func (st *batchState) batchContext(n *part.Node, tab *table.Multi) *batchCtx {
+	return &batchCtx{
+		kernelShape: st.e.kernelShapeFor(n, tab.NumSets()),
+		act:         st.tabs[n.Active],
+		pas:         st.tabs[n.Passive],
+	}
+}
+
+// computeNodeB fills an internal node's lane table from its children's,
+// sharding vertices across workers exactly like the scalar computeNode
+// (hash layouts go through per-worker lock-free staging + merge).
+func (st *batchState) computeNodeB(n *part.Node, tab *table.Multi) {
+	e := st.e
+	ctx := st.batchContext(n, tab)
+	nVerts := int32(e.g.N())
+
+	if st.workers <= 1 {
+		sc := e.getBatchScratch()
+		for v := int32(0); v < nVerts; v++ {
+			if st.cancelled() {
+				break
+			}
+			st.vertexPassB(ctx, tab, v, sc)
+		}
+		e.putBatchScratch(sc)
+		return
+	}
+
+	stage := tab.IsHash()
+	var stagings []*table.Multi
+	if stage {
+		stagings = make([]*table.Multi, st.workers)
+	}
+	chunk := chunkFor(int(nVerts), st.workers)
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < st.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			target := tab
+			if stage {
+				s := table.NewMulti(table.Hash, int(nVerts), ctx.nc, st.lanes, e.arena)
+				stagings[w] = s
+				target = s
+			}
+			sc := e.getBatchScratch()
+			defer e.putBatchScratch(sc)
+			for {
+				if st.cancelled() {
+					return
+				}
+				start := next.Add(int32(chunk)) - int32(chunk)
+				if start >= nVerts {
+					return
+				}
+				end := start + int32(chunk)
+				if end > nVerts {
+					end = nVerts
+				}
+				for v := start; v < end; v++ {
+					if st.cancelled() {
+						return
+					}
+					st.vertexPassB(ctx, target, v, sc)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if stage {
+		for _, s := range stagings {
+			if s != nil {
+				tab.MergeFrom(s)
+				s.Release()
+			}
+		}
+	}
+}
+
+// vertexPassB computes the lane-strided color-set rows of one vertex for
+// all lanes at once and stores them into tab. The kernel decision is a
+// function of degree and node shape only, so all lanes of a vertex run
+// the same kernel; the tallies count lane units to stay comparable with
+// unbatched runs.
+func (st *batchState) vertexPassB(ctx *batchCtx, tab *table.Multi, v int32, sc *batchScratch) {
+	if !ctx.act.Has(v) {
+		return
+	}
+	adj := st.e.g.Adj(v)
+	if len(adj) == 0 {
+		return
+	}
+	L := st.lanes
+	aggregate := ctx.useAggregate(len(adj))
+	if aggregate {
+		sc.aggN += int64(L)
+	} else {
+		sc.directN += int64(L)
+	}
+	buf := sc.buf[:ctx.nc*L]
+	clear(buf)
+
+	switch ctx.branch {
+	case branchSize2:
+		st.passSize2B(ctx, v, adj, buf, sc, aggregate)
+	case branchActiveSingle:
+		st.passActiveSingleB(ctx, v, adj, buf, sc, aggregate)
+	case branchPassiveSingle:
+		st.passPassiveSingleB(ctx, v, adj, buf, sc, aggregate)
+	default:
+		if aggregate {
+			st.passGeneralAggregateB(ctx, v, adj, buf, sc)
+		} else {
+			st.passGeneralDirectB(ctx, v, adj, buf, sc)
+		}
+	}
+	// Counts are nonnegative, so "some lane contributed" is exactly
+	// "some cell is nonzero" — the same presence rule the scalar pass
+	// applies per lane, unioned over lanes.
+	for _, x := range buf {
+		if x != 0 {
+			tab.StoreRow(v, buf)
+			return
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package dp
+
+import (
+	"repro/internal/comb"
+)
+
+// Batched kernels: the lane-widened counterparts of the scalar passes in
+// kernel.go. Every kernel walks the adjacency and the combinatorial index
+// tables exactly once per batch and runs a flat float64 multiply-add over
+// the L-lane blocks in its innermost loop. Per-lane accumulation order
+// matches the scalar kernels neighbor-for-neighbor, and counts are
+// integer-valued float64s, so every lane's result is bit-identical to the
+// corresponding unbatched iteration. Zero-skip guards are kept only where
+// they gate whole loops (a zero active cell contributes zero products
+// either way), so dropping per-cell branches inside lane loops cannot
+// change any value — 0·x == 0 for the finite nonnegative counts stored
+// here.
+
+// laneActives fills sc.avB with lane j's active root cell
+// act[v][{color_j(v)}] and reports whether any lane is nonzero (the
+// batched form of the scalar kernels' `av == 0` early return).
+func (st *batchState) laneActives(ctx *batchCtx, v int32, sc *batchScratch) ([]float64, bool) {
+	L := st.lanes
+	avB := sc.avB[:L]
+	base := int(v) * L
+	any := false
+	if arow := ctx.act.LaneRow(v); arow != nil {
+		for j := 0; j < L; j++ {
+			av := arow[int(st.colors[base+j])*L+j]
+			avB[j] = av
+			any = any || av != 0
+		}
+		return avB, any
+	}
+	for j := 0; j < L; j++ {
+		av := ctx.act.Get(v, int32(st.colors[base+j]), j)
+		avB[j] = av
+		any = any || av != 0
+	}
+	return avB, any
+}
+
+// passSize2B handles h == 2 for all lanes: lane j contributes only the
+// pair set {color_j(v), color_j(u)} with distinct colors. The aggregated
+// variant groups neighbors into per-(color, lane) sums first.
+func (st *batchState) passSize2B(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch, aggregate bool) {
+	L := st.lanes
+	avB, any := st.laneActives(ctx, v, sc)
+	if !any {
+		return
+	}
+	pas := ctx.pas
+	vbase := int(v) * L
+	if !aggregate {
+		for _, u := range adj {
+			ubase := int(u) * L
+			if prow := pas.LaneRow(u); prow != nil {
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					cv := int(st.colors[vbase+j])
+					cu := int(st.colors[ubase+j])
+					if cu == cv {
+						continue
+					}
+					if pv := prow[cu*L+j]; pv != 0 {
+						buf[int(comb.PairIndex(cv, cu))*L+j] += av * pv
+					}
+				}
+			} else if pas.Has(u) { // hash layout: probe per lane
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					cv := int(st.colors[vbase+j])
+					cu := int(st.colors[ubase+j])
+					if cu == cv {
+						continue
+					}
+					if pv := pas.Get(u, int32(cu), j); pv != 0 {
+						buf[int(comb.PairIndex(cv, cu))*L+j] += av * pv
+					}
+				}
+			}
+		}
+		return
+	}
+	k := st.e.k
+	colorAgg := sc.colorAgg[:k*L]
+	clear(colorAgg)
+	pas.GatherColors(adj, st.colors, colorAgg)
+	for c := 0; c < k; c++ {
+		cs := colorAgg[c*L : c*L+L]
+		for j, s := range cs {
+			if s == 0 {
+				continue
+			}
+			// Same-color neighbors fold into colorAgg[cv_j] but form no
+			// valid pair set — the batched form of the scalar kernel's
+			// colorAgg[cv] = 0.
+			cv := int(st.colors[vbase+j])
+			if c == cv {
+				continue
+			}
+			if av := avB[j]; av != 0 {
+				buf[int(comb.PairIndex(cv, c))*L+j] += av * s
+			}
+		}
+	}
+}
+
+// passActiveSingleB handles aN == 1, h > 2 for all lanes: lane j touches
+// only the singleton entries of color_j(v). The aggregated variant sums
+// whole lane-strided passive rows first, then walks each lane's entry
+// list once.
+func (st *batchState) passActiveSingleB(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch, aggregate bool) {
+	L := st.lanes
+	avB, any := st.laneActives(ctx, v, sc)
+	if !any {
+		return
+	}
+	pas := ctx.pas
+	vbase := int(v) * L
+	if !aggregate {
+		for _, u := range adj {
+			if prow := pas.LaneRow(u); prow != nil {
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					for _, en := range ctx.singles[int(st.colors[vbase+j])] {
+						buf[int(en.SetIdx)*L+j] += av * prow[int(en.RestIdx)*L+j]
+					}
+				}
+			} else if pas.Has(u) { // hash layout: probe per lane
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					for _, en := range ctx.singles[int(st.colors[vbase+j])] {
+						if pv := pas.Get(u, en.RestIdx, j); pv != 0 {
+							buf[int(en.SetIdx)*L+j] += av * pv
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	agg := sc.agg[:ctx.ncP*L]
+	clear(agg)
+	pas.AccumulateRows(adj, agg)
+	for j := 0; j < L; j++ {
+		av := avB[j]
+		if av == 0 {
+			continue
+		}
+		for _, en := range ctx.singles[int(st.colors[vbase+j])] {
+			buf[int(en.SetIdx)*L+j] += av * agg[int(en.RestIdx)*L+j]
+		}
+	}
+}
+
+// passPassiveSingleB handles pN == 1, h > 2 for all lanes: for neighbor u,
+// lane j touches only the singleton entries of color_j(u). The aggregated
+// variant folds neighbors into k·L per-(color, lane) sums and walks each
+// color's entry list once, with the lane sweep innermost on contiguous
+// blocks.
+func (st *batchState) passPassiveSingleB(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch, aggregate bool) {
+	L := st.lanes
+	arow := ctx.act.MaterializeRow(v, sc.actRow)
+	pas := ctx.pas
+	if !aggregate {
+		for _, u := range adj {
+			ubase := int(u) * L
+			if prow := pas.LaneRow(u); prow != nil {
+				for j := 0; j < L; j++ {
+					cu := int(st.colors[ubase+j])
+					pv := prow[cu*L+j]
+					if pv == 0 {
+						continue
+					}
+					for _, en := range ctx.singles[cu] {
+						if av := arow[int(en.RestIdx)*L+j]; av != 0 {
+							buf[int(en.SetIdx)*L+j] += av * pv
+						}
+					}
+				}
+			} else if pas.Has(u) { // hash layout: probe per lane
+				for j := 0; j < L; j++ {
+					cu := int(st.colors[ubase+j])
+					pv := pas.Get(u, int32(cu), j)
+					if pv == 0 {
+						continue
+					}
+					for _, en := range ctx.singles[cu] {
+						if av := arow[int(en.RestIdx)*L+j]; av != 0 {
+							buf[int(en.SetIdx)*L+j] += av * pv
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	k := st.e.k
+	colorAgg := sc.colorAgg[:k*L]
+	clear(colorAgg)
+	pas.GatherColors(adj, st.colors, colorAgg)
+	for c := 0; c < k; c++ {
+		cs := colorAgg[c*L : c*L+L]
+		nonzero := false
+		for _, s := range cs {
+			if s != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		for _, en := range ctx.singles[c] {
+			a := arow[int(en.RestIdx)*L:][:L]
+			out := buf[int(en.SetIdx)*L:][:L]
+			for l, s := range cs {
+				out[l] += a[l] * s
+			}
+		}
+	}
+}
+
+// passGeneralDirectB is the lane-widened Algorithm 2 inner step: for every
+// neighbor u, every color set C, and every (Ca, Cp) split, run the
+// multiply-add across all lanes of the contiguous lane blocks.
+func (st *batchState) passGeneralDirectB(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch) {
+	L := st.lanes
+	arow := ctx.act.MaterializeRow(v, sc.actRow)
+	pas := ctx.pas
+	split, spn, nc := ctx.split, ctx.spn, ctx.nc
+	for _, u := range adj {
+		prow := pas.LaneRow(u)
+		if prow == nil {
+			if !pas.Has(u) {
+				continue
+			}
+			prow = pas.MaterializeRow(u, sc.pasRow)
+		}
+		for ci := 0; ci < nc; ci++ {
+			out := buf[ci*L : ci*L+L]
+			base := ci * spn
+			for j := base; j < base+spn; j++ {
+				a := arow[int(split.ActiveIdx[j])*L:][:L]
+				p := prow[int(split.PassiveIdx[j])*L:][:L]
+				for l, av := range a {
+					out[l] += av * p[l]
+				}
+			}
+		}
+	}
+}
+
+// passGeneralAggregateB is the lane-widened SpMM restructure: one
+// neighbor-aggregation sweep builds the lane-strided agg[Cp] rows, then a
+// single split contraction runs against the active lane row.
+func (st *batchState) passGeneralAggregateB(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch) {
+	L := st.lanes
+	agg := sc.agg[:ctx.ncP*L]
+	clear(agg)
+	ctx.pas.AccumulateRows(adj, agg)
+	arow := ctx.act.MaterializeRow(v, sc.actRow)
+	split, spn, nc := ctx.split, ctx.spn, ctx.nc
+	for ci := 0; ci < nc; ci++ {
+		out := buf[ci*L : ci*L+L]
+		base := ci * spn
+		for j := base; j < base+spn; j++ {
+			a := arow[int(split.ActiveIdx[j])*L:][:L]
+			p := agg[int(split.PassiveIdx[j])*L:][:L]
+			for l, av := range a {
+				out[l] += av * p[l]
+			}
+		}
+	}
+}

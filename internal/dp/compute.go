@@ -90,7 +90,7 @@ func (e *Engine) putScratch(sc *scratch) {
 func (e *Engine) newIterState(rng *rand.Rand, workers int) *iterState {
 	st := &iterState{
 		e:         e,
-		colors:    make([]int8, e.g.N()),
+		colors:    e.arena.I8(e.g.N()), // recycled across iterations
 		tabs:      map[*part.Node]table.Table{},
 		remaining: map[*part.Node]int{},
 		workers:   workers,
@@ -103,6 +103,13 @@ func (e *Engine) newIterState(rng *rand.Rand, workers int) *iterState {
 		st.remaining[n] = n.Consumers
 	}
 	return st
+}
+
+// recycleColors hands the iteration's color vector back to the engine
+// arena (skipped for kept states, whose colors outlive the iteration).
+func (st *iterState) recycleColors() {
+	st.e.arena.PutI8(st.colors)
+	st.colors = nil
 }
 
 // run executes the bottom-up DP (Algorithm 2) and returns the colorful
@@ -121,7 +128,7 @@ func (st *iterState) run() float64 {
 			nodeStart = time.Now()
 		}
 		nc := int(comb.Binomial(e.k, n.Size()))
-		tab := table.New(e.cfg.TableKind, e.g.N(), nc)
+		tab := table.NewInArena(e.cfg.TableKind, e.g.N(), nc, e.arena)
 		st.tabs[n] = tab
 		if n.IsLeaf() {
 			st.initLeaf(n, tab)
@@ -155,6 +162,7 @@ func (st *iterState) run() float64 {
 		st.rowsReleased += root.Rows()
 		st.tablesReleased++
 		root.Release()
+		st.recycleColors()
 	}
 	return total
 }
@@ -170,6 +178,7 @@ func (st *iterState) abort() {
 		delete(st.tabs, n)
 	}
 	st.liveBytes = 0
+	st.recycleColors()
 }
 
 func (st *iterState) releaseChildren(n *part.Node) {
@@ -239,7 +248,7 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 	if stage {
 		stagings = make([]*table.HashTable, st.workers)
 	}
-	const chunk = 512
+	chunk := chunkFor(int(nVerts), st.workers)
 	var next atomic.Int32
 	var wg sync.WaitGroup
 	for w := 0; w < st.workers; w++ {
@@ -248,7 +257,7 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 			defer wg.Done()
 			target := tab
 			if stage {
-				s := table.NewHash(int(nVerts), ctx.nc)
+				s := table.NewHashArena(int(nVerts), ctx.nc, e.arena)
 				stagings[w] = s
 				target = s
 			}
@@ -258,11 +267,11 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 				if st.cancelled() {
 					return
 				}
-				start := next.Add(chunk) - chunk
+				start := next.Add(int32(chunk)) - int32(chunk)
 				if start >= nVerts {
 					return
 				}
-				end := start + chunk
+				end := start + int32(chunk)
 				if end > nVerts {
 					end = nVerts
 				}
@@ -284,6 +293,38 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 			}
 		}
 	}
+}
+
+// chunkOverride, when positive, pins the work-stealing chunk size — a
+// benchmark knob for comparing against the historical constant (512).
+// Set it only while no DP pass is running.
+var chunkOverride int
+
+// chunkFor sizes the work-stealing chunks of the inner-parallel vertex
+// loop. The historical constant 512 under-splits small graphs (a worker
+// can end up with one giant chunk while others idle) and over-splits
+// huge ones (atomic contention on the shared cursor). Targeting ~8
+// chunks per worker balances stealing granularity against cursor
+// traffic, with a floor that keeps per-chunk overhead negligible and a
+// ceiling that preserves stealing on degree-skewed graphs, where one
+// chunk of hubs can cost many times a chunk of leaves.
+func chunkFor(nVerts, workers int) int {
+	if chunkOverride > 0 {
+		return chunkOverride
+	}
+	const (
+		chunksPerWorker = 8
+		minChunk        = 64
+		maxChunk        = 4096
+	)
+	c := nVerts / (workers * chunksPerWorker)
+	if c < minChunk {
+		return minChunk
+	}
+	if c > maxChunk {
+		return maxChunk
+	}
+	return c
 }
 
 // materializeRow returns a direct row when the layout has one, otherwise
@@ -338,7 +379,7 @@ func (e *Engine) ProfileIteration(seed int64) (IterProfile, float64) {
 
 	for _, n := range e.tree.Order {
 		nc := int(comb.Binomial(e.k, n.Size()))
-		tab := table.New(e.cfg.TableKind, e.g.N(), nc)
+		tab := table.NewInArena(e.cfg.TableKind, e.g.N(), nc, e.arena)
 		st.tabs[n] = tab
 		phase := time.Now()
 		if n.IsLeaf() {
@@ -357,6 +398,7 @@ func (e *Engine) ProfileIteration(seed int64) (IterProfile, float64) {
 	phase := time.Now()
 	total := st.tabs[e.tree.Root].Total()
 	st.tabs[e.tree.Root].Release()
+	st.recycleColors()
 	prof.Finalize = time.Since(phase)
 	return prof, e.scale(total)
 }

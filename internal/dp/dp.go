@@ -94,6 +94,18 @@ type Config struct {
 	// KernelAggregate forces the SpMM-style neighbor-aggregation kernel.
 	// Results are identical in all modes.
 	Kernel KernelMode
+	// Batch is the number of independent colorings ("lanes") each DP
+	// traversal carries: 0 or 1 runs the classic one-coloring-per-pass
+	// schedule, B > 1 walks the adjacency and split tables ONCE per B
+	// iterations with table cells widened to [B]float64 lane blocks, and
+	// BatchAuto (any negative value) sizes B from the table widths and a
+	// per-lane memory budget. Peak table memory grows by B× a single
+	// iteration. Estimates are bit-identical to unbatched runs: lane j of
+	// batch b colors with seed Seed + b·B + j, the same per-iteration
+	// seed stream Run has always used. Batching applies to Run/RunContext;
+	// VertexCounts, RunConverged, and KeepTables sampling runs stay
+	// unbatched (they need one coloring's tables at a time).
+	Batch int
 	// KeepTables retains all subtemplate tables after a run, enabling
 	// embedding sampling at the cost of the memory the eager-release
 	// schedule would have saved. It forces Share off.
@@ -120,6 +132,18 @@ func DefaultConfig() Config {
 	}
 }
 
+// BatchAuto, assigned to Config.Batch, asks the engine to size the lane
+// count automatically from the table widths and batchMemBudget.
+const BatchAuto = -1
+
+// maxBatch bounds the lane count: beyond this the lane blocks outgrow
+// the amortization win and per-batch memory dominates.
+const maxBatch = 64
+
+// batchMemBudget is the automatic batch sizer's cap on the estimated
+// peak batched table footprint (lanes × per-lane dense-table bytes).
+const batchMemBudget = 256 << 20
+
 // Engine runs color-coding iterations for one (graph, template) pair.
 type Engine struct {
 	g   *graph.Graph
@@ -132,13 +156,21 @@ type Engine struct {
 	aut   int64   // |Aut(T)|
 	rAut  int64   // automorphisms fixing the partition root
 	maxNC int     // largest NumSets over all nodes
+	batch int     // resolved lane count (1 = unbatched)
 
 	splits  map[[2]int]*comb.SplitTable     // (size, activeSize) -> table
 	singles map[int][][]comb.SingletonEntry // size -> per-color entries
 
+	// arena recycles table backing slabs and color vectors across
+	// iterations and batches (engine-lifetime free lists; outer-parallel
+	// iterations share it under its own lock).
+	arena *table.Arena
+
 	// scratchPool recycles per-worker scratch buffers across nodes,
 	// workers, and iterations (outer-parallel iterations share it too).
 	scratchPool sync.Pool
+	// batchScratchPool is the lane-widened variant used by batched runs.
+	batchScratchPool sync.Pool
 	// kernelDirect / kernelAggregate count vertex passes executed by each
 	// kernel since engine creation, for diagnostics and the fasciabench
 	// kernel ablation.
@@ -186,6 +218,7 @@ func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 		rAut:    t.RootedAutomorphisms(tree.Root.Root),
 		splits:  map[[2]int]*comb.SplitTable{},
 		singles: map[int][][]comb.SingletonEntry{},
+		arena:   &table.Arena{},
 	}
 	for _, n := range tree.Nodes {
 		nc := int(comb.Binomial(k, n.Size()))
@@ -215,8 +248,59 @@ func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 			colorAgg: make([]float64, e.k),
 		}
 	}
+	e.batch = e.resolveBatch()
+	e.batchScratchPool.New = func() any {
+		w := e.maxNC * e.batch
+		return &batchScratch{
+			buf:      make([]float64, w),
+			actRow:   make([]float64, w),
+			pasRow:   make([]float64, w),
+			agg:      make([]float64, w),
+			colorAgg: make([]float64, e.k*e.batch),
+			avB:      make([]float64, e.batch),
+		}
+	}
 	return e, nil
 }
+
+// resolveBatch lowers Config.Batch to a concrete lane count.
+func (e *Engine) resolveBatch() int {
+	b := e.cfg.Batch
+	if e.cfg.KeepTables {
+		// Embedding sampling reads one coloring's tables; batching would
+		// interleave B colorings in them.
+		return 1
+	}
+	if b < 0 { // BatchAuto
+		// Estimated per-lane peak: the two widest concurrently-live dense
+		// tables. Grow B in powers of two while the batched footprint
+		// stays under budget.
+		perLane := int64(e.g.N()) * int64(e.maxNC) * 16
+		if perLane <= 0 {
+			return 1
+		}
+		b = 1
+		for b < 16 && int64(2*b)*perLane <= batchMemBudget {
+			b *= 2
+		}
+		return b
+	}
+	if b < 1 {
+		return 1
+	}
+	if b > maxBatch {
+		return maxBatch
+	}
+	return b
+}
+
+// Batch returns the resolved lane count (1 = unbatched) — the number of
+// concurrent colorings each DP traversal carries.
+func (e *Engine) Batch() int { return e.batch }
+
+// ArenaStats returns cumulative table-slab reuse counters of the
+// engine's arena: free-list hits and fresh allocations.
+func (e *Engine) ArenaStats() (hits, misses int64) { return e.arena.Stats() }
 
 // KernelStats returns cumulative counts of internal-node vertex passes
 // executed by the direct and aggregated kernels since engine creation.

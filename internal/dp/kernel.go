@@ -71,13 +71,16 @@ const neverAggregate = math.MaxInt
 // fits in L1.
 const directCellCost = 2
 
-// nodeCtx carries everything a vertex pass needs for one internal node,
-// precomputed once per computeNode call instead of re-derived per vertex.
-type nodeCtx struct {
-	n        *part.Node
-	act, pas table.Table
-	split    *comb.SplitTable
-	singles  [][]comb.SingletonEntry
+// kernelShape is the layout-independent per-node kernel context: the
+// specialization branch, the combinatorial index tables, the table
+// widths, and the resolved cost-model threshold. It is shared between
+// the scalar vertex pass (nodeCtx) and the batched one (batchCtx), so
+// the kernel decision — a function of degree and widths only — is
+// identical in both execution modes.
+type kernelShape struct {
+	n       *part.Node
+	split   *comb.SplitTable
+	singles [][]comb.SingletonEntry
 
 	branch kernelBranch
 	aN, pN int
@@ -92,7 +95,15 @@ type nodeCtx struct {
 	aggMinDeg int
 }
 
-// nodeContext builds the per-node kernel context, resolving the kernel
+// nodeCtx carries everything a scalar vertex pass needs for one internal
+// node, precomputed once per computeNode call instead of re-derived per
+// vertex.
+type nodeCtx struct {
+	kernelShape
+	act, pas table.Table
+}
+
+// kernelShapeFor builds the per-node kernel shape, resolving the kernel
 // choice. The cost model compares per-vertex work at degree d, weighting
 // each cell the direct kernel touches by its access pattern: the general
 // direct kernel accumulates into a register (one gather per split cell,
@@ -112,17 +123,14 @@ type nodeCtx struct {
 // active-single nodes on the upper half of the template, where each
 // neighbor's dense passive row (ncP = C(k,h-1) cells) is wider than the
 // 2α-weighted entry list the direct kernel reads.
-func (st *iterState) nodeContext(n *part.Node, tab table.Table) *nodeCtx {
-	e := st.e
-	ctx := &nodeCtx{
+func (e *Engine) kernelShapeFor(n *part.Node, nc int) kernelShape {
+	ctx := kernelShape{
 		n:       n,
-		act:     st.tabs[n.Active],
-		pas:     st.tabs[n.Passive],
 		split:   e.splits[[2]int{n.Size(), n.Active.Size()}],
 		singles: e.singles[n.Size()],
 		aN:      n.Active.Size(),
 		pN:      n.Passive.Size(),
-		nc:      tab.NumSets(),
+		nc:      nc,
 		mode:    e.cfg.Kernel,
 	}
 	ctx.ncA = int(comb.Binomial(e.k, ctx.aN))
@@ -168,8 +176,18 @@ func (st *iterState) nodeContext(n *part.Node, tab table.Table) *nodeCtx {
 	return ctx
 }
 
+// nodeContext binds the node's kernel shape to this iteration's child
+// tables.
+func (st *iterState) nodeContext(n *part.Node, tab table.Table) *nodeCtx {
+	return &nodeCtx{
+		kernelShape: st.e.kernelShapeFor(n, tab.NumSets()),
+		act:         st.tabs[n.Active],
+		pas:         st.tabs[n.Passive],
+	}
+}
+
 // useAggregate resolves the kernel for one vertex of degree deg.
-func (ctx *nodeCtx) useAggregate(deg int) bool {
+func (ctx *kernelShape) useAggregate(deg int) bool {
 	switch ctx.mode {
 	case KernelDirect:
 		return false

@@ -55,11 +55,13 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	stop, release := watchContext(ctx)
 	defer release()
 	kd0, ka0 := e.KernelStats()
+	ah0, am0 := e.arena.Stats()
 
 	estimates := make([]float64, iters)
 	iterTimes := make([]time.Duration, iters)
 	completed := make([]bool, iters)
 	stats := e.newRunStats()
+	stats.BatchSize = e.batch
 	res := Result{ModeUsed: mode}
 
 	// runIter executes one full iteration and returns its state; the
@@ -73,8 +75,12 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 		return st, time.Since(t0)
 	}
 
-	switch mode {
-	case Outer, Hybrid:
+	switch {
+	case e.batch > 1:
+		// Batched execution: one DP traversal per lane batch; seeds and
+		// per-iteration estimates are identical to the unbatched schedule.
+		e.runBatches(mode, iters, stop, start, estimates, iterTimes, completed, &stats, &res)
+	case mode == Outer || mode == Hybrid:
 		// Whole iterations run concurrently, each with private tables
 		// (memory grows with concurrent iterations, as the paper notes).
 		// Hybrid additionally gives each concurrent iteration a share of
@@ -84,21 +90,12 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 		if workers > iters {
 			workers = iters
 		}
-		innerW := 1
+		innerWs := make([]int, workers)
+		for w := range innerWs {
+			innerWs[w] = 1
+		}
 		if mode == Hybrid {
-			// Split the budget ~evenly across the two levels.
-			outerW := 1
-			for outerW*outerW < e.workers() {
-				outerW++
-			}
-			if outerW > iters {
-				outerW = iters
-			}
-			workers = outerW
-			innerW = e.workers() / outerW
-			if innerW < 1 {
-				innerW = 1
-			}
+			workers, innerWs = hybridSplit(e.workers(), iters)
 		}
 		var wg sync.WaitGroup
 		var mu sync.Mutex
@@ -109,13 +106,13 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 		close(next)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for i := range next {
 					if stop != nil && stop.Load() {
 						continue // drain remaining iteration slots
 					}
-					st, d := runIter(i, innerW)
+					st, d := runIter(i, innerWs[w])
 					mu.Lock()
 					stats.mergeIter(st)
 					if st.peakBytes > res.PeakTableBytes {
@@ -131,7 +128,7 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 					}
 					mu.Unlock()
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	default: // Inner
@@ -183,6 +180,8 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	kd1, ka1 := e.KernelStats()
 	stats.KernelDirect = kd1 - kd0
 	stats.KernelAggregate = ka1 - ka0
+	ah1, am1 := e.arena.Stats()
+	stats.ArenaHits, stats.ArenaMisses = ah1-ah0, am1-am0
 	stats.PeakTableBytes = res.PeakTableBytes
 	res.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
@@ -192,6 +191,40 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	}
 	res.Stats = stats
 	return res, nil
+}
+
+// hybridSplit divides a worker budget between concurrent iterations
+// (outer level) and per-traversal DP workers (inner level), aiming for
+// the balanced ~sqrt split of Hybrid mode without stranding budget. The
+// old floor-division split under-subscribed every non-square budget
+// (7 workers -> 3 outer x 2 inner = 6 used); here the remainder workers
+// go one each to the first outer slots (7 -> [3 2 2]), so the inner
+// widths always sum to min(total, ...) exactly. outerW never exceeds
+// slots — the number of schedulable units (iterations or batches) — so
+// short runs widen inner parallelism instead of idling outer slots.
+func hybridSplit(total, slots int) (outerW int, innerW []int) {
+	if total < 1 {
+		total = 1
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	outerW = 1
+	for outerW*outerW < total { // ceil(sqrt(total))
+		outerW++
+	}
+	if outerW > slots {
+		outerW = slots
+	}
+	innerW = make([]int, outerW)
+	base, rem := total/outerW, total%outerW
+	for w := range innerW {
+		innerW[w] = base
+		if w < rem {
+			innerW[w]++
+		}
+	}
+	return outerW, innerW
 }
 
 // scale converts a colorful mapping total into an occurrence estimate
@@ -228,12 +261,14 @@ func (e *Engine) ColoringFor(seed int64) []int8 {
 func (e *Engine) Reseed(seed int64) { e.cfg.Seed = seed }
 
 // ReleaseKept drops tables retained by a KeepTables run, returning their
-// storage before a re-run replaces them.
+// storage (and the kept color vector) to the engine arena before a
+// re-run replaces them.
 func (e *Engine) ReleaseKept() {
 	for _, tab := range e.kept {
 		tab.Release()
 	}
 	e.kept = nil
+	e.arena.PutI8(e.keptColors)
 	e.keptColors = nil
 }
 
@@ -284,6 +319,7 @@ func (e *Engine) VertexCountsContext(ctx context.Context, iters int) ([]float64,
 			tab.Release()
 		}
 		e.kept = nil
+		e.arena.PutI8(e.keptColors)
 		e.keptColors = nil
 		done++
 	}
@@ -334,7 +370,11 @@ func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, min
 	if e.mode() == Inner {
 		workers = e.workers()
 	}
+	ah0, am0 := e.arena.Stats()
 	stats := e.newRunStats()
+	// Convergence checks are per iteration, so adaptive runs stay
+	// unbatched regardless of Config.Batch.
+	stats.BatchSize = 1
 	res := Result{ModeUsed: e.mode()}
 	var mean, m2 float64
 	for i := 0; i < maxIters; i++ {
@@ -381,6 +421,8 @@ func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, min
 	kd1, ka1 := e.KernelStats()
 	stats.KernelDirect = kd1 - kd0
 	stats.KernelAggregate = ka1 - ka0
+	ah1, am1 := e.arena.Stats()
+	stats.ArenaHits, stats.ArenaMisses = ah1-ah0, am1-am0
 	stats.PeakTableBytes = res.PeakTableBytes
 	res.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,118 @@
+package dp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runBatches is the batched counterpart of RunContext's scheduling: the
+// iteration range [0, iters) is cut into ceil(iters/B) batches of up to
+// B = Engine.Batch() lanes, and each batch runs ONE bottom-up DP
+// traversal for all of its lanes (the last batch may be ragged). Lane j
+// of batch b colors with seed Seed + b·B + j — exactly the seeds the
+// unbatched schedule draws — so estimates land in the same PerIteration
+// slots bit-identically.
+//
+// Mode mapping mirrors the unbatched scheduler one level up:
+//
+//	Inner:  batches run sequentially, all workers shard vertices inside
+//	        each traversal (peak memory ≈ B× one iteration).
+//	Outer:  batches run concurrently with one worker each (memory grows
+//	        with concurrent batches × lanes).
+//	Hybrid: concurrent batches each get a hybridSplit share of the
+//	        inner-loop budget.
+//
+// Per-lane iteration times are the batch wall time divided by its lane
+// count — the traversal is shared, so lanes have no individual timings.
+func (e *Engine) runBatches(mode Mode, iters int, stop *atomic.Bool, start time.Time, estimates []float64, iterTimes []time.Duration, completed []bool, stats *RunStats, res *Result) {
+	B := e.batch
+	numBatches := (iters + B - 1) / B
+
+	runBatch := func(b, innerW int) (*batchState, time.Duration) {
+		base := b * B
+		lanes := B
+		if base+lanes > iters {
+			lanes = iters - base
+		}
+		st := e.newBatchState(e.cfg.Seed+int64(base), lanes, innerW)
+		st.stop = stop
+		st.nodeTimes = make([]time.Duration, len(e.tree.Order))
+		t0 := time.Now()
+		st.run()
+		return st, time.Since(t0)
+	}
+
+	// fold merges one finished batch; callers serialize (the concurrent
+	// modes hold mu).
+	fold := func(b int, st *batchState, d time.Duration) {
+		stats.mergeBatch(st)
+		if st.peakBytes > res.PeakTableBytes {
+			res.PeakTableBytes = st.peakBytes
+		}
+		if st.aborted {
+			return
+		}
+		stats.BatchesRun++
+		perLane := d / time.Duration(st.lanes)
+		base := b * B
+		for j := 0; j < st.lanes; j++ {
+			i := base + j
+			estimates[i] = e.scale(st.totals[j])
+			iterTimes[i] = perLane
+			completed[i] = true
+			if e.cfg.OnIteration != nil {
+				e.cfg.OnIteration(i, estimates[i], time.Since(start))
+			}
+		}
+	}
+
+	if mode == Inner {
+		for b := 0; b < numBatches; b++ {
+			if stop != nil && stop.Load() {
+				break
+			}
+			st, d := runBatch(b, e.workers())
+			fold(b, st, d)
+			if st.aborted {
+				break
+			}
+		}
+		return
+	}
+
+	workers := e.workers()
+	if workers > numBatches {
+		workers = numBatches
+	}
+	innerWs := make([]int, workers)
+	for w := range innerWs {
+		innerWs[w] = 1
+	}
+	if mode == Hybrid {
+		workers, innerWs = hybridSplit(e.workers(), numBatches)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	next := make(chan int, numBatches)
+	for b := 0; b < numBatches; b++ {
+		next <- b
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := range next {
+				if stop != nil && stop.Load() {
+					continue // drain remaining batch slots
+				}
+				st, d := runBatch(b, innerWs[w])
+				mu.Lock()
+				fold(b, st, d)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -57,6 +57,19 @@ type RunStats struct {
 	// PeakTableBytes mirrors Result.PeakTableBytes: the largest live
 	// table footprint of any single iteration.
 	PeakTableBytes int64
+	// BatchSize is the resolved lane count of the batched execution mode
+	// (1 = classic unbatched scheduling).
+	BatchSize int
+	// BatchesRun counts lane batches that ran to completion —
+	// ceil(Iterations/BatchSize) for an uncancelled batched run, 0 when
+	// unbatched.
+	BatchesRun int64
+	// ArenaHits and ArenaMisses count table-arena slab requests served
+	// from the engine's cross-iteration free lists vs fresh allocations
+	// during this run. After the first iteration warms the arena, steady
+	// state is all hits.
+	ArenaHits   int64
+	ArenaMisses int64
 	// Cancelled reports whether the run was cut short by its context.
 	Cancelled bool
 }
@@ -87,6 +100,18 @@ func (e *Engine) newRunStats() RunStats {
 // mergeIter folds one iteration's iterState accounting into the stats.
 // Callers serialize access (outer/hybrid modes hold the result mutex).
 func (s *RunStats) mergeIter(st *iterState) {
+	for i, d := range st.nodeTimes {
+		s.Nodes[i].Time += d
+	}
+	s.RowsAllocated += st.rowsAllocated
+	s.RowsReleased += st.rowsReleased
+	s.TablesAllocated += st.tablesAllocated
+	s.TablesReleased += st.tablesReleased
+}
+
+// mergeBatch folds one lane batch's batchState accounting into the
+// stats. Callers serialize access exactly like mergeIter.
+func (s *RunStats) mergeBatch(st *batchState) {
 	for i, d := range st.nodeTimes {
 		s.Nodes[i].Time += d
 	}

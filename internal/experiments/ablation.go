@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/dp"
+	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/part"
 	"repro/internal/table"
 	"repro/internal/tmpl"
@@ -98,6 +100,63 @@ func (p Params) AblationKernel(ctx context.Context) (Table, error) {
 	t.Notes = append(t.Notes,
 		"estimates must be bit-identical; aggregation wins on high-degree vertices",
 		fmt.Sprintf("direct kernel baseline: %s ms", ms(directTime)))
+	return t, nil
+}
+
+// AblationBatch sweeps the iteration-batch width B on an Erdős–Rényi and
+// a Barabási–Albert graph: B colorings ("lanes") share one DP traversal
+// per batch, so per-iteration time should fall with B until lane-widened
+// rows outgrow cache, while peak table bytes grow ~B× one iteration.
+// Lane seeds equal iteration seeds, so estimates must be bit-identical
+// across every width — the sweep enforces that.
+func (p Params) AblationBatch(ctx context.Context) (Table, error) {
+	if len(p.Batches) == 0 {
+		p.Batches = []int{1, 2, 4}
+	}
+	k := min(p.MaxK, 7)
+	tpl := tmpl.MustNamed(fmt.Sprintf("U%d-1", k))
+	n := max(int(60_000*p.Scale), 2_000)
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er", gen.ErdosRenyiM(n, int64(4*n), p.Seed)},
+		{"ba", gen.BarabasiAlbert(n, 4, p.Seed)},
+	}
+	const iters = 8
+	t := Table{
+		Title:   fmt.Sprintf("Ablation: iteration batch width, %s, ER/BA n=%d, %d iterations", tpl.Name(), n, iters),
+		Columns: []string{"graph", "batch", "time_ms", "iter_ms", "peak_mb", "estimate"},
+	}
+	for _, gr := range graphs {
+		var baseline float64
+		for bi, b := range p.Batches {
+			cfg := p.baseConfig()
+			cfg.Batch = b
+			e, err := dp.New(gr.g, tpl, cfg)
+			if err != nil {
+				return t, err
+			}
+			start := time.Now()
+			res, err := e.RunContext(ctx, iters)
+			if err != nil {
+				return t, err
+			}
+			d := time.Since(start)
+			if bi == 0 {
+				baseline = res.Estimate
+			} else if res.Estimate != baseline {
+				return t, fmt.Errorf("ablation-batch: estimate drifted at B=%d on %s: got %v, want %v",
+					b, gr.name, res.Estimate, baseline)
+			}
+			t.Rows = append(t.Rows, []string{
+				gr.name, fmt.Sprint(e.Batch()), ms(d), ms(d / iters), mb(res.PeakTableBytes), sci(res.Estimate),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"estimates are bit-identical across widths (lane seeds equal iteration seeds)",
+		"peak tables grow ~Bx one iteration; speedup saturates when lane rows exceed cache")
 	return t, nil
 }
 

@@ -41,6 +41,8 @@ type Params struct {
 	MaxK int
 	// Threads lists the worker counts swept in the scaling experiments.
 	Threads []int
+	// Batches lists the iteration-batch widths swept by ablation-batch.
+	Batches []int
 }
 
 // Quick returns parameters sized for CI: every experiment finishes in
@@ -54,6 +56,7 @@ func Quick() Params {
 		Iters:      30,
 		MaxK:       7,
 		Threads:    []int{1, 2, 4, 8, 16},
+		Batches:    []int{1, 2, 4, 8, 16},
 	}
 }
 
@@ -68,6 +71,7 @@ func Full() Params {
 		Iters:      1000,
 		MaxK:       12,
 		Threads:    []int{1, 2, 4, 8, 12, 16},
+		Batches:    []int{1, 2, 4, 8, 16, 32},
 	}
 }
 

@@ -1,0 +1,207 @@
+package table
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Arena is a cross-iteration slab recycler for table backing storage.
+//
+// Every color-coding iteration allocates the same set of table slabs
+// (dense data arrays, sparse arena blocks and index vectors, hash
+// key/value arrays) and releases them at iteration end, so after one
+// warm-up iteration the allocator sees pure churn. An Arena breaks that
+// churn: Release hands slabs back to per-length free lists and the next
+// iteration's constructors take them from there, making steady-state
+// iterations slab-allocation-free (asserted by the dp package's
+// allocation tests and visible as RunStats arena hit/miss counters).
+//
+// Slabs are keyed by exact length — the DP's node widths recur exactly
+// across iterations, so after warm-up every Get hits. Returned slabs are
+// NOT zeroed; each constructor re-initializes what it needs (dense
+// clears, sparse fills its index with -1 and clears blocks on first use,
+// hash rewrites keys). An Arena is safe for concurrent use; outer-mode
+// iterations share the engine's arena.
+//
+// The zero value is ready to use. A nil *Arena is also valid everywhere
+// and degrades to plain make() allocation.
+type Arena struct {
+	mu  sync.Mutex
+	f64 map[int][][]float64
+	i64 map[int][][]int64
+	i32 map[int][][]int32
+	i8  map[int][][]int8
+	u64 map[int][][]uint64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// arenaMaxPerClass bounds retained slabs per (type, length) class so a
+// transient burst of concurrent iterations (outer mode) cannot pin its
+// high-water mark forever.
+const arenaMaxPerClass = 32
+
+// Stats returns cumulative slab reuse counters: hits (slabs served from
+// a free list) and misses (slabs freshly allocated). Put-backs are not
+// counted.
+func (a *Arena) Stats() (hits, misses int64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.hits.Load(), a.misses.Load()
+}
+
+// getSlab is the generic free-list pop. Go's type parameters keep the
+// five typed pools from quintuplicating the logic.
+func getSlab[T any](a *Arena, pool map[int][][]T, n int) ([]T, bool) {
+	l := pool[n]
+	if len(l) == 0 {
+		return nil, false
+	}
+	s := l[len(l)-1]
+	pool[n] = l[:len(l)-1]
+	return s, true
+}
+
+func putSlab[T any](pool map[int][][]T, s []T) map[int][][]T {
+	if pool == nil {
+		pool = map[int][][]T{}
+	}
+	if len(pool[len(s)]) < arenaMaxPerClass {
+		pool[len(s)] = append(pool[len(s)], s)
+	}
+	return pool
+}
+
+// F64 returns a float64 slab of length n (contents unspecified).
+func (a *Arena) F64(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	a.mu.Lock()
+	s, ok := getSlab(a, a.f64, n)
+	a.mu.Unlock()
+	if ok {
+		a.hits.Add(1)
+		return s
+	}
+	a.misses.Add(1)
+	return make([]float64, n)
+}
+
+// PutF64 returns a slab to the arena. Nil arenas and nil slabs are no-ops.
+func (a *Arena) PutF64(s []float64) {
+	if a == nil || s == nil {
+		return
+	}
+	a.mu.Lock()
+	a.f64 = putSlab(a.f64, s)
+	a.mu.Unlock()
+}
+
+// I64 returns an int64 slab of length n (contents unspecified).
+func (a *Arena) I64(n int) []int64 {
+	if a == nil {
+		return make([]int64, n)
+	}
+	a.mu.Lock()
+	s, ok := getSlab(a, a.i64, n)
+	a.mu.Unlock()
+	if ok {
+		a.hits.Add(1)
+		return s
+	}
+	a.misses.Add(1)
+	return make([]int64, n)
+}
+
+// PutI64 returns a slab to the arena.
+func (a *Arena) PutI64(s []int64) {
+	if a == nil || s == nil {
+		return
+	}
+	a.mu.Lock()
+	a.i64 = putSlab(a.i64, s)
+	a.mu.Unlock()
+}
+
+// I32 returns an int32 slab of length n (contents unspecified).
+func (a *Arena) I32(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	a.mu.Lock()
+	s, ok := getSlab(a, a.i32, n)
+	a.mu.Unlock()
+	if ok {
+		a.hits.Add(1)
+		return s
+	}
+	a.misses.Add(1)
+	return make([]int32, n)
+}
+
+// PutI32 returns a slab to the arena.
+func (a *Arena) PutI32(s []int32) {
+	if a == nil || s == nil {
+		return
+	}
+	a.mu.Lock()
+	a.i32 = putSlab(a.i32, s)
+	a.mu.Unlock()
+}
+
+// I8 returns an int8 slab of length n (contents unspecified). The dp
+// engine recycles per-iteration color vectors through this pool.
+func (a *Arena) I8(n int) []int8 {
+	if a == nil {
+		return make([]int8, n)
+	}
+	a.mu.Lock()
+	s, ok := getSlab(a, a.i8, n)
+	a.mu.Unlock()
+	if ok {
+		a.hits.Add(1)
+		return s
+	}
+	a.misses.Add(1)
+	return make([]int8, n)
+}
+
+// PutI8 returns a slab to the arena.
+func (a *Arena) PutI8(s []int8) {
+	if a == nil || s == nil {
+		return
+	}
+	a.mu.Lock()
+	a.i8 = putSlab(a.i8, s)
+	a.mu.Unlock()
+}
+
+// U64 returns a uint64 slab of length n (contents unspecified); the hash
+// layout's presence bitsets live here.
+func (a *Arena) U64(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	a.mu.Lock()
+	s, ok := getSlab(a, a.u64, n)
+	a.mu.Unlock()
+	if ok {
+		a.hits.Add(1)
+		return s
+	}
+	a.misses.Add(1)
+	return make([]uint64, n)
+}
+
+// PutU64 returns a slab to the arena.
+func (a *Arena) PutU64(s []uint64) {
+	if a == nil || s == nil {
+		return
+	}
+	a.mu.Lock()
+	a.u64 = putSlab(a.u64, s)
+	a.mu.Unlock()
+}

@@ -7,14 +7,24 @@ type Dense struct {
 	numSets int
 	data    []float64 // n * numSets, row-major
 	n       int
+	arena   *Arena
 }
 
 // NewDense allocates a dense table for n vertices.
 func NewDense(n, numSets int) *Dense {
+	return NewDenseArena(n, numSets, nil)
+}
+
+// NewDenseArena is NewDense drawing the backing slab from an arena (nil
+// falls back to plain allocation); Release returns the slab to it.
+func NewDenseArena(n, numSets int, a *Arena) *Dense {
+	data := a.F64(n * numSets)
+	clear(data)
 	return &Dense{
 		numSets: numSets,
 		n:       n,
-		data:    make([]float64, n*numSets),
+		data:    data,
+		arena:   a,
 	}
 }
 
@@ -52,14 +62,26 @@ func (d *Dense) AccumulateRow(v int32, dst []float64) {
 	}
 }
 
-// AccumulateRows implements BulkAccumulator.
+// AccumulateRows implements BulkAccumulator. 4-way unrolled like the
+// Sparse variant: lane-widened batched rows keep several independent
+// adds in flight per iteration.
 func (d *Dense) AccumulateRows(vs []int32, dst []float64) {
 	ns := d.numSets
+	dst = dst[:ns]
 	for _, v := range vs {
 		base := int(v) * ns
-		row := d.data[base : base+ns]
-		for i, x := range row {
-			dst[i] += x
+		row := d.data[base : base+ns : base+ns]
+		i := 0
+		for ; i+4 <= len(row); i += 4 {
+			r := row[i : i+4 : i+4]
+			t := dst[i : i+4 : i+4]
+			t[0] += r[0]
+			t[1] += r[1]
+			t[2] += r[2]
+			t[3] += r[3]
+		}
+		for ; i < len(row); i++ {
+			dst[i] += row[i]
 		}
 	}
 }
@@ -104,5 +126,8 @@ func (d *Dense) Bytes() int64 {
 	return int64(len(d.data))*float64Size + sliceHeaderLen
 }
 
-// Release implements Table.
-func (d *Dense) Release() { d.data = nil }
+// Release implements Table, returning the backing slab to the arena.
+func (d *Dense) Release() {
+	d.arena.PutF64(d.data)
+	d.data = nil
+}

@@ -15,6 +15,7 @@ type HashTable struct {
 	mask    int64
 	count   int
 	present []uint64 // bitset over vertices
+	arena   *Arena
 }
 
 const emptyKey = int64(-1)
@@ -23,20 +24,30 @@ const emptyKey = int64(-1)
 // capacity is small; the table grows as cells are inserted, so memory
 // tracks the realized selectivity rather than n × NumSets.
 func NewHash(n, numSets int) *HashTable {
+	return NewHashArena(n, numSets, nil)
+}
+
+// NewHashArena is NewHash drawing the key/value arrays and presence
+// bitset from an arena (nil falls back to plain allocation); Release and
+// growth rehashes return slabs to it.
+func NewHashArena(n, numSets int, a *Arena) *HashTable {
+	present := a.U64((n + 63) / 64)
+	clear(present)
 	h := &HashTable{
 		numSets: numSets,
-		present: make([]uint64, (n+63)/64),
+		present: present,
+		arena:   a,
 	}
 	h.init(1024)
 	return h
 }
 
 func (h *HashTable) init(capacity int) {
-	h.keys = make([]int64, capacity)
+	h.keys = h.arena.I64(capacity)
 	for i := range h.keys {
 		h.keys[i] = emptyKey
 	}
-	h.vals = make([]float64, capacity)
+	h.vals = h.arena.F64(capacity) // never read before written at its key
 	h.mask = int64(capacity - 1)
 	h.count = 0
 }
@@ -134,6 +145,8 @@ func (h *HashTable) grow() {
 			h.put(k, oldVals[i])
 		}
 	}
+	h.arena.PutI64(oldKeys)
+	h.arena.PutF64(oldVals)
 }
 
 func (h *HashTable) put(key int64, val float64) {
@@ -226,11 +239,26 @@ func (h *HashTable) Rows() int64 {
 	return n
 }
 
-// Release implements Table.
+// Release implements Table, returning all slabs to the arena.
 func (h *HashTable) Release() {
+	h.arena.PutI64(h.keys)
+	h.arena.PutF64(h.vals)
+	h.arena.PutU64(h.present)
 	h.keys = nil
 	h.vals = nil
 	h.present = nil
+}
+
+// ForEach calls fn for every stored cell with its raw key
+// (vid·NumSets + colorIndex) and value, in unspecified order. The
+// multi-lane wrapper uses it for per-lane totals without materializing
+// rows.
+func (h *HashTable) ForEach(fn func(key int64, val float64)) {
+	for i, k := range h.keys {
+		if k != emptyKey {
+			fn(k, h.vals[i])
+		}
+	}
 }
 
 // Load returns the number of stored cells; exposed for tests and memory

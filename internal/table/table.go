@@ -83,13 +83,19 @@ type Table interface {
 // New creates a table of the given layout for n vertices and numSets
 // color-set slots per vertex.
 func New(kind Kind, n int, numSets int) Table {
+	return NewInArena(kind, n, numSets, nil)
+}
+
+// NewInArena is New with backing slabs drawn from (and returned to) an
+// arena; a nil arena degrades to plain allocation.
+func NewInArena(kind Kind, n int, numSets int, a *Arena) Table {
 	switch kind {
 	case Naive:
-		return NewDense(n, numSets)
+		return NewDenseArena(n, numSets, a)
 	case Lazy:
-		return NewSparse(n, numSets)
+		return NewSparseArena(n, numSets, a)
 	case Hash:
-		return NewHash(n, numSets)
+		return NewHashArena(n, numSets, a)
 	default:
 		panic(fmt.Sprintf("table: unknown kind %d", int(kind)))
 	}

@@ -211,6 +211,15 @@ type Options struct {
 	// KeepTables retains the final iteration's tables for
 	// SampleEmbeddings.
 	KeepTables bool
+	// Batch selects the iteration-batched execution mode: B > 1 runs B
+	// independent colorings ("lanes") through one DP traversal per
+	// batch, amortizing the graph walk and split enumeration across
+	// lanes. 0 or 1 keeps the classic one-traversal-per-iteration
+	// schedule; BatchAuto picks a width from the template size and a
+	// memory budget. Results are bit-identical to unbatched runs (lane
+	// seeds match iteration seeds); only speed and peak memory (×B per
+	// concurrent traversal) change.
+	Batch int
 	// Timeout, when positive, bounds every run of an Engine built from
 	// these options (each Run/Count call gets a fresh timeout). On expiry
 	// the run returns its partial result alongside the context error,
@@ -282,6 +291,17 @@ func (o Options) WithKernel(c KernelChoice) Options {
 	return o
 }
 
+// BatchAuto asks the engine to choose the iteration-batch width from
+// the template size and a memory budget (see Options.Batch).
+const BatchAuto = dp.BatchAuto
+
+// WithBatch returns a copy of o using the given iteration-batch width
+// (BatchAuto to let the engine choose).
+func (o Options) WithBatch(b int) Options {
+	o.Batch = b
+	return o
+}
+
 // WithTimeout returns a copy of o bounding every run to d.
 func (o Options) WithTimeout(d time.Duration) Options {
 	o.Timeout = d
@@ -340,6 +360,7 @@ func (o Options) config() (dp.Config, error) {
 		DisableLeafSpecial: o.DisableLeafSpecial,
 		Kernel:             kern,
 		KeepTables:         o.KeepTables,
+		Batch:              o.Batch,
 		OnIteration:        o.OnIteration,
 	}, nil
 }
