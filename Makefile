@@ -1,15 +1,18 @@
 # Developer entry points. `make ci` is the tier-1+ verification gate:
 # vet, build, full tests, race coverage of the concurrent packages
 # (including the cancellation tests, which exercise mid-run aborts in
-# every parallel mode), the metrics-endpoint smoke test, and a one-shot
-# smoke run of the kernel benchmarks (compiles and exercises the
-# direct/aggregate/auto matrix without timing anything meaningful).
+# every parallel mode), the oracle-differential harness under -race,
+# the metrics-endpoint and fasciad serve smoke tests, a fuzz smoke pass
+# over every fuzz target, a coverage floor on internal/serve, and a
+# one-shot smoke run of the kernel benchmarks (compiles and exercises
+# the direct/aggregate/auto matrix without timing anything meaningful).
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race race-cancel metrics-smoke bench-smoke bench-kernel bench-batch bench-batch-full
+.PHONY: ci vet build test race race-cancel difftest fuzz-smoke serve-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-batch-full
 
-ci: vet build test race race-cancel metrics-smoke bench-smoke bench-batch
+ci: vet build test race race-cancel difftest metrics-smoke serve-smoke cover-serve fuzz-smoke bench-smoke bench-batch
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +31,34 @@ race:
 # cancel/timeout tests in the root package.
 race-cancel:
 	$(GO) test -race -run 'Context|Cancel|Timeout|OnIteration' . ./internal/dp
+
+# Oracle-differential harness under the race detector: every public
+# counting entry point against internal/exact, every option combination
+# against the reference configuration bit for bit.
+difftest:
+	$(GO) test -race -run TestOracleDifferential .
+
+# One short fuzzing pass per target (seeds + $(FUZZTIME) of new inputs
+# each). Targets run one at a time because `go test -fuzz` requires a
+# single match per invocation.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/tmpl
+
+# fasciad end to end under -race: boot on an ephemeral port, count,
+# cache hit, residual overlap, SIGTERM drain, goroutine-leak check.
+serve-smoke:
+	$(GO) test -race -run TestServeSmoke ./cmd/fasciad
+
+# Coverage floor for the serving layer: fail CI if internal/serve drops
+# below 80% statement coverage.
+cover-serve:
+	@cov=$$($(GO) test -cover ./internal/serve | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	if [ -z "$$cov" ]; then echo "cover-serve: tests failed or no coverage reported"; exit 1; fi; \
+	ok=$$(awk -v c="$$cov" 'BEGIN { print (c >= 80.0) ? 1 : 0 }'); \
+	if [ "$$ok" != 1 ]; then echo "cover-serve: internal/serve coverage $$cov% below the 80% floor"; exit 1; fi; \
+	echo "cover-serve: internal/serve coverage $$cov% (floor 80%)"
 
 # The -metrics-addr expvar/pprof endpoint end to end on an ephemeral port.
 metrics-smoke:

@@ -1,0 +1,163 @@
+// Command fasciad is the long-lived counting service: it loads graphs
+// once into a shared registry and serves approximate subgraph-count
+// queries over HTTP/JSON with a bounded work queue, admission control
+// (429 + Retry-After), per-query deadlines, a seed-keyed result cache
+// that lets repeated and overlapping queries reuse completed iterations,
+// and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	fasciad -addr :8080 -graph web=web.txt -graph road=road.bin \
+//	        -workers 8 -concurrency 2 -queue 16 -cache-bytes 67108864
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /v1/graphs          registered graphs
+//	POST /v1/graphs?name=X   upload an edge list
+//	POST /v1/count           run / reuse a counting query (JSON body)
+//	GET  /v1/stats           scheduler + cache counters (JSON)
+//	GET  /debug/vars         expvar gauges
+//	GET  /debug/pprof/       profiles
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	fascia "repro"
+	"repro/internal/serve"
+)
+
+// graphFlags collects repeated -graph name=path pairs.
+type graphFlags []string
+
+func (g *graphFlags) String() string { return strings.Join(*g, ",") }
+func (g *graphFlags) Set(s string) error {
+	*g = append(*g, s)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its environment injected so the smoke test can boot
+// the daemon in-process: args are the CLI args, ready (when non-nil)
+// receives the bound listen address once the server is accepting, and
+// the exit code is returned instead of os.Exit'ed. Shutdown is by
+// SIGTERM/SIGINT: stop admitting, cancel in-flight queries (each
+// flushes its partial mean to its client), then exit.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("fasciad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 for ephemeral)")
+		workers      = fs.Int("workers", 0, "global worker budget across concurrent queries (0 = GOMAXPROCS)")
+		concurrency  = fs.Int("concurrency", 0, "queries running at once (0 = 2)")
+		queue        = fs.Int("queue", 16, "bounded wait-queue depth behind the run slots")
+		cacheBytes   = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "seed-keyed result cache budget in bytes")
+		defIters     = fs.Int("iterations", 32, "default iterations for queries that omit them")
+		maxIters     = fs.Int("max-iterations", 100000, "per-query iteration cap")
+		defTimeout   = fs.Duration("timeout", 30*time.Second, "default per-query deadline")
+		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "per-query deadline cap")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight queries on shutdown")
+		graphs       graphFlags
+	)
+	fs.Var(&graphs, "graph", "preload a graph as name=path (repeatable; .bin for binary CSR)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := serve.New(serve.Config{
+		WorkerBudget:      *workers,
+		MaxConcurrent:     *concurrency,
+		QueueDepth:        *queue,
+		CacheBytes:        *cacheBytes,
+		DefaultIterations: *defIters,
+		MaxIterations:     *maxIters,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+	})
+	for _, spec := range graphs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(stderr, "fasciad: bad -graph %q (want name=path)\n", spec)
+			return 2
+		}
+		g, err := fascia.LoadGraph(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "fasciad: load %s: %v\n", path, err)
+			return 1
+		}
+		info, err := srv.Registry().Add(name, g)
+		if err != nil {
+			fmt.Fprintf(stderr, "fasciad: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "fasciad: loaded graph %q (n=%d m=%d hash=%x)\n", info.Name, info.N, info.M, info.Hash)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "fasciad: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "fasciad: serving on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "fasciad: serve: %v\n", err)
+		return 1
+	case <-sigCtx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	fmt.Fprintln(stdout, "fasciad: draining (new queries get 503, in-flight queries flush partial means)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "fasciad: %v\n", err)
+		code = 1
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "fasciad: http shutdown: %v\n", err)
+		code = 1
+	}
+	<-errc // Serve has returned (http.ErrServerClosed)
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "fasciad: drained: %d queries served (%d cache hits, %d partial hits), %d rejected, %d partial results\n",
+		st.Queries, st.Cache.Hits, st.Cache.PartialHits, st.Rejected, st.PartialResults)
+	return code
+}

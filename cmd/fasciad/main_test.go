@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	fascia "repro"
+	"repro/internal/serve"
+)
+
+// TestServeSmoke is the end-to-end acceptance test for fasciad (the
+// `make serve-smoke` target): boot the daemon in-process on an
+// ephemeral port with a preloaded graph, serve a count, verify a
+// repeated query is answered from cache (hit counter asserted), verify
+// an overlapping query runs only the residual iterations, then send a
+// real SIGTERM and check the drain exits cleanly with no leaked
+// goroutines.
+func TestServeSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Write a graph file for the -graph preload path.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := fascia.SaveGraph(path, fascia.ErdosRenyi(150, 600, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	var stdout, stderr bytes.Buffer
+	go func() {
+		exit <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-graph", "web=" + path,
+			"-workers", "2",
+			"-concurrency", "2",
+			"-drain-timeout", "5s",
+		}, &stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-exit:
+		t.Fatalf("fasciad exited early with %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("fasciad never became ready")
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	query := func(req map[string]any) map[string]any {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := client.Post(base+"/v1/count", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("count status %d: %v", resp.StatusCode, out)
+		}
+		return out
+	}
+	req := map[string]any{"graph": "web", "template": "0-1 1-2 1-3", "iterations": 8, "seed": 7}
+
+	// 1. A fresh query is served end to end.
+	first := query(req)
+	if first["cache"] != "miss" || first["iterations"].(float64) != 8 {
+		t.Fatalf("first query: %v", first)
+	}
+	count := first["count"].(float64)
+	if count <= 0 {
+		t.Fatalf("estimate %v, want > 0", count)
+	}
+
+	// 2. The repeated query is answered from cache, bit-identically.
+	second := query(req)
+	if second["cache"] != "hit" || second["count"].(float64) != count {
+		t.Fatalf("repeat not served from cache: %v", second)
+	}
+
+	// 3. An overlapping query runs only the residual iterations.
+	over := map[string]any{"graph": "web", "template": "0-1 1-2 1-3", "iterations": 20, "seed": 7}
+	third := query(over)
+	if third["cache"] != "partial" || third["cached_iterations"].(float64) != 8 || third["iterations"].(float64) != 20 {
+		t.Fatalf("overlap query: %v", third)
+	}
+
+	// Hit counters, asserted via the stats endpoint.
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Cache.Hits < 1 || st.Cache.PartialHits < 1 || st.Cache.Misses < 1 {
+		t.Fatalf("cache counters: %+v", st.Cache)
+	}
+	// The expvar endpoint must expose the serve namespace too.
+	resp, err = client.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars bytes.Buffer
+	vars.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if !bytes.Contains(vars.Bytes(), []byte("fascia.serve.cache_hits")) {
+		t.Fatal("/debug/vars missing fascia.serve.* gauges")
+	}
+
+	// 4. SIGTERM drains cleanly: the process-level handler stops
+	// admission, flushes in-flight queries, and run() returns 0.
+	client.CloseIdleConnections()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("fasciad did not drain after SIGTERM\nstdout: %s", stdout.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("drained")) {
+		t.Fatalf("drain summary missing from stdout: %s", stdout.String())
+	}
+
+	// 5. No goroutine leaks after the full boot/serve/drain cycle.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, after, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,289 @@
+package fascia
+
+// Oracle-differential harness: every public counting entry point —
+// Count, CountLabeled, CountConverged, CountDistributed — is checked on
+// randomized small graphs (n <= 30, k <= 5) against the exhaustive
+// internal/exact oracle within statistical tolerance, and every
+// layout × kernel × batch × parallel-mode combination is checked for
+// exact (bit-identical) agreement with the reference configuration
+// under a fixed seed. Failures print the seed and full configuration so
+// any disagreement is reproducible from the log line alone. The harness
+// runs under -race in CI (`make difftest`).
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+// diffSeed bases every run in the harness; iteration i colors with
+// diffSeed+i in every entry point, which is what makes cross-config
+// bit-identity and prefix properties hold.
+const diffSeed = 101
+
+// refIters sizes the statistical reference run (tight CI against the
+// exact count); comboIters sizes the per-combination bit-identity runs.
+const (
+	refIters   = 300
+	comboIters = 24
+)
+
+type diffWorkload struct {
+	gName string
+	g     *Graph
+	tName string
+	t     *Template
+}
+
+// diffWorkloads returns the randomized small (graph, template) pairs the
+// harness sweeps: Erdős–Rényi and Barabási–Albert graphs under 30
+// vertices, trees up to 5 vertices including a branchy spider.
+func diffWorkloads() []diffWorkload {
+	er := ErdosRenyi(26, 70, 11)
+	ba := BarabasiAlbert(24, 2, 12)
+	spider := MustTemplate("U5-2")
+	var out []diffWorkload
+	for _, g := range []struct {
+		name string
+		g    *Graph
+	}{{"er26", er}, {"ba24", ba}} {
+		for _, tc := range []struct {
+			name string
+			t    *Template
+		}{
+			{"path3", PathTemplate(3)},
+			{"star4", StarTemplate(4)},
+			{"path5", PathTemplate(5)},
+			{"u5-2", spider},
+		} {
+			out = append(out, diffWorkload{g.name, g.g, tc.name, tc.t})
+		}
+	}
+	return out
+}
+
+// diffCombos enumerates every layout × kernel × batch × parallel-mode
+// combination of the public options surface.
+func diffCombos() []struct {
+	name string
+	opt  Options
+} {
+	var out []struct {
+		name string
+		opt  Options
+	}
+	for _, layout := range []TableLayout{TableLazy, TableNaive, TableHash} {
+		for _, kernel := range []KernelChoice{KernelAuto, KernelDirect, KernelAggregate} {
+			for _, batch := range []int{1, 4} {
+				for _, mode := range []ParallelMode{ParallelInner, ParallelOuter, ParallelHybrid} {
+					opt := DefaultOptions().
+						WithTable(layout).WithKernel(kernel).WithBatch(batch).WithParallel(mode).
+						WithSeed(diffSeed).WithIterations(comboIters)
+					out = append(out, struct {
+						name string
+						opt  Options
+					}{
+						fmt.Sprintf("layout=%s kernel=%s batch=%d parallel=%s", layout, kernel, batch, mode),
+						opt,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// assertOracle checks a run's estimate against the exact count within
+// statistical tolerance: 6 standard errors (deterministic under the
+// fixed seed — any failure here is a genuine bias, not noise).
+func assertOracle(t *testing.T, desc string, res Result, exactCount int64) {
+	t.Helper()
+	diff := math.Abs(res.Count - float64(exactCount))
+	tol := 6*res.StdErr + 1e-9 + 1e-12*float64(exactCount)
+	if diff > tol {
+		t.Errorf("ORACLE DISAGREEMENT %s seed=%d: estimate %v over %d iterations vs exact %d (|diff| %g > 6σ tolerance %g)",
+			desc, diffSeed, res.Count, res.Iterations, exactCount, diff, tol)
+	}
+}
+
+// refRun executes the reference configuration (paper defaults) for the
+// workload: refIters iterations at diffSeed.
+func refRun(t *testing.T, w diffWorkload) Result {
+	t.Helper()
+	res, err := Count(w.g, w.t, DefaultOptions().WithIterations(refIters).WithSeed(diffSeed))
+	if err != nil {
+		t.Fatalf("reference run %s/%s seed=%d: %v", w.gName, w.tName, diffSeed, err)
+	}
+	return res
+}
+
+// TestOracleDifferentialCount checks Count against the exact oracle and
+// every option combination against the reference run, bit for bit.
+func TestOracleDifferentialCount(t *testing.T) {
+	combos := diffCombos()
+	for _, w := range diffWorkloads() {
+		w := w
+		t.Run(w.gName+"/"+w.tName, func(t *testing.T) {
+			exactCount := exact.Count(w.g, w.t)
+			if exactCount <= 0 {
+				t.Fatalf("degenerate workload %s/%s: exact count %d", w.gName, w.tName, exactCount)
+			}
+			ref := refRun(t, w)
+			assertOracle(t, fmt.Sprintf("Count graph=%s tmpl=%s config=defaults", w.gName, w.tName), ref, exactCount)
+
+			for _, c := range combos {
+				res, err := Count(w.g, w.t, c.opt)
+				if err != nil {
+					t.Fatalf("%s seed=%d: %v", c.name, diffSeed, err)
+				}
+				if len(res.PerIteration) != comboIters {
+					t.Fatalf("%s seed=%d: %d iterations, want %d", c.name, diffSeed, len(res.PerIteration), comboIters)
+				}
+				for i, x := range res.PerIteration {
+					if x != ref.PerIteration[i] {
+						t.Fatalf("EXACTNESS DISAGREEMENT graph=%s tmpl=%s %s seed=%d iteration=%d: %v != reference %v",
+							w.gName, w.tName, c.name, diffSeed, i, x, ref.PerIteration[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleDifferentialConverged checks CountConverged: its iterations
+// are a bit-identical prefix of the fixed-run seed stream, its stopping
+// rule is honored, and its estimate agrees with the oracle within its
+// own confidence interval.
+func TestOracleDifferentialConverged(t *testing.T) {
+	const relStdErr = 0.2
+	for _, w := range diffWorkloads() {
+		w := w
+		t.Run(w.gName+"/"+w.tName, func(t *testing.T) {
+			exactCount := exact.Count(w.g, w.t)
+			ref := refRun(t, w)
+			// Options.Iterations doubles as the convergence floor: a
+			// 2-sample standard error is too noisy to stop (or to test)
+			// on, so require at least 20 iterations before the stopping
+			// rule may fire.
+			const minIters = 20
+			res, err := CountConverged(w.g, w.t, relStdErr, refIters, DefaultOptions().WithSeed(diffSeed).WithIterations(minIters))
+			if err != nil {
+				t.Fatalf("CountConverged graph=%s tmpl=%s seed=%d: %v", w.gName, w.tName, diffSeed, err)
+			}
+			if len(res.PerIteration) < minIters || len(res.PerIteration) > refIters {
+				t.Fatalf("converged run used %d iterations (bounds [%d, %d])", len(res.PerIteration), minIters, refIters)
+			}
+			for i, x := range res.PerIteration {
+				if x != ref.PerIteration[i] {
+					t.Fatalf("EXACTNESS DISAGREEMENT CountConverged graph=%s tmpl=%s seed=%d iteration=%d: %v != reference %v",
+						w.gName, w.tName, diffSeed, i, x, ref.PerIteration[i])
+				}
+			}
+			if n := len(res.PerIteration); n < refIters && res.Count != 0 && res.StdErr/math.Abs(res.Count) > relStdErr {
+				t.Errorf("converged run stopped at %d iterations with rel stderr %v > %v",
+					n, res.StdErr/math.Abs(res.Count), relStdErr)
+			}
+			assertOracle(t, fmt.Sprintf("CountConverged graph=%s tmpl=%s", w.gName, w.tName), res, exactCount)
+		})
+	}
+}
+
+// TestOracleDifferentialLabeled checks CountLabeled against the exact
+// oracle on a labeled graph (labels participate in both the DP and the
+// backtracking), plus bit-identity across every option combination.
+func TestOracleDifferentialLabeled(t *testing.T) {
+	g := AssignRandomLabels(ErdosRenyi(30, 90, 13), 2, 14)
+	base := PathTemplate(4)
+	lt, err := base.WithLabels("lp4", []int32{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCount := exact.Count(g, lt)
+	if exactCount <= 0 {
+		t.Fatalf("degenerate labeled workload: exact count %d", exactCount)
+	}
+	ref, err := CountLabeled(g, lt, DefaultOptions().WithIterations(refIters).WithSeed(diffSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOracle(t, "CountLabeled graph=er30x2labels tmpl=lp4", ref, exactCount)
+
+	for _, c := range diffCombos() {
+		res, err := CountLabeled(g, lt, c.opt)
+		if err != nil {
+			t.Fatalf("labeled %s seed=%d: %v", c.name, diffSeed, err)
+		}
+		for i, x := range res.PerIteration {
+			if x != ref.PerIteration[i] {
+				t.Fatalf("EXACTNESS DISAGREEMENT CountLabeled %s seed=%d iteration=%d: %v != reference %v",
+					c.name, diffSeed, i, x, ref.PerIteration[i])
+			}
+		}
+	}
+
+	// Guard rails: unlabeled inputs are rejected loudly.
+	if _, err := CountLabeled(g, base, DefaultOptions()); err == nil {
+		t.Error("CountLabeled accepted an unlabeled template")
+	}
+	if _, err := CountLabeled(ErdosRenyi(30, 90, 13), lt, DefaultOptions()); err == nil {
+		t.Error("CountLabeled accepted an unlabeled graph")
+	}
+}
+
+// TestOracleDifferentialDistributed checks the simulated
+// distributed-memory engine on 2–4 ranks: per-iteration estimates are
+// bit-identical to the shared-memory engine under the same seed, so the
+// oracle agreement follows from the shared-memory checks — asserted
+// directly here anyway.
+func TestOracleDifferentialDistributed(t *testing.T) {
+	for _, w := range diffWorkloads() {
+		w := w
+		t.Run(w.gName+"/"+w.tName, func(t *testing.T) {
+			if exactCount := exact.Count(w.g, w.t); exactCount <= 0 {
+				t.Fatalf("degenerate workload: exact count %d", exactCount)
+			}
+			ref := refRun(t, w)
+			for ranks := 2; ranks <= 4; ranks++ {
+				res, err := CountDistributed(w.g, w.t, ranks, DefaultOptions().WithIterations(comboIters).WithSeed(diffSeed))
+				if err != nil {
+					t.Fatalf("CountDistributed ranks=%d graph=%s tmpl=%s seed=%d: %v", ranks, w.gName, w.tName, diffSeed, err)
+				}
+				if len(res.PerIteration) != comboIters {
+					t.Fatalf("ranks=%d: %d iterations, want %d", ranks, len(res.PerIteration), comboIters)
+				}
+				for i, x := range res.PerIteration {
+					if x != ref.PerIteration[i] {
+						t.Fatalf("EXACTNESS DISAGREEMENT CountDistributed ranks=%d graph=%s tmpl=%s seed=%d iteration=%d: %v != shared-memory %v",
+							ranks, w.gName, w.tName, diffSeed, i, x, ref.PerIteration[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleDifferentialColorfulExact is the zero-noise oracle: under a
+// deterministic coloring, the DP's raw colorful total must equal the
+// brute-force count of rainbow mappings exactly — no statistical
+// tolerance at all. This pins the DP itself, independent of scaling.
+func TestOracleDifferentialColorfulExact(t *testing.T) {
+	for _, w := range diffWorkloads() {
+		w := w
+		t.Run(w.gName+"/"+w.tName, func(t *testing.T) {
+			e, err := NewEngine(w.g, w.t, DefaultOptions().WithSeed(diffSeed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := int64(diffSeed); s < diffSeed+5; s++ {
+				got := e.inner.ColorfulTotal(s)
+				want := exact.CountColorfulMappings(w.g, w.t, e.inner.ColoringFor(s))
+				if got != float64(want) {
+					t.Fatalf("COLORFUL DISAGREEMENT graph=%s tmpl=%s seed=%d: DP total %v != exact %d",
+						w.gName, w.tName, s, got, want)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package fascia
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -202,6 +203,47 @@ func VertexCounts(g *Graph, t *Template, opt Options) ([]float64, error) {
 		return nil, err
 	}
 	return e.VertexCounts(opt.iterations(t.K()))
+}
+
+// MergeIterations prepends previously computed per-iteration estimates
+// to a fresh run's result and recomputes the aggregate statistics, as if
+// a single run had produced all of them. It is the merge step of
+// seed-keyed result caching: when estimates for seeds
+// [Seed, Seed+len(prior)) are already known, a residual run with
+// Options.Seed = Seed+len(prior) produces exactly the remaining
+// estimates (iteration i always colors with Seed+i), and merging yields
+// a result bit-identical to running the full range from scratch.
+//
+// Count, StdErr, Iterations, and PerIteration are recomputed over the
+// concatenation; Stats.CachedIterations records len(prior); Elapsed,
+// PeakTableBytes, and the remaining Stats fields describe only the
+// fresh run. prior is copied, never aliased.
+func MergeIterations(prior []float64, res Result) Result {
+	if len(prior) == 0 {
+		return res
+	}
+	merged := make([]float64, 0, len(prior)+len(res.PerIteration))
+	merged = append(merged, prior...)
+	merged = append(merged, res.PerIteration...)
+	res.PerIteration = merged
+	res.Iterations = len(merged)
+	res.Stats.Iterations = len(merged)
+	res.Stats.CachedIterations = len(prior)
+	var sum float64
+	for _, x := range merged {
+		sum += x
+	}
+	res.Count = sum / float64(len(merged))
+	res.StdErr = 0
+	if n := len(merged); n > 1 {
+		var ss float64
+		for _, x := range merged {
+			d := x - res.Count
+			ss += d * d
+		}
+		res.StdErr = math.Sqrt(ss / float64(n-1) / float64(n))
+	}
+	return res
 }
 
 // mixSeed decorrelates retry seeds: a splitmix64-style avalanche of

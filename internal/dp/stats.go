@@ -70,6 +70,13 @@ type RunStats struct {
 	// state is all hits.
 	ArenaHits   int64
 	ArenaMisses int64
+	// CachedIterations counts iterations whose per-iteration estimates
+	// were served from a result cache rather than computed by this run.
+	// It is always 0 for direct engine runs; serving layers that merge
+	// cached estimates into a result (fascia.MergeIterations, the
+	// fasciad seed-keyed cache) set it so Iterations =
+	// CachedIterations + freshly computed iterations.
+	CachedIterations int
 	// Cancelled reports whether the run was cut short by its context.
 	Cancelled bool
 }

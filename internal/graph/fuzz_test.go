@@ -20,6 +20,18 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("# 2 1\n0 1\nl 5 3\n")
 	f.Add("l 0 1\nl 0 2\n0 1\n")
 	f.Add("0 1\nl -1 5\n")
+	// Hostile shapes the serve upload path can receive: huge/overflowing
+	// vertex ids, negative endpoints, self-loops, duplicate edges, CRLF
+	// line endings, tab separation, comments in the middle of the file,
+	// and a header that wildly over-declares the vertex count.
+	f.Add("0 99999999999999999999\n")
+	f.Add("0 2147483647\n")
+	f.Add("-3 4\n")
+	f.Add("5 5\n5 5\n")
+	f.Add("0 1\r\n1 2\r\n")
+	f.Add("0\t1\n1\t2\n")
+	f.Add("0 1\n# interleaved comment\n1 2\n")
+	f.Add("# 1000000000 1\n0 1\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadEdgeList(strings.NewReader(input))
 		if err != nil {

@@ -262,16 +262,23 @@ func (g *Graph) LargestComponent() (*Graph, []int32) {
 // loading untrusted files.
 func (g *Graph) Validate() error {
 	n := g.N()
-	if len(g.offsets) != n+1 || g.offsets[0] != 0 {
+	if len(g.offsets) != n+1 || g.offsets[0] != 0 || g.offsets[n] != int64(len(g.adj)) {
 		return fmt.Errorf("graph: malformed offsets")
+	}
+	// The whole offsets array must be verified monotone before any Adj
+	// call: the symmetry check below calls HasEdge(u, v) — hence Adj(u)
+	// — for vertices u ahead of the outer loop, and slicing with corrupt
+	// offsets panics. Found by fuzzing ReadBinary with corrupt files;
+	// the regression input lives in testdata/fuzz/FuzzReadBinary.
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
 	}
 	if g.Labels != nil && len(g.Labels) != n {
 		return fmt.Errorf("graph: label array length %d != n %d", len(g.Labels), n)
 	}
 	for v := int32(0); v < int32(n); v++ {
-		if g.offsets[v] > g.offsets[v+1] {
-			return fmt.Errorf("graph: offsets not monotone at %d", v)
-		}
 		row := g.Adj(v)
 		for i, u := range row {
 			if u < 0 || int(u) >= n {

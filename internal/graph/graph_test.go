@@ -359,3 +359,79 @@ func TestGlobalClustering(t *testing.T) {
 		t.Fatalf("edge clustering = %v, want 0", got)
 	}
 }
+
+// TestReadEdgeListHostileInputs pins the loader's behavior on the
+// hostile shapes the serve upload path can receive — each case was
+// first added as a fuzz seed; this test keeps the contract even when
+// fuzzing is skipped. Inputs either error cleanly or produce a graph
+// that passes Validate; nothing may panic or silently corrupt.
+func TestReadEdgeListHostileInputs(t *testing.T) {
+	rejected := []struct {
+		name, in string
+	}{
+		{"overflowing id", "0 99999999999999999999\n"},
+		{"negative endpoint", "-3 4\n"},
+		{"over-declared header", "# 1000000000 1\n0 1\n"},
+		{"huge implied count", "0 200000000\n"},
+		{"edge above header count", "# 2 1\n0 5\n"},
+		{"lone endpoint", "0 1\n7\n"},
+	}
+	for _, c := range rejected {
+		if g, err := ReadEdgeList(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted %q as %v", c.name, c.in, g)
+		}
+	}
+
+	accepted := []struct {
+		name, in string
+		n        int
+		m        int64
+	}{
+		{"crlf line endings", "0 1\r\n1 2\r\n", 3, 2},
+		{"tab separation", "0\t1\n1\t2\n", 3, 2},
+		{"interleaved comment", "0 1\n# interleaved comment\n1 2\n", 3, 2},
+		{"self-loop dropped", "0 1\n1 1\n", 2, 1},
+		{"duplicate edge deduped", "5 6\n5 6\n6 5\n", 7, 1},
+	}
+	for _, c := range accepted {
+		g, err := ReadEdgeList(strings.NewReader(c.in))
+		if err != nil {
+			t.Errorf("%s: rejected %q: %v", c.name, c.in, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", c.name, err)
+		}
+		if g.N() != c.n || g.M() != c.m {
+			t.Errorf("%s: got %d/%d vertices/edges, want %d/%d", c.name, g.N(), g.M(), c.n, c.m)
+		}
+	}
+	// An id at exactly int32 max implies 2^31 vertices, far above the
+	// loader's ceiling: must be refused, not allocated.
+	if g, err := ReadEdgeList(strings.NewReader("0 2147483647")); err == nil {
+		t.Errorf("int32-max id accepted as %v", g)
+	}
+}
+
+// TestValidateCorruptOffsets pins the fuzz-found ReadBinary crash: a
+// binary file with non-monotone offsets used to panic inside Validate
+// (the symmetry check sliced Adj(u) for a vertex whose offsets had not
+// been monotonicity-checked yet). All corrupt shapes must error.
+func TestValidateCorruptOffsets(t *testing.T) {
+	corrupt := []struct {
+		name    string
+		offsets []int64
+		adj     []int32
+	}{
+		{"non-monotone", []int64{0, 3, 1, 4}, []int32{1, 2, 0, 0}},
+		{"negative", []int64{0, -2, 4}, []int32{1, 1, 0, 0}},
+		{"nonzero start", []int64{1, 2, 4}, []int32{1, 1, 0, 0}},
+		{"end past adj", []int64{0, 2, 6}, []int32{1, 1, 0, 0}},
+	}
+	for _, c := range corrupt {
+		g := &Graph{offsets: c.offsets, adj: c.adj}
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s offsets validated", c.name)
+		}
+	}
+}

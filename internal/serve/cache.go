@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheKey identifies one stream of per-iteration estimates: iteration i
+// of a run over (graph, template, options) with base seed s always
+// colors with seed s+i and produces a bit-identical estimate, so the
+// stream starting at (GraphHash, Template, Options, Seed) is a pure
+// function of the key. Overlapping queries share a key when they share a
+// base seed: a 100-iteration query on top of a cached 60 reuses the
+// prefix and computes only the 40-iteration residual (with base seed
+// Seed+60), then extends the entry.
+type CacheKey struct {
+	// GraphHash is HashGraph of the registered graph.
+	GraphHash uint64
+	// Template is the template's canonical free encoding
+	// (tmpl.CanonicalFree), so isomorphic respellings of the same tree
+	// share an entry; labels participate in the encoding.
+	Template string
+	// Options is the Options.Fingerprint of the result-relevant knobs.
+	Options string
+	// Seed is the base coloring seed of the stream.
+	Seed int64
+}
+
+// HitKind classifies a cache lookup.
+type HitKind int
+
+const (
+	// Miss: no cached estimates for the key.
+	Miss HitKind = iota
+	// PartialHit: a prefix of the requested iterations was cached; only
+	// the residual needs computing.
+	PartialHit
+	// Hit: the request is fully covered by cached estimates.
+	Hit
+)
+
+func (h HitKind) String() string {
+	switch h {
+	case Miss:
+		return "miss"
+	case PartialHit:
+		return "partial"
+	case Hit:
+		return "hit"
+	default:
+		return "unknown"
+	}
+}
+
+// cacheEntry is one LRU-resident estimate stream.
+type cacheEntry struct {
+	key     CacheKey
+	perIter []float64
+}
+
+// entryOverheadBytes approximates the fixed per-entry footprint (key
+// strings, map slot, list element) charged against the byte budget on
+// top of the 8 bytes per cached estimate.
+const entryOverheadBytes = 256
+
+func entryBytes(e *cacheEntry) int64 {
+	return int64(len(e.perIter))*8 + int64(len(e.key.Template)) + int64(len(e.key.Options)) + entryOverheadBytes
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Hits, PartialHits, Misses count Lookup outcomes.
+	Hits        int64 `json:"hits"`
+	PartialHits int64 `json:"partial_hits"`
+	Misses      int64 `json:"misses"`
+	// CachedIterationsServed sums the per-iteration estimates returned
+	// from cache across all lookups (the work the cache saved).
+	CachedIterationsServed int64 `json:"cached_iterations_served"`
+	// Evictions counts entries dropped by the byte budget.
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes describe current residency.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes is the configured budget.
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// Cache is the seed-keyed result cache: an LRU over estimate streams,
+// bounded by an approximate byte budget. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[CacheKey]*list.Element // value: *cacheEntry
+	lru      list.List                  // front = most recently used
+
+	hits, partials, misses, served, evictions int64
+}
+
+// DefaultCacheBytes is the byte budget used when NewCache is given a
+// non-positive one.
+const DefaultCacheBytes = 64 << 20
+
+// NewCache returns a cache bounded to maxBytes (<= 0 selects
+// DefaultCacheBytes).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	c := &Cache{maxBytes: maxBytes, entries: make(map[CacheKey]*list.Element)}
+	c.lru.Init()
+	return c
+}
+
+// Lookup returns up to n cached per-iteration estimates for the stream
+// at k (a copy, never aliasing cache storage) and classifies the
+// outcome. A Hit covers all n requested iterations; a PartialHit covers
+// a non-empty prefix, leaving the caller to compute the residual with
+// base seed k.Seed + len(prefix) and Extend the entry afterwards.
+func (c *Cache) Lookup(k CacheKey, n int) ([]float64, HitKind) {
+	if n <= 0 {
+		return nil, Miss
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, Miss
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	m := len(e.perIter)
+	if m >= n {
+		c.hits++
+		c.served += int64(n)
+		return append([]float64(nil), e.perIter[:n]...), Hit
+	}
+	c.partials++
+	c.served += int64(m)
+	return append([]float64(nil), e.perIter...), PartialHit
+}
+
+// Extend installs perIter as the stream for k, keeping whichever of the
+// existing and new streams is longer (both are prefixes of the same
+// deterministic stream, so the longer strictly subsumes the shorter).
+// perIter is copied. Inserting may evict least-recently-used entries to
+// respect the byte budget; an entry larger than the whole budget is not
+// cached.
+func (c *Cache) Extend(k CacheKey, perIter []float64) {
+	if len(perIter) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*cacheEntry)
+		if len(perIter) > len(e.perIter) {
+			c.bytes -= entryBytes(e)
+			e.perIter = append([]float64(nil), perIter...)
+			c.bytes += entryBytes(e)
+		}
+		c.lru.MoveToFront(el)
+		c.evict()
+		return
+	}
+	e := &cacheEntry{key: k, perIter: append([]float64(nil), perIter...)}
+	if entryBytes(e) > c.maxBytes {
+		return // would evict everything else and still not fit
+	}
+	c.entries[k] = c.lru.PushFront(e)
+	c.bytes += entryBytes(e)
+	c.evict()
+}
+
+// evict drops LRU entries until the budget holds. Caller holds c.mu.
+func (c *Cache) evict() {
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		e := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= entryBytes(e)
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:                   c.hits,
+		PartialHits:            c.partials,
+		Misses:                 c.misses,
+		CachedIterationsServed: c.served,
+		Evictions:              c.evictions,
+		Entries:                len(c.entries),
+		Bytes:                  c.bytes,
+		MaxBytes:               c.maxBytes,
+	}
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func k(seed int64) CacheKey {
+	return CacheKey{GraphHash: 0xabc, Template: "((()()))", Options: "v1|c=0", Seed: seed}
+}
+
+func floats(n int, base float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base + float64(i)
+	}
+	return out
+}
+
+func TestCacheLookupExtend(t *testing.T) {
+	c := NewCache(1 << 20)
+
+	// Miss on empty.
+	got, kind := c.Lookup(k(1), 5)
+	if kind != Miss || got != nil {
+		t.Fatalf("empty lookup = %v, %v; want nil, Miss", got, kind)
+	}
+
+	// Extend with 6 estimates; a 4-iteration request is a full hit.
+	c.Extend(k(1), floats(6, 10))
+	got, kind = c.Lookup(k(1), 4)
+	if kind != Hit || len(got) != 4 || got[0] != 10 || got[3] != 13 {
+		t.Fatalf("lookup(4) = %v, %v; want first 4 of stream, Hit", got, kind)
+	}
+
+	// A 10-iteration request is a partial hit returning all 6.
+	got, kind = c.Lookup(k(1), 10)
+	if kind != PartialHit || len(got) != 6 {
+		t.Fatalf("lookup(10) = %d ests, %v; want 6, PartialHit", len(got), kind)
+	}
+
+	// Returned slice must not alias cache storage.
+	got[0] = -1
+	again, _ := c.Lookup(k(1), 6)
+	if again[0] != 10 {
+		t.Fatal("Lookup returned an aliasing slice")
+	}
+
+	// Extending with a longer stream replaces; with a shorter one, the
+	// longer stream is kept (both are prefixes of the same pure stream).
+	c.Extend(k(1), floats(10, 10))
+	if got, kind := c.Lookup(k(1), 10); kind != Hit || len(got) != 10 {
+		t.Fatalf("after extend lookup(10) = %d, %v; want 10, Hit", len(got), kind)
+	}
+	c.Extend(k(1), floats(3, 10))
+	if got, kind := c.Lookup(k(1), 10); kind != Hit || len(got) != 10 {
+		t.Fatalf("shorter extend truncated the stream: %d, %v", len(got), kind)
+	}
+
+	// Different seed bases are distinct streams.
+	if _, kind := c.Lookup(k(2), 3); kind != Miss {
+		t.Fatalf("different seed hit the cache: %v", kind)
+	}
+
+	st := c.Stats()
+	if st.Hits != 4 || st.PartialHits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v; want 4 hits, 1 partial, 2 misses", st)
+	}
+	if st.CachedIterationsServed != 4+6+6+10+10 {
+		t.Fatalf("served = %d, want %d", st.CachedIterationsServed, 4+6+6+10+10)
+	}
+}
+
+func TestCacheKeyComponents(t *testing.T) {
+	c := NewCache(1 << 20)
+	base := CacheKey{GraphHash: 1, Template: "t", Options: "o", Seed: 0}
+	c.Extend(base, floats(4, 0))
+	for _, variant := range []CacheKey{
+		{GraphHash: 2, Template: "t", Options: "o", Seed: 0},
+		{GraphHash: 1, Template: "u", Options: "o", Seed: 0},
+		{GraphHash: 1, Template: "t", Options: "o2", Seed: 0},
+		{GraphHash: 1, Template: "t", Options: "o", Seed: 7},
+	} {
+		if _, kind := c.Lookup(variant, 2); kind != Miss {
+			t.Errorf("key variant %+v unexpectedly found cached data (%v)", variant, kind)
+		}
+	}
+	if _, kind := c.Lookup(base, 2); kind != Hit {
+		t.Fatalf("base key lost: %v", kind)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Budget fits ~3 entries of 100 estimates each (800B + overhead).
+	per := entryBytes(&cacheEntry{key: k(0), perIter: floats(100, 0)})
+	c := NewCache(3 * per)
+	for i := int64(0); i < 3; i++ {
+		c.Extend(k(i), floats(100, 0))
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("stats after 3 inserts: %+v", st)
+	}
+	// Touch seed 0 so it is most recent, then insert a fourth entry:
+	// seed 1 (the LRU) must go.
+	c.Lookup(k(0), 100)
+	c.Extend(k(3), floats(100, 0))
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	if _, kind := c.Lookup(k(1), 1); kind != Miss {
+		t.Fatal("LRU entry (seed 1) survived eviction")
+	}
+	for _, s := range []int64{0, 2, 3} {
+		if _, kind := c.Lookup(k(s), 1); kind == Miss {
+			t.Fatalf("recently used seed %d was evicted", s)
+		}
+	}
+	if st := c.Stats(); st.Bytes > st.MaxBytes {
+		t.Fatalf("over budget: %d > %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	c := NewCache(entryOverheadBytes + 80) // fits ~10 estimates
+	c.Extend(k(1), floats(10000, 0))
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized entry cached: %+v", st)
+	}
+	// A fitting entry still works.
+	c.Extend(CacheKey{Seed: 2}, floats(1, 0))
+	if _, kind := c.Lookup(CacheKey{Seed: 2}, 1); kind != Hit {
+		t.Fatal("small entry not cached")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1 << 20)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < 200; i++ {
+				seed := int64(i % 5)
+				c.Extend(k(seed), floats(1+i%7, float64(seed)*100))
+				got, kind := c.Lookup(k(seed), 3)
+				if kind != Miss {
+					for j, x := range got {
+						if want := float64(seed)*100 + float64(j); x != want {
+							err = fmt.Errorf("worker %d: stream %d[%d] = %v, want %v", w, seed, j, x, want)
+						}
+					}
+				}
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import "expvar"
+
+// Process-wide expvar counters under the fascia.serve.* namespace,
+// published once at init (expvar registration is global). Every Server
+// in the process folds into them; per-Server numbers are available from
+// Server.Stats(). fasciad exposes these at /debug/vars alongside the
+// fascia.* run gauges.
+var (
+	mQueries         = expvar.NewInt("fascia.serve.queries")
+	mCacheHits       = expvar.NewInt("fascia.serve.cache_hits")
+	mCachePartials   = expvar.NewInt("fascia.serve.cache_partial_hits")
+	mCacheMisses     = expvar.NewInt("fascia.serve.cache_misses")
+	mCachedIterInt   = expvar.NewInt("fascia.serve.cached_iterations_served")
+	mFreshIterations = expvar.NewInt("fascia.serve.fresh_iterations")
+	mRejected        = expvar.NewInt("fascia.serve.rejected_queries")
+	mPartialResults  = expvar.NewInt("fascia.serve.partial_results")
+	mQueryErrors     = expvar.NewInt("fascia.serve.query_errors")
+	mDrains          = expvar.NewInt("fascia.serve.drains")
+)
+
+// recordLookup folds a cache-lookup outcome into the global gauges.
+func recordLookup(kind HitKind, cached int) {
+	switch kind {
+	case Hit:
+		mCacheHits.Add(1)
+	case PartialHit:
+		mCachePartials.Add(1)
+	case Miss:
+		mCacheMisses.Add(1)
+	}
+	if cached > 0 {
+		mCachedIterInt.Add(int64(cached))
+	}
+}

@@ -1,0 +1,138 @@
+// Package serve is the long-lived counting service behind cmd/fasciad:
+// a graph registry that loads each graph once and shares its CSR across
+// queries, a bounded-queue scheduler with admission control and a global
+// worker budget, a seed-keyed result cache that lets repeated and
+// overlapping queries reuse completed iterations, and an HTTP/JSON front
+// end with graceful drain. See DESIGN.md §7 "Serving".
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	fascia "repro"
+)
+
+// GraphInfo describes a registered graph.
+type GraphInfo struct {
+	// Name is the registry key clients use in queries.
+	Name string `json:"name"`
+	// N and M are the vertex and undirected-edge counts.
+	N int   `json:"n"`
+	M int64 `json:"m"`
+	// Hash is the structural fingerprint of the CSR (adjacency + labels);
+	// it namespaces the result cache so re-uploading a different graph
+	// under the same name can never serve stale counts.
+	Hash uint64 `json:"hash"`
+	// Labeled reports whether the graph carries vertex labels.
+	Labeled bool `json:"labeled"`
+}
+
+type graphEntry struct {
+	info GraphInfo
+	g    *fascia.Graph
+}
+
+// Registry holds named graphs, each loaded once and shared (read-only)
+// across all concurrent queries. Graphs are immutable after Add, so
+// queries never copy the CSR.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*graphEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*graphEntry)}
+}
+
+// Add registers g under name. Re-adding a structurally identical graph
+// (same hash) is an idempotent no-op; re-adding a different graph under
+// an existing name is an error — replacement would silently invalidate
+// every cached result keyed on the old hash, so clients must pick a new
+// name instead.
+func (r *Registry) Add(name string, g *fascia.Graph) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("serve: graph name must be non-empty")
+	}
+	if g == nil || g.N() == 0 {
+		return GraphInfo{}, fmt.Errorf("serve: graph %q is empty", name)
+	}
+	info := GraphInfo{
+		Name:    name,
+		N:       g.N(),
+		M:       g.M(),
+		Hash:    HashGraph(g),
+		Labeled: g.Labels != nil,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.graphs[name]; ok {
+		if old.info.Hash == info.Hash {
+			return old.info, nil
+		}
+		return GraphInfo{}, fmt.Errorf("serve: graph %q already registered with different contents (hash %x vs %x)",
+			name, old.info.Hash, info.Hash)
+	}
+	r.graphs[name] = &graphEntry{info: info, g: g}
+	return info, nil
+}
+
+// Get returns the named graph and its info.
+func (r *Registry) Get(name string) (*fascia.Graph, GraphInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return nil, GraphInfo{}, false
+	}
+	return e.g, e.info, true
+}
+
+// List returns all registered graphs' info, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	out := make([]GraphInfo, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		out = append(out, e.info)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HashGraph returns an FNV-1a fingerprint of the graph's structure: the
+// vertex count, every adjacency list in CSR order, and the labels (with
+// a presence marker so "no labels" differs from "all-zero labels"). Two
+// graphs hash equal iff their CSR representations are identical, which
+// is what the result cache needs — it keys results on this hash so a
+// hit can only come from the same adjacency structure.
+func HashGraph(g *fascia.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	n := g.N()
+	put(uint64(n))
+	for v := int32(0); v < int32(n); v++ {
+		adj := g.Adj(v)
+		put(uint64(len(adj)))
+		for _, u := range adj {
+			put(uint64(uint32(u)))
+		}
+	}
+	if g.Labels == nil {
+		put(0)
+	} else {
+		put(1)
+		for _, l := range g.Labels {
+			put(uint64(uint32(l)))
+		}
+	}
+	return h.Sum64()
+}

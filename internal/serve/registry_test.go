@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"testing"
+
+	fascia "repro"
+)
+
+func TestRegistryAddGet(t *testing.T) {
+	r := NewRegistry()
+	g := fascia.ErdosRenyi(50, 120, 1)
+	info, err := r.Add("web", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "web" || info.N != g.N() || info.M != g.M() || info.Hash == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	got, gotInfo, ok := r.Get("web")
+	if !ok || got != g || gotInfo.Hash != info.Hash {
+		t.Fatalf("Get = %v, %+v, %v", got, gotInfo, ok)
+	}
+	if _, _, ok := r.Get("nope"); ok {
+		t.Fatal("Get of unknown name succeeded")
+	}
+
+	// Re-adding the identical graph is idempotent.
+	if _, err := r.Add("web", fascia.ErdosRenyi(50, 120, 1)); err != nil {
+		t.Fatalf("idempotent re-add: %v", err)
+	}
+	// Re-adding a different graph under the same name is refused: it
+	// would silently invalidate cache entries keyed on the old hash.
+	if _, err := r.Add("web", fascia.ErdosRenyi(50, 120, 2)); err == nil {
+		t.Fatal("conflicting re-add accepted")
+	}
+	// Empty names and empty graphs are refused.
+	if _, err := r.Add("", g); err == nil {
+		t.Fatal("empty name accepted")
+	}
+
+	list := r.List()
+	if len(list) != 1 || list[0].Name != "web" {
+		t.Fatalf("List = %+v", list)
+	}
+}
+
+func TestHashGraphDistinguishes(t *testing.T) {
+	a := fascia.ErdosRenyi(40, 100, 1)
+	b := fascia.ErdosRenyi(40, 100, 2)     // different edges
+	c := fascia.ErdosRenyi(41, 100, 1)     // different size
+	a2 := fascia.ErdosRenyi(40, 100, 1)    // identical rebuild
+	al := fascia.AssignRandomLabels(fascia.ErdosRenyi(40, 100, 1), 3, 9)
+
+	ha := HashGraph(a)
+	if HashGraph(a2) != ha {
+		t.Fatal("identical graphs hash differently")
+	}
+	for name, g := range map[string]*fascia.Graph{"edges": b, "size": c, "labels": al} {
+		if HashGraph(g) == ha {
+			t.Errorf("%s variant collides with base hash", name)
+		}
+	}
+	// Label values matter, not just presence.
+	l1 := fascia.AssignRandomLabels(fascia.ErdosRenyi(40, 100, 1), 3, 10)
+	if HashGraph(al) == HashGraph(l1) {
+		t.Error("different labelings collide")
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull is returned by admit when the bounded wait queue is at
+// capacity; HTTP maps it to 429 with a Retry-After estimate.
+var ErrQueueFull = errors.New("serve: query queue full")
+
+// scheduler owns the service's execution resources: a bounded admission
+// queue in front of a fixed set of run slots, and a global worker budget
+// carved across the slots so concurrent queries can never oversubscribe
+// the machine. Admission is non-blocking (full queue → ErrQueueFull,
+// load-shedding at the door); admitted queries wait — cancellably — for
+// a run slot.
+type scheduler struct {
+	// queue holds one token per admitted-but-not-finished query:
+	// capacity = slots + queueDepth.
+	queue chan struct{}
+	// slots holds the run-slot indices; acquiring one grants the
+	// pre-carved worker budget budgets[slot].
+	slots chan int
+	// budgets[i] is the worker count granted by slot i; the budgets sum
+	// to exactly the global worker budget (divideBudget invariant).
+	budgets []int
+
+	// queued and running gauge current occupancy (for stats and
+	// Retry-After estimation).
+	queued  atomic.Int64
+	running atomic.Int64
+	// avgRunNanos is an EWMA of completed query durations, seeding the
+	// Retry-After estimate.
+	avgRunNanos atomic.Int64
+}
+
+// newScheduler builds a scheduler with the given global worker budget
+// (<= 0 → GOMAXPROCS), concurrent run slots (<= 0 → 2, and never more
+// than the worker budget so every slot gets ≥ 1 worker), and wait-queue
+// depth (< 0 → 0).
+func newScheduler(workerBudget, maxConcurrent, queueDepth int) *scheduler {
+	if workerBudget <= 0 {
+		workerBudget = runtime.GOMAXPROCS(0)
+	}
+	if maxConcurrent <= 0 {
+		maxConcurrent = 2
+	}
+	if maxConcurrent > workerBudget {
+		maxConcurrent = workerBudget
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	s := &scheduler{
+		queue:   make(chan struct{}, maxConcurrent+queueDepth),
+		slots:   make(chan int, maxConcurrent),
+		budgets: divideBudget(workerBudget, maxConcurrent),
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		s.slots <- i
+	}
+	return s
+}
+
+// admit claims a queue token without blocking. On success the caller
+// must eventually call release (normally via done after running).
+func (s *scheduler) admit() error {
+	select {
+	case s.queue <- struct{}{}:
+		s.queued.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// release returns an admission token (without having run — e.g. the
+// query was cancelled while waiting for a slot).
+func (s *scheduler) release() {
+	s.queued.Add(-1)
+	<-s.queue
+}
+
+// acquireSlot blocks until a run slot is free or ctx is done, returning
+// the slot index and its worker budget. The caller must releaseSlot.
+func (s *scheduler) acquireSlot(ctx context.Context) (slot, workers int, err error) {
+	select {
+	case slot = <-s.slots:
+		s.running.Add(1)
+		return slot, s.budgets[slot], nil
+	case <-ctx.Done():
+		return 0, 0, ctx.Err()
+	}
+}
+
+// releaseSlot returns a run slot and folds the query's duration into
+// the EWMA used for Retry-After estimation.
+func (s *scheduler) releaseSlot(slot int, elapsed time.Duration) {
+	old := s.avgRunNanos.Load()
+	if old == 0 {
+		s.avgRunNanos.Store(int64(elapsed))
+	} else {
+		s.avgRunNanos.Store(old - old/4 + int64(elapsed)/4)
+	}
+	s.running.Add(-1)
+	s.slots <- slot
+}
+
+// retryAfter estimates, in whole seconds (minimum 1), how long a
+// rejected client should wait before retrying: the queue length ahead of
+// it times the average query duration, spread over the run slots.
+func (s *scheduler) retryAfter() int {
+	avg := time.Duration(s.avgRunNanos.Load())
+	if avg <= 0 {
+		return 1
+	}
+	waiting := s.queued.Load()
+	est := avg * time.Duration(waiting+1) / time.Duration(cap(s.slots))
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// divideBudget splits total workers across slots run slots with no
+// remainder stranded: every slot gets at least one worker, the shares
+// sum to exactly max(total, slots), and remainder workers go one each to
+// the leading slots. It is the serving-layer sibling of dp.hybridSplit,
+// which taught us the failure mode: a floor-division split (total/slots
+// each) silently under-subscribes every non-divisible budget — 7 workers
+// over 3 slots ran 3×2 = 6 and idled one core. The audit tests in
+// sched_test.go lock the exact-sum invariant for all small budgets.
+func divideBudget(total, slots int) []int {
+	if total < 1 {
+		total = 1
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	out := make([]int, slots)
+	base, rem := total/slots, total%slots
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}

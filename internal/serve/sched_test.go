@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDivideBudget is the worker-pool-division audit: the serving
+// layer's carve-up must never strand budget the way dp's old
+// floor-division hybrid split did (7 workers over 3 slots ran 3×2 = 6).
+// Pinned cases first, then the exhaustive small-budget sweep.
+func TestDivideBudget(t *testing.T) {
+	cases := []struct {
+		total, slots int
+		want         []int
+	}{
+		{7, 3, []int{3, 2, 2}}, // the hybridSplit regression shape
+		{8, 1, []int{8}},
+		{1, 1, []int{1}},
+		{4, 4, []int{1, 1, 1, 1}},
+		{5, 4, []int{2, 1, 1, 1}},
+		{2, 4, []int{1, 1, 1, 1}}, // fewer workers than slots: min 1 each
+		{0, 3, []int{1, 1, 1}},    // degenerate budget clamps to 1
+		{16, 5, []int{4, 3, 3, 3, 3}},
+	}
+	for _, c := range cases {
+		got := divideBudget(c.total, c.slots)
+		if len(got) != len(c.want) {
+			t.Fatalf("divideBudget(%d, %d) = %v, want %v", c.total, c.slots, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("divideBudget(%d, %d) = %v, want %v", c.total, c.slots, got, c.want)
+				break
+			}
+		}
+	}
+
+	// Property sweep: every slot gets >= 1 worker; when the budget
+	// covers the slots the shares sum to exactly the budget (nothing
+	// stranded, nothing oversubscribed); shares are non-increasing so
+	// remainder workers land on the leading slots.
+	for total := 1; total <= 32; total++ {
+		for slots := 1; slots <= 32; slots++ {
+			got := divideBudget(total, slots)
+			if len(got) != slots {
+				t.Fatalf("divideBudget(%d, %d): %d shares", total, slots, len(got))
+			}
+			sum := 0
+			for i, w := range got {
+				if w < 1 {
+					t.Fatalf("divideBudget(%d, %d): zero share in %v", total, slots, got)
+				}
+				if i > 0 && got[i] > got[i-1] {
+					t.Fatalf("divideBudget(%d, %d): shares not non-increasing: %v", total, slots, got)
+				}
+				sum += w
+			}
+			if total >= slots && sum != total {
+				t.Fatalf("divideBudget(%d, %d) = %v sums to %d, want %d", total, slots, got, sum, total)
+			}
+			if total < slots && sum != slots {
+				t.Fatalf("divideBudget(%d, %d) = %v sums to %d, want %d (min 1 each)", total, slots, got, sum, slots)
+			}
+		}
+	}
+}
+
+func TestSchedulerAdmissionBounds(t *testing.T) {
+	s := newScheduler(4, 2, 1) // 2 run slots + 1 waiting = 3 admitted max
+	for i := 0; i < 3; i++ {
+		if err := s.admit(); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	if err := s.admit(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("4th admit = %v, want ErrQueueFull", err)
+	}
+	s.release()
+	if err := s.admit(); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestSchedulerSlotBudgets(t *testing.T) {
+	s := newScheduler(7, 3, 0)
+	ctx := context.Background()
+	seen := map[int]int{}
+	var slots []int
+	for i := 0; i < 3; i++ {
+		slot, workers, err := s.acquireSlot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[slot] = workers
+		slots = append(slots, slot)
+	}
+	total := 0
+	for _, w := range seen {
+		total += w
+	}
+	if len(seen) != 3 || total != 7 {
+		t.Fatalf("slot budgets %v use %d workers, want all 3 slots summing to 7", seen, total)
+	}
+
+	// All slots taken: acquire must block until a slot frees or ctx dies.
+	shortCtx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := s.acquireSlot(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("acquire on full scheduler = %v, want deadline exceeded", err)
+	}
+	s.releaseSlot(slots[0], 10*time.Millisecond)
+	if _, _, err := s.acquireSlot(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestSchedulerConcurrencyCappedByWorkers(t *testing.T) {
+	s := newScheduler(2, 8, 0) // more slots requested than workers
+	if got := cap(s.slots); got != 2 {
+		t.Fatalf("slots = %d, want clamp to worker budget 2", got)
+	}
+}
+
+func TestSchedulerRetryAfter(t *testing.T) {
+	s := newScheduler(2, 2, 4)
+	if got := s.retryAfter(); got < 1 {
+		t.Fatalf("retryAfter with no history = %d, want >= 1", got)
+	}
+	// Feed a 3s average: with an empty queue the estimate is avg/slots,
+	// rounded up; it must stay >= 1 and grow with queue depth.
+	s.avgRunNanos.Store(int64(3 * time.Second))
+	empty := s.retryAfter()
+	if empty < 1 {
+		t.Fatalf("retryAfter = %d, want >= 1", empty)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.admit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if deep := s.retryAfter(); deep < empty {
+		t.Fatalf("retryAfter shrank with queue depth: %d < %d", deep, empty)
+	}
+}

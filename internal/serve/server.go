@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fascia "repro"
+)
+
+// Config sizes a Server. The zero value is usable: GOMAXPROCS workers,
+// 2 run slots, a 16-deep wait queue, a 64 MiB cache, 32-iteration
+// queries bounded to 30 s.
+type Config struct {
+	// WorkerBudget is the global worker-goroutine budget shared by all
+	// concurrent queries (0 = GOMAXPROCS). divideBudget carves it across
+	// the run slots with nothing stranded.
+	WorkerBudget int
+	// MaxConcurrent is the number of queries that may run DP iterations
+	// at once (0 = 2; capped at WorkerBudget).
+	MaxConcurrent int
+	// QueueDepth bounds queries waiting behind the run slots; beyond it,
+	// admission control rejects with 429 + Retry-After (0 = 16, negative
+	// = no waiting room).
+	QueueDepth int
+	// CacheBytes budgets the seed-keyed result cache (0 = 64 MiB).
+	CacheBytes int64
+	// DefaultIterations is used when a query omits iterations (0 = 32).
+	DefaultIterations int
+	// MaxIterations caps per-query iterations (0 = 100000).
+	MaxIterations int
+	// DefaultTimeout bounds queries that omit timeout_ms (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps per-query deadlines (0 = 5m).
+	MaxTimeout time.Duration
+	// MaxUploadBytes caps graph-upload request bodies (0 = 256 MiB).
+	MaxUploadBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.DefaultIterations <= 0 {
+		c.DefaultIterations = 32
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	return c
+}
+
+// Server is the counting service: registry + scheduler + cache behind an
+// http.Handler. Create with New, serve via ServeHTTP, stop with Drain.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *Cache
+	sched    *scheduler
+	mux      *http.ServeMux
+
+	// drainMu orders query admission against drain: queries join the
+	// inflight group under RLock, Drain flips draining under Lock, so no
+	// query can slip in after Drain has begun waiting.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+	// drainCtx is the parent of every query context; Drain cancels it to
+	// flush in-flight queries as partial means.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+
+	queries        atomic.Int64
+	rejected       atomic.Int64
+	partialResults atomic.Int64
+	queryErrors    atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		cache:    NewCache(cfg.CacheBytes),
+		sched:    newScheduler(cfg.WorkerBudget, cfg.MaxConcurrent, cfg.QueueDepth),
+	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	s.mux.HandleFunc("POST /v1/count", s.handleCount)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Registry exposes the graph registry (for preloading graphs at boot).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain performs graceful shutdown of query processing: stop admitting
+// (new queries get 503), cancel every in-flight query via its context —
+// each flushes its partial mean to its client with ctx.Err() semantics —
+// and wait for them to finish, bounded by ctx. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if !already {
+		mDrains.Add(1)
+	}
+	s.drainCancel()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain timed out with queries in flight: %w", ctx.Err())
+	}
+}
+
+// beginQuery joins the in-flight group unless the server is draining.
+func (s *Server) beginQuery() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// Queries counts count-queries that produced a response body
+	// (including partial results); Rejected counts 429s and 503s.
+	Queries        int64 `json:"queries"`
+	Rejected       int64 `json:"rejected"`
+	PartialResults int64 `json:"partial_results"`
+	QueryErrors    int64 `json:"query_errors"`
+	Draining       bool  `json:"draining"`
+	// Queued and Running gauge scheduler occupancy; Slots and QueueCap
+	// are its static limits; WorkerBudgets is the per-slot carve-up.
+	Queued        int64 `json:"queued"`
+	Running       int64 `json:"running"`
+	Slots         int   `json:"slots"`
+	QueueCap      int   `json:"queue_cap"`
+	WorkerBudgets []int `json:"worker_budgets"`
+	// Graphs counts registered graphs; Cache snapshots the result cache.
+	Graphs int        `json:"graphs"`
+	Cache  CacheStats `json:"cache"`
+}
+
+// Stats returns the server's current counters.
+func (s *Server) Stats() Stats {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	return Stats{
+		Queries:        s.queries.Load(),
+		Rejected:       s.rejected.Load(),
+		PartialResults: s.partialResults.Load(),
+		QueryErrors:    s.queryErrors.Load(),
+		Draining:       draining,
+		Queued:         s.sched.queued.Load(),
+		Running:        s.sched.running.Load(),
+		Slots:          cap(s.sched.slots),
+		QueueCap:       cap(s.sched.queue),
+		WorkerBudgets:  append([]int(nil), s.sched.budgets...),
+		Graphs:         len(s.registry.List()),
+		Cache:          s.cache.Stats(),
+	}
+}
+
+// CountRequest is the body of POST /v1/count.
+type CountRequest struct {
+	// Graph names a registered graph.
+	Graph string `json:"graph"`
+	// Template is a compact edge-list spec such as "0-1 1-2 1-3".
+	Template string `json:"template"`
+	// TemplateLabels optionally labels the template's vertices (requires
+	// a labeled graph).
+	TemplateLabels []int32 `json:"template_labels,omitempty"`
+	// Iterations is the number of color-coding iterations (0 = server
+	// default). Overlapping queries share work: with the same seed, a
+	// larger request on top of a cached smaller one computes only the
+	// residual iterations.
+	Iterations int `json:"iterations,omitempty"`
+	// Seed bases the coloring seed stream; iteration i colors with
+	// Seed+i.
+	Seed int64 `json:"seed,omitempty"`
+	// Colors overrides the color count (0 = template size).
+	Colors int `json:"colors,omitempty"`
+	// TimeoutMillis bounds this query; on expiry the partial mean over
+	// completed iterations is returned with partial=true (0 = server
+	// default; capped at the server max).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this query (it neither reads
+	// nor extends entries).
+	NoCache bool `json:"no_cache,omitempty"`
+	// PerIteration includes the per-iteration estimates in the response.
+	PerIteration bool `json:"per_iteration,omitempty"`
+}
+
+// CountResponse is the body of a successful (possibly partial) count.
+type CountResponse struct {
+	Graph    string  `json:"graph"`
+	Template string  `json:"template"`
+	Count    float64 `json:"count"`
+	StdErr   float64 `json:"std_err"`
+	// Iterations is the total behind Count; CachedIterations of them
+	// came from the seed-keyed cache, the rest were computed now.
+	Iterations       int `json:"iterations"`
+	CachedIterations int `json:"cached_iterations"`
+	// Cache is "hit", "partial", "miss", or "bypass".
+	Cache string `json:"cache"`
+	// Partial marks a query cut short by its deadline or a server drain;
+	// Count is then the mean over the iterations that completed and
+	// Error carries the context error.
+	Partial       bool      `json:"partial,omitempty"`
+	Error         string    `json:"error,omitempty"`
+	ElapsedMillis float64   `json:"elapsed_ms"`
+	PerIteration  []float64 `json:"per_iteration,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.registry.List()) //nolint:errcheck
+}
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "missing ?name=")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	g, err := fascia.ReadGraph(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse edge list: %v", err)
+		return
+	}
+	info, err := s.registry.Add(name, g)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(info) //nolint:errcheck
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats()) //nolint:errcheck
+}
+
+// handleCount is the query path: validate → cache fast path → admission
+// control → run-slot wait → residual DP run → cache extend → respond.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	if !s.beginQuery() {
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.inflight.Done()
+	start := time.Now()
+
+	var req CountRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	g, info, ok := s.registry.Get(req.Graph)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+		return
+	}
+	tr, err := fascia.ParseTemplate("query", req.Template)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse template: %v", err)
+		return
+	}
+	if req.TemplateLabels != nil {
+		if g.Labels == nil {
+			httpError(w, http.StatusBadRequest, "labeled template requires a labeled graph; %q is unlabeled", req.Graph)
+			return
+		}
+		tr, err = tr.WithLabels("query", req.TemplateLabels)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "template labels: %v", err)
+			return
+		}
+	}
+	iters := req.Iterations
+	if iters == 0 {
+		iters = s.cfg.DefaultIterations
+	}
+	if iters < 1 || iters > s.cfg.MaxIterations {
+		httpError(w, http.StatusBadRequest, "iterations %d out of range [1, %d]", iters, s.cfg.MaxIterations)
+		return
+	}
+	if req.Colors < 0 || req.Colors > 64 || (req.Colors > 0 && req.Colors < tr.K()) {
+		httpError(w, http.StatusBadRequest, "colors %d invalid for a %d-vertex template (want 0 or %d..64)", req.Colors, tr.K(), tr.K())
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	opt := fascia.DefaultOptions().WithSeed(req.Seed)
+	opt.Colors = req.Colors
+	key := CacheKey{
+		GraphHash: info.Hash,
+		Template:  tr.CanonicalFree(),
+		Options:   opt.Fingerprint(),
+		Seed:      req.Seed,
+	}
+
+	// Cache fast path: a fully covered query is answered without
+	// touching the scheduler at all, so hits stay cheap under load.
+	kind := HitKind(-1) // bypass
+	var prior []float64
+	if !req.NoCache {
+		prior, kind = s.cache.Lookup(key, iters)
+		recordLookup(kind, len(prior))
+	}
+	if kind == Hit {
+		res := fascia.MergeIterations(prior, fascia.Result{})
+		s.respondCount(w, req, key, res, kind, nil, start)
+		return
+	}
+
+	// Admission control: bounded waiting room, 429 + Retry-After beyond.
+	if err := s.sched.admit(); err != nil {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.retryAfter()))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	defer s.sched.release()
+
+	// Query context: client disconnect + server drain + per-query
+	// deadline all cancel the DP run, which flushes its partial mean.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopDrainWatch := context.AfterFunc(s.drainCtx, cancel)
+	defer stopDrainWatch()
+	ctx, cancelTimeout := context.WithTimeout(ctx, timeout)
+	defer cancelTimeout()
+
+	slot, workers, err := s.sched.acquireSlot(ctx)
+	if err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
+		return
+	}
+	defer func() { s.sched.releaseSlot(slot, time.Since(start)) }()
+
+	// Residual run: iteration i of a run colors with Seed+i, so a run
+	// based at Seed+len(prior) computes exactly the estimates the cache
+	// is missing, and the merge is bit-identical to a from-scratch run.
+	runOpt := opt.WithSeed(req.Seed + int64(len(prior))).
+		WithIterations(iters - len(prior)).
+		WithThreads(workers)
+	res, runErr := fascia.CountContext(ctx, g, tr, runOpt)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+		s.queryErrors.Add(1)
+		httpError(w, http.StatusInternalServerError, "count: %v", runErr)
+		return
+	}
+	mFreshIterations.Add(int64(len(res.PerIteration)))
+	merged := fascia.MergeIterations(prior, res)
+	if runErr == nil && !req.NoCache {
+		// Only complete runs extend the cache: a cancelled run's
+		// completed set may be a non-contiguous subset of the seed range
+		// under outer parallelism, and cache entries must be exact
+		// prefixes of the seed stream.
+		s.cache.Extend(key, merged.PerIteration)
+	}
+	s.respondCount(w, req, key, merged, kind, runErr, start)
+}
+
+// respondCount writes the 200 response for a served query (complete or
+// partial).
+func (s *Server) respondCount(w http.ResponseWriter, req CountRequest, key CacheKey, res fascia.Result, kind HitKind, runErr error, start time.Time) {
+	s.queries.Add(1)
+	mQueries.Add(1)
+	resp := CountResponse{
+		Graph:            req.Graph,
+		Template:         key.Template,
+		Count:            res.Count,
+		StdErr:           res.StdErr,
+		Iterations:       res.Iterations,
+		CachedIterations: res.Stats.CachedIterations,
+		Cache:            "bypass",
+		ElapsedMillis:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if kind >= Miss {
+		resp.Cache = kind.String()
+	}
+	if runErr != nil {
+		resp.Partial = true
+		resp.Error = runErr.Error()
+		s.partialResults.Add(1)
+		mPartialResults.Add(1)
+	}
+	if req.PerIteration {
+		resp.PerIteration = res.PerIteration
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}

@@ -1,6 +1,7 @@
 package tmpl
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -69,6 +70,53 @@ func TestParse(t *testing.T) {
 		if _, err := Parse("p", bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseRejectsHostileSpecs pins the rejection behavior for the
+// template strings the serve query path can receive over the wire:
+// every spec here must return an error — never panic, never be
+// silently repaired into a valid tree. Each was first added as a fuzz
+// seed; this test keeps the contract even when fuzzing is skipped.
+func TestParseRejectsHostileSpecs(t *testing.T) {
+	hostile := []struct {
+		name, spec string
+	}{
+		{"duplicate edge", "0-1 0-1"},
+		{"reversed duplicate", "0-1 1-0"},
+		{"negative id", "-1-2"},
+		{"overflowing id", "0-99999999999999999999"},
+		{"self-loop with context", "0-1 1-1"},
+		{"disconnected pair", "0-1 2-3"},
+		{"unicode dash", "0–1"},
+		{"arabic digits", "٠-١"},
+	}
+	for _, h := range hostile {
+		if tr, err := Parse("h", h.spec); err == nil {
+			t.Errorf("Parse accepted %s %q: %v", h.name, h.spec, tr)
+		}
+	}
+	// A 65-vertex path exceeds the 64-color ceiling and must be refused.
+	var b strings.Builder
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d-%d", i, i+1)
+	}
+	if _, err := Parse("long", b.String()); err == nil {
+		t.Error("Parse accepted a 65-vertex path (above the 64-color ceiling)")
+	}
+	// The 64-vertex path is the boundary and must still parse.
+	var ok strings.Builder
+	for i := 0; i < 63; i++ {
+		if i > 0 {
+			ok.WriteByte(' ')
+		}
+		fmt.Fprintf(&ok, "%d-%d", i, i+1)
+	}
+	if tr, err := Parse("max", ok.String()); err != nil || tr.K() != 64 {
+		t.Errorf("64-vertex path: %v, %v", tr, err)
 	}
 }
 

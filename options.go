@@ -315,6 +315,27 @@ func (o Options) WithOnIteration(fn func(i int, estimate float64, elapsed time.D
 	return o
 }
 
+// Fingerprint returns a stable, human-readable key for the
+// result-relevant options: two Options with equal fingerprints produce
+// bit-identical per-iteration estimates for equal (graph, template,
+// seed) inputs, so the fingerprint is safe to use as a result-cache key
+// component (fasciad's seed-keyed cache keys on it).
+//
+// Only knobs that can change the floating-point estimate stream
+// participate: Colors (changes the colorful probability and the
+// coloring stream), Partition and ShareSubtemplates (change the
+// partition tree and hence summation order), and RootVertex (changes
+// the DP root). Execution knobs that are property-tested bit-identical
+// — Table, Kernel, Batch, Parallel, Threads, DisableLeafSpecial — and
+// lifecycle knobs (Iterations, Seed, Timeout, KeepTables, OnIteration,
+// Epsilon/Delta) are deliberately excluded so they do not fragment a
+// cache. The leading version tag must be bumped if estimate semantics
+// ever change.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("v1|c=%d|part=%s|share=%t|root=%d",
+		o.Colors, o.Partition, o.ShareSubtemplates, o.RootVertex)
+}
+
 // iterations resolves the iteration count.
 func (o Options) iterations(templateK int) int {
 	if o.Iterations > 0 {
