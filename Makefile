@@ -1,5 +1,5 @@
 # Developer entry points. `make ci` is the tier-1+ verification gate:
-# vet, build, full tests, race coverage of the concurrent packages
+# fasciavet lint, vet, build, full tests, race coverage of the concurrent packages
 # (including the cancellation tests, which exercise mid-run aborts in
 # every parallel mode), the oracle-differential harness under -race,
 # the metrics-endpoint and fasciad serve smoke tests, a fuzz smoke pass
@@ -10,9 +10,18 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci vet build test race race-cancel difftest fuzz-smoke serve-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-batch-full
+.PHONY: ci lint vet build test race race-cancel difftest fuzz-smoke serve-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-batch-full
 
-ci: vet build test race race-cancel difftest metrics-smoke serve-smoke cover-serve fuzz-smoke bench-smoke bench-batch
+ci: lint vet build test race race-cancel difftest metrics-smoke serve-smoke cover-serve fuzz-smoke bench-smoke bench-batch
+
+# fasciavet, the project-specific static analyzer (determinism-critical
+# map iteration, cancellation polling, fingerprint/cache-key coverage,
+# CSR immutability, guarded-by mutex discipline — see DESIGN.md §8),
+# plus gofmt cleanliness. Any finding fails the build; suppressions
+# require an inline reason (//lint:<analyzer> ok — <reason>).
+lint:
+	$(GO) run ./cmd/fasciavet ./...
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "lint: gofmt needed on:"; echo "$$fmt"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -6,11 +6,13 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"time"
 
 	fascia "repro"
@@ -81,6 +83,13 @@ func startMetrics(addr string) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	go func() {
+		// Serve always returns on shutdown; only unexpected errors (a
+		// dying listener, not the Close we trigger ourselves) are worth
+		// reporting.
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintf(os.Stderr, "fascia: metrics server: %v\n", err)
+		}
+	}()
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

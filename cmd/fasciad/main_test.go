@@ -116,7 +116,9 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var vars bytes.Buffer
-	vars.ReadFrom(resp.Body) //nolint:errcheck
+	if _, err := vars.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read /debug/vars body: %v", err)
+	}
 	resp.Body.Close()
 	if !bytes.Contains(vars.Bytes(), []byte("fascia.serve.cache_hits")) {
 		t.Fatal("/debug/vars missing fascia.serve.* gauges")

@@ -1,0 +1,92 @@
+package fascia
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mutateField perturbs one Options field away from its current value,
+// returning false for kinds the test does not know how to mutate (a new
+// field of a new kind must teach this helper before it can ship).
+func mutateField(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1.5)
+	case reflect.Func:
+		v.Set(reflect.MakeFunc(v.Type(), func([]reflect.Value) []reflect.Value { return nil }))
+	default:
+		return false
+	}
+	return true
+}
+
+// TestFingerprintCoversAllOptions is the runtime twin of fasciavet's
+// fingerprintcover analyzer: it re-checks via reflection that every
+// Options field is classified in exactly one of the three in-source
+// lists, and then proves the classification is behaviorally true —
+// mutating a result-relevant field changes Fingerprint(), mutating an
+// execution-only or lifecycle field does not. The static analyzer pins
+// the source-level contract (lists vs struct vs Fingerprint body); this
+// test pins the runtime one, so the cache-key invariant holds even when
+// fasciavet is skipped.
+func TestFingerprintCoversAllOptions(t *testing.T) {
+	typ := reflect.TypeOf(Options{})
+
+	lists := []struct {
+		name  string
+		names []string
+	}{
+		{"fingerprintResultFields", fingerprintResultFields},
+		{"fingerprintExecutionOnly", fingerprintExecutionOnly},
+		{"fingerprintLifecycle", fingerprintLifecycle},
+	}
+	class := map[string]string{}
+	for _, l := range lists {
+		for _, n := range l.names {
+			if prev, dup := class[n]; dup {
+				t.Errorf("Options field %q classified in both %s and %s", n, prev, l.name)
+				continue
+			}
+			class[n] = l.name
+			if _, ok := typ.FieldByName(n); !ok {
+				t.Errorf("%s names %q, which is not a field of Options (stale entry)", l.name, n)
+			}
+		}
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Anonymous {
+			t.Errorf("embedded field %s in Options cannot be classified; name it explicitly", f.Name)
+			continue
+		}
+		if _, ok := class[f.Name]; !ok {
+			t.Errorf("Options field %q is not classified as result-relevant, execution-only, or lifecycle", f.Name)
+		}
+	}
+
+	base := DefaultOptions()
+	baseFP := base.Fingerprint()
+	if again := DefaultOptions().Fingerprint(); again != baseFP {
+		t.Fatalf("Fingerprint is not deterministic: %q vs %q", baseFP, again)
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		o := DefaultOptions()
+		if !mutateField(reflect.ValueOf(&o).Elem().Field(i)) {
+			t.Errorf("don't know how to mutate Options field %s (%s); teach mutateField so the twin test keeps covering it", f.Name, f.Type)
+			continue
+		}
+		changed := o.Fingerprint() != baseFP
+		wantChange := class[f.Name] == "fingerprintResultFields"
+		switch {
+		case wantChange && !changed:
+			t.Errorf("Options field %s is declared result-relevant but mutating it does not change Fingerprint(); the cache would conflate distinct queries", f.Name)
+		case !wantChange && changed:
+			t.Errorf("Options field %s is declared %s but mutating it changes Fingerprint() (%q -> %q); either reclassify it or the cache will fragment", f.Name, class[f.Name], baseFP, o.Fingerprint())
+		}
+	}
+}

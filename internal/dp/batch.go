@@ -153,6 +153,7 @@ func (st *batchState) run() {
 
 func (st *batchState) abort() {
 	st.aborted = true
+	//lint:maporder ok — release-only loop on an aborted batch: the stats it folds are commutative integer sums
 	for n, tab := range st.tabs {
 		st.rowsReleased += tab.Rows()
 		st.tablesReleased++

@@ -171,6 +171,7 @@ func (st *iterState) run() float64 {
 // iteration as discarded.
 func (st *iterState) abort() {
 	st.aborted = true
+	//lint:maporder ok — release-only loop on an aborted iteration: the stats it folds are commutative integer sums
 	for n, tab := range st.tabs {
 		st.rowsReleased += tab.Rows()
 		st.tablesReleased++

@@ -264,6 +264,7 @@ func (e *Engine) Reseed(seed int64) { e.cfg.Seed = seed }
 // storage (and the kept color vector) to the engine arena before a
 // re-run replaces them.
 func (e *Engine) ReleaseKept() {
+	//lint:maporder ok — release-only loop: table teardown order cannot affect any estimate
 	for _, tab := range e.kept {
 		tab.Release()
 	}
@@ -310,11 +311,17 @@ func (e *Engine) VertexCountsContext(ctx context.Context, iters int) ([]float64,
 			break
 		}
 		root := st.tabs[e.tree.Root]
+		// Aborting inside this fold would leave acc holding a partial
+		// iteration that the done-count rescale below cannot see, so the
+		// read-only O(n) walk runs to completion; cancellation is polled
+		// at the iteration boundary above and per vertex inside st.run().
+		//lint:ctxpoll ok — read-only fold of a completed iteration; breaking mid-fold would corrupt the partial mean
 		for v := int32(0); v < int32(n); v++ {
 			if root.Has(v) {
 				acc[v] += root.SumRow(v) * scale
 			}
 		}
+		//lint:maporder ok — release-only loop: table teardown order cannot affect any estimate
 		for _, tab := range st.tabs {
 			tab.Release()
 		}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// csrOwnerPkgs may legitimately construct and mutate CSR storage.
+var csrOwnerPkgs = []string{"internal/graph", "internal/gen"}
+
+// CSRMut guards the registry's shared-graph contract: once a graph is
+// registered with fasciad it is served read-only to every concurrent
+// query, so its CSR storage must never be written outside the packages
+// that build graphs (internal/graph, internal/gen). The CSR's offsets
+// and adjacency slices are unexported (the compiler already walls them
+// off), which leaves two mutation surfaces for the rest of the tree:
+//
+//   - the slice returned by (*graph.Graph).Adj(v), which aliases the
+//     adjacency storage, and
+//   - the exported Labels slice (elements or the header itself).
+//
+// The analyzer flags assignments, ++/--, and copy() targets through
+// either surface, including through single-assignment local aliases
+// (a := g.Adj(v); a[0] = x). Deeper aliasing (passing the slice to a
+// function that writes it) is out of scope and covered by the runtime
+// race/differential tests.
+var CSRMut = &Analyzer{
+	Name: "csrmut",
+	Doc:  "write to shared CSR storage (Adj(v) slice or Labels) outside internal/graph and internal/gen",
+	Run:  runCSRMut,
+}
+
+func runCSRMut(pass *Pass) {
+	for _, owner := range csrOwnerPkgs {
+		if pathHasSuffix(pass.Pkg.Path, owner) {
+			return
+		}
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCSRFunc(pass, fd.Body, info)
+		}
+	}
+}
+
+func checkCSRFunc(pass *Pass, body *ast.BlockStmt, info *types.Info) {
+	// Pass 1: taint local variables directly bound to CSR storage
+	// (a := g.Adj(v), ls := g.Labels, including slicings thereof).
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; { // fixpoint for alias-of-alias chains
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !isCSRSource(rhs, info, tainted) {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag writes through CSR storage.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if ref, ok := csrWriteTarget(lhs, info, tainted); ok {
+					pass.Reportf(lhs.Pos(),
+						"write to shared CSR storage %s outside internal/graph and internal/gen; registered graphs are immutable and shared across concurrent queries — build a new graph instead",
+						ref)
+				}
+			}
+		case *ast.IncDecStmt:
+			if ref, ok := csrWriteTarget(st.X, info, tainted); ok {
+				pass.Reportf(st.X.Pos(),
+					"write to shared CSR storage %s outside internal/graph and internal/gen; registered graphs are immutable and shared across concurrent queries — build a new graph instead",
+					ref)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "copy" && len(st.Args) == 2 {
+				if isCSRSource(st.Args[0], info, tainted) {
+					pass.Reportf(st.Args[0].Pos(),
+						"copy into shared CSR storage %s outside internal/graph and internal/gen; registered graphs are immutable and shared across concurrent queries",
+						exprString(st.Args[0]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// csrWriteTarget reports whether lhs writes into CSR storage and
+// renders the offending reference. Element writes go through an index
+// or slice of a CSR source; header writes assign g.Labels itself.
+func csrWriteTarget(lhs ast.Expr, info *types.Info, tainted map[types.Object]bool) (string, bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if isCSRSource(e.X, info, tainted) {
+			return exprString(e), true
+		}
+	case *ast.SliceExpr:
+		if isCSRSource(e.X, info, tainted) {
+			return exprString(e), true
+		}
+	case *ast.SelectorExpr:
+		if isGraphLabels(e, info) {
+			return exprString(e), true
+		}
+	}
+	return "", false
+}
+
+// isCSRSource reports whether the expression evaluates to a slice that
+// aliases CSR storage: g.Adj(v), g.Labels, a slicing of either, or a
+// tainted local alias.
+func isCSRSource(e ast.Expr, info *types.Info, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Adj" {
+			return isGraphSelection(sel, info, "Adj")
+		}
+	case *ast.SelectorExpr:
+		return isGraphLabels(e, info)
+	case *ast.SliceExpr:
+		return isCSRSource(e.X, info, tainted)
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && tainted[obj]
+	}
+	return false
+}
+
+func isGraphLabels(sel *ast.SelectorExpr, info *types.Info) bool {
+	return sel.Sel.Name == "Labels" && isGraphSelection(sel, info, "Labels")
+}
+
+// isGraphSelection reports whether sel selects the named field/method
+// of internal/graph's Graph type (directly or through embedding).
+func isGraphSelection(sel *ast.SelectorExpr, info *types.Info, name string) bool {
+	if s, ok := info.Selections[sel]; ok && s != nil {
+		obj := s.Obj()
+		return obj != nil && obj.Name() == name && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/graph")
+	}
+	// Fallback (partial type info): match on the receiver's named type.
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Graph" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/graph")
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// FingerprintCover protects fasciad's seed-keyed result cache from ever
+// keying incorrectly. The cache assumes Options.Fingerprint() covers
+// every option knob that can change the floating-point estimate stream;
+// an option added without classification could let two semantically
+// different queries share a cache entry and serve a wrong count.
+//
+// The analyzer runs on any package that declares a struct type named
+// Options with a Fingerprint method (in this module: the root package's
+// options.go) and cross-checks three things:
+//
+//  1. every field of Options appears in exactly one of the in-source
+//     classification lists fingerprintResultFields,
+//     fingerprintExecutionOnly, or fingerprintLifecycle;
+//  2. the set of fields actually read inside Fingerprint() equals
+//     fingerprintResultFields (the declared result-relevant set); and
+//  3. the Sprintf format verb count matches its argument count.
+//
+// The reflect-based runtime twin (TestFingerprintCoversAllOptions in
+// the root package) re-checks (1) and additionally proves each
+// result-relevant field perturbs the fingerprint while allowlisted
+// fields do not, so the invariant holds even when fasciavet is skipped.
+var FingerprintCover = &Analyzer{
+	Name: "fingerprintcover",
+	Doc:  "Options field not classified as fingerprinted, execution-only, or lifecycle (cache could key incorrectly)",
+	Run:  runFingerprintCover,
+}
+
+const (
+	resultListName    = "fingerprintResultFields"
+	execOnlyListName  = "fingerprintExecutionOnly"
+	lifecycleListName = "fingerprintLifecycle"
+)
+
+func runFingerprintCover(pass *Pass) {
+	var optionsSpec *ast.TypeSpec
+	var optionsStruct *ast.StructType
+	var fingerprint *ast.FuncDecl
+	lists := map[string]*ast.CompositeLit{}
+	listPos := map[string]ast.Node{}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.Name == "Options" {
+							if st, ok := s.Type.(*ast.StructType); ok {
+								optionsSpec, optionsStruct = s, st
+							}
+						}
+					case *ast.ValueSpec:
+						for i, name := range s.Names {
+							switch name.Name {
+							case resultListName, execOnlyListName, lifecycleListName:
+								if i < len(s.Values) {
+									if cl, ok := s.Values[i].(*ast.CompositeLit); ok {
+										lists[name.Name] = cl
+										listPos[name.Name] = name
+									}
+								}
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "Fingerprint" && d.Recv != nil && recvTypeName(d) == "Options" {
+					fingerprint = d
+				}
+			}
+		}
+	}
+	if optionsStruct == nil {
+		return // package does not define an Options struct: not in scope
+	}
+	if fingerprint == nil {
+		return // Options without Fingerprint: nothing keyed on it
+	}
+
+	// Collect the struct's field names (position-carrying).
+	var fields []fieldAt
+	for _, fl := range optionsStruct.Fields.List {
+		if len(fl.Names) == 0 {
+			pass.Reportf(fl.Pos(), "embedded field in Options cannot be classified; name it explicitly")
+			continue
+		}
+		for _, n := range fl.Names {
+			fields = append(fields, fieldAt{n.Name, n})
+		}
+	}
+
+	// Resolve the three classification lists.
+	classified := map[string]string{} // field -> list name
+	for _, listName := range []string{resultListName, execOnlyListName, lifecycleListName} {
+		cl, ok := lists[listName]
+		if !ok {
+			pass.Reportf(optionsSpec.Pos(),
+				"missing classification list %s ([]string of Options field names) next to Options; every field must be declared result-relevant, execution-only, or lifecycle", listName)
+			continue
+		}
+		for _, el := range cl.Elts {
+			lit, ok := el.(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(el.Pos(), "%s entries must be string literals", listName)
+				continue
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				pass.Reportf(el.Pos(), "%s entry %s is not a valid string literal", listName, lit.Value)
+				continue
+			}
+			if !fieldExists(fields, name) {
+				pass.Reportf(el.Pos(), "%s names %q, which is not a field of Options (stale entry?)", listName, name)
+				continue
+			}
+			if prev, dup := classified[name]; dup {
+				pass.Reportf(el.Pos(), "Options field %q classified twice (%s and %s); a field is either result-relevant, execution-only, or lifecycle", name, prev, listName)
+				continue
+			}
+			classified[name] = listName
+		}
+	}
+
+	// Every field must be classified somewhere.
+	for _, f := range fields {
+		if _, ok := classified[f.name]; !ok {
+			pass.Reportf(f.pos.Pos(),
+				"Options field %q is not classified: add it to Fingerprint() and %s if it can change the estimate stream, or to %s/%s if it provably cannot (fasciad's cache soundness depends on this)",
+				f.name, resultListName, execOnlyListName, lifecycleListName)
+		}
+	}
+
+	// Fields actually read in Fingerprint() must equal the declared
+	// result-relevant set.
+	read := fingerprintReads(fingerprint)
+	for _, f := range fields {
+		inList := classified[f.name] == resultListName
+		_, inBody := read[f.name]
+		switch {
+		case inList && !inBody:
+			pass.Reportf(listNodePos(listPos, fingerprint), "field %q is declared result-relevant in %s but never read inside Fingerprint(); the fingerprint would not distinguish it", f.name, resultListName)
+		case !inList && inBody:
+			pass.Reportf(read[f.name].Pos(), "Fingerprint() reads field %q, which is not declared in %s; declare it so the runtime twin test covers it", f.name, resultListName)
+		}
+	}
+
+	checkFormatArity(pass, fingerprint)
+}
+
+// fieldAt is an Options field name with its declaration site.
+type fieldAt struct {
+	name string
+	pos  ast.Node
+}
+
+func listNodePos(listPos map[string]ast.Node, fallback *ast.FuncDecl) token.Pos {
+	if n, ok := listPos[resultListName]; ok {
+		return n.Pos()
+	}
+	return fallback.Pos()
+}
+
+func fieldExists(fields []fieldAt, name string) bool {
+	for _, f := range fields {
+		if f.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// fingerprintReads collects the receiver fields read anywhere in the
+// Fingerprint body (o.Colors, o.Partition, …).
+func fingerprintReads(fd *ast.FuncDecl) map[string]*ast.SelectorExpr {
+	recv := ""
+	if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	out := map[string]*ast.SelectorExpr{}
+	if recv == "" || fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			out[sel.Sel.Name] = sel
+		}
+		return true
+	})
+	return out
+}
+
+// checkFormatArity verifies each Sprintf-style call in Fingerprint has
+// as many format verbs as trailing arguments, so a newly fingerprinted
+// field cannot silently fall off the format string.
+func checkFormatArity(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		name := calleeName(call)
+		if name != "Sprintf" && name != "Fprintf" && name != "Printf" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs := countVerbs(format)
+		args := len(call.Args) - 1
+		if verbs != args {
+			pass.Reportf(call.Pos(), "Fingerprint format string has %d verbs but %d arguments; a fingerprinted field is being dropped or duplicated", verbs, args)
+		}
+		return true
+	})
+}
+
+// countVerbs counts printf verbs in a format string, ignoring %%.
+func countVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if i+1 < len(format) && format[i+1] == '%' {
+			i++
+			continue
+		}
+		// Skip flags/width/precision up to the verb character.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.*[]", rune(format[j])) {
+			j++
+		}
+		if j < len(format) {
+			n++
+			i = j
+		}
+	}
+	return n
+}

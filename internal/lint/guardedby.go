@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces mutex discipline declared in the source: a struct
+// field whose doc or line comment contains "guarded by <mu>" may only
+// be touched inside functions that lexically take that lock. A function
+// satisfies the analyzer when it
+//
+//   - calls <mu>.Lock() or <mu>.RLock() somewhere in its body (the
+//     usual lock/defer-unlock shape),
+//   - is a constructor (it builds the owning struct with a composite
+//     literal, so nothing else can hold a reference yet),
+//   - is named with a Locked suffix, or documents "caller holds <mu>"
+//     (the helper-under-lock convention, e.g. Cache.evict), or
+//   - carries a //lint:guardedby suppression with a reason.
+//
+// The check is lexical, not a happens-before proof — the race detector
+// still owns the deep end — but it catches the classic regression where
+// a new accessor forgets the lock entirely, which -race only sees if a
+// test happens to race it. internal/serve's cache, registry, and drain
+// state carry these annotations today.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "access to a '// guarded by <mu>' field in a function that never takes that lock",
+	Run:  runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+var callerHoldsRe = regexp.MustCompile(`(?i)caller\s+(must\s+)?(already\s+)?holds?\b`)
+
+// guardedField records one annotated field.
+type guardedField struct {
+	guard string       // mutex field name, e.g. "mu" or "drainMu"
+	owner *types.Named // the struct's named type, when resolvable
+}
+
+func runGuardedBy(pass *Pass) {
+	info := pass.Pkg.Info
+	guarded := map[types.Object]guardedField{} // field object -> guard
+
+	// Pass 1: collect annotated fields from every struct declaration.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var owner *types.Named
+			if obj := info.Defs[ts.Name]; obj != nil {
+				if named, ok := obj.Type().(*types.Named); ok {
+					owner = named
+				}
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guarded[obj] = guardedField{guard: guard, owner: owner}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: check accesses function by function.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locked := lockedMutexNames(fd.Body)
+			callerHolds := docDeclaresCallerHolds(fd)
+			isLockedHelper := strings.HasSuffix(fd.Name.Name, "Locked")
+			constructed := constructedTypes(fd.Body, info)
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				gf, ok := guarded[obj]
+				if !ok {
+					return true
+				}
+				if locked[gf.guard] || isLockedHelper {
+					return true
+				}
+				if callerHolds != "" && strings.Contains(callerHolds, gf.guard) {
+					return true
+				}
+				if gf.owner != nil && constructed[gf.owner] {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"access to %s (guarded by %s) in %s, which never locks %s; take the lock, add a Locked suffix / 'caller holds %s' doc for helpers called under it, or suppress with a reason",
+					fieldRef(gf, obj), gf.guard, fd.Name.Name, gf.guard, gf.guard)
+				return true
+			})
+		}
+	}
+}
+
+func fieldRef(gf guardedField, obj types.Object) string {
+	if gf.owner != nil {
+		return gf.owner.Obj().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "" when unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexNames collects the terminal field names on which .Lock()
+// or .RLock() is called anywhere in the body (c.mu.Lock() -> "mu").
+func lockedMutexNames(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			out[recv.Sel.Name] = true
+		case *ast.Ident:
+			out[recv.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// docDeclaresCallerHolds returns the function's doc text when it
+// documents a caller-holds-the-lock contract, else "".
+func docDeclaresCallerHolds(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	text := fd.Doc.Text()
+	if callerHoldsRe.MatchString(text) {
+		return text
+	}
+	return ""
+}
+
+// constructedTypes collects named struct types built with a composite
+// literal in this function — the constructor exemption: until the value
+// escapes, no lock can be needed.
+func constructedTypes(body *ast.BlockStmt, info *types.Info) map[*types.Named]bool {
+	out := map[*types.Named]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[cl]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			out[named] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,234 @@
+// Package lint is fasciavet's analysis engine: a stdlib-only static
+// analyzer (go/parser + go/types, no x/tools) that mechanizes the
+// invariants FASCIA's runtime tests establish — deterministic summation
+// order, sub-100ms cancellation, cache-key completeness, CSR
+// immutability, and mutex discipline — so a violation fails `make lint`
+// the moment it is written instead of the night a cache serves a wrong
+// count. See DESIGN.md §8 "Static analysis".
+//
+// Findings are suppressed with a mandatory-reason comment on the
+// offending line or the line above:
+//
+//	//lint:<analyzer> ok — <reason>
+//
+// A suppression without a reason, or naming an unknown analyzer, is
+// itself a diagnostic: justifications are part of the contract.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printable as file:line:col: analyzer: msg.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one project-specific check.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the fasciavet analyzer suite.
+var All = []*Analyzer{MapOrder, CtxPoll, FingerprintCover, CSRMut, GuardedBy}
+
+// Run applies the analyzers to every package, resolves suppression
+// comments (dropping suppressed findings, reporting malformed or unknown
+// suppressions), and returns the surviving diagnostics sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup, supDiags := collectSuppressions(pkg, known)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, Analyzer: a, diags: &raw}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !sup.covers(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, supDiags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions maps file -> comment line -> analyzer names suppressed
+// there. A suppression on line L covers findings on L (trailing comment)
+// and L+1 (comment on its own line above the statement).
+type suppressions struct {
+	byFile map[string]map[int]map[string]bool
+}
+
+func (s *suppressions) covers(file string, line int, analyzer string) bool {
+	lines := s.byFile[file]
+	if lines == nil {
+		return false
+	}
+	return lines[line][analyzer] || lines[line-1][analyzer]
+}
+
+// suppressPrefix introduces a suppression comment. The full syntax is
+// the prefix, an analyzer name, the word "ok", a dash, and a
+// non-empty reason.
+const suppressPrefix = "lint:"
+
+// collectSuppressions scans every comment in the package for
+// suppression directives. Well-formed directives are indexed;
+// malformed ones (missing reason, unknown analyzer) become diagnostics
+// — an unexplained suppression is as much a finding as the thing it
+// hides.
+func collectSuppressions(pkg *Package, known map[string]bool) (*suppressions, []Diagnostic) {
+	sup := &suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "suppress",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, suppressPrefix)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				name = strings.TrimSpace(name)
+				if !known[name] {
+					report(c.Pos(), "suppression names unknown analyzer %q (known: maporder, ctxpoll, fingerprintcover, csrmut, guardedby)", name)
+					continue
+				}
+				if !validSuppressionTail(reason) {
+					report(c.Pos(), "malformed suppression for %q: want //%s%s ok — <reason> (the reason is mandatory)", name, suppressPrefix, name)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := sup.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					sup.byFile[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				set[name] = true
+			}
+		}
+	}
+	return sup, diags
+}
+
+// validSuppressionTail checks the `ok — <reason>` part of a suppression.
+// The dash may be an em dash, "--", or "-"; the reason must be
+// non-empty.
+func validSuppressionTail(tail string) bool {
+	tail = strings.TrimSpace(tail)
+	rest, ok := strings.CutPrefix(tail, "ok")
+	if !ok {
+		return false
+	}
+	rest = strings.TrimSpace(rest)
+	for _, dash := range []string{"—", "--", "-"} {
+		if r, ok := strings.CutPrefix(rest, dash); ok {
+			return strings.TrimSpace(r) != ""
+		}
+	}
+	return false
+}
+
+// pathHasSuffix reports whether the import path ends with the given
+// slash-separated suffix on a segment boundary ("a/internal/dp" matches
+// "internal/dp"; "a/printernal/dp" does not).
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// exprString renders a (simple) expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	default:
+		return "<expr>"
+	}
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/dp").
+	Path string
+	// Dir is the directory the files were parsed from.
+	Dir string
+	// Fset positions every file in the package (shared across the load).
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results. When TypeErrs is non-empty
+	// the info is partial: analyzers must tolerate nil types for any
+	// expression (fasciavet degrades rather than panics on broken code).
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrs collects type-checking errors; they do not stop analysis.
+	TypeErrs []error
+}
+
+// Loader parses and type-checks module packages using only the standard
+// library: go/parser for syntax and go/types with a source importer for
+// semantics. No x/tools, no network, no export data — stdlib packages
+// are themselves type-checked from $GOROOT source on demand.
+type Loader struct {
+	// ModuleDir is the module root (directory containing go.mod).
+	ModuleDir string
+	// ModulePath is the module's import-path prefix (from go.mod).
+	ModulePath string
+	// Fset is shared by every parsed file, module and stdlib alike.
+	Fset *token.FileSet
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader rooted at moduleDir, reading the module path
+// from its go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: read go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", moduleDir)
+	}
+	fset := token.NewFileSet()
+	// The source importer type-checks stdlib packages from $GOROOT
+	// source. Disable cgo so packages like net resolve to their pure-Go
+	// build-tag variants instead of needing the cgo tool.
+	build.Default.CgoEnabled = false
+	std, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return &Loader{
+		ModuleDir:  moduleDir,
+		ModulePath: modPath,
+		Fset:       fset,
+		std:        std,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths are loaded (and
+// cached) by this loader, everything else falls through to the stdlib
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	rel := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// Load parses and type-checks the module package at the given import
+// path (non-test files only). Type errors are collected on the returned
+// package rather than failing the load, so analyzers can still inspect
+// the well-typed parts of a broken tree.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			// Even unparsable files must not abort the whole run; record
+			// the error and analyze what did parse.
+			p.TypeErrs = append(p.TypeErrs, err)
+			if f == nil {
+				continue
+			}
+		}
+		p.Files = append(p.Files, f)
+	}
+
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+	}
+	tp, err := conf.Check(path, l.Fset, p.Files, p.Info)
+	p.Types = tp
+	if err != nil && len(p.TypeErrs) == 0 {
+		p.TypeErrs = append(p.TypeErrs, err)
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadPatterns resolves command-line package patterns. Supported forms:
+// "./..." (every package under the module, skipping testdata and hidden
+// directories), "./dir" or "dir" (one directory), and full import paths
+// within the module.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []*Package
+	add := func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		p, err := l.Load(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, p)
+		return nil
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			paths, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				if err := add(p); err != nil {
+					return nil, err
+				}
+			}
+		case strings.HasPrefix(pat, l.ModulePath):
+			if err := add(pat); err != nil {
+				return nil, err
+			}
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			path := l.ModulePath
+			if rel != "" && rel != "." {
+				path += "/" + filepath.ToSlash(rel)
+			}
+			if err := add(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// walkModule lists every package directory in the module, skipping
+// testdata, vendor, hidden, and underscore-prefixed directories.
+func (l *Loader) walkModule() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.ModuleDir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return err
+		}
+		imp := l.ModulePath
+		if rel != "." {
+			imp += "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, imp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var uniq []string
+	for i, p := range paths {
+		if i == 0 || p != paths[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	return uniq, nil
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the packages under FASCIA's bit-identity
+// contract: the color-coding DP must sum in a fixed order so that every
+// layout × kernel × batch × parallel combination (and every cache
+// lookup keyed on Options.Fingerprint) reproduces the same estimate
+// stream bit for bit. Unordered map iteration anywhere on those paths
+// is a latent nondeterminism bug.
+var deterministicPkgs = []string{
+	"internal/dp",
+	"internal/table",
+	"internal/comb",
+	"internal/serve",
+}
+
+func inDeterministicPkg(path string) bool {
+	for _, s := range deterministicPkgs {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// MapOrder flags `for range` over map-typed values in the
+// determinism-critical packages. Go randomizes map iteration order, so
+// any map walk that feeds floating-point accumulation, table merging,
+// serialization, or stats assembly silently breaks the bit-identity
+// contract the kernel-equivalence and cache tests pin. Iterate a sorted
+// key slice instead, or suppress with a reason proving the loop is
+// order-insensitive (e.g. it only releases resources or feeds an
+// integer sum).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map in a determinism-critical package (breaks the bit-identical estimate stream)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !inDeterministicPkg(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true // partial type info (broken package): skip
+			}
+			t := tv.Type.Underlying()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem().Underlying()
+			}
+			if _, ok := t.(*types.Map); ok {
+				pass.Reportf(rs.For,
+					"range over map %s iterates in nondeterministic order, which can break the bit-identical estimate stream; range over sorted keys instead (or suppress with a reason why order cannot matter)",
+					exprString(rs.X))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,14 @@
+// Package serve is the broken-package fixture: b.go contains a
+// deliberate type error, and fasciavet must still analyze the
+// well-typed remainder in this file without panicking.
+package serve
+
+// merge keeps full type info despite the error in b.go, so maporder
+// still fires on it.
+func merge(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "maporder: range over map m"
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,8 @@
+package serve
+
+// oops references an undefined name: a deliberate type error. The
+// loader records it in TypeErrs and analysis degrades instead of
+// panicking.
+func oops() int {
+	return undefinedIdentifier
+}

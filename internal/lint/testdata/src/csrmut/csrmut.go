@@ -1,0 +1,54 @@
+// Package csrmut is the csrmut golden fixture: it writes through every
+// CSR mutation surface from outside the owner packages — directly
+// through Adj(v), through local aliases (including alias-of-alias via a
+// reslice), through Labels elements and the Labels header, and via
+// copy(). Read-only uses and copies out of CSR storage stay clean.
+package csrmut
+
+import "repro/internal/graph"
+
+// scrub writes through the slice returned by Adj: flagged.
+func scrub(g *graph.Graph, v int32) {
+	g.Adj(v)[0] = 7 // want "csrmut: write to shared CSR storage"
+}
+
+// alias taints a local bound to Adj and writes through it: flagged.
+func alias(g *graph.Graph, v int32) {
+	a := g.Adj(v)
+	a[0] = 1 // want "csrmut: write to shared CSR storage"
+}
+
+// chain follows an alias of an alias through a reslice: flagged.
+func chain(g *graph.Graph, v int32) {
+	a := g.Adj(v)
+	b := a[1:]
+	b[0]++ // want "csrmut: write to shared CSR storage"
+}
+
+// relabel mutates a label element and replaces the header: flagged on
+// both lines.
+func relabel(g *graph.Graph) {
+	g.Labels[0] = 3       // want "csrmut: write to shared CSR storage"
+	g.Labels = []int32{1} // want "csrmut: write to shared CSR storage"
+}
+
+// fill copies into adjacency storage: flagged.
+func fill(g *graph.Graph, v int32, src []int32) {
+	copy(g.Adj(v), src) // want "csrmut: copy into shared CSR storage"
+}
+
+// degreeSum only reads CSR storage: clean.
+func degreeSum(g *graph.Graph) int {
+	total := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		total += len(g.Adj(v))
+	}
+	return total
+}
+
+// snapshot copies OUT of CSR storage into a fresh slice: clean.
+func snapshot(g *graph.Graph, v int32) []int32 {
+	out := make([]int32, len(g.Adj(v)))
+	copy(out, g.Adj(v))
+	return out
+}

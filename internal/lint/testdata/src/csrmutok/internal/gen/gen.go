@@ -1,0 +1,22 @@
+// Package gen is the csrmut exemption fixture: the same writes that the
+// csrmut fixture flags are legal inside an owner package (import path
+// suffix internal/gen), so this package must stay clean.
+package gen
+
+import "repro/internal/graph"
+
+// Relabel mutates label storage from inside an owner package: legal.
+func Relabel(g *graph.Graph) {
+	if g.Labels != nil {
+		g.Labels[0] = 1
+	}
+	g.Labels = append(g.Labels, 2)
+}
+
+// Scrub writes through Adj via a local alias: legal here.
+func Scrub(g *graph.Graph, v int32) {
+	a := g.Adj(v)
+	if len(a) > 0 {
+		a[0] = 0
+	}
+}

@@ -1,0 +1,77 @@
+// Package dp is the ctxpoll golden fixture. Its import path ends in
+// internal/dp, so every context-taking function with a vertex/iteration
+// loop must poll for cancellation inside the loop. The fixture avoids
+// maps entirely (maporder also gates internal/dp).
+package dp
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+func work(v int) float64 { return float64(v) * 0.5 }
+
+func computeNode() float64 { return 1 }
+
+// runNoPoll burns per-vertex work with no cancellation poll: flagged.
+func runNoPoll(ctx context.Context, n int) float64 {
+	total := 0.0
+	for v := 0; v < n; v++ { // want "ctxpoll: vertex/iteration loop in context-taking function runNoPoll"
+		total += work(v)
+	}
+	return total
+}
+
+// runPolled checks ctx.Err inside the loop: compliant.
+func runPolled(ctx context.Context, n int) float64 {
+	total := 0.0
+	for v := 0; v < n; v++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += work(v)
+	}
+	return total
+}
+
+// runStopFlag polls the armed atomic stop flag (the watchContext
+// pattern): compliant.
+func runStopFlag(ctx context.Context, stop *atomic.Bool, n int) float64 {
+	total := 0.0
+	for v := 0; v < n; v++ {
+		if stop.Load() {
+			return total
+		}
+		total += work(v)
+	}
+	return total
+}
+
+// runHeavy invokes a DP work horse, which marks the loop long-running
+// regardless of its header names: flagged.
+func runHeavy(ctx context.Context, reps int) float64 {
+	total := 0.0
+	for i := 0; i < reps; i++ { // want "ctxpoll: vertex/iteration loop in context-taking function runHeavy"
+		total += computeNode()
+	}
+	return total
+}
+
+// fold is a pure-arithmetic pass over completed results (no material
+// calls): exempt.
+func fold(ctx context.Context, xs []float64) float64 {
+	mean := 0.0
+	for i, x := range xs {
+		mean += (x - mean) / float64(i+1)
+	}
+	return mean
+}
+
+// noCtx takes no context, so the abort contract does not apply.
+func noCtx(n int) float64 {
+	total := 0.0
+	for v := 0; v < n; v++ {
+		total += work(v)
+	}
+	return total
+}

@@ -1,0 +1,39 @@
+// Package fingerprintcover is the fingerprintcover golden fixture: an
+// Options struct whose classification lists and Fingerprint body have
+// drifted apart in every way the analyzer detects — a missing list, an
+// embedded field, an unclassified field, a stale list entry, a double
+// classification, an undeclared read, a declared-but-unread field, and
+// a format-verb/argument mismatch.
+package fingerprintcover
+
+import "fmt"
+
+type base struct{}
+
+// Options drifts from its classification lists in every detectable way.
+type Options struct { // want "fingerprintcover: missing classification list fingerprintLifecycle"
+	base      // want "fingerprintcover: embedded field in Options cannot be classified"
+	Colors    int
+	Partition string
+	Threads   int
+	Unread    bool
+	Seed      int64 // want "fingerprintcover: Options field .Seed. is not classified"
+}
+
+var fingerprintResultFields = []string{ // want "fingerprintcover: field .Unread. is declared result-relevant in fingerprintResultFields but never read"
+	"Colors",
+	"Partition",
+	"Unread",
+	"Ghost", // want "fingerprintcover: fingerprintResultFields names .Ghost., which is not a field of Options"
+}
+
+var fingerprintExecutionOnly = []string{
+	"Partition", // want "fingerprintcover: Options field .Partition. classified twice"
+	"Threads",
+}
+
+// Fingerprint reads a field it does not declare and drops a verb.
+func (o Options) Fingerprint() string {
+	_ = o.Threads                                                       // want "fingerprintcover: Fingerprint.. reads field .Threads., which is not declared in fingerprintResultFields"
+	return fmt.Sprintf("v1|c=%d|p=%s", o.Colors, o.Partition, o.Colors) // want "fingerprintcover: Fingerprint format string has 2 verbs but 3 arguments"
+}

@@ -1,0 +1,26 @@
+// Package fingerprintok is the clean fingerprintcover fixture: a fully
+// classified Options struct whose Fingerprint body reads exactly the
+// declared result-relevant fields with a matching format string. The
+// analyzer suite must report nothing here.
+package fingerprintok
+
+import "fmt"
+
+// Options mirrors the real root-package shape in miniature.
+type Options struct {
+	Colors    int
+	Partition string
+	Threads   int
+	Seed      int64
+}
+
+var fingerprintResultFields = []string{"Colors", "Partition"}
+
+var fingerprintExecutionOnly = []string{"Threads"}
+
+var fingerprintLifecycle = []string{"Seed"}
+
+// Fingerprint covers exactly the declared result-relevant fields.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("v1|c=%d|p=%s", o.Colors, o.Partition)
+}

@@ -1,0 +1,46 @@
+// Package guardedby is the guardedby golden fixture: a miniature of
+// internal/serve's cache — a mutex and the state it guards, annotated
+// in the source — exercising the flag path and all four exemptions
+// (lexical lock, constructor, Locked suffix, caller-holds doc).
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// newCounter builds the value before it escapes: constructor exemption.
+func newCounter() *counter {
+	return &counter{n: 1}
+}
+
+// get takes the lock: compliant.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// peek reads the guarded field without the lock: flagged.
+func (c *counter) peek() int {
+	return c.n // want "guardedby: access to counter.n .guarded by mu. in peek"
+}
+
+// bump writes the guarded field without the lock: flagged.
+func (c *counter) bump() {
+	c.n++ // want "guardedby: access to counter.n .guarded by mu. in bump"
+}
+
+// addLocked carries the Locked suffix: helper-under-lock exemption.
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// drain assumes the caller holds mu; the doc contract exempts it.
+func (c *counter) drain() int {
+	v := c.n
+	c.n = 0
+	return v
+}

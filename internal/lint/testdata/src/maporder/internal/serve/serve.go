@@ -1,0 +1,59 @@
+// Package serve is the maporder golden fixture. Its import path ends in
+// internal/serve, one of the determinism-critical packages, so every
+// `for range` over a map must be flagged; loops over slices stay clean.
+package serve
+
+import "sort"
+
+type registry struct {
+	graphs map[string]int
+}
+
+type set map[string]bool
+
+// totals is the canonical bug: a floating-point sum in map order.
+func totals(weights map[string]float64) float64 {
+	sum := 0.0
+	for _, w := range weights { // want "maporder: range over map weights"
+		sum += w
+	}
+	return sum
+}
+
+// keys collects map keys; even a collect-then-sort shape ranges the map
+// and is flagged (the tree suppresses these with a reason).
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want "maporder: range over map m"
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// list ranges a map reached through a field selector.
+func (r *registry) list() int {
+	n := 0
+	for _, v := range r.graphs { // want "maporder: range over map r.graphs"
+		n += v
+	}
+	return n
+}
+
+// card ranges a named map type; the underlying type is what counts.
+func card(s set) int {
+	n := 0
+	for range s { // want "maporder: range over map s"
+		n++
+	}
+	return n
+}
+
+// sumSlice ranges a slice: deterministic, clean.
+func sumSlice(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

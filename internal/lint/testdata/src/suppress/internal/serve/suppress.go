@@ -1,0 +1,46 @@
+// Package serve is the suppression-machinery fixture: a well-formed
+// suppression that silences a maporder finding (above the line and
+// trailing), plus the malformed shapes that are themselves diagnostics
+// — a missing reason and an unknown analyzer name.
+package serve
+
+// releaseAll is order-insensitive; the suppression on the line above
+// silences maporder and must produce no diagnostic at all.
+func releaseAll(m map[string]func()) {
+	//lint:maporder ok — release-only loop, order cannot matter
+	for _, f := range m {
+		f()
+	}
+}
+
+// trailing demonstrates a same-line suppression.
+func trailing(m map[string]int) int {
+	n := 0
+	for range m { //lint:maporder ok — integer cardinality, order-free
+		n++
+	}
+	return n
+}
+
+// missingReason omits the mandatory reason: the suppression is rejected
+// (a diagnostic of its own) and the finding it tried to hide survives.
+func missingReason(m map[string]int) int {
+	n := 0
+	// want "suppress: malformed suppression for .maporder."
+	//lint:maporder ok
+	for range m { // want "maporder: range over map m"
+		n++
+	}
+	return n
+}
+
+// unknownAnalyzer names a nonexistent analyzer: rejected.
+func unknownAnalyzer(xs []int) int {
+	n := 0
+	// want "suppress: suppression names unknown analyzer .frobnicate."
+	//lint:frobnicate ok — not a real analyzer
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

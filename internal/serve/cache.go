@@ -90,12 +90,12 @@ type CacheStats struct {
 // concurrent use.
 type Cache struct {
 	mu       sync.Mutex
-	maxBytes int64
-	bytes    int64
-	entries  map[CacheKey]*list.Element // value: *cacheEntry
-	lru      list.List                  // front = most recently used
+	maxBytes int64                      // immutable after NewCache
+	bytes    int64                      // guarded by mu
+	entries  map[CacheKey]*list.Element // guarded by mu; value: *cacheEntry
+	lru      list.List                  // guarded by mu; front = most recently used
 
-	hits, partials, misses, served, evictions int64
+	hits, partials, misses, served, evictions int64 // guarded by mu
 }
 
 // DefaultCacheBytes is the byte budget used when NewCache is given a

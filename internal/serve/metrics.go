@@ -18,6 +18,7 @@ var (
 	mPartialResults  = expvar.NewInt("fascia.serve.partial_results")
 	mQueryErrors     = expvar.NewInt("fascia.serve.query_errors")
 	mDrains          = expvar.NewInt("fascia.serve.drains")
+	mEncodeErrors    = expvar.NewInt("fascia.serve.response_encode_errors")
 )
 
 // recordLookup folds a cache-lookup outcome into the global gauges.

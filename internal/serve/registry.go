@@ -41,7 +41,7 @@ type graphEntry struct {
 // queries never copy the CSR.
 type Registry struct {
 	mu     sync.RWMutex
-	graphs map[string]*graphEntry
+	graphs map[string]*graphEntry // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -96,6 +96,7 @@ func (r *Registry) Get(name string) (*fascia.Graph, GraphInfo, bool) {
 func (r *Registry) List() []GraphInfo {
 	r.mu.RLock()
 	out := make([]GraphInfo, 0, len(r.graphs))
+	//lint:maporder ok — collection order is erased by the sort.Slice below
 	for _, e := range r.graphs {
 		out = append(out, e.info)
 	}

@@ -46,9 +46,9 @@ func TestRegistryAddGet(t *testing.T) {
 
 func TestHashGraphDistinguishes(t *testing.T) {
 	a := fascia.ErdosRenyi(40, 100, 1)
-	b := fascia.ErdosRenyi(40, 100, 2)     // different edges
-	c := fascia.ErdosRenyi(41, 100, 1)     // different size
-	a2 := fascia.ErdosRenyi(40, 100, 1)    // identical rebuild
+	b := fascia.ErdosRenyi(40, 100, 2)  // different edges
+	c := fascia.ErdosRenyi(41, 100, 1)  // different size
+	a2 := fascia.ErdosRenyi(40, 100, 1) // identical rebuild
 	al := fascia.AssignRandomLabels(fascia.ErdosRenyi(40, 100, 1), 3, 9)
 
 	ha := HashGraph(a)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -41,6 +42,10 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxUploadBytes caps graph-upload request bodies (0 = 256 MiB).
 	MaxUploadBytes int64
+	// Logf receives server-side diagnostics that have no client to go to
+	// (e.g. a response body that failed to encode because the client hung
+	// up mid-write). nil = log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 256 << 20
 	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -80,7 +88,7 @@ type Server struct {
 	// inflight group under RLock, Drain flips draining under Lock, so no
 	// query can slip in after Drain has begun waiting.
 	drainMu  sync.RWMutex
-	draining bool
+	draining bool // guarded by drainMu
 	inflight sync.WaitGroup
 	// drainCtx is the parent of every query context; Drain cancels it to
 	// flush in-flight queries as partial means.
@@ -250,10 +258,22 @@ type CountResponse struct {
 	PerIteration  []float64 `json:"per_iteration,omitempty"`
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// writeJSON writes a JSON response body. An Encode failure cannot be
+// reported to the client — the status line is already on the wire, and
+// the usual cause is the client hanging up mid-write — so it is logged
+// and counted (fascia.serve.response_encode_errors) instead of being
+// silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		mEncodeErrors.Add(1)
+		s.cfg.Logf("serve: encode %d response: %v", code, err)
+	}
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -261,7 +281,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	draining := s.draining
 	s.drainMu.RUnlock()
 	if draining {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		s.httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -269,35 +289,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.registry.List()) //nolint:errcheck
+	s.writeJSON(w, http.StatusOK, s.registry.List())
 }
 
 func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		httpError(w, http.StatusBadRequest, "missing ?name=")
+		s.httpError(w, http.StatusBadRequest, "missing ?name=")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	g, err := fascia.ReadGraph(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse edge list: %v", err)
+		s.httpError(w, http.StatusBadRequest, "parse edge list: %v", err)
 		return
 	}
 	info, err := s.registry.Add(name, g)
 	if err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+		s.httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	json.NewEncoder(w).Encode(info) //nolint:errcheck
+	s.writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.Stats()) //nolint:errcheck
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // handleCount is the query path: validate → cache fast path → admission
@@ -305,7 +321,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if !s.beginQuery() {
 		s.rejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		s.httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	defer s.inflight.Done()
@@ -313,27 +329,27 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 
 	var req CountRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		s.httpError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
 	g, info, ok := s.registry.Get(req.Graph)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+		s.httpError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
 		return
 	}
 	tr, err := fascia.ParseTemplate("query", req.Template)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse template: %v", err)
+		s.httpError(w, http.StatusBadRequest, "parse template: %v", err)
 		return
 	}
 	if req.TemplateLabels != nil {
 		if g.Labels == nil {
-			httpError(w, http.StatusBadRequest, "labeled template requires a labeled graph; %q is unlabeled", req.Graph)
+			s.httpError(w, http.StatusBadRequest, "labeled template requires a labeled graph; %q is unlabeled", req.Graph)
 			return
 		}
 		tr, err = tr.WithLabels("query", req.TemplateLabels)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "template labels: %v", err)
+			s.httpError(w, http.StatusBadRequest, "template labels: %v", err)
 			return
 		}
 	}
@@ -342,11 +358,11 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		iters = s.cfg.DefaultIterations
 	}
 	if iters < 1 || iters > s.cfg.MaxIterations {
-		httpError(w, http.StatusBadRequest, "iterations %d out of range [1, %d]", iters, s.cfg.MaxIterations)
+		s.httpError(w, http.StatusBadRequest, "iterations %d out of range [1, %d]", iters, s.cfg.MaxIterations)
 		return
 	}
 	if req.Colors < 0 || req.Colors > 64 || (req.Colors > 0 && req.Colors < tr.K()) {
-		httpError(w, http.StatusBadRequest, "colors %d invalid for a %d-vertex template (want 0 or %d..64)", req.Colors, tr.K(), tr.K())
+		s.httpError(w, http.StatusBadRequest, "colors %d invalid for a %d-vertex template (want 0 or %d..64)", req.Colors, tr.K(), tr.K())
 		return
 	}
 	timeout := s.cfg.DefaultTimeout
@@ -384,7 +400,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if err := s.sched.admit(); err != nil {
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.sched.retryAfter()))
-		httpError(w, http.StatusTooManyRequests, "%v", err)
+		s.httpError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
 	defer s.sched.release()
@@ -401,7 +417,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	slot, workers, err := s.sched.acquireSlot(ctx)
 	if err != nil {
 		s.rejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
+		s.httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
 		return
 	}
 	defer func() { s.sched.releaseSlot(slot, time.Since(start)) }()
@@ -415,7 +431,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	res, runErr := fascia.CountContext(ctx, g, tr, runOpt)
 	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
 		s.queryErrors.Add(1)
-		httpError(w, http.StatusInternalServerError, "count: %v", runErr)
+		s.httpError(w, http.StatusInternalServerError, "count: %v", runErr)
 		return
 	}
 	mFreshIterations.Add(int64(len(res.PerIteration)))
@@ -457,6 +473,5 @@ func (s *Server) respondCount(w http.ResponseWriter, req CountRequest, key Cache
 	if req.PerIteration {
 		resp.PerIteration = res.PerIteration
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	s.writeJSON(w, http.StatusOK, resp)
 }

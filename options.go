@@ -336,6 +336,34 @@ func (o Options) Fingerprint() string {
 		o.Colors, o.Partition, o.ShareSubtemplates, o.RootVertex)
 }
 
+// Every Options field must be classified into exactly one of the three
+// lists below. The fasciavet fingerprintcover analyzer cross-checks the
+// lists against the struct and the Fingerprint body at lint time, and
+// TestFingerprintCoversAllOptions re-checks them at test time (and
+// proves each result-relevant field actually perturbs the fingerprint),
+// so an Options field can never be added without deciding — explicitly
+// — whether it fragments fasciad's result cache.
+var (
+	// fingerprintResultFields can change the floating-point estimate
+	// stream and therefore participate in Fingerprint().
+	fingerprintResultFields = []string{
+		"Colors", "Partition", "ShareSubtemplates", "RootVertex",
+	}
+	// fingerprintExecutionOnly are knobs proven bit-identical across all
+	// settings by the kernel-equivalence and oracle-differential property
+	// tests; excluding them keeps equivalent queries on one cache entry.
+	fingerprintExecutionOnly = []string{
+		"Table", "Kernel", "Batch", "Parallel", "Threads", "DisableLeafSpecial",
+	}
+	// fingerprintLifecycle shape how many iterations run, which seed
+	// starts the stream, or what happens around the run — the cache keys
+	// seed and iteration count separately, so they stay out of the
+	// fingerprint.
+	fingerprintLifecycle = []string{
+		"Iterations", "Epsilon", "Delta", "Seed", "Timeout", "KeepTables", "OnIteration",
+	}
+)
+
 // iterations resolves the iteration count.
 func (o Options) iterations(templateK int) int {
 	if o.Iterations > 0 {
