@@ -10,9 +10,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci lint vet build test race race-cancel difftest fuzz-smoke serve-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-batch-full
+.PHONY: ci lint vet build test race race-cancel difftest fuzz-smoke serve-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record check-bce
 
-ci: lint vet build test race race-cancel difftest metrics-smoke serve-smoke cover-serve fuzz-smoke bench-smoke bench-batch
+ci: lint vet build check-bce test race race-cancel difftest metrics-smoke serve-smoke cover-serve fuzz-smoke bench-smoke bench-batch bench-tile
 
 # fasciavet, the project-specific static analyzer (determinism-critical
 # map iteration, cancellation polling, fingerprint/cache-key coverage,
@@ -28,6 +28,20 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# Bounds-check-elimination gate for the hot 8-wide lane loops: recompile
+# internal/table and internal/dp with the BCE debug pass in a throwaway
+# build cache (diagnostics only print when compilation actually runs)
+# and fail if any `Found IsInBounds` lands in the named kernel files.
+# `IsSliceInBounds` on the slice-reslicing setup lines is expected and
+# allowed; the 8-wide array-pointer loops themselves must stay clean.
+check-bce:
+	@tmp=$$(mktemp -d); \
+	out=$$(GOCACHE=$$tmp $(GO) build -gcflags='-d=ssa/check_bce' ./internal/table ./internal/dp 2>&1); \
+	rm -rf $$tmp; \
+	bad=$$(echo "$$out" | grep 'Found IsInBounds' | grep -E 'lane8\.go|bulk8\.go' || true); \
+	if [ -n "$$bad" ]; then echo "check-bce: bounds checks reappeared in hot kernels:"; echo "$$bad"; exit 1; fi; \
+	echo "check-bce: hot kernel lane loops are bounds-check free"
 
 test:
 	$(GO) test ./...
@@ -54,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/tmpl
+	$(GO) test -run='^$$' -fuzz=FuzzTilePlan -fuzztime=$(FUZZTIME) ./internal/dp
 
 # fasciad end to end under -race: boot on an ephemeral port, count,
 # cache hit, residual overlap, SIGTERM drain, goroutine-leak check.
@@ -82,6 +97,12 @@ bench-smoke:
 bench-batch:
 	$(GO) test -run='^$$' -bench=BenchmarkBatchedDPSmall -benchtime=1x ./internal/dp
 
+# Tiled-DP smoke: untiled vs a forced 2-column tiling at B=1 and B=4 on
+# a small graph with an equivalence assertion, so the CI run doubles as
+# an end-to-end tiled-vs-untiled bit-identity check.
+bench-tile:
+	$(GO) test -run='^$$' -bench=BenchmarkTiledDPSmall -benchtime=1x ./internal/dp
+
 # Full kernel comparison (the numbers quoted in DESIGN.md "DP kernels").
 bench-kernel:
 	$(GO) test -run='^$$' -bench=BenchmarkKernelDirectVsAggregate -benchtime=10x -count=3 ./internal/dp
@@ -90,3 +111,9 @@ bench-kernel:
 # graphs, k=7, the full lane-width sweep, three samples).
 bench-batch-full:
 	$(GO) test -run='^$$' -bench='BenchmarkBatchedDP/' -benchtime=1x -count=3 ./internal/dp
+
+# Record a BENCH_batch.json trajectory entry with the documented noise
+# methodology (>= 5 samples after a discarded warmup, MAD outlier drop,
+# medians of the survivors); appends, never overwrites. Slow.
+bench-batch-record:
+	$(GO) run ./cmd/fasciabench bench-batch-record

@@ -49,6 +49,7 @@ func run(args []string) error {
 		layout     = fs.String("table", "lazy", "table layout: lazy, naive, hash")
 		kernel     = fs.String("kernel", "auto", "DP combination kernel: auto, direct, aggregate")
 		batch      = fs.String("batch", "1", "iteration batch width: lanes per DP traversal (an integer, or \"auto\")")
+		llc        = fs.Int64("llc", 0, "cache budget in bytes for DP column tiling (0 = FASCIA_LLC_BYTES env or 64 MiB, negative = disable tiling)")
 		partition  = fs.String("partition", "one", "partitioning: one (one-at-a-time), balanced")
 		share      = fs.Bool("share", false, "share isomorphic subtemplates (memory for time)")
 		seed       = fs.Int64("seed", 0, "random seed")
@@ -167,6 +168,7 @@ func run(args []string) error {
 	} else {
 		return fmt.Errorf("bad -batch %q (want a positive integer or \"auto\")", *batch)
 	}
+	opt = opt.WithLLCBytes(*llc)
 
 	s := g.ComputeStats()
 	if *motifs > 0 {

@@ -36,6 +36,11 @@ func main() {
 }
 
 func run(args []string) error {
+	// The recorded batched-DP acceptance benchmark has its own flag set
+	// and noise methodology; dispatch before the experiment flags.
+	if len(args) > 0 && args[0] == "bench-batch-record" {
+		return runBatchRecord(args[1:])
+	}
 	fs := flag.NewFlagSet("fasciabench", flag.ContinueOnError)
 	var (
 		full    = fs.Bool("full", false, "paper-scale workloads (hours of compute, tens of GB for k=12 runs)")

@@ -24,12 +24,19 @@ type batchState struct {
 	lanes int
 	// colors is the lane-strided coloring: lane j of vertex v is
 	// colors[v*lanes+j].
-	colors    []int8
-	tabs      map[*part.Node]*table.Multi
+	colors []int8
+	tabs   map[*part.Node]*table.Multi
+	// leaves holds the implicit lane tables of non-root leaves: their
+	// cells derive from the coloring (leafLanes), so nothing is
+	// allocated or initialized for them in batched mode.
+	leaves    map[*part.Node]*leafLanes
 	remaining map[*part.Node]int
 	liveBytes int64
 	peakBytes int64
 	workers   int
+	// Tiling accounting for RunStats.
+	tiledPasses int64
+	tileSweeps  int64
 
 	stop    *atomic.Bool
 	aborted bool
@@ -50,10 +57,21 @@ type batchScratch struct {
 	agg      []float64 // aggregated neighbor lane rows, ncP*B
 	colorAgg []float64 // per-(color, lane) neighbor sums, k*B
 	avB      []float64 // per-lane active root-cell values, B
+	tileBuf  []float64 // block output rows of the tiled pass, lazily grown
 	// kernel-choice tallies (in lane units, so counts stay comparable
 	// with unbatched runs), flushed on putBatchScratch.
 	directN int64
 	aggN    int64
+}
+
+// tileRows returns the block output-row buffer of the tiled pass,
+// growing it on first use (the pool's steady state carries it across
+// nodes and iterations).
+func (sc *batchScratch) tileRows(n int) []float64 {
+	if cap(sc.tileBuf) < n {
+		sc.tileBuf = make([]float64, n)
+	}
+	return sc.tileBuf[:n]
 }
 
 func (e *Engine) getBatchScratch() *batchScratch {
@@ -82,14 +100,27 @@ func (e *Engine) newBatchState(baseSeed int64, lanes, workers int) *batchState {
 		lanes:     lanes,
 		colors:    e.arena.I8(n * lanes),
 		tabs:      map[*part.Node]*table.Multi{},
+		leaves:    map[*part.Node]*leafLanes{},
 		remaining: map[*part.Node]int{},
 		workers:   workers,
 		totals:    make([]float64, lanes),
 	}
 	for j := 0; j < lanes; j++ {
 		rng := rand.New(rand.NewSource(baseSeed + int64(j)))
-		for v := 0; v < n; v++ {
-			st.colors[v*lanes+j] = int8(rng.Intn(e.k))
+		if e.ord != nil {
+			// Degree-bucketed execution order: draw the stream in
+			// ORIGINAL vertex-id order (the exact per-vertex sequence an
+			// unreordered run consumes) and scatter through the
+			// permutation, so every original vertex keeps its color and
+			// the estimate stream stays bit-identical.
+			perm := e.ord.Perm
+			for v := 0; v < n; v++ {
+				st.colors[int(perm[v])*lanes+j] = int8(rng.Intn(e.k))
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				st.colors[v*lanes+j] = int8(rng.Intn(e.k))
+			}
 		}
 	}
 	for _, nd := range e.tree.Nodes {
@@ -116,6 +147,16 @@ func (st *batchState) run() {
 		var nodeStart time.Time
 		if st.nodeTimes != nil {
 			nodeStart = time.Now()
+		}
+		if n.IsLeaf() && n != e.tree.Root {
+			// Implicit leaf: cells derive from the coloring via
+			// leafLanes — no B×-widened leaf table to allocate, fill, or
+			// stream through the child kernels.
+			st.leaves[n] = st.newLeafLanes(n)
+			if st.nodeTimes != nil {
+				st.nodeTimes[ni] += time.Since(nodeStart)
+			}
+			continue
 		}
 		nc := int(comb.Binomial(e.k, n.Size()))
 		tab := table.NewMulti(e.cfg.TableKind, e.g.N(), nc, st.lanes, e.arena)
@@ -149,6 +190,8 @@ func (st *batchState) run() {
 	root.Release()
 	e.arena.PutI8(st.colors)
 	st.colors = nil
+	// leafLanes alias st.colors; drop them with it.
+	st.leaves = nil
 }
 
 func (st *batchState) abort() {
@@ -163,18 +206,23 @@ func (st *batchState) abort() {
 	st.liveBytes = 0
 	st.e.arena.PutI8(st.colors)
 	st.colors = nil
+	st.leaves = nil
 }
 
 func (st *batchState) releaseChildrenB(n *part.Node) {
 	for _, ch := range []*part.Node{n.Active, n.Passive} {
 		st.remaining[ch]--
 		if st.remaining[ch] == 0 {
-			tab := st.tabs[ch]
-			st.liveBytes -= tab.Bytes()
-			st.rowsReleased += tab.Rows()
-			st.tablesReleased++
-			tab.Release()
-			delete(st.tabs, ch)
+			if tab, ok := st.tabs[ch]; ok {
+				st.liveBytes -= tab.Bytes()
+				st.rowsReleased += tab.Rows()
+				st.tablesReleased++
+				tab.Release()
+				delete(st.tabs, ch)
+			} else {
+				// Implicit leaf: nothing allocated, nothing to release.
+				delete(st.leaves, ch)
+			}
 		}
 	}
 }
@@ -201,17 +249,27 @@ func (st *batchState) initLeafB(n *part.Node, tab *table.Multi) {
 	}
 }
 
-// batchCtx binds a node's kernel shape to this batch's lane tables.
+// batchCtx binds a node's kernel shape to this batch's lane tables
+// (materialized Multi for internal children, implicit leafLanes for leaf
+// children).
 type batchCtx struct {
 	kernelShape
-	act, pas *table.Multi
+	act, pas laneTab
+}
+
+// laneTabFor resolves a child node to its lane-table read surface.
+func (st *batchState) laneTabFor(n *part.Node) laneTab {
+	if tab, ok := st.tabs[n]; ok {
+		return tab
+	}
+	return st.leaves[n]
 }
 
 func (st *batchState) batchContext(n *part.Node, tab *table.Multi) *batchCtx {
 	return &batchCtx{
 		kernelShape: st.e.kernelShapeFor(n, tab.NumSets()),
-		act:         st.tabs[n.Active],
-		pas:         st.tabs[n.Passive],
+		act:         st.laneTabFor(n.Active),
+		pas:         st.laneTabFor(n.Passive),
 	}
 }
 
@@ -222,14 +280,23 @@ func (st *batchState) computeNodeB(n *part.Node, tab *table.Multi) {
 	e := st.e
 	ctx := st.batchContext(n, tab)
 	nVerts := int32(e.g.N())
+	tc := newTileCtx(&ctx.kernelShape, e.tilePlanFor(&ctx.kernelShape, st.lanes))
+	if tc != nil {
+		st.tiledPasses++
+		st.tileSweeps += int64(len(tc.ts))
+	}
 
 	if st.workers <= 1 {
 		sc := e.getBatchScratch()
-		for v := int32(0); v < nVerts; v++ {
-			if st.cancelled() {
-				break
+		if tc != nil {
+			st.passRangeTiledB(ctx, tab, tc, 0, nVerts, sc)
+		} else {
+			for v := int32(0); v < nVerts; v++ {
+				if st.cancelled() {
+					break
+				}
+				st.vertexPassB(ctx, tab, v, sc)
 			}
-			st.vertexPassB(ctx, tab, v, sc)
 		}
 		e.putBatchScratch(sc)
 		return
@@ -241,6 +308,9 @@ func (st *batchState) computeNodeB(n *part.Node, tab *table.Multi) {
 		stagings = make([]*table.Multi, st.workers)
 	}
 	chunk := chunkFor(int(nVerts), st.workers)
+	if tc != nil {
+		chunk = chunkForTiled(int(nVerts), st.workers, tc.plan.blockVerts)
+	}
 	var next atomic.Int32
 	var wg sync.WaitGroup
 	for w := 0; w < st.workers; w++ {
@@ -266,6 +336,10 @@ func (st *batchState) computeNodeB(n *part.Node, tab *table.Multi) {
 				end := start + int32(chunk)
 				if end > nVerts {
 					end = nVerts
+				}
+				if tc != nil {
+					st.passRangeTiledB(ctx, target, tc, start, end, sc)
+					continue
 				}
 				for v := start; v < end; v++ {
 					if st.cancelled() {

@@ -24,6 +24,17 @@ func (st *batchState) laneActives(ctx *batchCtx, v int32, sc *batchScratch) ([]f
 	avB := sc.avB[:L]
 	base := int(v) * L
 	any := false
+	if lf, ok := ctx.act.(*leafLanes); ok {
+		// Implicit leaf active child: cell (v, {color_j(v)}, j) is by
+		// definition the seeded 1 (or 0 on a label mismatch).
+		if !lf.ok(v) {
+			return avB, false
+		}
+		for j := 0; j < L; j++ {
+			avB[j] = 1
+		}
+		return avB, true
+	}
 	if arow := ctx.act.LaneRow(v); arow != nil {
 		for j := 0; j < L; j++ {
 			av := arow[int(st.colors[base+j])*L+j]
@@ -52,6 +63,30 @@ func (st *batchState) passSize2B(ctx *batchCtx, v int32, adj []int32, buf []floa
 	pas := ctx.pas
 	vbase := int(v) * L
 	if !aggregate {
+		if lf, ok := pas.(*leafLanes); ok {
+			// Implicit leaf passive child: lane j of neighbor u holds 1 at
+			// u's own color and 0 elsewhere, so the contraction collapses
+			// to one colors-vector read per (neighbor, lane) — no table.
+			for _, u := range adj {
+				if !lf.ok(u) {
+					continue
+				}
+				ubase := int(u) * L
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					cv := int(st.colors[vbase+j])
+					cu := int(st.colors[ubase+j])
+					if cu == cv {
+						continue
+					}
+					buf[int(comb.PairIndex(cv, cu))*L+j] += av // pv == 1
+				}
+			}
+			return
+		}
 		for _, u := range adj {
 			ubase := int(u) * L
 			if prow := pas.LaneRow(u); prow != nil {
@@ -176,6 +211,25 @@ func (st *batchState) passPassiveSingleB(ctx *batchCtx, v int32, adj []int32, bu
 	arow := ctx.act.MaterializeRow(v, sc.actRow)
 	pas := ctx.pas
 	if !aggregate {
+		if lf, ok := pas.(*leafLanes); ok {
+			// Implicit leaf passive child: pv is 1 at u's own lane color,
+			// so only that color's singleton entries contribute.
+			for _, u := range adj {
+				if !lf.ok(u) {
+					continue
+				}
+				ubase := int(u) * L
+				for j := 0; j < L; j++ {
+					cu := int(st.colors[ubase+j])
+					for _, en := range ctx.singles[cu] {
+						if av := arow[int(en.RestIdx)*L+j]; av != 0 {
+							buf[int(en.SetIdx)*L+j] += av // pv == 1
+						}
+					}
+				}
+			}
+			return
+		}
 		for _, u := range adj {
 			ubase := int(u) * L
 			if prow := pas.LaneRow(u); prow != nil {
@@ -225,11 +279,7 @@ func (st *batchState) passPassiveSingleB(ctx *batchCtx, v int32, adj []int32, bu
 			continue
 		}
 		for _, en := range ctx.singles[c] {
-			a := arow[int(en.RestIdx)*L:][:L]
-			out := buf[int(en.SetIdx)*L:][:L]
-			for l, s := range cs {
-				out[l] += a[l] * s
-			}
+			laneMulAdd(buf[int(en.SetIdx)*L:][:L], arow[int(en.RestIdx)*L:], cs)
 		}
 	}
 }
@@ -254,11 +304,7 @@ func (st *batchState) passGeneralDirectB(ctx *batchCtx, v int32, adj []int32, bu
 			out := buf[ci*L : ci*L+L]
 			base := ci * spn
 			for j := base; j < base+spn; j++ {
-				a := arow[int(split.ActiveIdx[j])*L:][:L]
-				p := prow[int(split.PassiveIdx[j])*L:][:L]
-				for l, av := range a {
-					out[l] += av * p[l]
-				}
+				laneMulAdd(out, arow[int(split.ActiveIdx[j])*L:], prow[int(split.PassiveIdx[j])*L:])
 			}
 		}
 	}
@@ -278,11 +324,7 @@ func (st *batchState) passGeneralAggregateB(ctx *batchCtx, v int32, adj []int32,
 		out := buf[ci*L : ci*L+L]
 		base := ci * spn
 		for j := base; j < base+spn; j++ {
-			a := arow[int(split.ActiveIdx[j])*L:][:L]
-			p := agg[int(split.PassiveIdx[j])*L:][:L]
-			for l, av := range a {
-				out[l] += av * p[l]
-			}
+			laneMulAdd(out, arow[int(split.ActiveIdx[j])*L:], agg[int(split.PassiveIdx[j])*L:])
 		}
 	}
 }

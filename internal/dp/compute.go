@@ -47,6 +47,9 @@ type iterState struct {
 	// Table-traffic accounting for RunStats.
 	rowsAllocated, rowsReleased     int64
 	tablesAllocated, tablesReleased int64
+	// Tiling accounting for RunStats.
+	tiledPasses int64
+	tileSweeps  int64
 }
 
 // cancelled polls the iteration's stop flag.
@@ -64,9 +67,20 @@ type scratch struct {
 	pasRow   []float64 // materialized passive row (hash layout fallback)
 	agg      []float64 // aggregated neighbor passive rows (SpMM kernel)
 	colorAgg []float64 // per-color neighbor sums (pN == 1 kernels), len k
+	tileBuf  []float64 // block output rows of the tiled pass, lazily grown
 	// kernel-choice tallies, flushed to the engine counters on putScratch.
 	directN int64
 	aggN    int64
+}
+
+// tileRows returns the block output-row buffer of the tiled pass,
+// growing it on first use (the pool's steady state carries it across
+// nodes and iterations).
+func (sc *scratch) tileRows(n int) []float64 {
+	if cap(sc.tileBuf) < n {
+		sc.tileBuf = make([]float64, n)
+	}
+	return sc.tileBuf[:n]
 }
 
 // getScratch hands out pooled per-worker scratch space.
@@ -96,8 +110,20 @@ func (e *Engine) newIterState(rng *rand.Rand, workers int) *iterState {
 		workers:   workers,
 		keep:      e.cfg.KeepTables,
 	}
-	for i := range st.colors {
-		st.colors[i] = int8(rng.Intn(e.k))
+	if e.ord != nil {
+		// Degree-bucketed execution order: draw the stream in ORIGINAL
+		// vertex-id order (the exact per-vertex sequence an unreordered
+		// run consumes) and scatter through the permutation, so every
+		// original vertex keeps its color and the estimate stream stays
+		// bit-identical.
+		perm := e.ord.Perm
+		for v := 0; v < e.g.N(); v++ {
+			st.colors[int(perm[v])] = int8(rng.Intn(e.k))
+		}
+	} else {
+		for i := range st.colors {
+			st.colors[i] = int8(rng.Intn(e.k))
+		}
 	}
 	for _, n := range e.tree.Nodes {
 		st.remaining[n] = n.Consumers
@@ -231,14 +257,23 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 	e := st.e
 	ctx := st.nodeContext(n, tab)
 	nVerts := int32(e.g.N())
+	tc := newTileCtx(&ctx.kernelShape, e.tilePlanFor(&ctx.kernelShape, 1))
+	if tc != nil {
+		st.tiledPasses++
+		st.tileSweeps += int64(len(tc.ts))
+	}
 
 	if st.workers <= 1 {
 		sc := e.getScratch()
-		for v := int32(0); v < nVerts; v++ {
-			if st.cancelled() {
-				break
+		if tc != nil {
+			st.passRangeTiled(ctx, tab, tc, 0, nVerts, sc)
+		} else {
+			for v := int32(0); v < nVerts; v++ {
+				if st.cancelled() {
+					break
+				}
+				st.vertexPass(ctx, tab, v, sc)
 			}
-			st.vertexPass(ctx, tab, v, sc)
 		}
 		e.putScratch(sc)
 		return
@@ -250,6 +285,9 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 		stagings = make([]*table.HashTable, st.workers)
 	}
 	chunk := chunkFor(int(nVerts), st.workers)
+	if tc != nil {
+		chunk = chunkForTiled(int(nVerts), st.workers, tc.plan.blockVerts)
+	}
 	var next atomic.Int32
 	var wg sync.WaitGroup
 	for w := 0; w < st.workers; w++ {
@@ -275,6 +313,10 @@ func (st *iterState) computeNode(n *part.Node, tab table.Table) {
 				end := start + int32(chunk)
 				if end > nVerts {
 					end = nVerts
+				}
+				if tc != nil {
+					st.passRangeTiled(ctx, target, tc, start, end, sc)
+					continue
 				}
 				for v := start; v < end; v++ {
 					if st.cancelled() {

@@ -110,6 +110,25 @@ type Config struct {
 	// embedding sampling at the cost of the memory the eager-release
 	// schedule would have saved. It forces Share off.
 	KeepTables bool
+	// LLCBytes is the cache budget of the tiled DP execution layer: when
+	// a node's passive table exceeds it, the pass sweeps the passive
+	// columns in budget-sized tiles so the gathered rows stay
+	// cache-resident. >0 sets an explicit budget, 0 defers to the
+	// FASCIA_LLC_BYTES environment variable (then a 64 MiB default), and
+	// <0 disables tiling. Tiling regroups exact integer sums only, so
+	// estimates are bit-identical in every setting.
+	LLCBytes int64
+	// TileCols, when > 0, pins the per-lane tile width in passive color
+	// columns (a test/benchmark knob that forces tiling regardless of
+	// budget); < 0 disables tiling; 0 lets LLCBytes decide.
+	TileCols int
+	// Reorder controls the degree-bucketed vertex relabeling applied at
+	// engine construction: ReorderAuto (default) enables it on large
+	// degree-skewed graphs, ReorderOn forces it, ReorderOff disables it.
+	// Colorings are drawn in original-id order and scattered through the
+	// permutation, so estimates are bit-identical in every setting;
+	// KeepTables forces it off (sampling reads tables by graph id).
+	Reorder ReorderMode
 	// OnIteration, when non-nil, is called after every completed
 	// iteration with its seed index, its estimate, and the wall time
 	// elapsed since the run started — a progress hook. Under outer and
@@ -150,13 +169,20 @@ type Engine struct {
 	t   *tmpl.Template
 	cfg Config
 
-	k     int // number of colors
-	tree  *part.Tree
-	prob  float64 // probability a fixed template-size set is colorful
-	aut   int64   // |Aut(T)|
-	rAut  int64   // automorphisms fixing the partition root
-	maxNC int     // largest NumSets over all nodes
-	batch int     // resolved lane count (1 = unbatched)
+	k      int // number of colors
+	tree   *part.Tree
+	prob   float64 // probability a fixed template-size set is colorful
+	aut    int64   // |Aut(T)|
+	rAut   int64   // automorphisms fixing the partition root
+	maxNC  int     // largest NumSets over all nodes
+	maxNcP int     // largest passive-child NumSets over internal nodes
+	batch  int     // resolved lane count (1 = unbatched)
+
+	// ord, when non-nil, is the degree-bucketed vertex relabeling under
+	// which e.g was rebuilt; Orig maps engine ids back to the caller's.
+	ord *graph.Ordering
+	// llcBytes is the resolved tiling cache budget (0 = tiling disabled).
+	llcBytes int64
 
 	splits  map[[2]int]*comb.SplitTable     // (size, activeSize) -> table
 	singles map[int][][]comb.SingletonEntry // size -> per-color entries
@@ -220,6 +246,11 @@ func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 		singles: map[int][][]comb.SingletonEntry{},
 		arena:   &table.Arena{},
 	}
+	e.llcBytes = resolveLLCBytes(cfg.LLCBytes)
+	if e.shouldReorder() {
+		e.ord = graph.DegreeBucketOrdering(g)
+		e.g = g.Relabel(e.ord)
+	}
 	for _, n := range tree.Nodes {
 		nc := int(comb.Binomial(k, n.Size()))
 		if nc > e.maxNC {
@@ -227,6 +258,9 @@ func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 		}
 		if n.IsLeaf() {
 			continue
+		}
+		if ncP := int(comb.Binomial(k, n.Passive.Size())); ncP > e.maxNcP {
+			e.maxNcP = ncP
 		}
 		h, aN := n.Size(), n.Active.Size()
 		key := [2]int{h, aN}
@@ -282,6 +316,13 @@ func (e *Engine) resolveBatch() int {
 		b = 1
 		for b < 16 && int64(2*b)*perLane <= batchMemBudget {
 			b *= 2
+		}
+		// Joint (B, tile) sizing: widening lanes widens the passive
+		// tables, which the tiled pass compensates by sweeping more
+		// column tiles — each sweep re-streaming the adjacency. Shrink B
+		// until the widest pass stays within the sweep cap.
+		for b > 1 && tilesNeeded(int64(e.g.N())*int64(e.maxNcP)*int64(b)*8, e.llcBytes) > maxTileSweeps {
+			b /= 2
 		}
 		return b
 	}

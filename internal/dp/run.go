@@ -79,7 +79,7 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	case e.batch > 1:
 		// Batched execution: one DP traversal per lane batch; seeds and
 		// per-iteration estimates are identical to the unbatched schedule.
-		e.runBatches(mode, iters, stop, start, estimates, iterTimes, completed, &stats, &res)
+		e.runBatches(ctx, mode, iters, stop, start, estimates, iterTimes, completed, &stats, &res)
 	case mode == Outer || mode == Hybrid:
 		// Whole iterations run concurrently, each with private tables
 		// (memory grows with concurrent iterations, as the paper notes).
@@ -109,7 +109,7 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 			go func(w int) {
 				defer wg.Done()
 				for i := range next {
-					if stop != nil && stop.Load() {
+					if stopRequested(ctx, stop) {
 						continue // drain remaining iteration slots
 					}
 					st, d := runIter(i, innerWs[w])
@@ -133,7 +133,7 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 		wg.Wait()
 	default: // Inner
 		for i := 0; i < iters; i++ {
-			if stop != nil && stop.Load() {
+			if stopRequested(ctx, stop) {
 				break
 			}
 			st, d := runIter(i, e.workers())
@@ -244,7 +244,10 @@ func (e *Engine) ColorfulTotal(seed int64) float64 {
 }
 
 // ColoringFor reproduces the vertex coloring used by iteration seed, for
-// tests and external verification.
+// tests and external verification. Colors are indexed by the caller's
+// original vertex ids: the rng stream is always drawn in original-id
+// order, and a degree-bucketed execution reordering only scatters the
+// same per-vertex colors into the relabeled id space.
 func (e *Engine) ColoringFor(seed int64) []int8 {
 	rng := rand.New(rand.NewSource(seed))
 	colors := make([]int8, e.g.N())
@@ -300,7 +303,7 @@ func (e *Engine) VertexCountsContext(ctx context.Context, iters int) ([]float64,
 	scale := 1 / (e.prob * float64(e.rAut) * float64(iters))
 	done := 0
 	for i := 0; i < iters; i++ {
-		if stop != nil && stop.Load() {
+		if stopRequested(ctx, stop) {
 			break
 		}
 		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), e.workers())
@@ -318,7 +321,10 @@ func (e *Engine) VertexCountsContext(ctx context.Context, iters int) ([]float64,
 		//lint:ctxpoll ok — read-only fold of a completed iteration; breaking mid-fold would corrupt the partial mean
 		for v := int32(0); v < int32(n); v++ {
 			if root.Has(v) {
-				acc[v] += root.SumRow(v) * scale
+				// Emit through the inverse permutation so callers see
+				// counts indexed by their own vertex ids even when the
+				// engine runs on a degree-bucketed relabeling.
+				acc[e.origID(v)] += root.SumRow(v) * scale
 			}
 		}
 		//lint:maporder ok — release-only loop: table teardown order cannot affect any estimate
@@ -385,7 +391,7 @@ func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, min
 	res := Result{ModeUsed: e.mode()}
 	var mean, m2 float64
 	for i := 0; i < maxIters; i++ {
-		if stop != nil && stop.Load() {
+		if stopRequested(ctx, stop) {
 			break
 		}
 		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), workers)

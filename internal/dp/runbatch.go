@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,7 +26,7 @@ import (
 //
 // Per-lane iteration times are the batch wall time divided by its lane
 // count — the traversal is shared, so lanes have no individual timings.
-func (e *Engine) runBatches(mode Mode, iters int, stop *atomic.Bool, start time.Time, estimates []float64, iterTimes []time.Duration, completed []bool, stats *RunStats, res *Result) {
+func (e *Engine) runBatches(ctx context.Context, mode Mode, iters int, stop *atomic.Bool, start time.Time, estimates []float64, iterTimes []time.Duration, completed []bool, stats *RunStats, res *Result) {
 	B := e.batch
 	numBatches := (iters + B - 1) / B
 
@@ -56,6 +57,7 @@ func (e *Engine) runBatches(mode Mode, iters int, stop *atomic.Bool, start time.
 		stats.BatchesRun++
 		perLane := d / time.Duration(st.lanes)
 		base := b * B
+		//lint:ctxpoll ok — ≤B-element fold of a completed batch; breaking mid-fold would drop lanes that already ran
 		for j := 0; j < st.lanes; j++ {
 			i := base + j
 			estimates[i] = e.scale(st.totals[j])
@@ -69,7 +71,7 @@ func (e *Engine) runBatches(mode Mode, iters int, stop *atomic.Bool, start time.
 
 	if mode == Inner {
 		for b := 0; b < numBatches; b++ {
-			if stop != nil && stop.Load() {
+			if stopRequested(ctx, stop) {
 				break
 			}
 			st, d := runBatch(b, e.workers())
@@ -104,7 +106,7 @@ func (e *Engine) runBatches(mode Mode, iters int, stop *atomic.Bool, start time.
 		go func(w int) {
 			defer wg.Done()
 			for b := range next {
-				if stop != nil && stop.Load() {
+				if stopRequested(ctx, stop) {
 					continue // drain remaining batch slots
 				}
 				st, d := runBatch(b, innerWs[w])

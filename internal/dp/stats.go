@@ -70,6 +70,18 @@ type RunStats struct {
 	// state is all hits.
 	ArenaHits   int64
 	ArenaMisses int64
+	// TiledPasses counts internal-node passes that ran the column-tiled
+	// execution path (passive table over the LLC budget), and TileSweeps
+	// the total tiles swept across them — TileSweeps/TiledPasses is the
+	// mean tiling factor.
+	TiledPasses int64
+	TileSweeps  int64
+	// LLCBudgetBytes is the resolved cache budget the tiling decisions
+	// used (0 = tiling disabled).
+	LLCBudgetBytes int64
+	// ReorderApplied reports whether the engine ran on a degree-bucketed
+	// vertex relabeling of the input graph.
+	ReorderApplied bool
 	// CachedIterations counts iterations whose per-iteration estimates
 	// were served from a result cache rather than computed by this run.
 	// It is always 0 for direct engine runs; serving layers that merge
@@ -95,8 +107,10 @@ func (s RunStats) NodeTimeTotal() time.Duration {
 // tree.
 func (e *Engine) newRunStats() RunStats {
 	st := RunStats{
-		Layout: e.cfg.TableKind.String(),
-		Nodes:  make([]NodeStat, len(e.tree.Order)),
+		Layout:         e.cfg.TableKind.String(),
+		Nodes:          make([]NodeStat, len(e.tree.Order)),
+		LLCBudgetBytes: e.llcBytes,
+		ReorderApplied: e.ord != nil,
 	}
 	for i, n := range e.tree.Order {
 		st.Nodes[i] = NodeStat{Index: i, Size: n.Size(), Leaf: n.IsLeaf()}
@@ -114,6 +128,8 @@ func (s *RunStats) mergeIter(st *iterState) {
 	s.RowsReleased += st.rowsReleased
 	s.TablesAllocated += st.tablesAllocated
 	s.TablesReleased += st.tablesReleased
+	s.TiledPasses += st.tiledPasses
+	s.TileSweeps += st.tileSweeps
 }
 
 // mergeBatch folds one lane batch's batchState accounting into the
@@ -126,6 +142,22 @@ func (s *RunStats) mergeBatch(st *batchState) {
 	s.RowsReleased += st.rowsReleased
 	s.TablesAllocated += st.tablesAllocated
 	s.TablesReleased += st.tablesReleased
+	s.TiledPasses += st.tiledPasses
+	s.TileSweeps += st.tileSweeps
+}
+
+// stopRequested is the iteration/batch-boundary cancellation check: it
+// consults the context directly in addition to the watcher flag, because
+// the AfterFunc that arms the flag fires on a separate goroutine — on a
+// single-CPU runtime a fast run can drain every remaining iteration
+// before that goroutine is ever scheduled. Boundaries are coarse enough
+// to afford the ctx.Err() mutex; the per-vertex inner loops keep the
+// one-atomic-load poll.
+func stopRequested(ctx context.Context, stop *atomic.Bool) bool {
+	if stop != nil && stop.Load() {
+		return true
+	}
+	return ctx != nil && ctx.Err() != nil
 }
 
 // watchContext arms a cancellation flag that DP inner loops can poll

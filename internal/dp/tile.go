@@ -1,0 +1,247 @@
+package dp
+
+import (
+	"os"
+	"strconv"
+
+	"repro/internal/comb"
+)
+
+// Tiling turns the bottom-up pass's passive-table sweep into a blocked
+// SpMM: when the passive child table for a node exceeds the last-level
+// cache budget, the per-lane column space is split into tiles sized so
+// one tile of the passive table stays cache-resident, and the per-vertex
+// kernels run tile-by-tile over a small block of output rows held in a
+// per-worker scratch. Each (vertex, column) cell is visited exactly once
+// across tiles and the per-cell sums are exact integer float64
+// additions, so tiled and untiled runs produce bit-identical tables.
+const (
+	// defaultLLCBytes is the passive-table cache budget when neither
+	// Config.LLCBytes nor FASCIA_LLC_BYTES picks one. 64 MiB sits below
+	// the measured bandwidth cliff on typical server LLCs while leaving
+	// room for the output block and adjacency stream.
+	defaultLLCBytes = 64 << 20
+	// tileBlockBytes targets the per-worker output-row block at the L2
+	// (~1 MiB): large enough to amortize the tile sweep's re-walk of the
+	// adjacency rows, small enough that the block stays resident.
+	tileBlockBytes = 1 << 20
+	minBlockVerts  = 16
+	maxBlockVerts  = 4096
+	// maxTileSweeps caps how many times a node's adjacency is re-walked;
+	// past this the gather savings lose to the CSR re-stream, so the
+	// auto batch picker shrinks B instead of tiling finer.
+	maxTileSweeps = 16
+	llcEnvVar     = "FASCIA_LLC_BYTES"
+)
+
+// resolveLLCBytes lowers the Config.LLCBytes knob: >0 is an explicit
+// budget, <0 disables tiling (resolved 0), and 0 defers to the
+// FASCIA_LLC_BYTES environment variable, then defaultLLCBytes.
+func resolveLLCBytes(cfg int64) int64 {
+	if cfg > 0 {
+		return cfg
+	}
+	if cfg < 0 {
+		return 0
+	}
+	if s := os.Getenv(llcEnvVar); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return defaultLLCBytes
+}
+
+// tilePlan is the column tiling of one node's pass: bounds holds the
+// per-lane passive-column tile edges (bounds[t]..bounds[t+1] is tile t),
+// and blockVerts is the output-row block height the tile sweep uses.
+type tilePlan struct {
+	bounds     []int32
+	blockVerts int
+}
+
+func (p *tilePlan) tiles() int { return len(p.bounds) - 1 }
+
+// planTiles decides the column tiling for a pass with nc output color
+// sets, ncP passive color sets, and the given lane count over nVerts
+// vertices. It returns nil when the pass should run untiled: the
+// passive table already fits the budget, tiling is disabled, or the
+// shape is degenerate. forceCols pins the per-lane tile width for tests
+// and benchmarks (>0 always tiles at that width, <0 never tiles, 0
+// auto).
+func planTiles(nc, ncP, lanes, nVerts int, llcBytes int64, forceCols int) *tilePlan {
+	if ncP <= 0 || nVerts <= 0 || lanes <= 0 || forceCols < 0 {
+		return nil
+	}
+	p := &tilePlan{blockVerts: blockVertsFor(nc, lanes)}
+	if forceCols > 0 {
+		// Pinned width (tests/benchmarks): step by the forced column
+		// count; the last tile may be ragged.
+		cols := forceCols
+		if cols > ncP {
+			cols = ncP
+		}
+		for lo := 0; lo < ncP; lo += cols {
+			p.bounds = append(p.bounds, int32(lo))
+		}
+		p.bounds = append(p.bounds, int32(ncP))
+		return p
+	}
+	if llcBytes <= 0 {
+		return nil
+	}
+	pasBytes := int64(nVerts) * int64(ncP) * int64(lanes) * 8
+	if pasBytes <= llcBytes {
+		return nil
+	}
+	// Size a tile to the budget, round the tile count up, then split the
+	// columns evenly across that many tiles (widths differ by at most
+	// one) so the last tile is never a sliver. ceil(ncP/tiles) never
+	// exceeds the budget-derived width, so every tile still fits.
+	rowBytes := int64(nVerts) * int64(lanes) * 8
+	cols := int(llcBytes / rowBytes)
+	if cols < 1 {
+		cols = 1
+	}
+	tiles := (ncP + cols - 1) / cols
+	for t := 0; t <= tiles; t++ {
+		p.bounds = append(p.bounds, int32(t*ncP/tiles))
+	}
+	return p
+}
+
+// blockVertsFor sizes the output-row block: as many vertices as fit
+// tileBlockBytes of width-nc·lanes rows, clamped to [minBlockVerts,
+// maxBlockVerts] and rounded down to a multiple of 16 so chunk
+// boundaries stay cache-line aligned.
+func blockVertsFor(nc, lanes int) int {
+	rowBytes := nc * lanes * 8
+	if rowBytes <= 0 {
+		return minBlockVerts
+	}
+	bv := tileBlockBytes / rowBytes
+	if bv > maxBlockVerts {
+		bv = maxBlockVerts
+	}
+	bv &^= 15
+	if bv < minBlockVerts {
+		bv = minBlockVerts
+	}
+	return bv
+}
+
+// tilesNeeded returns how many budget-sized tiles a passive table of the
+// given size would need (1 = fits untiled). llc <= 0 means tiling is
+// disabled, so everything "fits" in one sweep.
+func tilesNeeded(bytes, llc int64) int {
+	if llc <= 0 || bytes <= llc {
+		return 1
+	}
+	return int((bytes + llc - 1) / llc)
+}
+
+// tileSplits is the per-tile slice of a node's contraction metadata:
+// only the (active, passive) split pairs and singleton entries whose
+// passive index lands in [lo, hi) — precomputed once per pass so the
+// per-vertex tile kernels iterate exactly the in-tile terms.
+type tileSplits struct {
+	lo, hi int32
+	// General branch: seg[ci]..seg[ci+1] indexes act/pas for output set
+	// ci, mirroring comb.SplitTable's fixed-stride layout in filtered,
+	// variable-stride form.
+	seg []int32
+	act []int32
+	pas []int32
+	// Single-active branch: singles[c] is the SetIdx-sorted entry list
+	// for active color c, filtered to RestIdx in [lo, hi).
+	singles [][]comb.SingletonEntry
+}
+
+// buildTileSplits filters a node's contraction metadata per tile. For
+// branches whose passive-index filtering is pure runtime gating
+// (size-2, single-passive) the split slices stay empty and the kernels
+// gate on the color directly.
+func buildTileSplits(shape *kernelShape, plan *tilePlan) []tileSplits {
+	ts := make([]tileSplits, plan.tiles())
+	for t := range ts {
+		ts[t].lo = plan.bounds[t]
+		ts[t].hi = plan.bounds[t+1]
+	}
+	switch shape.branch {
+	case branchGeneral:
+		split := shape.split
+		spn := shape.spn
+		for t := range ts {
+			lo, hi := ts[t].lo, ts[t].hi
+			seg := make([]int32, shape.nc+1)
+			var act, pas []int32
+			for ci := 0; ci < shape.nc; ci++ {
+				base := ci * spn
+				for j := 0; j < spn; j++ {
+					p := split.PassiveIdx[base+j]
+					if p >= lo && p < hi {
+						act = append(act, split.ActiveIdx[base+j])
+						pas = append(pas, p)
+					}
+				}
+				seg[ci+1] = int32(len(act))
+			}
+			ts[t].seg = seg
+			ts[t].act = act
+			ts[t].pas = pas
+		}
+	case branchActiveSingle:
+		for t := range ts {
+			lo, hi := ts[t].lo, ts[t].hi
+			singles := make([][]comb.SingletonEntry, len(shape.singles))
+			for c, entries := range shape.singles {
+				var kept []comb.SingletonEntry
+				for _, en := range entries {
+					if en.RestIdx >= lo && en.RestIdx < hi {
+						kept = append(kept, en)
+					}
+				}
+				singles[c] = kept
+			}
+			ts[t].singles = singles
+		}
+	}
+	return ts
+}
+
+// tileCtx bundles a pass's tiling plan with its per-tile filtered
+// contraction metadata. A nil tileCtx means the pass runs untiled.
+type tileCtx struct {
+	plan *tilePlan
+	ts   []tileSplits
+}
+
+func newTileCtx(shape *kernelShape, plan *tilePlan) *tileCtx {
+	if plan == nil {
+		return nil
+	}
+	return &tileCtx{plan: plan, ts: buildTileSplits(shape, plan)}
+}
+
+// tilePlanFor builds the tile plan for one node's pass at the given
+// lane count, honoring the engine's resolved LLC budget and the
+// TileCols test override.
+func (e *Engine) tilePlanFor(shape *kernelShape, lanes int) *tilePlan {
+	return planTiles(shape.nc, shape.ncP, lanes, e.g.N(), e.llcBytes, e.cfg.TileCols)
+}
+
+// chunkForTiled rounds the standard work-stealing chunk size up to a
+// whole number of tile blocks so every chunk boundary is also a block
+// boundary: workers then never split a block's scratch rows, and the
+// chunk cursor (which advances in chunk units from 0) keeps all chunk
+// starts block-aligned.
+func chunkForTiled(nVerts, workers, blockVerts int) int {
+	chunk := chunkFor(nVerts, workers)
+	if blockVerts <= 1 {
+		return chunk
+	}
+	if rem := chunk % blockVerts; rem != 0 {
+		chunk += blockVerts - rem
+	}
+	return chunk
+}

@@ -1,0 +1,146 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// TestTiledEquivalence is the keystone property test of the tiled
+// execution layer: tiled and untiled passes must produce BIT-IDENTICAL
+// PerIteration estimate streams. Each (vertex, column) cell is visited
+// exactly once across tiles and counts are integer-valued float64s, so
+// no summation-order slack is needed or tolerated. The sweep covers all
+// three table layouts × both forced kernels × B ∈ {1, 4, 8} × tile
+// widths {1 column, odd, full width} × sequential and 4-worker passes
+// (run under -race by `make race`, which makes the worker sweep a data
+// race probe too).
+func TestTiledEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 90, 320)
+	tpl := randomTree(rng, 6)
+	const iters = 3
+	for _, kind := range []table.Kind{table.Lazy, table.Naive, table.Hash} {
+		for _, kern := range []KernelMode{KernelDirect, KernelAggregate} {
+			for _, workers := range []int{1, 4} {
+				base := DefaultConfig()
+				base.TableKind = kind
+				base.Kernel = kern
+				base.Mode = Inner
+				base.Workers = workers
+				base.Seed = 99
+				base.TileCols = -1 // reference: tiling off
+				for _, B := range []int{1, 4, 8} {
+					refCfg := base
+					refCfg.Batch = B
+					e0, err := New(g, tpl, refCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref, err := e0.Run(iters)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ref.Stats.TiledPasses != 0 {
+						t.Fatalf("%v/%v w=%d B=%d: reference run tiled %d passes, want 0",
+							kind, kern, workers, B, ref.Stats.TiledPasses)
+					}
+					// Tile widths: single column, odd width, full width
+					// (full width still runs the tiled kernel path, as a
+					// one-tile sweep).
+					for _, cols := range []int{1, 3, 1 << 20} {
+						cfg := refCfg
+						cfg.TileCols = cols
+						e, err := New(g, tpl, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := e.Run(iters)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res.Stats.TiledPasses == 0 {
+							t.Fatalf("%v/%v w=%d B=%d cols=%d: no pass ran tiled",
+								kind, kern, workers, B, cols)
+						}
+						for i := range res.PerIteration {
+							if res.PerIteration[i] != ref.PerIteration[i] {
+								t.Fatalf("%v/%v w=%d B=%d cols=%d: iteration %d estimate %v != untiled %v",
+									kind, kern, workers, B, cols, i, res.PerIteration[i], ref.PerIteration[i])
+							}
+						}
+						if res.Estimate != ref.Estimate {
+							t.Fatalf("%v/%v w=%d B=%d cols=%d: mean %v != untiled %v",
+								kind, kern, workers, B, cols, res.Estimate, ref.Estimate)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReorderEquivalence pins the degree-bucketed relabeling's
+// invisibility: with reordering forced on, the PerIteration stream and
+// the per-original-vertex counts must be bit-identical to a run with
+// reordering off — colors are drawn in original-id order and scattered
+// through the permutation, and per-vertex output is translated back.
+func TestReorderEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	// A skewed graph (star-heavy) so the bucketing actually permutes.
+	g := randomGraph(rng, 120, 500)
+	tpl := randomTree(rng, 5)
+	const iters = 4
+	for _, B := range []int{1, 4} {
+		off := DefaultConfig()
+		off.Seed = 5
+		off.Batch = B
+		off.Reorder = ReorderOff
+		e0, err := New(g, tpl, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := e0.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refCounts, err := e0.VertexCounts(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		on := off
+		on.Reorder = ReorderOn
+		e1, err := New(g, tpl, on)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e1.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.ReorderApplied {
+			t.Fatalf("B=%d: ReorderOn run did not report ReorderApplied", B)
+		}
+		if ref.Stats.ReorderApplied {
+			t.Fatalf("B=%d: ReorderOff run reported ReorderApplied", B)
+		}
+		for i := range res.PerIteration {
+			if res.PerIteration[i] != ref.PerIteration[i] {
+				t.Fatalf("B=%d: iteration %d estimate %v != unreordered %v",
+					B, i, res.PerIteration[i], ref.PerIteration[i])
+			}
+		}
+		counts, err := e1.VertexCounts(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range counts {
+			if counts[v] != refCounts[v] {
+				t.Fatalf("B=%d: vertex %d count %v != unreordered %v",
+					B, v, counts[v], refCounts[v])
+			}
+		}
+	}
+}

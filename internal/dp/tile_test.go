@@ -1,0 +1,204 @@
+package dp
+
+import (
+	"testing"
+)
+
+// checkPlanInvariants asserts the structural contract every tile plan
+// must satisfy: bounds cover [0, ncP] exactly once, strictly increase,
+// and blockVerts lands in its clamp range. These are the properties the
+// tile kernels rely on for the visit-each-cell-exactly-once bit-identity
+// argument. (Width balance is an auto-mode-only property — a forced
+// width leaves a ragged last tile — so the auto callers check it
+// separately.)
+func checkPlanInvariants(t *testing.T, p *tilePlan, ncP int) {
+	t.Helper()
+	if p == nil {
+		return
+	}
+	if len(p.bounds) < 2 {
+		t.Fatalf("plan has %d bounds, want >= 2", len(p.bounds))
+	}
+	if p.bounds[0] != 0 || p.bounds[len(p.bounds)-1] != int32(ncP) {
+		t.Fatalf("bounds %v do not cover [0, %d]", p.bounds, ncP)
+	}
+	for i := 1; i < len(p.bounds); i++ {
+		if p.bounds[i] <= p.bounds[i-1] {
+			t.Fatalf("bounds %v not strictly increasing at %d", p.bounds, i)
+		}
+	}
+	if p.blockVerts < minBlockVerts || p.blockVerts > maxBlockVerts {
+		t.Fatalf("blockVerts %d outside [%d, %d]", p.blockVerts, minBlockVerts, maxBlockVerts)
+	}
+}
+
+func TestPlanTilesShapes(t *testing.T) {
+	cases := []struct {
+		name                   string
+		nc, ncP, lanes, nVerts int
+		llc                    int64
+		forceCols              int
+		wantNil                bool
+		wantTiles              int // 0 = don't check
+	}{
+		{name: "fits budget untiled", nc: 35, ncP: 7, lanes: 1, nVerts: 1000, llc: 1 << 20, wantNil: true},
+		{name: "tiling disabled", nc: 35, ncP: 7, lanes: 8, nVerts: 100000, llc: 0, wantNil: true},
+		{name: "force off", nc: 35, ncP: 7, lanes: 8, nVerts: 100000, llc: 1 << 20, forceCols: -1, wantNil: true},
+		{name: "zero-width passive", nc: 35, ncP: 0, lanes: 8, nVerts: 100000, llc: 1 << 20, wantNil: true},
+		{name: "zero vertices", nc: 35, ncP: 7, lanes: 8, nVerts: 0, llc: 1 << 20, wantNil: true},
+		{name: "zero lanes", nc: 35, ncP: 7, lanes: 0, nVerts: 100000, llc: 1 << 20, wantNil: true},
+		{name: "force one row", nc: 35, ncP: 7, lanes: 1, nVerts: 100, llc: 1 << 30, forceCols: 1, wantTiles: 7},
+		{name: "force odd", nc: 35, ncP: 7, lanes: 1, nVerts: 100, llc: 1 << 30, forceCols: 3, wantTiles: 3},
+		{name: "force full width", nc: 35, ncP: 7, lanes: 1, nVerts: 100, llc: 1 << 30, forceCols: 7, wantTiles: 1},
+		{name: "force wider than table clamps", nc: 35, ncP: 7, lanes: 1, nVerts: 100, llc: 1 << 30, forceCols: 99, wantTiles: 1},
+		{name: "llc below one row still one column per tile", nc: 35, ncP: 7, lanes: 8, nVerts: 100000, llc: 1, wantTiles: 7},
+		{name: "auto splits over budget", nc: 21, ncP: 21, lanes: 8, nVerts: 100000, llc: 64 << 20, wantTiles: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := planTiles(tc.nc, tc.ncP, tc.lanes, tc.nVerts, tc.llc, tc.forceCols)
+			if tc.wantNil {
+				if p != nil {
+					t.Fatalf("want untiled (nil plan), got bounds %v", p.bounds)
+				}
+				return
+			}
+			if p == nil {
+				t.Fatal("want a tile plan, got nil")
+			}
+			checkPlanInvariants(t, p, tc.ncP)
+			if tc.wantTiles > 0 && p.tiles() != tc.wantTiles {
+				t.Fatalf("got %d tiles (bounds %v), want %d", p.tiles(), p.bounds, tc.wantTiles)
+			}
+		})
+	}
+}
+
+// FuzzTilePlan drives the tile-size picker with arbitrary — including
+// degenerate — shapes and checks the structural invariants plus the
+// auto-mode budget contract. The seeds pin the degenerate inputs named
+// by the issue: zero-width tables, single-vertex graphs, and an LLC
+// budget smaller than one row.
+func FuzzTilePlan(f *testing.F) {
+	f.Add(35, 7, 8, 100000, int64(64<<20), 0)
+	f.Add(0, 0, 0, 0, int64(0), 0)              // all-degenerate
+	f.Add(1, 0, 1, 1, int64(1<<20), 0)          // zero-width passive table
+	f.Add(1, 1, 1, 1, int64(1<<20), 0)          // single-vertex graph
+	f.Add(35, 21, 8, 100000, int64(1), 0)       // budget smaller than one row
+	f.Add(35, 7, 8, 100000, int64(-5), 0)       // negative budget
+	f.Add(35, 7, 8, 100000, int64(1<<20), 9999) // force wider than the table
+	f.Add(35, 7, 8, 100000, int64(1<<20), -1)   // force off
+	f.Fuzz(func(t *testing.T, nc, ncP, lanes, nVerts int, llc int64, forceCols int) {
+		// Keep the product bounded so the bounds slice stays small; the
+		// picker itself must tolerate any int, so clamp only magnitudes.
+		if ncP > 1<<20 || ncP < -1<<20 || nc > 1<<20 || nc < -1<<20 {
+			t.Skip()
+		}
+		p := planTiles(nc, ncP, lanes, nVerts, llc, forceCols)
+		if p == nil {
+			return
+		}
+		checkPlanInvariants(t, p, ncP)
+		if forceCols == 0 {
+			// Auto mode only tiles past the budget, and each tile must fit
+			// it unless a single column already exceeds it.
+			pasBytes := int64(nVerts) * int64(ncP) * int64(lanes) * 8
+			if llc <= 0 || pasBytes <= llc {
+				t.Fatalf("auto plan tiled a fitting pass: %d bytes vs budget %d", pasBytes, llc)
+			}
+			rowBytes := int64(nVerts) * int64(lanes) * 8
+			widthMin, widthMax := int32(1<<30), int32(0)
+			for i := 1; i < len(p.bounds); i++ {
+				w := p.bounds[i] - p.bounds[i-1]
+				if int64(w)*rowBytes > llc && w > 1 {
+					t.Fatalf("tile %d of width %d (%d bytes) exceeds budget %d", i-1, w, int64(w)*rowBytes, llc)
+				}
+				widthMin, widthMax = min(widthMin, w), max(widthMax, w)
+			}
+			if widthMax-widthMin > 1 {
+				t.Fatalf("auto bounds %v unbalanced: widths span [%d, %d]", p.bounds, widthMin, widthMax)
+			}
+		}
+	})
+}
+
+// Regression twins for FuzzTilePlan's degenerate seeds, runnable without
+// the fuzzer (go test) so CI pins them deterministically.
+func TestTilePlanDegenerate(t *testing.T) {
+	// Zero-width passive table, zero vertices, zero lanes: untiled.
+	for _, args := range [][4]int{{0, 0, 0, 0}, {1, 0, 1, 1}, {35, 7, 0, 100}, {35, 7, 1, 0}} {
+		if p := planTiles(args[0], args[1], args[2], args[3], 1<<20, 0); p != nil {
+			t.Fatalf("planTiles%v = %v, want nil", args, p.bounds)
+		}
+	}
+	// Single-vertex graph over budget: tiles to single columns, never 0-width.
+	p := planTiles(1, 4, 1, 1, 8, 0) // 4 cols x 8 bytes = 32 > 8
+	if p == nil {
+		t.Fatal("single-vertex over-budget pass should tile")
+	}
+	checkPlanInvariants(t, p, 4)
+	// Budget smaller than one row degrades to one column per tile.
+	p = planTiles(35, 21, 8, 100000, 1, 0)
+	if p == nil || p.tiles() != 21 {
+		t.Fatalf("sub-row budget: got %+v, want 21 single-column tiles", p)
+	}
+	checkPlanInvariants(t, p, 21)
+}
+
+// TestBlockVertsFor pins the output-block clamp range and the 16-vertex
+// alignment the chunkForTiled contract relies on.
+func TestBlockVertsFor(t *testing.T) {
+	cases := []struct {
+		nc, lanes, want int
+	}{
+		{0, 0, minBlockVerts},                   // degenerate width
+		{1, 1, maxBlockVerts},                   // tiny rows clamp high
+		{1 << 20, 8, minBlockVerts},             // huge rows clamp low
+		{35, 8, (1 << 20) / (35 * 8 * 8) &^ 15}, // mid-range, 16-aligned
+	}
+	for _, tc := range cases {
+		got := blockVertsFor(tc.nc, tc.lanes)
+		if got != tc.want {
+			t.Errorf("blockVertsFor(%d, %d) = %d, want %d", tc.nc, tc.lanes, got, tc.want)
+		}
+		if got%16 != 0 {
+			t.Errorf("blockVertsFor(%d, %d) = %d not 16-aligned", tc.nc, tc.lanes, got)
+		}
+	}
+}
+
+// TestChunkForTiledAlignment pins the chunk/tile-block alignment across
+// worker counts 1..16: every chunk the work-stealing cursor hands out
+// must start on a block boundary and cover whole blocks (except the
+// ragged final chunk at nVerts).
+func TestChunkForTiledAlignment(t *testing.T) {
+	for _, nVerts := range []int{1, 100, 5_000, 100_000, 1_000_003} {
+		for workers := 1; workers <= 16; workers++ {
+			for _, blockVerts := range []int{16, 48, 1024, 4096} {
+				chunk := chunkForTiled(nVerts, workers, blockVerts)
+				if chunk <= 0 {
+					t.Fatalf("nVerts=%d workers=%d block=%d: chunk %d <= 0", nVerts, workers, blockVerts, chunk)
+				}
+				if chunk%blockVerts != 0 {
+					t.Fatalf("nVerts=%d workers=%d block=%d: chunk %d not a whole number of blocks",
+						nVerts, workers, blockVerts, chunk)
+				}
+				if chunk < chunkFor(nVerts, workers) {
+					t.Fatalf("nVerts=%d workers=%d block=%d: tiled chunk %d shrank below untiled %d",
+						nVerts, workers, blockVerts, chunk, chunkFor(nVerts, workers))
+				}
+				// Walk the cursor like the workers do: every claimed start
+				// must be block-aligned.
+				for start := 0; start < nVerts; start += chunk {
+					if start%blockVerts != 0 {
+						t.Fatalf("chunk start %d not aligned to block %d", start, blockVerts)
+					}
+				}
+			}
+		}
+	}
+	// blockVerts <= 1 degrades to the plain chunk.
+	if got, want := chunkForTiled(1000, 4, 1), chunkFor(1000, 4); got != want {
+		t.Fatalf("blockVerts=1: got %d, want plain chunk %d", got, want)
+	}
+}

@@ -1,0 +1,258 @@
+package dp
+
+import (
+	"repro/internal/comb"
+	"repro/internal/table"
+)
+
+// Scalar tiled kernels: the column-tiled counterparts of the passes in
+// kernel.go. Each kernel processes only the passive-column range
+// [ts.lo, ts.hi) of one tile; the tile sweep in passRangeTiled
+// accumulates every tile's contributions into the same block-scratch
+// output row, and each (neighbor, passive-column) term lands in exactly
+// one tile, so the union over tiles reproduces the untiled pass — counts
+// are integer-valued float64s, so the regrouped summation is exact and
+// the stored rows are bit-identical.
+
+// passRangeTiled runs the tiled pass over vertices [start, end): blocks
+// of plan.blockVerts output rows accumulate in per-worker scratch while
+// the tile loop sweeps the passive columns, then each finished row is
+// stored once. Chunk boundaries are always block-aligned
+// (chunkForTiled), so blocks never straddle workers.
+func (st *iterState) passRangeTiled(ctx *nodeCtx, tab table.Table, tc *tileCtx, start, end int32, sc *scratch) {
+	nc := ctx.nc
+	bv := int32(tc.plan.blockVerts)
+	for b0 := start; b0 < end; b0 += bv {
+		b1 := b0 + bv
+		if b1 > end {
+			b1 = end
+		}
+		rows := sc.tileRows(int(b1-b0) * nc)
+		clear(rows)
+		for t := range tc.ts {
+			ts := &tc.ts[t]
+			for v := b0; v < b1; v++ {
+				if st.cancelled() {
+					return
+				}
+				st.vertexPassTile(ctx, v, rows[int(v-b0)*nc:][:nc], sc, ts, t == 0)
+			}
+		}
+		for v := b0; v < b1; v++ {
+			if st.cancelled() {
+				return
+			}
+			row := rows[int(v-b0)*nc:][:nc]
+			for _, x := range row {
+				if x != 0 {
+					tab.StoreRow(v, row)
+					break
+				}
+			}
+		}
+	}
+}
+
+// vertexPassTile is one vertex's contribution from one tile,
+// accumulated into its block-scratch row buf (cleared once per block,
+// not per tile). Kernel choice depends only on degree and shape, so it
+// is identical across tiles; the tallies count each vertex once (on the
+// first tile).
+func (st *iterState) vertexPassTile(ctx *nodeCtx, v int32, buf []float64, sc *scratch, ts *tileSplits, first bool) {
+	if !ctx.act.Has(v) {
+		return
+	}
+	adj := st.e.g.Adj(v)
+	if len(adj) == 0 {
+		return
+	}
+	aggregate := ctx.useAggregate(len(adj))
+	if first {
+		if aggregate {
+			sc.aggN++
+		} else {
+			sc.directN++
+		}
+	}
+	switch ctx.branch {
+	case branchSize2:
+		st.passSize2Tile(ctx, v, adj, buf, sc, aggregate, ts)
+	case branchActiveSingle:
+		st.passActiveSingleTile(ctx, v, adj, buf, sc, aggregate, ts)
+	case branchPassiveSingle:
+		st.passPassiveSingleTile(ctx, v, adj, buf, sc, aggregate, ts)
+	default:
+		if aggregate {
+			st.passGeneralAggregateTile(ctx, v, adj, buf, sc, ts)
+		} else {
+			st.passGeneralDirectTile(ctx, v, adj, buf, sc, ts)
+		}
+	}
+}
+
+// passSize2Tile restricts passSize2 to neighbor colors in [lo, hi); the
+// passive table's columns ARE the colors here, so the gate is pure
+// runtime color filtering.
+func (st *iterState) passSize2Tile(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch, aggregate bool, ts *tileSplits) {
+	act, pas := ctx.act, ctx.pas
+	av := act.Get(v, int32(st.colors[v]))
+	if av == 0 {
+		return
+	}
+	cv := int(st.colors[v])
+	lo, hi := int(ts.lo), int(ts.hi)
+	if !aggregate {
+		for _, u := range adj {
+			cu := int(st.colors[u])
+			if cu == cv || cu < lo || cu >= hi {
+				continue
+			}
+			if pv := pas.Get(u, int32(cu)); pv != 0 {
+				buf[comb.PairIndex(cv, cu)] += av * pv
+			}
+		}
+		return
+	}
+	colorAgg := sc.colorAgg
+	clear(colorAgg[lo:hi])
+	table.GatherColorsRangeInto(pas, adj, st.colors, colorAgg, lo, hi)
+	if cv >= lo && cv < hi {
+		// Same-color neighbors contribute nothing (no valid pair set).
+		colorAgg[cv] = 0
+	}
+	for c := lo; c < hi; c++ {
+		if s := colorAgg[c]; s != 0 {
+			buf[comb.PairIndex(cv, c)] += av * s
+		}
+	}
+}
+
+// passActiveSingleTile walks the tile-filtered singleton entry lists
+// (RestIdx in [lo, hi)), so the passive reads stay inside the tile.
+func (st *iterState) passActiveSingleTile(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch, aggregate bool, ts *tileSplits) {
+	act, pas := ctx.act, ctx.pas
+	av := act.Get(v, int32(st.colors[v]))
+	if av == 0 {
+		return
+	}
+	entries := ts.singles[int(st.colors[v])]
+	if !aggregate {
+		for _, u := range adj {
+			if prow := pas.Row(u); prow != nil {
+				for _, en := range entries {
+					if pv := prow[en.RestIdx]; pv != 0 {
+						buf[en.SetIdx] += av * pv
+					}
+				}
+			} else if pas.Has(u) {
+				for _, en := range entries {
+					if pv := pas.Get(u, en.RestIdx); pv != 0 {
+						buf[en.SetIdx] += av * pv
+					}
+				}
+			}
+		}
+		return
+	}
+	agg := sc.agg[:ctx.ncP]
+	lo, hi := int(ts.lo), int(ts.hi)
+	clear(agg[lo:hi])
+	table.AccumulateRowsRangeInto(pas, adj, agg, lo, hi)
+	for _, en := range entries {
+		if s := agg[en.RestIdx]; s != 0 {
+			buf[en.SetIdx] += av * s
+		}
+	}
+}
+
+// passPassiveSingleTile gates neighbors by color in [lo, hi); the
+// singleton entry lists index the ACTIVE row here and stay unfiltered.
+func (st *iterState) passPassiveSingleTile(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch, aggregate bool, ts *tileSplits) {
+	act, pas := ctx.act, ctx.pas
+	arow := materializeRow(act, v, sc.actRow, ctx.ncA)
+	lo, hi := int(ts.lo), int(ts.hi)
+	if !aggregate {
+		for _, u := range adj {
+			cu := int(st.colors[u])
+			if cu < lo || cu >= hi {
+				continue
+			}
+			pv := pas.Get(u, int32(cu))
+			if pv == 0 {
+				continue
+			}
+			for _, en := range ctx.singles[cu] {
+				if av := arow[en.RestIdx]; av != 0 {
+					buf[en.SetIdx] += av * pv
+				}
+			}
+		}
+		return
+	}
+	colorAgg := sc.colorAgg
+	clear(colorAgg[lo:hi])
+	table.GatherColorsRangeInto(pas, adj, st.colors, colorAgg, lo, hi)
+	for c := lo; c < hi; c++ {
+		s := colorAgg[c]
+		if s == 0 {
+			continue
+		}
+		for _, en := range ctx.singles[c] {
+			if av := arow[en.RestIdx]; av != 0 {
+				buf[en.SetIdx] += av * s
+			}
+		}
+	}
+}
+
+// passGeneralDirectTile contracts only the tile-filtered (Ca, Cp) split
+// pairs (PassiveIdx in [lo, hi)), via the per-tile variable-stride
+// seg/act/pas arrays built by buildTileSplits.
+func (st *iterState) passGeneralDirectTile(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch, ts *tileSplits) {
+	act, pas := ctx.act, ctx.pas
+	arow := materializeRow(act, v, sc.actRow, ctx.ncA)
+	nc := ctx.nc
+	for _, u := range adj {
+		prow := pas.Row(u)
+		if prow == nil {
+			if !pas.Has(u) {
+				continue
+			}
+			prow = materializeRow(pas, u, sc.pasRow, ctx.ncP)
+		}
+		for ci := 0; ci < nc; ci++ {
+			var s float64
+			for j := ts.seg[ci]; j < ts.seg[ci+1]; j++ {
+				if av := arow[ts.act[j]]; av != 0 {
+					s += av * prow[ts.pas[j]]
+				}
+			}
+			if s != 0 {
+				buf[ci] += s
+			}
+		}
+	}
+}
+
+// passGeneralAggregateTile aggregates only the tile's passive columns,
+// then contracts against the tile-filtered split pairs.
+func (st *iterState) passGeneralAggregateTile(ctx *nodeCtx, v int32, adj []int32, buf []float64, sc *scratch, ts *tileSplits) {
+	act, pas := ctx.act, ctx.pas
+	agg := sc.agg[:ctx.ncP]
+	lo, hi := int(ts.lo), int(ts.hi)
+	clear(agg[lo:hi])
+	table.AccumulateRowsRangeInto(pas, adj, agg, lo, hi)
+	arow := materializeRow(act, v, sc.actRow, ctx.ncA)
+	nc := ctx.nc
+	for ci := 0; ci < nc; ci++ {
+		var s float64
+		for j := ts.seg[ci]; j < ts.seg[ci+1]; j++ {
+			if av := arow[ts.act[j]]; av != 0 {
+				s += av * agg[ts.pas[j]]
+			}
+		}
+		if s != 0 {
+			buf[ci] += s
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package dp
+
+import (
+	"repro/internal/comb"
+	"repro/internal/table"
+)
+
+// Batched tiled kernels: the lane-widened counterparts of tilekernel.go.
+// The tile dimension is the passive child's per-lane column space; lane
+// blocks are contiguous, so a per-lane column tile [lo, hi) is the flat
+// range [lo·L, hi·L) of every lane row. As with the scalar tiled pass,
+// each (neighbor, passive-column, lane) term lands in exactly one tile
+// and the block-scratch accumulation is an exact integer float64 sum, so
+// tiled and untiled batched runs store bit-identical rows.
+
+// passRangeTiledB is the batched tiled driver over vertices [start,
+// end): block rows of width nc·L accumulate across the tile sweep, then
+// store once per vertex.
+func (st *batchState) passRangeTiledB(ctx *batchCtx, tab *table.Multi, tc *tileCtx, start, end int32, sc *batchScratch) {
+	w := ctx.nc * st.lanes
+	bv := int32(tc.plan.blockVerts)
+	for b0 := start; b0 < end; b0 += bv {
+		b1 := b0 + bv
+		if b1 > end {
+			b1 = end
+		}
+		rows := sc.tileRows(int(b1-b0) * w)
+		clear(rows)
+		for t := range tc.ts {
+			ts := &tc.ts[t]
+			for v := b0; v < b1; v++ {
+				if st.cancelled() {
+					return
+				}
+				st.vertexPassTileB(ctx, v, rows[int(v-b0)*w:][:w], sc, ts, t == 0)
+			}
+		}
+		for v := b0; v < b1; v++ {
+			if st.cancelled() {
+				return
+			}
+			row := rows[int(v-b0)*w:][:w]
+			for _, x := range row {
+				if x != 0 {
+					tab.StoreRow(v, row)
+					break
+				}
+			}
+		}
+	}
+}
+
+// vertexPassTileB is one vertex's contribution from one tile across all
+// lanes, accumulated into its block-scratch row.
+func (st *batchState) vertexPassTileB(ctx *batchCtx, v int32, buf []float64, sc *batchScratch, ts *tileSplits, first bool) {
+	if !ctx.act.Has(v) {
+		return
+	}
+	adj := st.e.g.Adj(v)
+	if len(adj) == 0 {
+		return
+	}
+	aggregate := ctx.useAggregate(len(adj))
+	if first {
+		if aggregate {
+			sc.aggN += int64(st.lanes)
+		} else {
+			sc.directN += int64(st.lanes)
+		}
+	}
+	switch ctx.branch {
+	case branchSize2:
+		st.passSize2BTile(ctx, v, adj, buf, sc, aggregate, ts)
+	case branchActiveSingle:
+		st.passActiveSingleBTile(ctx, v, adj, buf, sc, aggregate, ts)
+	case branchPassiveSingle:
+		st.passPassiveSingleBTile(ctx, v, adj, buf, sc, aggregate, ts)
+	default:
+		if aggregate {
+			st.passGeneralAggregateBTile(ctx, v, adj, buf, sc, ts)
+		} else {
+			st.passGeneralDirectBTile(ctx, v, adj, buf, sc, ts)
+		}
+	}
+}
+
+// passSize2BTile gates each lane's neighbor color to [lo, hi).
+func (st *batchState) passSize2BTile(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch, aggregate bool, ts *tileSplits) {
+	L := st.lanes
+	avB, any := st.laneActives(ctx, v, sc)
+	if !any {
+		return
+	}
+	pas := ctx.pas
+	vbase := int(v) * L
+	lo, hi := int(ts.lo), int(ts.hi)
+	if !aggregate {
+		for _, u := range adj {
+			ubase := int(u) * L
+			if prow := pas.LaneRow(u); prow != nil {
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					cv := int(st.colors[vbase+j])
+					cu := int(st.colors[ubase+j])
+					if cu == cv || cu < lo || cu >= hi {
+						continue
+					}
+					if pv := prow[cu*L+j]; pv != 0 {
+						buf[int(comb.PairIndex(cv, cu))*L+j] += av * pv
+					}
+				}
+			} else if pas.Has(u) { // hash layout: probe per lane
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					cv := int(st.colors[vbase+j])
+					cu := int(st.colors[ubase+j])
+					if cu == cv || cu < lo || cu >= hi {
+						continue
+					}
+					if pv := pas.Get(u, int32(cu), j); pv != 0 {
+						buf[int(comb.PairIndex(cv, cu))*L+j] += av * pv
+					}
+				}
+			}
+		}
+		return
+	}
+	colorAgg := sc.colorAgg[:st.e.k*L]
+	clear(colorAgg[lo*L : hi*L])
+	pas.GatherColorsRange(adj, st.colors, colorAgg, lo, hi)
+	for c := lo; c < hi; c++ {
+		cs := colorAgg[c*L : c*L+L]
+		for j, s := range cs {
+			if s == 0 {
+				continue
+			}
+			cv := int(st.colors[vbase+j])
+			if c == cv {
+				continue
+			}
+			if av := avB[j]; av != 0 {
+				buf[int(comb.PairIndex(cv, c))*L+j] += av * s
+			}
+		}
+	}
+}
+
+// passActiveSingleBTile walks the tile-filtered entry lists (RestIdx in
+// [lo, hi)), so all passive reads stay inside the tile.
+func (st *batchState) passActiveSingleBTile(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch, aggregate bool, ts *tileSplits) {
+	L := st.lanes
+	avB, any := st.laneActives(ctx, v, sc)
+	if !any {
+		return
+	}
+	pas := ctx.pas
+	vbase := int(v) * L
+	if !aggregate {
+		for _, u := range adj {
+			if prow := pas.LaneRow(u); prow != nil {
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					for _, en := range ts.singles[int(st.colors[vbase+j])] {
+						buf[int(en.SetIdx)*L+j] += av * prow[int(en.RestIdx)*L+j]
+					}
+				}
+			} else if pas.Has(u) { // hash layout: probe per lane
+				for j := 0; j < L; j++ {
+					av := avB[j]
+					if av == 0 {
+						continue
+					}
+					for _, en := range ts.singles[int(st.colors[vbase+j])] {
+						if pv := pas.Get(u, en.RestIdx, j); pv != 0 {
+							buf[int(en.SetIdx)*L+j] += av * pv
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	agg := sc.agg[:ctx.ncP*L]
+	lo, hi := int(ts.lo), int(ts.hi)
+	clear(agg[lo*L : hi*L])
+	pas.AccumulateRowsRange(adj, agg, lo, hi)
+	for j := 0; j < L; j++ {
+		av := avB[j]
+		if av == 0 {
+			continue
+		}
+		for _, en := range ts.singles[int(st.colors[vbase+j])] {
+			buf[int(en.SetIdx)*L+j] += av * agg[int(en.RestIdx)*L+j]
+		}
+	}
+}
+
+// passPassiveSingleBTile gates each lane's neighbor color to [lo, hi);
+// the entry lists index the active row and stay unfiltered.
+func (st *batchState) passPassiveSingleBTile(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch, aggregate bool, ts *tileSplits) {
+	L := st.lanes
+	arow := ctx.act.MaterializeRow(v, sc.actRow)
+	pas := ctx.pas
+	lo, hi := int(ts.lo), int(ts.hi)
+	if !aggregate {
+		for _, u := range adj {
+			ubase := int(u) * L
+			if prow := pas.LaneRow(u); prow != nil {
+				for j := 0; j < L; j++ {
+					cu := int(st.colors[ubase+j])
+					if cu < lo || cu >= hi {
+						continue
+					}
+					pv := prow[cu*L+j]
+					if pv == 0 {
+						continue
+					}
+					for _, en := range ctx.singles[cu] {
+						if av := arow[int(en.RestIdx)*L+j]; av != 0 {
+							buf[int(en.SetIdx)*L+j] += av * pv
+						}
+					}
+				}
+			} else if pas.Has(u) { // hash layout: probe per lane
+				for j := 0; j < L; j++ {
+					cu := int(st.colors[ubase+j])
+					if cu < lo || cu >= hi {
+						continue
+					}
+					pv := pas.Get(u, int32(cu), j)
+					if pv == 0 {
+						continue
+					}
+					for _, en := range ctx.singles[cu] {
+						if av := arow[int(en.RestIdx)*L+j]; av != 0 {
+							buf[int(en.SetIdx)*L+j] += av * pv
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	colorAgg := sc.colorAgg[:st.e.k*L]
+	clear(colorAgg[lo*L : hi*L])
+	pas.GatherColorsRange(adj, st.colors, colorAgg, lo, hi)
+	for c := lo; c < hi; c++ {
+		cs := colorAgg[c*L : c*L+L]
+		nonzero := false
+		for _, s := range cs {
+			if s != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		for _, en := range ctx.singles[c] {
+			laneMulAdd(buf[int(en.SetIdx)*L:][:L], arow[int(en.RestIdx)*L:], cs)
+		}
+	}
+}
+
+// passGeneralDirectBTile contracts only the tile-filtered split pairs.
+func (st *batchState) passGeneralDirectBTile(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch, ts *tileSplits) {
+	L := st.lanes
+	arow := ctx.act.MaterializeRow(v, sc.actRow)
+	pas := ctx.pas
+	nc := ctx.nc
+	for _, u := range adj {
+		prow := pas.LaneRow(u)
+		if prow == nil {
+			if !pas.Has(u) {
+				continue
+			}
+			prow = pas.MaterializeRow(u, sc.pasRow)
+		}
+		for ci := 0; ci < nc; ci++ {
+			out := buf[ci*L : ci*L+L]
+			for j := ts.seg[ci]; j < ts.seg[ci+1]; j++ {
+				laneMulAdd(out, arow[int(ts.act[j])*L:], prow[int(ts.pas[j])*L:])
+			}
+		}
+	}
+}
+
+// passGeneralAggregateBTile aggregates only the tile's passive lane
+// columns, then contracts against the tile-filtered split pairs.
+func (st *batchState) passGeneralAggregateBTile(ctx *batchCtx, v int32, adj []int32, buf []float64, sc *batchScratch, ts *tileSplits) {
+	L := st.lanes
+	agg := sc.agg[:ctx.ncP*L]
+	lo, hi := int(ts.lo), int(ts.hi)
+	clear(agg[lo*L : hi*L])
+	ctx.pas.AccumulateRowsRange(adj, agg, lo, hi)
+	arow := ctx.act.MaterializeRow(v, sc.actRow)
+	nc := ctx.nc
+	for ci := 0; ci < nc; ci++ {
+		out := buf[ci*L : ci*L+L]
+		for j := ts.seg[ci]; j < ts.seg[ci+1]; j++ {
+			laneMulAdd(out, arow[int(ts.act[j])*L:], agg[int(ts.pas[j])*L:])
+		}
+	}
+}

@@ -188,21 +188,21 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if n > maxFileVertices {
 		return nil, fmt.Errorf("graph: binary declares %d vertices, above the %d limit", n, maxFileVertices)
 	}
-	g := &Graph{offsets: make([]int64, n+1)}
-	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+	g := &Graph{}
+	offsets, err := readInt64s(br, int64(n)+1)
+	if err != nil {
 		return nil, err
 	}
+	g.offsets = offsets
 	total := g.offsets[n]
 	if total < 0 || total > int64(maxFileVertices)*64 {
 		return nil, fmt.Errorf("graph: implausible adjacency length %d", total)
 	}
-	g.adj = make([]int32, total)
-	if err := binary.Read(br, binary.LittleEndian, g.adj); err != nil {
+	if g.adj, err = readInt32s(br, total); err != nil {
 		return nil, err
 	}
 	if hasLabels == 1 {
-		g.Labels = make([]int32, n)
-		if err := binary.Read(br, binary.LittleEndian, g.Labels); err != nil {
+		if g.Labels, err = readInt32s(br, int64(n)); err != nil {
 			return nil, err
 		}
 	}
@@ -210,6 +210,58 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// binReadChunk is the element count per incremental read in readInt64s /
+// readInt32s. Reading a declared-length array in bounded chunks means a
+// hostile header can over-allocate by at most one chunk (8 MB) before
+// the missing bytes surface as an error — a 15-byte file declaring 64M
+// vertices used to allocate the full 512 MB offset array up front, which
+// OOM-killed the fuzzing worker (testdata/fuzz/FuzzReadBinary).
+const binReadChunk = 1 << 20
+
+// readInt64s reads count little-endian int64s, growing the result as
+// data actually arrives.
+func readInt64s(r io.Reader, count int64) ([]int64, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("graph: negative array length %d", count)
+	}
+	dst := make([]int64, 0, min64(count, binReadChunk))
+	for count > 0 {
+		c := min64(count, binReadChunk)
+		start := len(dst)
+		dst = append(dst, make([]int64, c)...)
+		if err := binary.Read(r, binary.LittleEndian, dst[start:]); err != nil {
+			return nil, err
+		}
+		count -= c
+	}
+	return dst, nil
+}
+
+// readInt32s is readInt64s for int32 payloads.
+func readInt32s(r io.Reader, count int64) ([]int32, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("graph: negative array length %d", count)
+	}
+	dst := make([]int32, 0, min64(count, binReadChunk))
+	for count > 0 {
+		c := min64(count, binReadChunk)
+		start := len(dst)
+		dst = append(dst, make([]int32, c)...)
+		if err := binary.Read(r, binary.LittleEndian, dst[start:]); err != nil {
+			return nil, err
+		}
+		count -= c
+	}
+	return dst, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // SaveFile writes g to path, choosing the binary format for ".bin"

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"testing"
+)
+
+func orderTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	// A small skewed graph: vertex 0 is a hub, 1-3 mid-degree, rest leaves.
+	edges := [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7},
+		{1, 2}, {1, 3}, {2, 3},
+		{4, 5}, {6, 7}, {8, 9},
+	}
+	g, err := FromEdges(10, edges, nil)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestDegreeBucketOrderingInvariants(t *testing.T) {
+	g := orderTestGraph(t)
+	ord := DegreeBucketOrdering(g)
+	n := g.N()
+	if len(ord.Perm) != n || len(ord.Orig) != n {
+		t.Fatalf("perm/orig length = %d/%d, want %d", len(ord.Perm), len(ord.Orig), n)
+	}
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		nv := ord.Perm[v]
+		if nv < 0 || int(nv) >= n {
+			t.Fatalf("Perm[%d] = %d out of range", v, nv)
+		}
+		if seen[nv] {
+			t.Fatalf("Perm maps two vertices to %d", nv)
+		}
+		seen[nv] = true
+		if ord.Orig[nv] != int32(v) {
+			t.Fatalf("Orig[Perm[%d]] = %d, want %d", v, ord.Orig[nv], v)
+		}
+	}
+	// Buckets: start at 0, end at n, non-decreasing, and degree buckets
+	// are non-increasing along the new id order.
+	if ord.Buckets[0] != 0 || ord.Buckets[len(ord.Buckets)-1] != int32(n) {
+		t.Fatalf("Buckets endpoints = %d..%d, want 0..%d", ord.Buckets[0], ord.Buckets[len(ord.Buckets)-1], n)
+	}
+	for i := 1; i < len(ord.Buckets); i++ {
+		if ord.Buckets[i] < ord.Buckets[i-1] {
+			t.Fatalf("Buckets not monotone at %d: %v", i, ord.Buckets)
+		}
+	}
+	for nv := 1; nv < n; nv++ {
+		dPrev := g.Degree(ord.Orig[nv-1])
+		dCur := g.Degree(ord.Orig[nv])
+		if bucketLen(dCur) > bucketLen(dPrev) {
+			t.Fatalf("degree bucket increases at new id %d: deg %d after %d", nv, dCur, dPrev)
+		}
+	}
+	// Stability: within a bucket, original ids ascend.
+	for b := 0; b+1 < len(ord.Buckets); b++ {
+		for i := ord.Buckets[b] + 1; i < ord.Buckets[b+1]; i++ {
+			if ord.Orig[i] <= ord.Orig[i-1] {
+				t.Fatalf("bucket %d not stable: orig %d after %d", b, ord.Orig[i], ord.Orig[i-1])
+			}
+		}
+	}
+	// Determinism: a second run yields the identical permutation.
+	ord2 := DegreeBucketOrdering(g)
+	for v := 0; v < n; v++ {
+		if ord.Perm[v] != ord2.Perm[v] {
+			t.Fatalf("ordering not deterministic at %d", v)
+		}
+	}
+}
+
+func bucketLen(deg int) int {
+	n := 0
+	for d := uint(deg); d > 0; d >>= 1 {
+		n++
+	}
+	return n
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := orderTestGraph(t)
+	g.Labels = make([]int32, g.N())
+	for v := range g.Labels {
+		g.Labels[v] = int32(v % 3)
+	}
+	ord := DegreeBucketOrdering(g)
+	ng := g.Relabel(ord)
+	if err := ng.Validate(); err != nil {
+		t.Fatalf("relabeled graph invalid: %v", err)
+	}
+	if ng.N() != g.N() || ng.M() != g.M() {
+		t.Fatalf("relabel changed size: %d/%d vs %d/%d", ng.N(), ng.M(), g.N(), g.M())
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		nv := ord.Perm[v]
+		if ng.Degree(nv) != g.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		if ng.Labels[nv] != g.Labels[v] {
+			t.Fatalf("label mismatch at %d", v)
+		}
+		for _, u := range g.Adj(v) {
+			if !ng.HasEdge(nv, ord.Perm[u]) {
+				t.Fatalf("edge (%d,%d) lost under relabel", v, u)
+			}
+		}
+	}
+}

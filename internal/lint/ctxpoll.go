@@ -200,15 +200,20 @@ func containsMaterialCall(body *ast.BlockStmt, info *types.Info) bool {
 }
 
 // containsPoll reports whether the subtree polls for cancellation:
-// ctx.Err()/ctx.Done() on a context, Load() on an atomic stop flag, or
-// a call to a method named cancelled/Cancelled (the iteration-state
-// helper).
+// ctx.Err()/ctx.Done() on a context, Load() on an atomic stop flag, a
+// call to a method named cancelled/Cancelled (the iteration-state
+// helper), or a call to stopRequested (the iteration/batch-boundary
+// helper that combines the flag with a synchronous ctx.Err() check).
 func containsPoll(body *ast.BlockStmt, info *types.Info) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return !found
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "stopRequested" {
+			found = true
+			return false
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {

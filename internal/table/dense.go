@@ -62,27 +62,27 @@ func (d *Dense) AccumulateRow(v int32, dst []float64) {
 	}
 }
 
-// AccumulateRows implements BulkAccumulator. 4-way unrolled like the
-// Sparse variant: lane-widened batched rows keep several independent
-// adds in flight per iteration.
+// AccumulateRows implements BulkAccumulator via the 8-wide
+// bounds-check-eliminated addTo sweep (bulk8.go): lane-widened batched
+// rows keep eight independent adds in flight per iteration.
 func (d *Dense) AccumulateRows(vs []int32, dst []float64) {
 	ns := d.numSets
 	dst = dst[:ns]
 	for _, v := range vs {
 		base := int(v) * ns
-		row := d.data[base : base+ns : base+ns]
-		i := 0
-		for ; i+4 <= len(row); i += 4 {
-			r := row[i : i+4 : i+4]
-			t := dst[i : i+4 : i+4]
-			t[0] += r[0]
-			t[1] += r[1]
-			t[2] += r[2]
-			t[3] += r[3]
-		}
-		for ; i < len(row); i++ {
-			dst[i] += row[i]
-		}
+		addTo(dst, d.data[base:base+ns:base+ns])
+	}
+}
+
+// AccumulateRowsRange implements RangeAccumulator: like AccumulateRows
+// but folds only the flat column range [lo, hi) of each row into the
+// aligned subrange dst[lo:hi] — the tiled kernels' gather primitive.
+func (d *Dense) AccumulateRowsRange(vs []int32, dst []float64, lo, hi int) {
+	ns := d.numSets
+	sub := dst[lo:hi]
+	for _, v := range vs {
+		base := int(v) * ns
+		addTo(sub, d.data[base+lo:base+hi:base+hi])
 	}
 }
 

@@ -87,6 +87,14 @@ func (m *Multi) AccumulateRows(vs []int32, dst []float64) {
 	AccumulateRowsInto(m.tab, vs, dst)
 }
 
+// AccumulateRowsRange is the tiled form of AccumulateRows: it folds only
+// the per-lane column range [lo, hi) — flat columns [lo·L, hi·L) — of
+// each vertex's lane row into the aligned subrange of dst. Lane blocks
+// are contiguous, so a per-lane column tile is one flat slice per row.
+func (m *Multi) AccumulateRowsRange(vs []int32, dst []float64, lo, hi int) {
+	AccumulateRowsRangeInto(m.tab, vs, dst, lo*m.lanes, hi*m.lanes)
+}
+
 // GatherColors folds, for each vertex u in vs and each lane j, the cell
 // (u, colors[u·L+j], j) into dst[colors[u·L+j]·L+j]; colors is the
 // lane-strided per-vertex coloring and dst has length k·L. It is the
@@ -105,6 +113,36 @@ func (m *Multi) GatherColors(vs []int32, colors []int8, dst []float64) {
 			for j := 0; j < L; j++ {
 				ci := int32(colors[base+j])
 				dst[int(ci)*L+j] += m.Get(u, ci, j)
+			}
+		}
+	}
+}
+
+// GatherColorsRange is the tiled form of GatherColors: lanes whose
+// color for u falls outside the per-lane column range [lo, hi) are
+// skipped, so a tile sweep over the passive columns visits each (u,
+// lane) cell exactly once across tiles.
+func (m *Multi) GatherColorsRange(vs []int32, colors []int8, dst []float64, lo, hi int) {
+	L := m.lanes
+	for _, u := range vs {
+		if row := m.tab.Row(u); row != nil {
+			base := int(u) * L
+			for j := 0; j < L; j++ {
+				c := int(colors[base+j])
+				if c < lo || c >= hi {
+					continue
+				}
+				o := c*L + j
+				dst[o] += row[o]
+			}
+		} else if m.tab.Has(u) { // hash layout: probe per lane
+			base := int(u) * L
+			for j := 0; j < L; j++ {
+				c := int(colors[base+j])
+				if c < lo || c >= hi {
+					continue
+				}
+				dst[c*L+j] += m.Get(u, int32(c), j)
 			}
 		}
 	}

@@ -2,8 +2,23 @@ package tmpl
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
+
+// mulAutSat multiplies two positive automorphism counts, saturating at
+// math.MaxInt64 instead of wrapping. Legal templates can be
+// astronomically symmetric — a 64-vertex star has 63! ≈ 2e87
+// automorphisms — so the exact product does not always fit an int64;
+// counts stay exact for every template whose symmetry is small enough
+// to matter and stay positive for the rest (a wrap to a negative count
+// was found by FuzzParse, testdata twin ac3a3e43813ceb2d).
+func mulAutSat(a, b int64) int64 {
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
 
 // CanonicalRooted returns the AHU canonical encoding of the template
 // rooted at root. Two rooted (optionally labeled) trees are isomorphic iff
@@ -132,10 +147,10 @@ func (t *Template) rootedAut(v, parent int) (string, int64) {
 	}
 	sb = append(sb, '(')
 	for i, kd := range kids {
-		aut *= kd.aut
+		aut = mulAutSat(aut, kd.aut)
 		if i > 0 && kd.code == kids[i-1].code {
 			run++
-			aut *= run + 1
+			aut = mulAutSat(aut, run+1)
 		} else {
 			run = 0
 		}
@@ -166,9 +181,9 @@ func (t *Template) Automorphisms() int64 {
 	code1, a1 := t.rootedAut(c1, c2)
 	code2, a2 := t.rootedAut(c2, c1)
 	if code1 == code2 {
-		return 2 * a1 * a2
+		return mulAutSat(2, mulAutSat(a1, a2))
 	}
-	return a1 * a2
+	return mulAutSat(a1, a2)
 }
 
 // Orbits partitions the template vertices into automorphism orbits. Two

@@ -2,6 +2,7 @@ package tmpl
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -226,6 +227,20 @@ func TestAutomorphismsKnownValues(t *testing.T) {
 	for _, c := range cases {
 		if got := c.tpl.Automorphisms(); got != c.want {
 			t.Errorf("Aut(%s) = %d, want %d", c.tpl.Name(), got, c.want)
+		}
+	}
+}
+
+// TestAutomorphismsSaturate pins the overflow contract: exact up to 20!
+// (the largest factorial an int64 holds), saturated at MaxInt64 beyond —
+// never wrapped negative. Found by FuzzParse on a 24-leaf near-star.
+func TestAutomorphismsSaturate(t *testing.T) {
+	if got := Star(21).Automorphisms(); got != 2432902008176640000 { // 20!
+		t.Errorf("Aut(S20) = %d, want 20!", got)
+	}
+	for _, k := range []int{22, 25, 64} {
+		if got := Star(k).Automorphisms(); got != math.MaxInt64 {
+			t.Errorf("Aut(star %d) = %d, want saturation at MaxInt64", k, got)
 		}
 	}
 }

@@ -220,6 +220,13 @@ type Options struct {
 	// seeds match iteration seeds); only speed and peak memory (×B per
 	// concurrent traversal) change.
 	Batch int
+	// LLCBytes is the cache budget (in bytes) the engine's column-tiling
+	// heuristics target: DP passes whose passive-table working set
+	// exceeds it are swept tile-by-tile so gathered rows stay
+	// cache-resident. 0 consults the FASCIA_LLC_BYTES environment
+	// variable and falls back to 64 MiB; negative disables tiling.
+	// Execution-only: estimates are bit-identical at any setting.
+	LLCBytes int64
 	// Timeout, when positive, bounds every run of an Engine built from
 	// these options (each Run/Count call gets a fresh timeout). On expiry
 	// the run returns its partial result alongside the context error,
@@ -302,6 +309,13 @@ func (o Options) WithBatch(b int) Options {
 	return o
 }
 
+// WithLLCBytes returns a copy of o with the given tiling cache budget
+// (see Options.LLCBytes).
+func (o Options) WithLLCBytes(b int64) Options {
+	o.LLCBytes = b
+	return o
+}
+
 // WithTimeout returns a copy of o bounding every run to d.
 func (o Options) WithTimeout(d time.Duration) Options {
 	o.Timeout = d
@@ -326,7 +340,8 @@ func (o Options) WithOnIteration(fn func(i int, estimate float64, elapsed time.D
 // coloring stream), Partition and ShareSubtemplates (change the
 // partition tree and hence summation order), and RootVertex (changes
 // the DP root). Execution knobs that are property-tested bit-identical
-// — Table, Kernel, Batch, Parallel, Threads, DisableLeafSpecial — and
+// — Table, Kernel, Batch, Parallel, Threads, DisableLeafSpecial,
+// LLCBytes — and
 // lifecycle knobs (Iterations, Seed, Timeout, KeepTables, OnIteration,
 // Epsilon/Delta) are deliberately excluded so they do not fragment a
 // cache. The leading version tag must be bumped if estimate semantics
@@ -353,7 +368,7 @@ var (
 	// settings by the kernel-equivalence and oracle-differential property
 	// tests; excluding them keeps equivalent queries on one cache entry.
 	fingerprintExecutionOnly = []string{
-		"Table", "Kernel", "Batch", "Parallel", "Threads", "DisableLeafSpecial",
+		"Table", "Kernel", "Batch", "Parallel", "Threads", "DisableLeafSpecial", "LLCBytes",
 	}
 	// fingerprintLifecycle shape how many iterations run, which seed
 	// starts the stream, or what happens around the run — the cache keys
@@ -410,6 +425,7 @@ func (o Options) config() (dp.Config, error) {
 		Kernel:             kern,
 		KeepTables:         o.KeepTables,
 		Batch:              o.Batch,
+		LLCBytes:           o.LLCBytes,
 		OnIteration:        o.OnIteration,
 	}, nil
 }
