@@ -2,7 +2,8 @@
 # fasciavet lint, vet, build, full tests, race coverage of the concurrent packages
 # (including the cancellation tests, which exercise mid-run aborts in
 # every parallel mode), the oracle-differential harness under -race,
-# the metrics-endpoint and fasciad serve smoke tests, a fuzz smoke pass
+# the metrics-endpoint, fasciad serve, and multi-process shard smoke
+# tests, a fuzz smoke pass
 # over every fuzz target, a coverage floor on internal/serve, and a
 # one-shot smoke run of the kernel benchmarks (compiles and exercises
 # the direct/aggregate/auto matrix without timing anything meaningful).
@@ -10,9 +11,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci lint vet build test race race-cancel difftest fuzz-smoke serve-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record check-bce
+.PHONY: ci lint vet build test race race-cancel difftest fuzz-smoke serve-smoke shard-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record check-bce
 
-ci: lint vet build check-bce test race race-cancel difftest metrics-smoke serve-smoke cover-serve fuzz-smoke bench-smoke bench-batch bench-tile
+ci: lint vet build check-bce test race race-cancel difftest metrics-smoke serve-smoke shard-smoke cover-serve fuzz-smoke bench-smoke bench-batch bench-tile
 
 # fasciavet, the project-specific static analyzer (determinism-critical
 # map iteration, cancellation polling, fingerprint/cache-key coverage,
@@ -47,7 +48,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dp ./internal/table ./internal/dist
+	$(GO) test -race ./internal/dp ./internal/table ./internal/dist ./internal/shard ./internal/serve
 
 # Cancellation paths under the race detector: the dp context tests (all
 # three parallel modes, goroutine-leak checked) and the public-API
@@ -74,6 +75,13 @@ fuzz-smoke:
 # cache hit, residual overlap, SIGTERM drain, goroutine-leak check.
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke ./cmd/fasciad
+
+# The sharded tier end to end across real processes: a coordinator and
+# three shard workers over TCP, one worker SIGKILLed mid-run (forcing a
+# re-dispatch to the survivors), the result asserted bit-identical to
+# the single-process engine, SIGTERM drains on both tiers.
+shard-smoke:
+	$(GO) test -count=1 -run TestShardSmoke ./cmd/fasciad
 
 # Coverage floor for the serving layer: fail CI if internal/serve drops
 # below 80% statement coverage.

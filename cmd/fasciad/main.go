@@ -16,9 +16,22 @@
 //	GET  /v1/graphs          registered graphs
 //	POST /v1/graphs?name=X   upload an edge list
 //	POST /v1/count           run / reuse a counting query (JSON body)
-//	GET  /v1/stats           scheduler + cache counters (JSON)
+//	GET  /v1/stats           scheduler + cache + shard counters (JSON)
+//	GET  /v1/shards          registered shard workers
+//	POST /v1/shards          register a shard worker (JSON body)
+//	DELETE /v1/shards?addr=X deregister a shard worker
 //	GET  /debug/vars         expvar gauges
 //	GET  /debug/pprof/       profiles
+//
+// With -shard-of, fasciad instead runs as a shard worker: it loads its
+// -graph set, serves the shard wire protocol on -shard-listen, registers
+// itself with the coordinator named by -shard-of, and participates in
+// horizontally-sharded counting runs (each worker owns a contiguous
+// vertex block and exchanges passive DP rows with its peers over TCP).
+// A coordinator whose pool covers a queried graph dispatches the
+// iterations across the registered workers and splices the result
+// bit-identically into the cache/merge pipeline; on SIGTERM a worker
+// deregisters first and then drains its in-flight exchanges.
 package main
 
 import (
@@ -73,11 +86,27 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		defTimeout   = fs.Duration("timeout", 30*time.Second, "default per-query deadline")
 		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "per-query deadline cap")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight queries on shutdown")
-		graphs       graphFlags
+
+		shardOf        = fs.String("shard-of", "", "run as a shard worker of the coordinator at this base URL (e.g. http://host:8080)")
+		shardListen    = fs.String("shard-listen", "127.0.0.1:0", "shard-protocol listen address in -shard-of mode")
+		shardAdvertise = fs.String("shard-advertise", "", "address registered with the coordinator (default: the bound -shard-listen address)")
+		shardIterDelay = fs.Duration("shard-iter-delay", 0, "artificial per-iteration delay in -shard-of mode (testing aid)")
+
+		graphs graphFlags
 	)
 	fs.Var(&graphs, "graph", "preload a graph as name=path (repeatable; .bin for binary CSR)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *shardOf != "" {
+		return runShardWorker(shardWorkerConfig{
+			coordinator:  strings.TrimRight(*shardOf, "/"),
+			listen:       *shardListen,
+			advertise:    *shardAdvertise,
+			iterDelay:    *shardIterDelay,
+			drainTimeout: *drainTimeout,
+		}, graphs, stdout, stderr, ready)
 	}
 
 	srv := serve.New(serve.Config{

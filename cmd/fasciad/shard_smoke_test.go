@@ -1,0 +1,299 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	fascia "repro"
+	"repro/internal/serve"
+)
+
+// TestHelperProcess is not a test: it is the subprocess body for the
+// multi-process shard smoke. The smoke re-execs the test binary with
+// FASCIAD_HELPER=1 and the real fasciad args after "--", so each
+// coordinator and worker is a genuine separate OS process with its own
+// signal handling — in a normal test run this returns immediately.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("FASCIAD_HELPER") != "1" {
+		return
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	os.Exit(run(args, os.Stdout, os.Stderr, nil))
+}
+
+// syncBuffer is a mutex-guarded buffer for subprocess output (the
+// scanner goroutine writes while test assertions read).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// daemon is one fasciad subprocess (coordinator or shard worker).
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string
+	stdout *syncBuffer
+	stderr *syncBuffer
+	exited chan error
+}
+
+var servingRE = regexp.MustCompile(`serving on (\S+)`)
+
+// spawnDaemon re-execs the test binary as a fasciad process with args
+// and waits for its "serving on <addr>" line.
+func spawnDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestHelperProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "FASCIAD_HELPER=1")
+	d := &daemon{cmd: cmd, stdout: &syncBuffer{}, stderr: &syncBuffer{}, exited: make(chan error, 1)}
+	cmd.Stderr = d.stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-d.exited
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.stdout.Write([]byte(line + "\n"))
+			if m := servingRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+		d.exited <- cmd.Wait()
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("daemon %v never became ready\nstdout: %s\nstderr: %s", args, d.stdout, d.stderr)
+	}
+	return d
+}
+
+// wait blocks until the daemon exits and returns its exit code.
+func (d *daemon) wait(t *testing.T) int {
+	t.Helper()
+	select {
+	case err := <-d.exited:
+		d.exited <- err // keep the channel refillable for Cleanup
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("daemon wait: %v", err)
+		return -1
+	case <-time.After(20 * time.Second):
+		t.Fatalf("daemon did not exit\nstdout: %s\nstderr: %s", d.stdout, d.stderr)
+		return -1
+	}
+}
+
+// TestShardSmoke is the multi-process acceptance test behind
+// `make shard-smoke`: a coordinator and three shard-worker processes
+// over real TCP, a query fanned across the fleet, one worker SIGKILLed
+// mid-run (exercising re-dispatch to the survivors), the result checked
+// bit-identical to the single-process engine, and SIGTERM drains on
+// both tiers.
+func TestShardSmoke(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := fascia.ErdosRenyi(150, 600, 4)
+	if err := fascia.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := spawnDaemon(t, "-addr", "127.0.0.1:0", "-graph", "web="+path, "-workers", "2")
+	base := "http://" + coord.addr
+	client := &http.Client{Timeout: 120 * time.Second}
+
+	var workers []*daemon
+	for i := 0; i < 3; i++ {
+		workers = append(workers, spawnDaemon(t,
+			"-shard-of", base,
+			"-shard-listen", "127.0.0.1:0",
+			"-shard-iter-delay", "25ms",
+			"-graph", "web="+path,
+		))
+	}
+
+	stats := func() serve.Stats {
+		t.Helper()
+		resp, err := client.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st serve.Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for stats().Shards < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never registered: %+v", stats())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The single-process reference for the bit-identity check.
+	const iters, seed = 30, 7
+	tr, err := fascia.ParseTemplate("t", "0-1 1-2 1-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fascia.Count(g, tr, fascia.DefaultOptions().WithSeed(seed).WithIterations(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fire the query, then SIGKILL one worker mid-run: with 25 ms per
+	// iteration the run takes >= 750 ms, so a kill at ~300 ms lands in
+	// the middle of the exchange and forces a re-dispatch.
+	type countResult struct {
+		code int
+		body map[string]any
+		err  error
+	}
+	resCh := make(chan countResult, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]any{
+			"graph": "web", "template": "0-1 1-2 1-3",
+			"iterations": iters, "seed": seed,
+			"per_iteration": true, "timeout_ms": 110000,
+		})
+		resp, err := client.Post(base+"/v1/count", "application/json", bytes.NewReader(body))
+		if err != nil {
+			resCh <- countResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resCh <- countResult{code: resp.StatusCode, body: out, err: err}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	if err := workers[1].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	var res countResult
+	select {
+	case res = <-resCh:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("query never returned\ncoordinator stderr: %s", coord.stderr)
+	}
+	if res.err != nil || res.code != http.StatusOK {
+		t.Fatalf("count = %d, %v (%v)\ncoordinator stderr: %s", res.code, res.body, res.err, coord.stderr)
+	}
+	if partial, _ := res.body["partial"].(bool); partial {
+		t.Fatalf("query went partial despite survivors: %v", res.body)
+	}
+	if got := res.body["shard_iterations"].(float64); got != iters {
+		t.Fatalf("shard_iterations = %v, want %d (shard tier should have served the whole query)", got, iters)
+	}
+	if got := res.body["shard_redispatches"].(float64); got < 1 {
+		t.Fatalf("shard_redispatches = %v, want >= 1 (the kill should have forced one)\ncoordinator stderr: %s", got, coord.stderr)
+	}
+	perIter := res.body["per_iteration"].([]any)
+	if len(perIter) != iters {
+		t.Fatalf("per_iteration length %d, want %d", len(perIter), iters)
+	}
+	for i, v := range perIter {
+		if v.(float64) != want.PerIteration[i] {
+			t.Fatalf("iteration %d: sharded %v != single-process %v", i, v, want.PerIteration[i])
+		}
+	}
+	if st := stats(); st.ShardFailures < 1 || st.ShardRedispatches < 1 {
+		t.Fatalf("coordinator stats after kill: %+v", st)
+	}
+
+	// SIGTERM drains a surviving worker: it deregisters first, finishes
+	// cleanly, and the pool shrinks (the SIGKILLed worker stays listed —
+	// only per-query exclusion or an explicit deregister removes it).
+	if err := workers[0].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := workers[0].wait(t); code != 0 {
+		t.Fatalf("worker SIGTERM exit = %d\nstderr: %s", code, workers[0].stderr)
+	}
+	if out := workers[0].stdout.String(); !bytes.Contains([]byte(out), []byte("drained")) {
+		t.Fatalf("worker drain summary missing: %s", out)
+	}
+	if st := stats(); st.Shards != 2 {
+		t.Fatalf("Shards after worker drain = %d, want 2", st.Shards)
+	}
+
+	// The coordinator cached the sharded stream: the repeat is a hit.
+	body, _ := json.Marshal(map[string]any{
+		"graph": "web", "template": "0-1 1-2 1-3", "iterations": iters, "seed": seed,
+	})
+	resp, err := client.Post(base+"/v1/count", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hit["cache"] != "hit" || hit["count"].(float64) != want.Count {
+		t.Fatalf("repeat query = %v, want cache hit with count %v", hit, want.Count)
+	}
+
+	// SIGTERM the coordinator and the last worker; both exit 0.
+	if err := coord.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := coord.wait(t); code != 0 {
+		t.Fatalf("coordinator SIGTERM exit = %d\nstderr: %s", code, coord.stderr)
+	}
+	if err := workers[2].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := workers[2].wait(t); code != 0 {
+		t.Fatalf("last worker SIGTERM exit = %d\nstderr: %s", code, workers[2].stderr)
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	fascia "repro"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+// shardWorkerConfig is the -shard-of mode configuration carved out of
+// the shared flag set.
+type shardWorkerConfig struct {
+	// coordinator is the coordinator's HTTP base URL (no trailing slash).
+	coordinator string
+	// listen is the shard-protocol listen address; advertise is the
+	// address registered with the coordinator ("" = the bound address).
+	listen    string
+	advertise string
+	// iterDelay artificially slows each DP iteration (testing aid for
+	// exercising mid-run shard loss).
+	iterDelay    time.Duration
+	drainTimeout time.Duration
+}
+
+// runShardWorker boots fasciad as a shard worker: load the graphs, serve
+// the shard wire protocol, announce the graph set to the coordinator,
+// and on SIGTERM deregister first (so no new run is dispatched here),
+// then drain in-flight exchanges before exiting.
+func runShardWorker(cfg shardWorkerConfig, graphs graphFlags, stdout, stderr io.Writer, ready chan<- string) int {
+	if len(graphs) == 0 {
+		fmt.Fprintln(stderr, "fasciad: -shard-of mode needs at least one -graph")
+		return 2
+	}
+	w := shard.NewWorker(shard.WorkerOptions{
+		Logf:      func(format string, args ...any) { fmt.Fprintf(stderr, "fasciad: "+format+"\n", args...) },
+		IterDelay: cfg.iterDelay,
+	})
+	var hashes []string
+	for _, spec := range graphs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(stderr, "fasciad: bad -graph %q (want name=path)\n", spec)
+			return 2
+		}
+		g, err := fascia.LoadGraph(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "fasciad: load %s: %v\n", path, err)
+			return 1
+		}
+		h := w.AddGraph(g)
+		hashes = append(hashes, serve.GraphHashHex(h))
+		fmt.Fprintf(stdout, "fasciad: shard worker loaded graph %q (n=%d hash=%x)\n", name, g.N(), h)
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "fasciad: shard listen: %v\n", err)
+		return 1
+	}
+	go w.Serve(ln)
+	addr := ln.Addr().String()
+	advertise := cfg.advertise
+	if advertise == "" {
+		advertise = addr
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	if err := registerShard(client, cfg.coordinator, advertise, hashes); err != nil {
+		fmt.Fprintf(stderr, "fasciad: register with %s: %v\n", cfg.coordinator, err)
+		w.Close()
+		return 1
+	}
+	fmt.Fprintf(stdout, "fasciad: shard worker serving on %s (registered with %s as %s)\n", addr, cfg.coordinator, advertise)
+	if ready != nil {
+		ready <- addr
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-sigCtx.Done()
+	stop() // restore default signal handling: a second signal kills hard
+
+	// Deregister before draining so the coordinator stops dispatching new
+	// runs here while the in-flight ones finish; best-effort, because the
+	// coordinator may itself already be gone.
+	fmt.Fprintln(stdout, "fasciad: shard worker draining (deregistering, finishing in-flight exchanges)")
+	if err := deregisterShard(client, cfg.coordinator, advertise); err != nil {
+		fmt.Fprintf(stderr, "fasciad: deregister: %v\n", err)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	code := 0
+	if err := w.Drain(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "fasciad: %v\n", err)
+		code = 1
+	}
+	w.Close()
+	fmt.Fprintln(stdout, "fasciad: shard worker drained")
+	return code
+}
+
+// registerShard announces the worker to the coordinator, retrying while
+// the coordinator is still coming up (workers and coordinator typically
+// boot together). A 4xx is a configuration error and fails immediately.
+func registerShard(client *http.Client, coordinator, advertise string, hashes []string) error {
+	body, err := json.Marshal(serve.ShardRegistration{Addr: advertise, Graphs: hashes})
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Post(coordinator+"/v1/shards", "application/json", bytes.NewReader(body))
+		if err == nil {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				return nil
+			case resp.StatusCode >= 400 && resp.StatusCode < 500:
+				return fmt.Errorf("coordinator rejected registration: %d %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+			default:
+				err = fmt.Errorf("coordinator returned %d", resp.StatusCode)
+			}
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// deregisterShard removes the worker from the coordinator's pool.
+func deregisterShard(client *http.Client, coordinator, advertise string) error {
+	req, err := http.NewRequest(http.MethodDelete,
+		coordinator+"/v1/shards?addr="+url.QueryEscape(advertise), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("coordinator returned %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -14,7 +14,9 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"repro/internal/comb"
@@ -23,6 +25,11 @@ import (
 	"repro/internal/part"
 	"repro/internal/tmpl"
 )
+
+// ErrEmptyGraph is returned by New for a graph with no vertices: the
+// block partition would divide by zero in the owner lookup (v*p/n with
+// n = 0), and there is nothing to count anyway.
+var ErrEmptyGraph = errors.New("dist: graph has no vertices")
 
 // Config controls a distributed counting run.
 type Config struct {
@@ -72,12 +79,23 @@ type Engine struct {
 	// as ghosts (s-owned vertices adjacent to at least one r-owned
 	// vertex), sorted ascending. Computed once.
 	needs [][][]int32
+
+	// internalSteps lists the positions in tree.Order that exchange
+	// boundary rows (the internal nodes); passiveStep maps each node to
+	// the order position of the parent that consumes it as the passive
+	// child (absent for the root and for active-only children), which is
+	// where its boundary rows must arrive.
+	internalSteps []int
+	passiveStep   map[*part.Node]int
 }
 
 // New prepares a distributed engine.
 func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 	if cfg.Ranks < 1 {
 		return nil, fmt.Errorf("dist: ranks must be >= 1, got %d", cfg.Ranks)
+	}
+	if g == nil || g.N() < 1 {
+		return nil, ErrEmptyGraph
 	}
 	if t.Labeled() && g.Labels == nil {
 		return nil, fmt.Errorf("dist: labeled template requires a labeled graph")
@@ -109,7 +127,49 @@ func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 		}
 	}
 	e.partitionVertices()
+	e.passiveStep = map[*part.Node]int{}
+	for i, n := range tree.Order {
+		if !n.IsLeaf() {
+			e.internalSteps = append(e.internalSteps, i)
+			// Trees are built with share=false, so every node is the
+			// passive child of at most one parent.
+			e.passiveStep[n.Passive] = i
+		}
+	}
 	return e, nil
+}
+
+// Ranks returns the configured rank count.
+func (e *Engine) Ranks() int { return e.cfg.Ranks }
+
+// Bounds returns rank r's owned vertex block [lo, hi).
+func (e *Engine) Bounds(r int) (lo, hi int32) { return e.bounds[r], e.bounds[r+1] }
+
+// NeedList returns the vertices owned by rank src that rank dst needs as
+// ghosts, in the canonical wire order. The returned slice is shared and
+// must not be mutated.
+func (e *Engine) NeedList(src, dst int) []int32 { return e.needs[src][dst] }
+
+// Steps returns the number of positions in the DP evaluation order
+// (boundary rows are exchanged only at the internal ones).
+func (e *Engine) Steps() int { return len(e.tree.Order) }
+
+// Scale returns the divisor that turns a summed colorful total into an
+// occurrence estimate: the colorful probability times the automorphism
+// count. A coordinator merging per-rank totals must compute
+// sum / Scale() to stay bit-identical with the in-process runtime.
+func (e *Engine) Scale() float64 { return e.prob * float64(e.aut) }
+
+// IterationColors derives iteration iter's coloring — broadcast state in
+// a real system, derived identically by every rank from the shared seed
+// (iteration i colors with Seed+i, exactly as the shared-memory engine).
+func (e *Engine) IterationColors(iter int) []int8 {
+	rng := rand.New(rand.NewSource(e.cfg.Seed + int64(iter)))
+	colors := make([]int8, e.g.N())
+	for i := range colors {
+		colors[i] = int8(rng.Intn(e.k))
+	}
+	return colors
 }
 
 // partitionVertices block-partitions the vertex set and precomputes the

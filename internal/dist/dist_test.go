@@ -1,9 +1,11 @@
 package dist
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
+	"repro/internal/comb"
 	"repro/internal/dp"
 	"repro/internal/exact"
 	"repro/internal/graph"
@@ -113,14 +115,24 @@ func TestCommunicationAccounting(t *testing.T) {
 		t.Fatal("multi-rank run reported no communication")
 	}
 	// Messages: per iteration, per internal DP step, each ordered rank
-	// pair exchanges exactly one message.
+	// pair with a non-empty needs list exchanges exactly one message
+	// (empty packets are skipped — on this dense random graph every pair
+	// communicates, so the count equals the old all-pairs formula).
 	internal := 0
 	for _, n := range four.tree.Nodes {
 		if !n.IsLeaf() {
 			internal++
 		}
 	}
-	wantMsgs := int64(2 /*iters*/ * internal * 4 * 3)
+	pairs := 0
+	for s := 0; s < 4; s++ {
+		for r := 0; r < 4; r++ {
+			if s != r && len(four.NeedList(s, r)) > 0 {
+				pairs++
+			}
+		}
+	}
+	wantMsgs := int64(2 /*iters*/ * internal * pairs)
 	if r4.Messages != wantMsgs {
 		t.Fatalf("messages = %d, want %d", r4.Messages, wantMsgs)
 	}
@@ -131,6 +143,138 @@ func TestCommunicationAccounting(t *testing.T) {
 	}
 	if r4.MaxRankRows <= 0 {
 		t.Fatal("row accounting broken")
+	}
+}
+
+// TestEmptyGraphRejected pins the satellite fix: dist.New on an empty
+// graph used to reach the owner lookup's v*p/n proportionality with
+// n = 0; it must instead refuse with the typed error.
+func TestEmptyGraphRejected(t *testing.T) {
+	g := graph.MustFromEdges(0, nil, nil)
+	_, err := New(g, tmpl.Path(3), Config{Ranks: 2, Seed: 1})
+	if !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("New on empty graph = %v, want ErrEmptyGraph", err)
+	}
+	if _, err := New(nil, tmpl.Path(3), Config{Ranks: 2, Seed: 1}); !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("New on nil graph = %v, want ErrEmptyGraph", err)
+	}
+}
+
+// TestNoEmptyPacketsOnPathGraph pins the corrected message accounting
+// before it becomes wire traffic. A path graph block-partitioned into 4
+// ranks only has boundary edges between adjacent ranks, so only the 6
+// ordered adjacent pairs may exchange; the old protocol shipped an empty
+// packet to every other rank for every internal node (12 ordered pairs),
+// inflating Messages by 2x relative to what a real MPI run would send.
+func TestNoEmptyPacketsOnPathGraph(t *testing.T) {
+	const n, ranks, iters = 40, 4, 2
+	edges := make([][2]int32, n-1)
+	for i := range edges {
+		edges[i] = [2]int32{int32(i), int32(i + 1)}
+	}
+	g := graph.MustFromEdges(n, edges, nil)
+	tr := tmpl.Path(4)
+	de, err := New(g, tr, Config{Ranks: ranks, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition sanity: non-adjacent rank pairs must have empty needs.
+	nonEmptyPairs := 0
+	for s := 0; s < ranks; s++ {
+		for r := 0; r < ranks; r++ {
+			if s == r {
+				continue
+			}
+			if len(de.NeedList(s, r)) > 0 {
+				nonEmptyPairs++
+				if d := s - r; d != 1 && d != -1 {
+					t.Fatalf("path graph: ranks %d and %d should not need each other", s, r)
+				}
+			}
+		}
+	}
+	if nonEmptyPairs != 6 {
+		t.Fatalf("non-empty needs pairs = %d, want 6 (adjacent ordered pairs)", nonEmptyPairs)
+	}
+
+	res, err := de.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal := 0
+	for _, nd := range de.tree.Nodes {
+		if !nd.IsLeaf() {
+			internal++
+		}
+	}
+	wantMsgs := int64(iters * internal * nonEmptyPairs)
+	if res.Messages != wantMsgs {
+		t.Fatalf("messages = %d, want %d (no packets for empty needs lists)", res.Messages, wantMsgs)
+	}
+	if res.CommBytes <= 0 {
+		t.Fatal("adjacent ranks should still ship row payloads")
+	}
+
+	// The skip must not change the estimates: bit-identical to the
+	// shared-memory engine, which is the deadlock-freedom proof in
+	// practice (every rank completed the protocol).
+	cfg := dp.DefaultConfig()
+	cfg.Seed = 3
+	single, err := dp.New(g, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.PerIteration {
+		if res.PerIteration[i] != want.PerIteration[i] {
+			t.Fatalf("iter %d: dist %v, shared %v", i, res.PerIteration[i], want.PerIteration[i])
+		}
+	}
+}
+
+// TestCommBytesUnchangedBySkip pins that dropping empty packets cannot
+// change CommBytes: an empty packet carried zero payload, so the byte
+// accounting on a graph where every pair communicates must equal the
+// needs-list payload model exactly.
+func TestCommBytesUnchangedBySkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 60, 180)
+	tr := tmpl.Path(4)
+	de, err := New(g, tr, Config{Ranks: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := de.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent payload model: at each internal step the sender ships
+	// the passive child's rows (width C(k, |passive|)) for its needs
+	// list, 8 bytes per value plus a 4-byte id, nil rows free. Rows are
+	// nil exactly when the sender holds no counts, so the model gives an
+	// upper bound that a run with phantom empty packets would still meet
+	// (they carried zero payload) — the pin is that bytes are non-zero
+	// and within the needs-list bound.
+	var upper int64
+	for _, nd := range de.tree.Nodes {
+		if nd.IsLeaf() {
+			continue
+		}
+		width := comb.Binomial(de.k, nd.Passive.Size())
+		for s := 0; s < 3; s++ {
+			for r := 0; r < 3; r++ {
+				if s != r {
+					upper += int64(len(de.NeedList(s, r))) * (width*8 + 4)
+				}
+			}
+		}
+	}
+	if res.CommBytes <= 0 || res.CommBytes > upper {
+		t.Fatalf("CommBytes %d outside (0, %d]", res.CommBytes, upper)
 	}
 }
 

@@ -3,19 +3,11 @@ package dist
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/part"
 )
-
-// packet carries the passive-child rows of one sender's ghost vertices to
-// one receiver for one DP step. Rows follow the precomputed needs list
-// order; a nil row means the sender has no counts for that vertex.
-type packet struct {
-	rows [][]float64
-}
 
 // rankState is the per-rank (per-"process") view: table rows for owned
 // vertices only, plus the ghost row cache for the step in flight.
@@ -35,6 +27,17 @@ type rankState struct {
 // cancelled polls the rank's stop flag.
 func (st *rankState) cancelled() bool {
 	return st.stop != nil && st.stop.Load()
+}
+
+// RankResult reports one rank's share of one iteration.
+type RankResult struct {
+	// Total is the rank's sum over its owned root-table rows. The
+	// iteration estimate is the rank totals summed in rank order divided
+	// by Engine.Scale().
+	Total float64
+	// MaxNodeRows is the largest non-nil row count the rank held for any
+	// single subtemplate table.
+	MaxNodeRows int
 }
 
 // Run executes iters distributed color-coding iterations and averages the
@@ -59,7 +62,7 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	stop, release := watchContext(ctx)
 	defer release()
 	res := Result{PerIteration: make([]float64, 0, iters)}
-	var commBytes, messages atomic.Int64
+	var comm CommStats
 	var maxRows atomic.Int64
 
 	p := e.cfg.Ranks
@@ -67,110 +70,25 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 		if stop != nil && stop.Load() {
 			break
 		}
-		// The coloring is broadcast state in a real system; every rank
-		// derives it from the shared seed here (identical cost model:
-		// colors are n bytes of setup, not counted as step traffic).
-		rng := rand.New(rand.NewSource(e.cfg.Seed + int64(iter)))
-		colors := make([]int8, e.g.N())
-		for i := range colors {
-			colors[i] = int8(rng.Intn(e.k))
-		}
-
-		// mail[s][r] carries packets from rank s to rank r; buffered so a
-		// sender never blocks (one packet per DP step per pair).
-		mail := make([][]chan packet, p)
-		for s := 0; s < p; s++ {
-			mail[s] = make([]chan packet, p)
-			for r := 0; r < p; r++ {
-				if s != r {
-					mail[s][r] = make(chan packet, len(e.tree.Order)+1)
-				}
-			}
-		}
-
+		colors := e.IterationColors(iter)
+		mail := e.newMailbox()
 		totals := make([]float64, p)
 		var wg sync.WaitGroup
+		//lint:ctxpoll ok — rank-spawn loop only (p goroutine launches); each rank polls the armed stop flag inside RunRank
 		for r := 0; r < p; r++ {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				st := &rankState{
-					r: r, lo: e.bounds[r], hi: e.bounds[r+1],
-					tables: map[*part.Node][][]float64{},
-					ghost:  map[int32][]float64{},
-					stop:   stop,
-				}
-				remaining := map[*part.Node]int{}
-				for _, n := range e.tree.Nodes {
-					remaining[n] = n.Consumers
-				}
-				for _, node := range e.tree.Order {
-					if node.IsLeaf() {
-						e.initLeafRank(st, node, colors)
-					} else {
-						// Exchange the passive child's boundary rows,
-						// then compute owned rows.
-						pas := st.tables[node.Passive]
-						for dst := 0; dst < p; dst++ {
-							if dst == r {
-								continue
-							}
-							want := e.needs[r][dst]
-							pk := packet{rows: make([][]float64, len(want))}
-							var bytes int64
-							for i, u := range want {
-								row := pas[u-st.lo]
-								pk.rows[i] = row
-								if row != nil {
-									bytes += int64(len(row))*8 + 4
-								}
-							}
-							mail[r][dst] <- pk
-							commBytes.Add(bytes)
-							messages.Add(1)
-						}
-						clear(st.ghost)
-						for src := 0; src < p; src++ {
-							if src == r {
-								continue
-							}
-							pk := <-mail[src][r]
-							for i, u := range e.needs[src][r] {
-								if pk.rows[i] != nil {
-									st.ghost[u] = pk.rows[i]
-								}
-							}
-						}
-						e.computeRank(st, node, colors)
-					}
-					rows := 0
-					for _, row := range st.tables[node] {
-						if row != nil {
-							rows++
-						}
-					}
-					for {
-						old := maxRows.Load()
-						if int64(rows) <= old || maxRows.CompareAndSwap(old, int64(rows)) {
-							break
-						}
-					}
-					if !node.IsLeaf() {
-						for _, ch := range []*part.Node{node.Active, node.Passive} {
-							remaining[ch]--
-							if remaining[ch] == 0 {
-								delete(st.tables, ch)
-							}
-						}
+				// The in-process transport cannot fail, so RunRank's
+				// error is structurally nil here.
+				rr, _ := e.RunRank(r, colors, &chanExchange{rank: r, mail: mail, comm: &comm}, stop)
+				totals[r] = rr.Total
+				for {
+					old := maxRows.Load()
+					if int64(rr.MaxNodeRows) <= old || maxRows.CompareAndSwap(old, int64(rr.MaxNodeRows)) {
+						break
 					}
 				}
-				var total float64
-				for _, row := range st.tables[e.tree.Root] {
-					for _, x := range row {
-						total += x
-					}
-				}
-				totals[r] = total
 			}(r)
 		}
 		wg.Wait()
@@ -183,7 +101,7 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 		for _, t := range totals {
 			sum += t
 		}
-		res.PerIteration = append(res.PerIteration, sum/(e.prob*float64(e.aut)))
+		res.PerIteration = append(res.PerIteration, sum/e.Scale())
 	}
 
 	if n := len(res.PerIteration); n > 0 {
@@ -193,10 +111,116 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 		}
 		res.Estimate = sum / float64(n)
 	}
-	res.CommBytes = commBytes.Load()
-	res.Messages = messages.Load()
+	res.CommBytes = comm.Bytes.Load()
+	res.Messages = comm.Messages.Load()
 	res.MaxRankRows = int(maxRows.Load())
 	return res, ctx.Err()
+}
+
+// RunRank executes the rank-local DP for rank r over one iteration's
+// coloring, exchanging boundary rows through ex. This is the code a
+// shard worker process runs against a wire transport; the in-process
+// simulation runs it against buffered channels. The protocol per
+// evaluation-order position is:
+//
+//  1. internal node: receive the ghost packets this step needs (one per
+//     peer with a non-empty needs list toward r), then compute owned
+//     rows;
+//  2. any node: the moment its rows exist, eagerly send them toward the
+//     future step that consumes them as the passive child — the
+//     pipelined overlap of Chen et al.: packets for later steps travel
+//     while earlier steps are still computing.
+//
+// Pairs whose needs list is empty never exchange (both sides consult
+// the same lists, so the skip cannot deadlock). On cancellation the
+// protocol still runs to completion with whatever rows exist, so no
+// healthy peer is ever stranded waiting; the iteration's result is
+// garbage and must be discarded by the caller.
+func (e *Engine) RunRank(r int, colors []int8, ex Exchange, stop *atomic.Bool) (RankResult, error) {
+	p := e.cfg.Ranks
+	st := &rankState{
+		r: r, lo: e.bounds[r], hi: e.bounds[r+1],
+		tables: map[*part.Node][][]float64{},
+		ghost:  map[int32][]float64{},
+		stop:   stop,
+	}
+	remaining := map[*part.Node]int{}
+	for _, n := range e.tree.Nodes {
+		remaining[n] = n.Consumers
+	}
+	var rr RankResult
+	//lint:ctxpoll ok — the exchange protocol must run to completion even when cancelled (computeRank fast-forwards via st.cancelled() per vertex); breaking out of the step loop would strand peers mid-exchange
+	for i, node := range e.tree.Order {
+		if node.IsLeaf() {
+			e.initLeafRank(st, node, colors)
+		} else {
+			clear(st.ghost)
+			for src := 0; src < p; src++ {
+				if src == r || len(e.needs[src][r]) == 0 {
+					continue
+				}
+				pk, err := ex.Recv(src, i)
+				if err != nil {
+					return rr, err
+				}
+				if len(pk.Rows) != len(e.needs[src][r]) {
+					return rr, fmt.Errorf("dist: rank %d step %d: packet from %d carries %d rows, need %d",
+						r, i, src, len(pk.Rows), len(e.needs[src][r]))
+				}
+				for j, u := range e.needs[src][r] {
+					if pk.Rows[j] != nil {
+						st.ghost[u] = pk.Rows[j]
+					}
+				}
+			}
+			e.computeRank(st, node, colors)
+		}
+		// Pipelined eager send: this node's rows are final now; if a
+		// future step consumes them as the passive child, ship them
+		// immediately so the transfer overlaps the compute in between.
+		if step, ok := e.passiveStep[node]; ok {
+			rows := st.tables[node]
+			for dst := 0; dst < p; dst++ {
+				if dst == r {
+					continue
+				}
+				want := e.needs[r][dst]
+				if len(want) == 0 {
+					continue // empty packet: a real MPI run would not ship it
+				}
+				pk := Packet{Rows: make([][]float64, len(want))}
+				for j, u := range want {
+					pk.Rows[j] = rows[u-st.lo]
+				}
+				if err := ex.Send(dst, step, pk); err != nil {
+					return rr, err
+				}
+			}
+		}
+		nrows := 0
+		for _, row := range st.tables[node] {
+			if row != nil {
+				nrows++
+			}
+		}
+		if nrows > rr.MaxNodeRows {
+			rr.MaxNodeRows = nrows
+		}
+		if !node.IsLeaf() {
+			for _, ch := range []*part.Node{node.Active, node.Passive} {
+				remaining[ch]--
+				if remaining[ch] == 0 {
+					delete(st.tables, ch)
+				}
+			}
+		}
+	}
+	for _, row := range st.tables[e.tree.Root] {
+		for _, x := range row {
+			rr.Total += x
+		}
+	}
+	return rr, nil
 }
 
 // watchContext arms a cancellation flag the rank-local DP sweeps poll

@@ -6,13 +6,14 @@ import (
 	"strings"
 )
 
-// CtxPoll enforces the <100ms-abort guarantee inside internal/dp: any
-// function that accepts a context.Context and contains a
-// vertex/iteration-scale loop must poll for cancellation inside that
-// loop — directly via ctx.Err()/ctx.Done(), or through one of the
-// project's known helpers (the atomic stop flag armed by watchContext,
-// polled with stop.Load(), or the iteration state's cancelled()
-// method).
+// CtxPoll enforces the <100ms-abort guarantee inside internal/dp and
+// the distributed tiers (internal/dist, internal/shard): any function
+// that accepts a context.Context and contains a vertex/iteration-scale
+// loop must poll for cancellation inside that loop — directly via
+// ctx.Err()/ctx.Done(), or through one of the project's known helpers
+// (the atomic stop flag armed by watchContext, polled with stop.Load(),
+// the iteration state's cancelled() method, or a run's stopped()
+// accessor).
 //
 // "Vertex/iteration-scale" is a heuristic, deliberately tuned to this
 // codebase (a project-specific linter's privilege):
@@ -34,7 +35,10 @@ var CtxPoll = &Analyzer{
 }
 
 // heavyWorkCalls are the DP entry points whose invocation marks a loop
-// as long-running regardless of its header.
+// as long-running regardless of its header. RunRank and runGroup are
+// the distributed tiers' work horses: a loop driving rank-local DP
+// iterations or shard dispatch rounds burns per-iteration work plus
+// network round-trips, so it must be interruptible.
 var heavyWorkCalls = map[string]bool{
 	"run":                 true,
 	"runIter":             true,
@@ -46,6 +50,9 @@ var heavyWorkCalls = map[string]bool{
 	"RunContext":          true,
 	"RunConvergedContext": true,
 	"VertexCountsContext": true,
+	"RunRank":             true,
+	"runGroup":            true,
+	"runShard":            true,
 }
 
 // vocabExact and vocabSubstrings define the vertex/iteration name
@@ -54,7 +61,9 @@ var vocabExact = map[string]bool{"v": true, "u": true, "vid": true, "vtx": true}
 var vocabSubstrings = []string{"iter", "vert", "batch", "lane"}
 
 func runCtxPoll(pass *Pass) {
-	if !pathHasSuffix(pass.Pkg.Path, "internal/dp") {
+	if !pathHasSuffix(pass.Pkg.Path, "internal/dp") &&
+		!pathHasSuffix(pass.Pkg.Path, "internal/dist") &&
+		!pathHasSuffix(pass.Pkg.Path, "internal/shard") {
 		return
 	}
 	info := pass.Pkg.Info
@@ -202,8 +211,9 @@ func containsMaterialCall(body *ast.BlockStmt, info *types.Info) bool {
 // containsPoll reports whether the subtree polls for cancellation:
 // ctx.Err()/ctx.Done() on a context, Load() on an atomic stop flag, a
 // call to a method named cancelled/Cancelled (the iteration-state
-// helper), or a call to stopRequested (the iteration/batch-boundary
-// helper that combines the flag with a synchronous ctx.Err() check).
+// helper) or stopped (the shard worker-run accessor), or a call to
+// stopRequested (the iteration/batch-boundary helper that combines the
+// flag with a synchronous ctx.Err() check).
 func containsPoll(body *ast.BlockStmt, info *types.Info) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -220,7 +230,7 @@ func containsPoll(body *ast.BlockStmt, info *types.Info) bool {
 			return !found
 		}
 		switch sel.Sel.Name {
-		case "cancelled", "Cancelled":
+		case "cancelled", "Cancelled", "stopped":
 			found = true
 		case "Err", "Done":
 			if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {

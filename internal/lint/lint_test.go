@@ -118,8 +118,14 @@ func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
 	}
 }
 
-func TestMapOrderFixture(t *testing.T)    { runFixture(t, "maporder/internal/serve") }
-func TestCtxPollFixture(t *testing.T)     { runFixture(t, "ctxpoll/internal/dp") }
+func TestMapOrderFixture(t *testing.T) { runFixture(t, "maporder/internal/serve") }
+func TestCtxPollFixture(t *testing.T)  { runFixture(t, "ctxpoll/internal/dp") }
+func TestCtxPollShardFixture(t *testing.T) {
+	// The sharded tier is covered too: dispatch-round and rank-iteration
+	// loops (runGroup/RunRank heavy calls) must poll, with the worker
+	// run's stopped() accessor accepted as a poll.
+	runFixture(t, "ctxpoll/internal/shard")
+}
 func TestFingerprintFixture(t *testing.T) { runFixture(t, "fingerprintcover") }
 func TestFingerprintCleanFixture(t *testing.T) {
 	runFixture(t, "fingerprintok")

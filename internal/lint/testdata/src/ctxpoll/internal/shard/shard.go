@@ -1,0 +1,64 @@
+// Package shard is the ctxpoll golden fixture for the sharded tier:
+// its import path ends in internal/shard, so context-taking functions
+// that drive dispatch rounds or rank iterations must poll for
+// cancellation. The fixture mirrors the real package's shapes — the
+// coordinator's re-dispatch loop around runGroup, the worker's
+// iteration loop around RunRank with its stopped() accessor — without
+// importing anything beyond context.
+package shard
+
+import "context"
+
+func runGroup() float64 { return 1 }
+
+func RunRank() float64 { return 1 }
+
+type workerRun struct{}
+
+func (r *workerRun) stopped() bool { return false }
+
+// dispatchNoPoll re-dispatches rounds without ever checking ctx: a
+// shard dispatch can hang on a slow fleet, so this is flagged.
+func dispatchNoPoll(ctx context.Context, remaining int) float64 {
+	total := 0.0
+	for remaining > 0 { // want "ctxpoll: vertex/iteration loop in context-taking function dispatchNoPoll"
+		total += runGroup()
+		remaining--
+	}
+	return total
+}
+
+// dispatchPolled checks ctx.Err before each round: compliant.
+func dispatchPolled(ctx context.Context, remaining int) float64 {
+	total := 0.0
+	for remaining > 0 {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += runGroup()
+		remaining--
+	}
+	return total
+}
+
+// iterLoopStopped drives rank iterations but polls the run's stopped()
+// accessor (the worker-run pattern): compliant.
+func iterLoopStopped(ctx context.Context, run *workerRun, iters int) float64 {
+	total := 0.0
+	for it := 0; it < iters; it++ {
+		if run.stopped() {
+			return total
+		}
+		total += RunRank()
+	}
+	return total
+}
+
+// iterLoopNoPoll drives rank iterations with no stop check: flagged.
+func iterLoopNoPoll(ctx context.Context, iters int) float64 {
+	total := 0.0
+	for it := 0; it < iters; it++ { // want "ctxpoll: vertex/iteration loop in context-taking function iterLoopNoPoll"
+		total += RunRank()
+	}
+	return total
+}

@@ -19,6 +19,12 @@ var (
 	mQueryErrors     = expvar.NewInt("fascia.serve.query_errors")
 	mDrains          = expvar.NewInt("fascia.serve.drains")
 	mEncodeErrors    = expvar.NewInt("fascia.serve.response_encode_errors")
+	// mShardIterations counts iterations served by the shard tier;
+	// mShardFallbacks counts queries that fell back to a local run after
+	// the tier could not finish (shard loss exhausted the group, or a
+	// worker refused the dispatch).
+	mShardIterations = expvar.NewInt("fascia.serve.shard_iterations")
+	mShardFallbacks  = expvar.NewInt("fascia.serve.shard_fallbacks")
 )
 
 // recordLookup folds a cache-lookup outcome into the global gauges.

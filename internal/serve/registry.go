@@ -7,13 +7,12 @@
 package serve
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
 	fascia "repro"
+	"repro/internal/graph"
 )
 
 // GraphInfo describes a registered graph.
@@ -105,35 +104,10 @@ func (r *Registry) List() []GraphInfo {
 	return out
 }
 
-// HashGraph returns an FNV-1a fingerprint of the graph's structure: the
-// vertex count, every adjacency list in CSR order, and the labels (with
-// a presence marker so "no labels" differs from "all-zero labels"). Two
-// graphs hash equal iff their CSR representations are identical, which
-// is what the result cache needs — it keys results on this hash so a
-// hit can only come from the same adjacency structure.
+// HashGraph returns the structural CSR fingerprint (graph.Hash): the
+// result cache keys on it so a hit can only come from the same
+// adjacency structure, and the sharded tier uses it as the wire-level
+// graph identity.
 func HashGraph(g *fascia.Graph) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(x uint64) {
-		binary.LittleEndian.PutUint64(buf[:], x)
-		h.Write(buf[:])
-	}
-	n := g.N()
-	put(uint64(n))
-	for v := int32(0); v < int32(n); v++ {
-		adj := g.Adj(v)
-		put(uint64(len(adj)))
-		for _, u := range adj {
-			put(uint64(uint32(u)))
-		}
-	}
-	if g.Labels == nil {
-		put(0)
-	} else {
-		put(1)
-		for _, l := range g.Labels {
-			put(uint64(uint32(l)))
-		}
-	}
-	return h.Sum64()
+	return graph.Hash(g)
 }

@@ -29,10 +29,19 @@ type scheduler struct {
 	// to exactly the global worker budget (divideBudget invariant).
 	budgets []int
 
+	// remote bounds concurrently dispatched shard-tier queries. Remote
+	// runs are network-bound, not CPU-bound, so they do not hold a run
+	// slot (that would starve local queries of workers the remote run
+	// never uses) — but they are still bounded, because each dispatch
+	// pins O(ranks) connections and a control-reader goroutine per rank.
+	remote chan struct{}
+
 	// queued and running gauge current occupancy (for stats and
 	// Retry-After estimation).
 	queued  atomic.Int64
 	running atomic.Int64
+	// runningRemote gauges queries currently executing on the shard tier.
+	runningRemote atomic.Int64
 	// avgRunNanos is an EWMA of completed query durations, seeding the
 	// Retry-After estimate.
 	avgRunNanos atomic.Int64
@@ -40,9 +49,10 @@ type scheduler struct {
 
 // newScheduler builds a scheduler with the given global worker budget
 // (<= 0 → GOMAXPROCS), concurrent run slots (<= 0 → 2, and never more
-// than the worker budget so every slot gets ≥ 1 worker), and wait-queue
-// depth (< 0 → 0).
-func newScheduler(workerBudget, maxConcurrent, queueDepth int) *scheduler {
+// than the worker budget so every slot gets ≥ 1 worker), wait-queue
+// depth (< 0 → 0), and concurrent remote (shard-tier) dispatches
+// (<= 0 → 4).
+func newScheduler(workerBudget, maxConcurrent, queueDepth, maxRemote int) *scheduler {
 	if workerBudget <= 0 {
 		workerBudget = runtime.GOMAXPROCS(0)
 	}
@@ -55,10 +65,14 @@ func newScheduler(workerBudget, maxConcurrent, queueDepth int) *scheduler {
 	if queueDepth < 0 {
 		queueDepth = 0
 	}
+	if maxRemote <= 0 {
+		maxRemote = 4
+	}
 	s := &scheduler{
 		queue:   make(chan struct{}, maxConcurrent+queueDepth),
 		slots:   make(chan int, maxConcurrent),
 		budgets: divideBudget(workerBudget, maxConcurrent),
+		remote:  make(chan struct{}, maxRemote),
 	}
 	for i := 0; i < maxConcurrent; i++ {
 		s.slots <- i
@@ -110,15 +124,45 @@ func (s *scheduler) releaseSlot(slot int, elapsed time.Duration) {
 	s.slots <- slot
 }
 
+// acquireRemote claims a remote-dispatch slot (shard-tier queries are
+// bounded separately from the local run slots — see the remote field).
+// The caller must releaseRemote on success.
+func (s *scheduler) acquireRemote(ctx context.Context) error {
+	select {
+	case s.remote <- struct{}{}:
+		s.runningRemote.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseRemote returns a remote-dispatch slot.
+func (s *scheduler) releaseRemote() {
+	s.runningRemote.Add(-1)
+	<-s.remote
+}
+
 // retryAfter estimates, in whole seconds (minimum 1), how long a
-// rejected client should wait before retrying: the queue length ahead of
-// it times the average query duration, spread over the run slots.
+// rejected client should wait before retrying: the number of queries
+// actually waiting ahead of it times the average query duration, spread
+// over the run slots.
+//
+// The waiter count is queued minus running: the queued gauge counts
+// every admitted query, including the ones currently holding run slots
+// (or executing remotely on the shard tier), and those are not ahead of
+// the rejected client in any queue — an earlier version counted them
+// and told clients to back off roughly twice as long as the real
+// drain time under steady load (pinned in sched_test.go).
 func (s *scheduler) retryAfter() int {
 	avg := time.Duration(s.avgRunNanos.Load())
 	if avg <= 0 {
 		return 1
 	}
-	waiting := s.queued.Load()
+	waiting := s.queued.Load() - s.running.Load() - s.runningRemote.Load()
+	if waiting < 0 {
+		waiting = 0
+	}
 	est := avg * time.Duration(waiting+1) / time.Duration(cap(s.slots))
 	secs := int((est + time.Second - 1) / time.Second)
 	if secs < 1 {

@@ -69,7 +69,7 @@ func TestDivideBudget(t *testing.T) {
 }
 
 func TestSchedulerAdmissionBounds(t *testing.T) {
-	s := newScheduler(4, 2, 1) // 2 run slots + 1 waiting = 3 admitted max
+	s := newScheduler(4, 2, 1, 0) // 2 run slots + 1 waiting = 3 admitted max
 	for i := 0; i < 3; i++ {
 		if err := s.admit(); err != nil {
 			t.Fatalf("admit %d: %v", i, err)
@@ -85,7 +85,7 @@ func TestSchedulerAdmissionBounds(t *testing.T) {
 }
 
 func TestSchedulerSlotBudgets(t *testing.T) {
-	s := newScheduler(7, 3, 0)
+	s := newScheduler(7, 3, 0, 0)
 	ctx := context.Background()
 	seen := map[int]int{}
 	var slots []int
@@ -118,14 +118,14 @@ func TestSchedulerSlotBudgets(t *testing.T) {
 }
 
 func TestSchedulerConcurrencyCappedByWorkers(t *testing.T) {
-	s := newScheduler(2, 8, 0) // more slots requested than workers
+	s := newScheduler(2, 8, 0, 0) // more slots requested than workers
 	if got := cap(s.slots); got != 2 {
 		t.Fatalf("slots = %d, want clamp to worker budget 2", got)
 	}
 }
 
 func TestSchedulerRetryAfter(t *testing.T) {
-	s := newScheduler(2, 2, 4)
+	s := newScheduler(2, 2, 4, 0)
 	if got := s.retryAfter(); got < 1 {
 		t.Fatalf("retryAfter with no history = %d, want >= 1", got)
 	}
@@ -144,4 +144,76 @@ func TestSchedulerRetryAfter(t *testing.T) {
 	if deep := s.retryAfter(); deep < empty {
 		t.Fatalf("retryAfter shrank with queue depth: %d < %d", deep, empty)
 	}
+}
+
+// TestSchedulerRetryAfterCountsWaitersNotRunners pins the retryAfter
+// fix: a query holding a run slot (or a remote-dispatch slot) still
+// holds its admission token, but it is *running*, not waiting, and must
+// not inflate the backoff estimate. Before the fix, two admitted
+// queries both occupying run slots were counted as two waiters, telling
+// the rejected client to wait ~3× the real drain time.
+func TestSchedulerRetryAfterCountsWaitersNotRunners(t *testing.T) {
+	s := newScheduler(4, 2, 4, 1)
+	s.avgRunNanos.Store(int64(4 * time.Second))
+
+	// Empty scheduler: one prospective query over 2 slots → ceil(4s/2) = 2.
+	if got := s.retryAfter(); got != 2 {
+		t.Fatalf("retryAfter idle = %d, want 2", got)
+	}
+
+	ctx := context.Background()
+	// Two queries admitted AND running (each holds a run slot): still no
+	// one waiting, so the estimate must not move.
+	for i := 0; i < 2; i++ {
+		if err := s.admit(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.acquireSlot(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.retryAfter(); got != 2 {
+		t.Fatalf("retryAfter with 2 running, 0 waiting = %d, want 2 (runners counted as waiters?)", got)
+	}
+
+	// A remote (shard-tier) query in flight is running too.
+	if err := s.admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.acquireRemote(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.retryAfter(); got != 2 {
+		t.Fatalf("retryAfter with remote running = %d, want 2", got)
+	}
+
+	// One genuine waiter: (1+1)·4s / 2 slots = 4.
+	if err := s.admit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.retryAfter(); got != 4 {
+		t.Fatalf("retryAfter with 1 waiter = %d, want 4", got)
+	}
+	s.releaseRemote()
+}
+
+func TestSchedulerRemoteSlotBounds(t *testing.T) {
+	s := newScheduler(4, 2, 0, 1)
+	ctx := context.Background()
+	if err := s.acquireRemote(ctx); err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := s.acquireRemote(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("acquireRemote on full remote pool = %v, want deadline exceeded", err)
+	}
+	if got := s.runningRemote.Load(); got != 1 {
+		t.Fatalf("runningRemote = %d, want 1", got)
+	}
+	s.releaseRemote()
+	if err := s.acquireRemote(ctx); err != nil {
+		t.Fatalf("acquireRemote after release: %v", err)
+	}
+	s.releaseRemote()
 }

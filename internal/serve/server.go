@@ -13,6 +13,7 @@ import (
 	"time"
 
 	fascia "repro"
+	"repro/internal/shard"
 )
 
 // Config sizes a Server. The zero value is usable: GOMAXPROCS workers,
@@ -30,6 +31,10 @@ type Config struct {
 	// admission control rejects with 429 + Retry-After (0 = 16, negative
 	// = no waiting room).
 	QueueDepth int
+	// MaxRemoteConcurrent bounds queries dispatched to the shard tier at
+	// once (0 = 4). Remote runs are network-bound and do not consume the
+	// local worker budget, but each pins O(shards) connections.
+	MaxRemoteConcurrent int
 	// CacheBytes budgets the seed-keyed result cache (0 = 64 MiB).
 	CacheBytes int64
 	// DefaultIterations is used when a query omits iterations (0 = 32).
@@ -82,6 +87,7 @@ type Server struct {
 	registry *Registry
 	cache    *Cache
 	sched    *scheduler
+	pool     *shard.Pool
 	mux      *http.ServeMux
 
 	// drainMu orders query admission against drain: queries join the
@@ -108,7 +114,8 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		registry: NewRegistry(),
 		cache:    NewCache(cfg.CacheBytes),
-		sched:    newScheduler(cfg.WorkerBudget, cfg.MaxConcurrent, cfg.QueueDepth),
+		sched:    newScheduler(cfg.WorkerBudget, cfg.MaxConcurrent, cfg.QueueDepth, cfg.MaxRemoteConcurrent),
+		pool:     shard.NewPool(shard.PoolOptions{Logf: cfg.Logf}),
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -117,11 +124,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
 	s.mux.HandleFunc("POST /v1/count", s.handleCount)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/shards", s.handleListShards)
+	s.mux.HandleFunc("POST /v1/shards", s.handleAddShard)
+	s.mux.HandleFunc("DELETE /v1/shards", s.handleRemoveShard)
 	return s
 }
 
 // Registry exposes the graph registry (for preloading graphs at boot).
 func (s *Server) Registry() *Registry { return s.registry }
+
+// Pool exposes the shard-tier coordinator pool (for boot-time shard
+// registration and tests).
+func (s *Server) Pool() *shard.Pool { return s.pool }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +195,14 @@ type Stats struct {
 	Slots         int   `json:"slots"`
 	QueueCap      int   `json:"queue_cap"`
 	WorkerBudgets []int `json:"worker_budgets"`
+	// RunningRemote gauges queries currently executing on the shard tier.
+	RunningRemote int64 `json:"running_remote"`
+	// Shards counts registered shard workers; ShardQueries, Redispatches
+	// and Failures are the pool's lifetime dispatch counters.
+	Shards            int   `json:"shards"`
+	ShardQueries      int64 `json:"shard_queries"`
+	ShardRedispatches int64 `json:"shard_redispatches"`
+	ShardFailures     int64 `json:"shard_failures"`
 	// Graphs counts registered graphs; Cache snapshots the result cache.
 	Graphs int        `json:"graphs"`
 	Cache  CacheStats `json:"cache"`
@@ -191,19 +213,25 @@ func (s *Server) Stats() Stats {
 	s.drainMu.RLock()
 	draining := s.draining
 	s.drainMu.RUnlock()
+	ps := s.pool.Stats()
 	return Stats{
-		Queries:        s.queries.Load(),
-		Rejected:       s.rejected.Load(),
-		PartialResults: s.partialResults.Load(),
-		QueryErrors:    s.queryErrors.Load(),
-		Draining:       draining,
-		Queued:         s.sched.queued.Load(),
-		Running:        s.sched.running.Load(),
-		Slots:          cap(s.sched.slots),
-		QueueCap:       cap(s.sched.queue),
-		WorkerBudgets:  append([]int(nil), s.sched.budgets...),
-		Graphs:         len(s.registry.List()),
-		Cache:          s.cache.Stats(),
+		Queries:           s.queries.Load(),
+		Rejected:          s.rejected.Load(),
+		PartialResults:    s.partialResults.Load(),
+		QueryErrors:       s.queryErrors.Load(),
+		Draining:          draining,
+		Queued:            s.sched.queued.Load(),
+		Running:           s.sched.running.Load(),
+		Slots:             cap(s.sched.slots),
+		QueueCap:          cap(s.sched.queue),
+		WorkerBudgets:     append([]int(nil), s.sched.budgets...),
+		RunningRemote:     s.sched.runningRemote.Load(),
+		Shards:            ps.Shards,
+		ShardQueries:      ps.Queries,
+		ShardRedispatches: ps.Redispatches,
+		ShardFailures:     ps.Failures,
+		Graphs:            len(s.registry.List()),
+		Cache:             s.cache.Stats(),
 	}
 }
 
@@ -249,6 +277,13 @@ type CountResponse struct {
 	CachedIterations int `json:"cached_iterations"`
 	// Cache is "hit", "partial", "miss", or "bypass".
 	Cache string `json:"cache"`
+	// ShardIterations counts the iterations computed by the shard tier
+	// (neither cached nor computed locally); Shards is the dispatch group
+	// size and ShardRedispatches the number of group rebuilds after shard
+	// loss. All zero for queries the shard tier never saw.
+	ShardIterations   int `json:"shard_iterations,omitempty"`
+	Shards            int `json:"shards,omitempty"`
+	ShardRedispatches int `json:"shard_redispatches,omitempty"`
 	// Partial marks a query cut short by its deadline or a server drain;
 	// Count is then the mean over the iterations that completed and
 	// Error carries the context error.
@@ -392,7 +427,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	if kind == Hit {
 		res := fascia.MergeIterations(prior, fascia.Result{})
-		s.respondCount(w, req, key, res, kind, nil, start)
+		s.respondCount(w, req, key, res, kind, nil, start, shardSummary{})
 		return
 	}
 
@@ -414,52 +449,119 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	ctx, cancelTimeout := context.WithTimeout(ctx, timeout)
 	defer cancelTimeout()
 
-	slot, workers, err := s.sched.acquireSlot(ctx)
-	if err != nil {
-		s.rejected.Add(1)
-		s.httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
-		return
+	// Shard tier: when registered shard workers cover this graph, the
+	// residual iterations are dispatched to them first. The tier returns
+	// a contiguous prefix of the same per-iteration stream the local
+	// engine would compute (iteration i colors with Seed+i on every
+	// engine), so whatever it completes splices in bit-identically and
+	// any remainder — after shard loss exhausts the group, say — runs
+	// locally from the advanced seed base.
+	cached := len(prior)
+	remaining := iters - cached
+	var sh shardSummary
+	var runErr error
+	if remaining > 0 && s.pool.Covers(info.Hash) > 0 {
+		if rerr := s.sched.acquireRemote(ctx); rerr == nil {
+			out, serr := s.pool.Count(ctx, shard.Query{
+				GraphHash:  info.Hash,
+				GraphN:     info.N,
+				Template:   tr,
+				Colors:     req.Colors,
+				Strategy:   partStrategy(opt.Partition),
+				Seed:       req.Seed + int64(len(prior)),
+				Iterations: remaining,
+			})
+			s.sched.releaseRemote()
+			sh = shardSummary{iterations: len(out.PerIteration), shards: out.Shards, redispatches: out.Redispatches}
+			mShardIterations.Add(int64(sh.iterations))
+			prior = append(prior, out.PerIteration...)
+			remaining -= sh.iterations
+			switch {
+			case serr == nil:
+			case errors.Is(serr, context.Canceled) || errors.Is(serr, context.DeadlineExceeded):
+				// The query context died mid-dispatch: flush the partial
+				// mean exactly as a cancelled local run would.
+				runErr = serr
+				remaining = 0
+			default:
+				// Shard loss drained the group, or a worker refused the
+				// run: keep the completed prefix, finish locally.
+				mShardFallbacks.Add(1)
+				s.cfg.Logf("serve: shard tier served %d of %d iterations (%v); computing %d locally",
+					sh.iterations, sh.iterations+remaining, serr, remaining)
+			}
+		}
+		// acquireRemote fails only when ctx is already done; the local
+		// path below reports that as "cancelled while queued".
 	}
-	defer func() { s.sched.releaseSlot(slot, time.Since(start)) }()
 
-	// Residual run: iteration i of a run colors with Seed+i, so a run
-	// based at Seed+len(prior) computes exactly the estimates the cache
-	// is missing, and the merge is bit-identical to a from-scratch run.
-	runOpt := opt.WithSeed(req.Seed + int64(len(prior))).
-		WithIterations(iters - len(prior)).
-		WithThreads(workers)
-	res, runErr := fascia.CountContext(ctx, g, tr, runOpt)
-	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
-		s.queryErrors.Add(1)
-		s.httpError(w, http.StatusInternalServerError, "count: %v", runErr)
-		return
+	// Residual local run: iteration i of a run colors with Seed+i, so a
+	// run based at Seed+len(prior) computes exactly the estimates the
+	// cache and the shard tier did not provide, and the merge is
+	// bit-identical to a from-scratch run.
+	var res fascia.Result
+	if remaining > 0 && runErr == nil {
+		slot, workers, err := s.sched.acquireSlot(ctx)
+		if err != nil {
+			s.rejected.Add(1)
+			s.httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
+			return
+		}
+		runOpt := opt.WithSeed(req.Seed + int64(len(prior))).
+			WithIterations(remaining).
+			WithThreads(workers)
+		res, runErr = fascia.CountContext(ctx, g, tr, runOpt)
+		s.sched.releaseSlot(slot, time.Since(start))
+		if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+			s.queryErrors.Add(1)
+			s.httpError(w, http.StatusInternalServerError, "count: %v", runErr)
+			return
+		}
+		mFreshIterations.Add(int64(len(res.PerIteration)))
 	}
-	mFreshIterations.Add(int64(len(res.PerIteration)))
 	merged := fascia.MergeIterations(prior, res)
-	if runErr == nil && !req.NoCache {
-		// Only complete runs extend the cache: a cancelled run's
+	// MergeIterations attributes all of prior to the cache, but the
+	// shard tier's contribution was computed now; restore the true split
+	// so CachedIterations stays what the cache actually served.
+	merged.Stats.CachedIterations = cached
+	if !req.NoCache && (runErr == nil || len(res.PerIteration) == 0) {
+		// Complete runs always extend the cache, and so does a query cut
+		// short before any local iterations finished — the shard tier
+		// only ever returns a contiguous prefix of the seed stream. A
+		// cancelled local run with completed iterations cannot: its
 		// completed set may be a non-contiguous subset of the seed range
 		// under outer parallelism, and cache entries must be exact
-		// prefixes of the seed stream.
+		// prefixes.
 		s.cache.Extend(key, merged.PerIteration)
 	}
-	s.respondCount(w, req, key, merged, kind, runErr, start)
+	s.respondCount(w, req, key, merged, kind, runErr, start, sh)
+}
+
+// shardSummary carries one query's shard-tier accounting to the
+// response writer.
+type shardSummary struct {
+	iterations   int
+	shards       int
+	redispatches int
 }
 
 // respondCount writes the 200 response for a served query (complete or
 // partial).
-func (s *Server) respondCount(w http.ResponseWriter, req CountRequest, key CacheKey, res fascia.Result, kind HitKind, runErr error, start time.Time) {
+func (s *Server) respondCount(w http.ResponseWriter, req CountRequest, key CacheKey, res fascia.Result, kind HitKind, runErr error, start time.Time, sh shardSummary) {
 	s.queries.Add(1)
 	mQueries.Add(1)
 	resp := CountResponse{
-		Graph:            req.Graph,
-		Template:         key.Template,
-		Count:            res.Count,
-		StdErr:           res.StdErr,
-		Iterations:       res.Iterations,
-		CachedIterations: res.Stats.CachedIterations,
-		Cache:            "bypass",
-		ElapsedMillis:    float64(time.Since(start).Microseconds()) / 1000,
+		Graph:             req.Graph,
+		Template:          key.Template,
+		Count:             res.Count,
+		StdErr:            res.StdErr,
+		Iterations:        res.Iterations,
+		CachedIterations:  res.Stats.CachedIterations,
+		ShardIterations:   sh.iterations,
+		Shards:            sh.shards,
+		ShardRedispatches: sh.redispatches,
+		Cache:             "bypass",
+		ElapsedMillis:     float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if kind >= Miss {
 		resp.Cache = kind.String()

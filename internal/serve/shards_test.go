@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	fascia "repro"
+	"repro/internal/shard"
+)
+
+// startShardWorker boots an in-process shard worker serving g on a
+// loopback listener and returns its address.
+func startShardWorker(t *testing.T, g *fascia.Graph) string {
+	t.Helper()
+	w := shard.NewWorker(shard.WorkerOptions{})
+	w.AddGraph(g)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(ln)
+	t.Cleanup(w.Close)
+	return ln.Addr().String()
+}
+
+// registerShard announces addr (serving g) to the server over HTTP.
+func registerShard(t *testing.T, ts *httptest.Server, addr string, g *fascia.Graph) {
+	t.Helper()
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/shards", ShardRegistration{
+		Addr:   addr,
+		Graphs: []string{GraphHashHex(HashGraph(g))},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register shard %s: %d %s", addr, resp.StatusCode, body)
+	}
+}
+
+// TestServerShardRouting proves the HTTP query path routes through the
+// shard tier when workers cover the graph — and that the sharded result
+// is bit-identical to the single-process engine, cache layer included.
+func TestServerShardRouting(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	g := fascia.ErdosRenyi(120, 480, 1) // same build as newTestServer's "g"
+	for i := 0; i < 2; i++ {
+		registerShard(t, ts, startShardWorker(t, g), g)
+	}
+	if got := s.Stats().Shards; got != 2 {
+		t.Fatalf("Shards = %d, want 2", got)
+	}
+
+	const iters, seed = 12, int64(7)
+	tr, err := fascia.ParseTemplate("t", "0-1 1-2 1-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fascia.Count(g, tr, fascia.DefaultOptions().WithSeed(seed).WithIterations(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, _ := countQuery(t, ts, CountRequest{
+		Graph: "g", Template: "0-1 1-2 1-3", Iterations: iters, Seed: seed, PerIteration: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("count = %d", code)
+	}
+	if out.ShardIterations != iters || out.Shards != 2 {
+		t.Fatalf("shard accounting = %d iterations over %d shards, want %d over 2", out.ShardIterations, out.Shards, iters)
+	}
+	if out.CachedIterations != 0 {
+		t.Fatalf("CachedIterations = %d, want 0 (shard iterations are fresh, not cached)", out.CachedIterations)
+	}
+	if len(out.PerIteration) != iters {
+		t.Fatalf("per-iteration length %d, want %d", len(out.PerIteration), iters)
+	}
+	for i, est := range out.PerIteration {
+		if est != want.PerIteration[i] {
+			t.Fatalf("iteration %d: sharded %v != local %v", i, est, want.PerIteration[i])
+		}
+	}
+	if out.Count != want.Count {
+		t.Fatalf("sharded count %v != local %v", out.Count, want.Count)
+	}
+
+	// The sharded stream extended the cache: the same query again is a
+	// pure hit and never touches the tier.
+	code, out2, _ := countQuery(t, ts, CountRequest{
+		Graph: "g", Template: "0-1 1-2 1-3", Iterations: iters, Seed: seed,
+	})
+	if code != http.StatusOK || out2.Cache != "hit" || out2.CachedIterations != iters {
+		t.Fatalf("re-query = %d cache=%q cached=%d, want 200 hit %d", code, out2.Cache, out2.CachedIterations, iters)
+	}
+	if out2.ShardIterations != 0 {
+		t.Fatalf("cache hit reported %d shard iterations", out2.ShardIterations)
+	}
+
+	// Overlap: doubling the iterations serves the cached prefix locally
+	// and only the residual through the tier, still bit-identical.
+	want2, err := fascia.Count(g, tr, fascia.DefaultOptions().WithSeed(seed).WithIterations(2*iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out3, _ := countQuery(t, ts, CountRequest{
+		Graph: "g", Template: "0-1 1-2 1-3", Iterations: 2 * iters, Seed: seed, PerIteration: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("overlap count = %d", code)
+	}
+	if out3.CachedIterations != iters || out3.ShardIterations != iters {
+		t.Fatalf("overlap split = %d cached + %d sharded, want %d + %d",
+			out3.CachedIterations, out3.ShardIterations, iters, iters)
+	}
+	for i, est := range out3.PerIteration {
+		if est != want2.PerIteration[i] {
+			t.Fatalf("overlap iteration %d: %v != %v", i, est, want2.PerIteration[i])
+		}
+	}
+}
+
+// TestServerShardFallback proves a query survives the whole shard tier
+// being unreachable: the pool excludes the dead shard, runs out of
+// candidates, and the query falls back to the local engine with the
+// same bit-identical result.
+func TestServerShardFallback(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	g := fascia.ErdosRenyi(120, 480, 1)
+
+	// A shard address that refuses connections: bind, then close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	registerShard(t, ts, dead, g)
+
+	want, err := fascia.Count(g, mustTemplate(t, "0-1 0-2"), fascia.DefaultOptions().WithSeed(3).WithIterations(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := countQuery(t, ts, CountRequest{
+		Graph: "g", Template: "0-1 0-2", Iterations: 8, Seed: 3, PerIteration: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("count with dead shard = %d", code)
+	}
+	if out.Partial {
+		t.Fatalf("fallback run reported partial: %+v", out)
+	}
+	if out.ShardIterations != 0 {
+		t.Fatalf("dead shard served %d iterations", out.ShardIterations)
+	}
+	for i, est := range out.PerIteration {
+		if est != want.PerIteration[i] {
+			t.Fatalf("fallback iteration %d: %v != %v", i, est, want.PerIteration[i])
+		}
+	}
+	if st := s.Stats(); st.ShardFailures < 1 {
+		t.Fatalf("ShardFailures = %d, want >= 1", st.ShardFailures)
+	}
+}
+
+// TestServerShardEndpoints exercises the registration API surface:
+// hex-hash round-trip, listing, dedup by address, removal, and the
+// error paths.
+func TestServerShardEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	client := ts.Client()
+
+	reg := ShardRegistration{Addr: "127.0.0.1:9999", Graphs: []string{"00deadbeef015ca1e"[:16]}}
+	if resp, body := postJSON(t, client, ts.URL+"/v1/shards", reg); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	// Re-registering the same address refreshes rather than duplicates.
+	if resp, _ := postJSON(t, client, ts.URL+"/v1/shards", reg); resp.StatusCode != http.StatusOK {
+		t.Fatal("re-register failed")
+	}
+
+	resp, err := client.Get(ts.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []ShardListEntry
+	decodeBody(t, resp, &list)
+	if len(list) != 1 || list[0].Addr != reg.Addr || len(list[0].Graphs) != 1 || list[0].Graphs[0] != reg.Graphs[0] {
+		t.Fatalf("list = %+v, want the one registration back", list)
+	}
+
+	// Bad hex and missing addr are rejected.
+	if resp, _ := postJSON(t, client, ts.URL+"/v1/shards", ShardRegistration{Addr: "x:1", Graphs: []string{"zzzz"}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad hex accepted: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, client, ts.URL+"/v1/shards", ShardRegistration{Graphs: []string{"ff"}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing addr accepted: %d", resp.StatusCode)
+	}
+
+	del := func(addr string) int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/shards?addr="+addr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(reg.Addr); code != http.StatusOK {
+		t.Fatalf("delete = %d", code)
+	}
+	if code := del(reg.Addr); code != http.StatusNotFound {
+		t.Fatalf("double delete = %d, want 404", code)
+	}
+}
+
+func mustTemplate(t *testing.T, spec string) *fascia.Template {
+	t.Helper()
+	tr, err := fascia.ParseTemplate("t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
