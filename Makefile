@@ -11,9 +11,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci lint vet build test race race-cancel difftest fuzz-smoke serve-smoke shard-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record check-bce
+.PHONY: ci lint vet build test race race-cancel difftest fuzz-smoke serve-smoke shard-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record bench-mem bench-mem-full bench-mem-record bench-adaptive check-bce
 
-ci: lint vet build check-bce test race race-cancel difftest metrics-smoke serve-smoke shard-smoke cover-serve fuzz-smoke bench-smoke bench-batch bench-tile
+ci: lint vet build check-bce test race race-cancel difftest metrics-smoke serve-smoke shard-smoke cover-serve fuzz-smoke bench-smoke bench-batch bench-tile bench-mem bench-adaptive
 
 # fasciavet, the project-specific static analyzer (determinism-critical
 # map iteration, cancellation polling, fingerprint/cache-key coverage,
@@ -70,6 +70,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/tmpl
 	$(GO) test -run='^$$' -fuzz=FuzzTilePlan -fuzztime=$(FUZZTIME) ./internal/dp
+	$(GO) test -run='^$$' -fuzz=FuzzSuccinctRow -fuzztime=$(FUZZTIME) ./internal/table
 
 # fasciad end to end under -race: boot on an ephemeral port, count,
 # cache hit, residual overlap, SIGTERM drain, goroutine-leak check.
@@ -110,6 +111,32 @@ bench-batch:
 # an end-to-end tiled-vs-untiled bit-identity check.
 bench-tile:
 	$(GO) test -run='^$$' -bench=BenchmarkTiledDPSmall -benchtime=1x ./internal/dp
+
+# Out-of-core smoke: a U7 run with dense tables on a 200k-vertex BA
+# graph under a 96 MiB -mem budget and a Go heap limit. The benchmark
+# asserts that slabs actually spilled, that whole-process peak RSS
+# stayed under its ceiling, and that the budgeted estimates are
+# bit-identical to an unbudgeted run.
+bench-mem:
+	GOMEMLIMIT=256MiB $(GO) test -run='^$$' -bench=BenchmarkMemBudgetSmoke -benchtime=1x ./internal/dp
+
+# Adaptive-stopping smoke: a U7 run on a 50k-vertex BA graph driven to
+# a 1% relative-stderr target with a far-higher iteration cap. The
+# benchmark asserts the run converges strictly before the cap with the
+# target met, and reports the iteration-savings factor.
+bench-adaptive:
+	$(GO) test -run='^$$' -bench=BenchmarkAdaptiveStopSmoke -benchtime=1x ./internal/dp
+
+# The acceptance-scale out-of-core comparison (U10 on a million-vertex
+# BA graph, budgeted vs unbudgeted). Slow and memory-hungry.
+bench-mem-full:
+	$(GO) test -run='^$$' -bench='BenchmarkMemBudget$$' -benchtime=1x -timeout=2h ./internal/dp
+
+# Record a BENCH_mem.json trajectory entry with the documented noise
+# methodology (>= 5 samples after a discarded warmup, MAD outlier drop,
+# medians of the survivors); appends, never overwrites. Slow.
+bench-mem-record:
+	$(GO) run ./cmd/fasciabench bench-mem-record
 
 # Full kernel comparison (the numbers quoted in DESIGN.md "DP kernels").
 bench-kernel:

@@ -46,10 +46,12 @@ func run(args []string) error {
 		colors     = fs.Int("colors", 0, "number of colors (0 = template size)")
 		threads    = fs.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
 		mode       = fs.String("parallel", "auto", "parallelization: auto, inner, outer, hybrid")
-		layout     = fs.String("table", "lazy", "table layout: lazy, naive, hash")
+		layout     = fs.String("table", "lazy", "table layout: lazy, naive, hash, succinct")
 		kernel     = fs.String("kernel", "auto", "DP combination kernel: auto, direct, aggregate")
 		batch      = fs.String("batch", "1", "iteration batch width: lanes per DP traversal (an integer, or \"auto\")")
 		llc        = fs.Int64("llc", 0, "cache budget in bytes for DP column tiling (0 = FASCIA_LLC_BYTES env or 64 MiB, negative = disable tiling)")
+		mem        = fs.Int64("mem", 0, "peak table-memory budget in bytes: large slabs spill to file-backed mappings (0 = FASCIA_MEM_BYTES env or unlimited, negative = never spill)")
+		adaptive   = fs.Float64("adaptive", 0, "variance-targeted stopping: run until the relative stderr drops below this, -iterations capping the run (0 = fixed iterations)")
 		partition  = fs.String("partition", "one", "partitioning: one (one-at-a-time), balanced")
 		share      = fs.Bool("share", false, "share isomorphic subtemplates (memory for time)")
 		seed       = fs.Int64("seed", 0, "random seed")
@@ -88,7 +90,7 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/debug/vars (pprof at /debug/pprof/)\n", addr)
 	}
 
-	g, err := loadGraph(*graphPath, *network, *scale, *seed)
+	g, err := loadGraph(*graphPath, *network, *scale, *seed, *mem)
 	if err != nil {
 		return err
 	}
@@ -140,6 +142,8 @@ func run(args []string) error {
 		opt = opt.WithTable(fascia.TableNaive)
 	case "hash":
 		opt = opt.WithTable(fascia.TableHash)
+	case "succinct":
+		opt = opt.WithTable(fascia.TableSuccinct)
 	default:
 		return fmt.Errorf("unknown -table %q", *layout)
 	}
@@ -168,7 +172,10 @@ func run(args []string) error {
 	} else {
 		return fmt.Errorf("bad -batch %q (want a positive integer or \"auto\")", *batch)
 	}
-	opt = opt.WithLLCBytes(*llc)
+	opt = opt.WithLLCBytes(*llc).WithMemBudgetBytes(*mem)
+	if *adaptive > 0 {
+		opt = opt.WithAdaptive(*adaptive)
+	}
 
 	s := g.ComputeStats()
 	if *motifs > 0 {
@@ -201,6 +208,11 @@ func run(args []string) error {
 	}
 	fmt.Printf("estimate: %.6g occurrences (±%.3g stderr, %d iterations, %v, %s mode, peak tables %.2f MB)\n",
 		res.Count, res.StdErr, res.Iterations, res.Elapsed.Round(0), res.Parallel, float64(res.PeakTableBytes)/(1<<20))
+	if res.Stats.MemBudgetBytes > 0 {
+		fmt.Printf("memory: budget %.0f MB, spilled %.2f MB in %d slabs, peak RSS %.1f MB\n",
+			float64(res.Stats.MemBudgetBytes)/(1<<20), float64(res.Stats.SpillMappedBytes)/(1<<20),
+			res.Stats.SpillSlabs, float64(res.Stats.PeakRSSBytes)/(1<<20))
+	}
 	if err != nil {
 		return nil // partial result already reported; exit cleanly
 	}
@@ -228,11 +240,16 @@ func run(args []string) error {
 	return nil
 }
 
-func loadGraph(path, network string, scale float64, seed int64) (*fascia.Graph, error) {
+func loadGraph(path, network string, scale float64, seed int64, mem int64) (*fascia.Graph, error) {
 	switch {
 	case path != "" && network != "":
 		return nil, fmt.Errorf("use either -graph or -network, not both")
 	case path != "":
+		// Under a memory budget (explicit -mem or the env knob), map
+		// binary CSRs in place instead of reading them onto the heap.
+		if strings.HasSuffix(path, ".bin") && (mem > 0 || (mem == 0 && os.Getenv("FASCIA_MEM_BYTES") != "")) {
+			return fascia.MapGraph(path)
+		}
 		return fascia.LoadGraph(path)
 	case network != "":
 		p, err := fascia.Network(network)

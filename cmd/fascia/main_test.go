@@ -36,16 +36,16 @@ func TestParseTemplate(t *testing.T) {
 }
 
 func TestLoadGraphModes(t *testing.T) {
-	if _, err := loadGraph("", "", 1, 1); err == nil {
+	if _, err := loadGraph("", "", 1, 1, 0); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := loadGraph("x.txt", "enron", 1, 1); err == nil {
+	if _, err := loadGraph("x.txt", "enron", 1, 1, 0); err == nil {
 		t.Error("both sources accepted")
 	}
-	if _, err := loadGraph("", "bogus", 1, 1); err == nil {
+	if _, err := loadGraph("", "bogus", 1, 1, 0); err == nil {
 		t.Error("bad network accepted")
 	}
-	g, err := loadGraph("", "circuit", 1.0, 1)
+	g, err := loadGraph("", "circuit", 1.0, 1, 0)
 	if err != nil || g.N() != 252 {
 		t.Fatalf("circuit load: %v, n=%d", err, g.N())
 	}
@@ -54,7 +54,7 @@ func TestLoadGraphModes(t *testing.T) {
 	if err := fascia.SaveGraph(path, g); err != nil {
 		t.Fatal(err)
 	}
-	g2, err := loadGraph(path, "", 1, 1)
+	g2, err := loadGraph(path, "", 1, 1, 0)
 	if err != nil || g2.N() != g.N() {
 		t.Fatalf("file load: %v", err)
 	}

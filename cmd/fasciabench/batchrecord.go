@@ -191,7 +191,8 @@ func runBatchRecord(args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(entry)
 	}
-	return appendTrajectory(*out, entry)
+	return appendTrajectory(*out, entry,
+		"optimization trajectory of the batched DP acceptance benchmark; entries are appended by `make bench-batch-record`, never overwritten")
 }
 
 // evaluateAcceptance derives the acceptance verdict from the entry's own
@@ -307,8 +308,9 @@ func medianOf(xs []float64) float64 {
 
 // appendTrajectory rewrites the trajectory file with the new entry
 // appended. A legacy single-object file (the PR 3 recording) is wrapped
-// as the trajectory's first entry, preserved verbatim.
-func appendTrajectory(path string, entry *trajectoryEntry) error {
+// as the trajectory's first entry, preserved verbatim. note is written
+// only when the file does not already carry one.
+func appendTrajectory(path string, entry any, note string) error {
 	var doc struct {
 		Note       string            `json:"note"`
 		Trajectory []json.RawMessage `json:"trajectory"`
@@ -316,11 +318,11 @@ func appendTrajectory(path string, entry *trajectoryEntry) error {
 	if raw, err := os.ReadFile(path); err == nil {
 		var probe map[string]json.RawMessage
 		if err := json.Unmarshal(raw, &probe); err != nil {
-			return fmt.Errorf("bench-batch-record: %s exists but is not JSON: %w", path, err)
+			return fmt.Errorf("trajectory: %s exists but is not JSON: %w", path, err)
 		}
 		if tr, ok := probe["trajectory"]; ok {
 			if err := json.Unmarshal(tr, &doc.Trajectory); err != nil {
-				return fmt.Errorf("bench-batch-record: bad trajectory in %s: %w", path, err)
+				return fmt.Errorf("trajectory: bad trajectory in %s: %w", path, err)
 			}
 			if n, ok := probe["note"]; ok {
 				_ = json.Unmarshal(n, &doc.Note)
@@ -333,7 +335,7 @@ func appendTrajectory(path string, entry *trajectoryEntry) error {
 		return err
 	}
 	if doc.Note == "" {
-		doc.Note = "optimization trajectory of the batched DP acceptance benchmark; entries are appended by `make bench-batch-record`, never overwritten"
+		doc.Note = note
 	}
 	rawEntry, err := json.MarshalIndent(entry, "    ", "  ")
 	if err != nil {

@@ -41,6 +41,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "bench-batch-record" {
 		return runBatchRecord(args[1:])
 	}
+	if len(args) > 0 && args[0] == "bench-mem-record" {
+		return runMemRecord(args[1:])
+	}
 	fs := flag.NewFlagSet("fasciabench", flag.ContinueOnError)
 	var (
 		full    = fs.Bool("full", false, "paper-scale workloads (hours of compute, tens of GB for k=12 runs)")

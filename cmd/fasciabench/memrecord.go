@@ -1,0 +1,248 @@
+// bench-mem-record: the recorded acceptance benchmark behind
+// BENCH_mem.json, the out-of-core counterpart of bench-batch-record. It
+// runs a large template on a large Barabási–Albert graph with dense
+// tables under a -mem budget, takes N >= 5 timed samples after a
+// discarded warmup, drops outliers by median-absolute-deviation, and
+// APPENDS the result to the JSON trajectory. The headline figures are
+// the whole-process peak RSS against the recorded ceiling (budget +
+// graph CSR + runtime slack) and the spilled-vs-resident byte ratio; an
+// optional unbudgeted baseline leg records what the same workload costs
+// without the budget.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/table"
+	"repro/internal/tmpl"
+)
+
+// memRunStats is one leg's measurement.
+type memRunStats struct {
+	Samples     []float64 `json:"samples_ms_per_iter"`
+	Kept        []float64 `json:"kept_ms_per_iter"`
+	MedianMS    float64   `json:"median_ms_per_iter"`
+	PeakRSSMB   float64   `json:"peak_rss_mb"`
+	PeakTableMB float64   `json:"peak_table_mb"`
+	SpilledMB   float64   `json:"spilled_mb"`
+	SpillSlabs  int64     `json:"spill_slabs"`
+}
+
+// memEntry is one recorded point of the out-of-core trajectory.
+type memEntry struct {
+	Date    string                  `json:"date"`
+	Label   string                  `json:"label"`
+	Command string                  `json:"command"`
+	Host    map[string]string       `json:"host"`
+	Setup   map[string]any          `json:"setup"`
+	Results map[string]*memRunStats `json:"results"`
+	// Acceptance evaluates the RSS criterion against this entry's own
+	// numbers: the budgeted leg's peak RSS must stay under the recorded
+	// ceiling, so the file can never claim a bound its numbers don't show.
+	Acceptance map[string]any `json:"acceptance"`
+	Notes      string         `json:"notes,omitempty"`
+}
+
+func runMemRecord(args []string) error {
+	fs := flag.NewFlagSet("bench-mem-record", flag.ContinueOnError)
+	var (
+		samples  = fs.Int("samples", 5, "timed samples per leg (min 5; one extra warmup sample is run and discarded)")
+		iters    = fs.Int("iterations", 1, "color-coding iterations per sample")
+		graphF   = fs.String("graph", "ba1m", "acceptance graph (ba1m, ba10m)")
+		templ    = fs.String("template", "U10-1", "template name")
+		mem      = fs.Int64("mem", 512<<20, "peak table-memory budget in bytes for the budgeted leg")
+		baseline = fs.Bool("baseline", true, "also record an unbudgeted baseline leg (runs after the budgeted leg; needs RAM for the full table footprint)")
+		label    = fs.String("label", "", "trajectory label (default: out-of-core @ <date>)")
+		out      = fs.String("out", "BENCH_mem.json", "trajectory file to append to")
+		notes    = fs.String("notes", "", "free-form analysis recorded with the entry")
+		dryRun   = fs.Bool("n", false, "print the entry instead of writing the file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *samples < 5 {
+		return fmt.Errorf("bench-mem-record: -samples %d below the noise-methodology floor of 5", *samples)
+	}
+	if *mem <= 0 {
+		return fmt.Errorf("bench-mem-record: -mem must be positive")
+	}
+	tpl, err := tmpl.Named(*templ)
+	if err != nil {
+		return err
+	}
+	g, err := memGraph(*graphF)
+	if err != nil {
+		return err
+	}
+	graphBytes := int64(g.N()+1)*8 + g.M()*2*4
+
+	// The recorded RSS ceiling: the budget, plus the CSR the budget
+	// deliberately does not cover, plus runtime/allocator slack.
+	const runtimeSlack = 256 << 20
+	ceiling := *mem + graphBytes + runtimeSlack
+
+	entry := &memEntry{
+		Date:    time.Now().Format("2006-01-02"),
+		Label:   *label,
+		Command: fmt.Sprintf("fasciabench bench-mem-record -samples %d -iterations %d -graph %s -template %s -mem %d", *samples, *iters, *graphF, *templ, *mem),
+		Host: map[string]string{
+			"go": runtime.Version(),
+			"note": fmt.Sprintf("%d CPU(s), GOMEMLIMIT=%q; one warmup round discarded, outliers beyond 3x the median absolute deviation dropped, medians of the survivors reported; peak RSS is the process high-water sampled at iteration boundaries, so the budgeted leg runs first",
+				runtime.NumCPU(), os.Getenv("GOMEMLIMIT")),
+		},
+		Setup: map[string]any{
+			"graph":              *graphF,
+			"graph_csr_bytes":    graphBytes,
+			"template":           *templ,
+			"iterations_per_run": *iters,
+			"layout":             "naive (dense; the whole-table slabs the spill region targets)",
+			"mode":               "Inner",
+			"workers":            1,
+			"batch":              "auto",
+			"samples":            *samples,
+			"mem_budget_bytes":   *mem,
+		},
+		Results: map[string]*memRunStats{},
+	}
+	if entry.Label == "" {
+		entry.Label = "out-of-core @ " + entry.Date
+	}
+
+	legs := []struct {
+		name string
+		mem  int64
+	}{{"budgeted", *mem}}
+	if *baseline {
+		legs = append(legs, struct {
+			name string
+			mem  int64
+		}{"unbudgeted", -1})
+	}
+
+	for _, leg := range legs {
+		cfg := dp.DefaultConfig()
+		cfg.TableKind = table.Naive
+		cfg.Batch = dp.BatchAuto
+		cfg.Mode = dp.Inner
+		cfg.Workers = 1
+		cfg.Seed = 3
+		cfg.MemBudgetBytes = leg.mem
+		e, err := dp.New(g, tpl, cfg)
+		if err != nil {
+			return err
+		}
+		st := &memRunStats{}
+		entry.Results[leg.name] = st
+		for s := 0; s <= *samples; s++ {
+			t0 := time.Now()
+			res, err := e.Run(*iters)
+			if err != nil {
+				return err
+			}
+			ms := time.Since(t0).Seconds() * 1000 / float64(*iters)
+			if s == 0 {
+				continue // warmup
+			}
+			st.Samples = append(st.Samples, math.Round(ms*10)/10)
+			st.PeakRSSMB = math.Max(st.PeakRSSMB, math.Round(float64(res.Stats.PeakRSSBytes)/(1<<20)*100)/100)
+			st.PeakTableMB = math.Round(float64(res.PeakTableBytes)/(1<<20)*100) / 100
+			st.SpilledMB = math.Round(float64(res.Stats.SpillMappedBytes)/(1<<20)*100) / 100
+			st.SpillSlabs = res.Stats.SpillSlabs
+		}
+		st.Kept, st.MedianMS = dropOutliers(st.Samples)
+		fmt.Printf("%s: median %.1f ms/iter (kept %d/%d samples), peak RSS %.1f MB, peak table %.1f MB, spilled %.1f MB in %d slabs\n",
+			leg.name, st.MedianMS, len(st.Kept), len(st.Samples), st.PeakRSSMB, st.PeakTableMB, st.SpilledMB, st.SpillSlabs)
+	}
+
+	bud := entry.Results["budgeted"]
+	entry.Acceptance = map[string]any{
+		"rss_ceiling_mb": math.Round(float64(ceiling)/(1<<20)*100) / 100,
+		"peak_rss_mb":    bud.PeakRSSMB,
+		"rss_bounded":    bud.PeakRSSMB <= float64(ceiling)/(1<<20),
+		"spilled":        bud.SpillSlabs > 0,
+	}
+	if base := entry.Results["unbudgeted"]; base != nil && bud.PeakRSSMB > 0 {
+		entry.Acceptance["unbudgeted_peak_table_mb"] = base.PeakTableMB
+		entry.Acceptance["table_bytes_over_budgeted_rss"] = math.Round(base.PeakTableMB/bud.PeakRSSMB*100) / 100
+	}
+	adaptive, err := memAdaptiveCheck()
+	if err != nil {
+		return err
+	}
+	entry.Acceptance["adaptive"] = adaptive
+	entry.Notes = *notes
+
+	if *dryRun {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entry)
+	}
+	return appendTrajectory(*out, entry,
+		"out-of-core acceptance trajectory (dense tables under -mem spill budgets); entries are appended by `make bench-mem-record`, never overwritten")
+}
+
+// memAdaptiveCheck records the adaptive-sampling half of the acceptance
+// criterion next to the out-of-core half: a fixed small config (a U7
+// path on a 50k-vertex BA graph, the same workload as `make
+// bench-adaptive`) run variance-targeted to a 1% relative-stderr goal
+// under a far-higher iteration cap. The recorded numbers must show the
+// rule stopping strictly before the cap with the target met, so the
+// entry can never claim a saving its own run didn't achieve.
+func memAdaptiveCheck() (map[string]any, error) {
+	const (
+		target   = 0.01
+		capIters = 100
+	)
+	g := gen.BarabasiAlbert(50_000, 5, 1)
+	tpl, err := tmpl.Named("U7-1")
+	if err != nil {
+		return nil, err
+	}
+	cfg := dp.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Seed = 3
+	e, err := dp.New(g, tpl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.RunConverged(target, 2, capIters)
+	if err != nil {
+		return nil, err
+	}
+	n := len(res.PerIteration)
+	rel := math.Inf(1)
+	if res.Estimate != 0 {
+		rel = res.StdErr / math.Abs(res.Estimate)
+	}
+	return map[string]any{
+		"workload":        "ba50k U7-1 seed 3",
+		"target_rel_err":  target,
+		"iteration_cap":   capIters,
+		"stop_iterations": n,
+		"rel_err_at_stop": math.Round(rel*1e4) / 1e4,
+		"converged_early": n < capIters && rel <= target,
+		"iter_savings_x":  math.Round(float64(capIters)/float64(n)*100) / 100,
+	}, nil
+}
+
+// memGraph builds the fixed-seed graphs named by the out-of-core
+// acceptance criterion.
+func memGraph(name string) (*graph.Graph, error) {
+	switch name {
+	case "ba1m":
+		return gen.BarabasiAlbert(1_000_000, 5, 1), nil
+	case "ba10m":
+		return gen.BarabasiAlbert(10_000_000, 5, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown acceptance graph %q (want ba1m or ba10m)", name)
+	}
+}

@@ -81,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		concurrency  = fs.Int("concurrency", 0, "queries running at once (0 = 2)")
 		queue        = fs.Int("queue", 16, "bounded wait-queue depth behind the run slots")
 		cacheBytes   = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "seed-keyed result cache budget in bytes")
+		memBytes     = fs.Int64("mem", 0, "per-query peak table-memory budget in bytes: large slabs spill to file-backed mappings, and .bin graph preloads are memory-mapped (0 = FASCIA_MEM_BYTES env or unlimited)")
 		defIters     = fs.Int("iterations", 32, "default iterations for queries that omit them")
 		maxIters     = fs.Int("max-iterations", 100000, "per-query iteration cap")
 		defTimeout   = fs.Duration("timeout", 30*time.Second, "default per-query deadline")
@@ -114,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		MaxConcurrent:     *concurrency,
 		QueueDepth:        *queue,
 		CacheBytes:        *cacheBytes,
+		MemBudgetBytes:    *memBytes,
 		DefaultIterations: *defIters,
 		MaxIterations:     *maxIters,
 		DefaultTimeout:    *defTimeout,
@@ -125,7 +127,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			fmt.Fprintf(stderr, "fasciad: bad -graph %q (want name=path)\n", spec)
 			return 2
 		}
-		g, err := fascia.LoadGraph(path)
+		// Under a memory budget, map binary CSR preloads in place instead
+		// of reading them onto the heap (trusted operator-supplied files).
+		load := fascia.LoadGraph
+		if strings.HasSuffix(path, ".bin") && (*memBytes > 0 || os.Getenv("FASCIA_MEM_BYTES") != "") {
+			load = fascia.MapGraph
+		}
+		g, err := load(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "fasciad: load %s: %v\n", path, err)
 			return 1

@@ -74,7 +74,7 @@ func diffCombos() []struct {
 		name string
 		opt  Options
 	}
-	for _, layout := range []TableLayout{TableLazy, TableNaive, TableHash} {
+	for _, layout := range []TableLayout{TableLazy, TableNaive, TableHash, TableSuccinct} {
 		for _, kernel := range []KernelChoice{KernelAuto, KernelDirect, KernelAggregate} {
 			for _, batch := range []int{1, 4} {
 				for _, mode := range []ParallelMode{ParallelInner, ParallelOuter, ParallelHybrid} {
@@ -186,6 +186,49 @@ func TestOracleDifferentialConverged(t *testing.T) {
 					n, res.StdErr/math.Abs(res.Count), relStdErr)
 			}
 			assertOracle(t, fmt.Sprintf("CountConverged graph=%s tmpl=%s", w.gName, w.tName), res, exactCount)
+		})
+	}
+}
+
+// TestOracleDifferentialAdaptive checks Options.Adaptive across the
+// full layout × kernel × batch × parallel-mode matrix: every adaptive
+// run's PerIteration stream must be a bit-identical prefix of the
+// fixed-run seed stream, and — because the per-iteration estimates are
+// bit-identical across combinations — every combination must stop at
+// exactly the same iteration count.
+func TestOracleDifferentialAdaptive(t *testing.T) {
+	const relStdErr = 0.2
+	for _, w := range diffWorkloads() {
+		w := w
+		t.Run(w.gName+"/"+w.tName, func(t *testing.T) {
+			ref := refRun(t, w)
+			stop := -1
+			for _, c := range diffCombos() {
+				res, err := Count(w.g, w.t, c.opt.WithAdaptive(relStdErr).WithIterations(refIters))
+				if err != nil {
+					t.Fatalf("adaptive %s seed=%d: %v", c.name, diffSeed, err)
+				}
+				n := len(res.PerIteration)
+				if n < 2 || n > refIters {
+					t.Fatalf("adaptive %s: stopped at %d iterations (bounds [2, %d])", c.name, n, refIters)
+				}
+				if stop < 0 {
+					stop = n
+				} else if n != stop {
+					t.Fatalf("STOPPING DISAGREEMENT adaptive %s seed=%d: stopped at %d iterations, other combinations at %d",
+						c.name, diffSeed, n, stop)
+				}
+				for i, x := range res.PerIteration {
+					if x != ref.PerIteration[i] {
+						t.Fatalf("EXACTNESS DISAGREEMENT adaptive %s seed=%d iteration=%d: %v != reference %v",
+							c.name, diffSeed, i, x, ref.PerIteration[i])
+					}
+				}
+				if n < refIters && res.Count != 0 && res.StdErr/math.Abs(res.Count) > relStdErr {
+					t.Fatalf("adaptive %s stopped at %d iterations with rel stderr %v > %v",
+						c.name, n, res.StdErr/math.Abs(res.Count), relStdErr)
+				}
+			}
 		})
 	}
 }

@@ -170,13 +170,29 @@ func Count(g *Graph, t *Template, opt Options) (Result, error) {
 	return CountContext(context.Background(), g, t, opt)
 }
 
+// adaptiveMaxIters caps an Options.Adaptive run when the caller set no
+// explicit Iterations ceiling.
+const adaptiveMaxIters = 1_000_000
+
 // CountContext is Count with cooperative cancellation (and
 // Options.Timeout): cancelling ctx aborts the run within milliseconds of
 // DP work and returns the partial estimate alongside the context error.
+// With Options.Adaptive set, the fixed iteration count is replaced by
+// variance-targeted stopping: iterations run (same seed schedule, so
+// the result is a prefix of the fixed run's) until the relative
+// standard error drops below Adaptive, Options.Iterations > 1 capping
+// the run (otherwise a 1M-iteration safety cap applies).
 func CountContext(ctx context.Context, g *Graph, t *Template, opt Options) (Result, error) {
 	e, err := NewEngine(g, t, opt)
 	if err != nil {
 		return Result{}, err
+	}
+	if opt.Adaptive > 0 {
+		maxIters := opt.Iterations
+		if maxIters < 2 {
+			maxIters = adaptiveMaxIters
+		}
+		return e.RunConvergedContext(ctx, opt.Adaptive, 2, maxIters)
 	}
 	return e.RunContext(ctx, opt.iterations(t.K()))
 }
@@ -316,6 +332,36 @@ func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, min
 		return fromDP(res), err
 	}
 	return fromDP(res), nil
+}
+
+// RunConvergedResidualContext is RunConvergedContext seeded with prior
+// per-iteration estimates already known from elsewhere (a seed-keyed
+// cache, an earlier shard wave): the convergence accumulator starts
+// from prior, the iteration bounds count prior toward the totals, and
+// only the residual iterations the target still needs are computed.
+// The engine must have been built with Options.Seed offset by
+// len(prior) so the fresh iterations continue the global seed schedule
+// (iteration i always colors with Seed+i). The returned result is the
+// MergeIterations of prior and the fresh run — PerIteration spans both,
+// Stats.CachedIterations records len(prior) — so a converged residual
+// run is bit-identical to the prefix of a fixed run over the full
+// schedule.
+func (e *Engine) RunConvergedResidualContext(ctx context.Context, relStdErr float64, minIters, maxIters int, prior []float64) (Result, error) {
+	ctx, cancel := e.runCtx(ctx)
+	defer cancel()
+	res, err := e.inner.RunConvergedPriorContext(ctx, relStdErr, minIters, maxIters, prior)
+	return MergeIterations(prior, fromDP(res)), err
+}
+
+// CountConvergedResidualContext builds an engine at opt and runs
+// RunConvergedResidualContext — the one-shot entry point serving
+// layers use to top up cached estimates to a variance target.
+func CountConvergedResidualContext(ctx context.Context, g *Graph, t *Template, relStdErr float64, maxIters int, opt Options, prior []float64) (Result, error) {
+	e, err := NewEngine(g, t, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.RunConvergedResidualContext(ctx, relStdErr, 2, maxIters, prior)
 }
 
 // CountConverged estimates the count, running iterations until the

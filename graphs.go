@@ -18,6 +18,17 @@ func LoadGraph(path string) (*Graph, error) {
 	return graph.LoadFile(path)
 }
 
+// MapGraph opens a graph file out-of-core: binary CSR files in the
+// current (v2) format are memory-mapped read-only so the CSR arrays
+// cost no heap and page in on demand — the loader half of the -mem
+// out-of-core mode. Anything unmappable (text edge lists, legacy
+// binaries, platforms without mmap) silently falls back to LoadGraph.
+// Mapping trusts the file's adjacency payload; use LoadGraph for
+// untrusted input. Release a mapped graph with g.Unmap().
+func MapGraph(path string) (*Graph, error) {
+	return graph.MapBinary(path)
+}
+
 // SaveGraph writes a graph file (text edge list, or binary CSR for ".bin").
 func SaveGraph(path string, g *Graph) error {
 	return graph.SaveFile(path, g)

@@ -15,7 +15,7 @@ import (
 // function of the partition tree, not the coloring, so every slab class
 // recurs exactly.
 func TestArenaReuseAcrossIterations(t *testing.T) {
-	for _, kind := range []table.Kind{table.Lazy, table.Naive, table.Hash} {
+	for _, kind := range []table.Kind{table.Lazy, table.Naive, table.Hash, table.Succinct} {
 		rng := rand.New(rand.NewSource(1))
 		g := randomGraph(rng, 500, 2500)
 		cfg := DefaultConfig()

@@ -32,7 +32,7 @@ func TestBatchEquivalence(t *testing.T) {
 		g := randomGraph(rng, gs.n, gs.m)
 		for _, k := range []int{3, 5, 7} {
 			tpl := randomTree(rng, k)
-			for _, kind := range []table.Kind{table.Lazy, table.Naive, table.Hash} {
+			for _, kind := range []table.Kind{table.Lazy, table.Naive, table.Hash, table.Succinct} {
 				for _, kern := range []KernelMode{KernelDirect, KernelAggregate, KernelAuto} {
 					for _, mode := range []Mode{Inner, Outer, Hybrid} {
 						base := DefaultConfig()

@@ -371,12 +371,19 @@ func chunkFor(nVerts, workers int) int {
 }
 
 // materializeRow returns a direct row when the layout has one, otherwise
-// copies the row cell-by-cell into dst (hash layout).
+// decodes it in one pass (succinct layout, via table.RowDecoder) or
+// copies it cell-by-cell into dst (hash layout).
 func materializeRow(tab table.Table, v int32, dst []float64, width int) []float64 {
 	if row := tab.Row(v); row != nil {
 		return row
 	}
 	dst = dst[:width]
+	if rd, ok := tab.(table.RowDecoder); ok {
+		if !rd.DecodeRowInto(v, dst) {
+			clear(dst)
+		}
+		return dst
+	}
 	for ci := 0; ci < width; ci++ {
 		dst[ci] = tab.Get(v, int32(ci))
 	}

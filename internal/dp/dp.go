@@ -118,6 +118,15 @@ type Config struct {
 	// <0 disables tiling. Tiling regroups exact integer sums only, so
 	// estimates are bit-identical in every setting.
 	LLCBytes int64
+	// MemBudgetBytes bounds peak table memory: when > 0, table slabs at
+	// least spillMinBytes large are drawn from unlinked file-backed
+	// mappings the OS can page out under pressure, and the automatic
+	// batch sizer caps its lane budget at half the budget, so peak RSS
+	// stays bounded independent of graph size. 0 defers to the
+	// FASCIA_MEM_BYTES environment variable (unset = unlimited), and < 0
+	// disables spilling. Spilling only relocates storage; estimates are
+	// bit-identical in every setting.
+	MemBudgetBytes int64
 	// TileCols, when > 0, pins the per-lane tile width in passive color
 	// columns (a test/benchmark knob that forces tiling regardless of
 	// budget); < 0 disables tiling; 0 lets LLCBytes decide.
@@ -183,6 +192,8 @@ type Engine struct {
 	ord *graph.Ordering
 	// llcBytes is the resolved tiling cache budget (0 = tiling disabled).
 	llcBytes int64
+	// memBytes is the resolved peak-memory budget (0 = unlimited).
+	memBytes int64
 
 	splits  map[[2]int]*comb.SplitTable     // (size, activeSize) -> table
 	singles map[int][][]comb.SingletonEntry // size -> per-color entries
@@ -247,6 +258,13 @@ func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 		arena:   &table.Arena{},
 	}
 	e.llcBytes = resolveLLCBytes(cfg.LLCBytes)
+	e.memBytes = resolveMemBytes(cfg.MemBudgetBytes)
+	if e.memBytes > 0 {
+		// Out-of-core mode: large table slabs move to unlinked
+		// file-backed mappings so the resident set can stay within the
+		// budget even when the summed table footprint exceeds it.
+		e.arena.SetSpill(0)
+	}
 	if e.shouldReorder() {
 		e.ord = graph.DegreeBucketOrdering(g)
 		e.g = g.Relabel(e.ord)
@@ -306,22 +324,31 @@ func (e *Engine) resolveBatch() int {
 		return 1
 	}
 	if b < 0 { // BatchAuto
-		// Estimated per-lane peak: the two widest concurrently-live dense
-		// tables. Grow B in powers of two while the batched footprint
-		// stays under budget.
-		perLane := int64(e.g.N()) * int64(e.maxNC) * 16
+		// Estimated per-lane peak: the two widest concurrently-live
+		// tables at the selected layout's bytes-per-cell (succinct rows
+		// pack several cells per dense cell's worth of bytes, so the same
+		// budget admits wider batches). Grow B in powers of two while the
+		// batched footprint stays under budget; an explicit memory budget
+		// halves for the batch sizer so the CSR, scratch, and the second
+		// live table fit alongside.
+		cell := e.cfg.TableKind.BytesPerCellEstimate()
+		perLane := int64(float64(e.g.N()) * float64(e.maxNC) * 2 * cell)
 		if perLane <= 0 {
 			return 1
 		}
+		budget := int64(batchMemBudget)
+		if e.memBytes > 0 && e.memBytes/2 < budget {
+			budget = e.memBytes / 2
+		}
 		b = 1
-		for b < 16 && int64(2*b)*perLane <= batchMemBudget {
+		for b < 16 && int64(2*b)*perLane <= budget {
 			b *= 2
 		}
 		// Joint (B, tile) sizing: widening lanes widens the passive
 		// tables, which the tiled pass compensates by sweeping more
 		// column tiles — each sweep re-streaming the adjacency. Shrink B
 		// until the widest pass stays within the sweep cap.
-		for b > 1 && tilesNeeded(int64(e.g.N())*int64(e.maxNcP)*int64(b)*8, e.llcBytes) > maxTileSweeps {
+		for b > 1 && tilesNeeded(int64(float64(e.g.N())*float64(e.maxNcP)*float64(b)*cell), e.llcBytes) > maxTileSweeps {
 			b /= 2
 		}
 		return b

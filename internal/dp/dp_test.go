@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -583,6 +584,79 @@ func TestRunConvergedTightToleranceHitsMax(t *testing.T) {
 	}
 	if len(res.PerIteration) != 25 {
 		t.Fatalf("expected to hit maxIters, ran %d", len(res.PerIteration))
+	}
+}
+
+// TestRunConvergedPriorResume checks the prior-seeded adaptive runner:
+// splitting a converged run at any point and resuming from the prefix
+// (with the seed offset by the prior length, as the serving layer does)
+// must reproduce the remaining iterations, the stopping point, and the
+// final estimate bit for bit.
+func TestRunConvergedPriorResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	g := randomGraph(rng, 40, 120)
+	tr := tmpl.Path(4)
+	cfg := DefaultConfig()
+	cfg.Seed = 4
+	e, err := New(g, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const relStdErr, minIters, maxIters = 0.05, 3, 2000
+	full, err := e.RunConverged(relStdErr, minIters, maxIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(full.PerIteration)
+	if n < minIters || n >= maxIters {
+		t.Fatalf("full run converged after %d iterations (want interior of [%d, %d))", n, minIters, maxIters)
+	}
+	// An adaptive run's summary must be bit-identical to a fixed run of
+	// its stop length — the serve cache hands the two out interchangeably.
+	fixed, err := e.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Estimate != full.Estimate || fixed.StdErr != full.StdErr {
+		t.Fatalf("adaptive summary (%v ± %v) != fixed %d-iteration summary (%v ± %v)",
+			full.Estimate, full.StdErr, n, fixed.Estimate, fixed.StdErr)
+	}
+	for _, p := range []int{1, n / 2, n - 1} {
+		prior := full.PerIteration[:p]
+		cfg2 := cfg
+		cfg2.Seed = cfg.Seed + int64(p)
+		e2, err := New(g, tr, cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e2.RunConvergedPriorContext(context.Background(), relStdErr, minIters, maxIters, prior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p+len(res.PerIteration) != n {
+			t.Fatalf("prior=%d: resumed run stopped at %d total iterations, full run at %d", p, p+len(res.PerIteration), n)
+		}
+		for i, x := range res.PerIteration {
+			if x != full.PerIteration[p+i] {
+				t.Fatalf("prior=%d: fresh iteration %d estimate %v != full run %v", p, i, x, full.PerIteration[p+i])
+			}
+		}
+		if res.Estimate != full.Estimate || res.StdErr != full.StdErr {
+			t.Fatalf("prior=%d: resumed estimate %v ± %v != full %v ± %v",
+				p, res.Estimate, res.StdErr, full.Estimate, full.StdErr)
+		}
+	}
+	// A prior already past the stopping rule runs nothing fresh.
+	done, err := e.RunConvergedPriorContext(context.Background(), relStdErr, minIters, maxIters, full.PerIteration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.PerIteration) != 0 {
+		t.Fatalf("converged prior still ran %d fresh iterations", len(done.PerIteration))
+	}
+	if done.Estimate != full.Estimate || done.StdErr != full.StdErr {
+		t.Fatalf("converged-prior estimate %v ± %v != full %v ± %v",
+			done.Estimate, done.StdErr, full.Estimate, full.StdErr)
 	}
 }
 

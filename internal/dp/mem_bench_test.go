@@ -1,0 +1,190 @@
+package dp
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/table"
+	"repro/internal/tmpl"
+)
+
+// memSmokeRSSCeiling is the asserted whole-process peak-RSS bound of the
+// bench-mem CI smoke: the budget itself, plus the graph and runtime
+// overhead the budget deliberately does not cover, with headroom for
+// allocator slack. An unbudgeted run of the same workload peaks several
+// times higher, so a regression that stops routing slabs through the
+// spill region or uncaps the auto batch sizer trips this immediately.
+const (
+	memSmokeBudget     = 96 << 20
+	memSmokeRSSCeiling = 256 << 20
+)
+
+// BenchmarkMemBudgetSmoke is the CI smoke of the out-of-core mode (make
+// bench-mem): a U7 path on a 200k-vertex Barabási–Albert graph with
+// dense (naive) tables — the layout whose whole-table slabs the spill
+// region targets — under a 96 MiB table budget (the Makefile adds
+// GOMEMLIMIT on top). The run must actually spill, stay under the
+// asserted RSS ceiling, and remain bit-identical to an unbudgeted run —
+// spilling relocates storage, it never changes estimates.
+func BenchmarkMemBudgetSmoke(b *testing.B) {
+	g := gen.BarabasiAlbert(200_000, 6, 1)
+	tpl := tmpl.MustNamed("U7-1")
+	const iters = 2
+
+	cfg := DefaultConfig()
+	cfg.TableKind = table.Naive
+	cfg.Batch = BatchAuto
+	cfg.Mode = Inner
+	cfg.Workers = 1
+	cfg.Seed = 3
+	cfg.MemBudgetBytes = memSmokeBudget
+	e, err := New(g, tpl, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var budgeted Result
+	b.Run("budgeted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			budgeted, err = e.Run(iters)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := budgeted.Stats
+		if st.MemBudgetBytes != memSmokeBudget {
+			b.Fatalf("resolved budget %d, want %d", st.MemBudgetBytes, memSmokeBudget)
+		}
+		if runtime.GOOS == "linux" {
+			if st.SpillSlabs == 0 || st.SpillMappedBytes == 0 {
+				b.Fatalf("budgeted run never spilled (slabs %d, mapped %d bytes)", st.SpillSlabs, st.SpillMappedBytes)
+			}
+			if st.PeakRSSBytes == 0 {
+				b.Fatal("no RSS samples recorded")
+			}
+			if st.PeakRSSBytes > memSmokeRSSCeiling {
+				b.Fatalf("peak RSS %.1f MiB above the %.0f MiB smoke ceiling (budget %.0f MiB)",
+					float64(st.PeakRSSBytes)/(1<<20), float64(memSmokeRSSCeiling)/(1<<20), float64(memSmokeBudget)/(1<<20))
+			}
+		}
+		b.ReportMetric(float64(st.PeakRSSBytes)/(1<<20), "peakRSS-MB")
+		b.ReportMetric(float64(st.SpillMappedBytes)/(1<<20), "spilled-MB")
+		b.ReportMetric(float64(budgeted.PeakTableBytes)/(1<<20), "peakTable-MB")
+	})
+
+	// Equivalence leg: the same seeds without a budget. Runs second so
+	// its (much larger) footprint cannot inflate the budgeted leg's RSS
+	// samples — process RSS is a high-water mark.
+	free := cfg
+	free.MemBudgetBytes = -1
+	e2, err := New(g, tpl, free)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unbudgeted", func(b *testing.B) {
+		var res Result
+		for i := 0; i < b.N; i++ {
+			res, err = e2.Run(iters)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if res.Stats.SpillSlabs != 0 {
+			b.Fatalf("unbudgeted run spilled %d slabs", res.Stats.SpillSlabs)
+		}
+		if len(res.PerIteration) != len(budgeted.PerIteration) {
+			b.Fatalf("iteration counts differ: %d vs %d", len(res.PerIteration), len(budgeted.PerIteration))
+		}
+		for i := range res.PerIteration {
+			if res.PerIteration[i] != budgeted.PerIteration[i] {
+				b.Fatalf("iteration %d: unbudgeted %v != budgeted %v — spilling changed an estimate",
+					i, res.PerIteration[i], budgeted.PerIteration[i])
+			}
+		}
+		b.ReportMetric(float64(res.PeakTableBytes)/(1<<20), "peakTable-MB")
+	})
+}
+
+// BenchmarkMemBudget is the acceptance-scale variant (make bench-mem-full,
+// the numbers behind BENCH_mem.json): a U10 path on a million-vertex
+// Barabási–Albert graph, budgeted vs unbudgeted. Slow and memory-hungry;
+// run it on an otherwise idle host.
+//
+//	go test -run='^$' -bench='BenchmarkMemBudget$' -benchtime=1x ./internal/dp
+func BenchmarkMemBudget(b *testing.B) {
+	g := gen.BarabasiAlbert(1_000_000, 5, 1)
+	tpl := tmpl.MustNamed("U10-1")
+	const iters = 2
+	for _, mem := range []int64{512 << 20, -1} {
+		cfg := DefaultConfig()
+		cfg.TableKind = table.Naive
+		cfg.Batch = BatchAuto
+		cfg.Mode = Inner
+		cfg.Workers = 1
+		cfg.Seed = 3
+		cfg.MemBudgetBytes = mem
+		e, err := New(g, tpl, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := "unbudgeted"
+		if mem > 0 {
+			name = fmt.Sprintf("mem%dMiB", mem>>20)
+		}
+		b.Run(name, func(b *testing.B) {
+			var res Result
+			for i := 0; i < b.N; i++ {
+				res, err = e.Run(iters)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.PeakRSSBytes)/(1<<20), "peakRSS-MB")
+			b.ReportMetric(float64(res.Stats.SpillMappedBytes)/(1<<20), "spilled-MB")
+			b.ReportMetric(float64(res.PeakTableBytes)/(1<<20), "peakTable-MB")
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*iters)*1000, "ms/iter")
+		})
+	}
+}
+
+// BenchmarkAdaptiveStopSmoke is the CI smoke of the variance-targeted
+// stopping rule (make bench-adaptive): a U7 path on a 50k-vertex
+// Barabási–Albert graph run adaptively to a 1% relative-stderr target
+// with a fixed-iteration cap far above it. The run must actually
+// converge — stop strictly before the cap with the target met — so a
+// regression that breaks the Welford stopping scan (or silently
+// inflates per-iteration variance) trips this immediately. The reported
+// iter-savings metric is the factor of iterations the adaptive rule
+// avoided versus running the fixed cap.
+func BenchmarkAdaptiveStopSmoke(b *testing.B) {
+	const (
+		target   = 0.01
+		capIters = 100
+	)
+	g := gen.BarabasiAlbert(50_000, 5, 1)
+	tpl := tmpl.MustNamed("U7-1")
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.Seed = 3
+	e, err := New(g, tpl, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := e.RunConverged(target, 2, capIters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := len(res.PerIteration)
+		if n < 2 || n >= capIters {
+			b.Fatalf("adaptive run did not converge before the cap: %d iterations (cap %d)", n, capIters)
+		}
+		if rel := res.StdErr / res.Estimate; rel > target {
+			b.Fatalf("stopped at %d iterations with relative stderr %.4f above the %.2f target", n, rel, target)
+		}
+		b.ReportMetric(float64(n), "iters-to-1pct")
+		b.ReportMetric(float64(capIters)/float64(n), "iter-savings-x")
+	}
+}

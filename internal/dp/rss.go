@@ -1,0 +1,28 @@
+package dp
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// readRSSBytes returns the process's current resident-set size read
+// from /proc/self/statm (field 2, in pages), or 0 on platforms without
+// procfs. RunStats folds samples taken at iteration boundaries into
+// PeakRSSBytes — the whole-process figure a memory budget bounds,
+// unlike the table-only PeakTableBytes.
+func readRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || pages < 0 {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

@@ -183,6 +183,9 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	ah1, am1 := e.arena.Stats()
 	stats.ArenaHits, stats.ArenaMisses = ah1-ah0, am1-am0
 	stats.PeakTableBytes = res.PeakTableBytes
+	spillSlabs, spillBytes := e.arena.SpillStats()
+	stats.SpillSlabs, stats.SpillMappedBytes = int64(spillSlabs), spillBytes
+	stats.sampleRSS()
 	res.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
 		stats.Cancelled = true
@@ -366,6 +369,19 @@ func (e *Engine) RunConverged(relStdErr float64, minIters, maxIters int) (Result
 // DP pass. On cancellation it returns the partial result alongside
 // ctx.Err().
 func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, minIters, maxIters int) (Result, error) {
+	return e.RunConvergedPriorContext(ctx, relStdErr, minIters, maxIters, nil)
+}
+
+// RunConvergedPriorContext is RunConvergedContext seeded with prior
+// per-iteration estimates computed elsewhere (a result cache, an
+// earlier shard wave): the Welford accumulator starts from prior and
+// the min/max iteration bounds count prior toward the totals, so the
+// run only spends the residual iterations the target still needs.
+// Fresh iterations color with this engine's Seed+i from i = 0 —
+// callers offset Config.Seed by len(prior) to keep the global seed
+// schedule contiguous. PerIteration holds only the fresh estimates;
+// Estimate and StdErr cover prior and fresh together.
+func (e *Engine) RunConvergedPriorContext(ctx context.Context, relStdErr float64, minIters, maxIters int, prior []float64) (Result, error) {
 	if relStdErr <= 0 {
 		return Result{}, fmt.Errorf("dp: relStdErr must be positive, got %v", relStdErr)
 	}
@@ -390,7 +406,20 @@ func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, min
 	stats.BatchSize = 1
 	res := Result{ModeUsed: e.mode()}
 	var mean, m2 float64
-	for i := 0; i < maxIters; i++ {
+	for j, est := range prior {
+		n := float64(j + 1)
+		delta := est - mean
+		mean += delta / n
+		m2 += delta * (est - mean)
+	}
+	converged := func() bool {
+		n := float64(len(prior) + len(res.PerIteration))
+		if n < float64(minIters) || n < 2 || mean == 0 {
+			return false
+		}
+		return math.Sqrt(m2/(n-1)/n)/math.Abs(mean) <= relStdErr
+	}
+	for i := 0; len(prior)+i < maxIters && !converged(); i++ {
 		if stopRequested(ctx, stop) {
 			break
 		}
@@ -411,24 +440,41 @@ func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, min
 		res.PerIteration = append(res.PerIteration, est)
 		stats.IterTimes = append(stats.IterTimes, d)
 		// Welford's online mean/variance update.
-		n := float64(len(res.PerIteration))
+		n := float64(len(prior) + len(res.PerIteration))
 		delta := est - mean
 		mean += delta / n
 		m2 += delta * (est - mean)
 		if e.cfg.OnIteration != nil {
 			e.cfg.OnIteration(i, est, time.Since(start))
 		}
-		if len(res.PerIteration) >= minIters && mean != 0 {
-			stderr := math.Sqrt(m2 / (n - 1) / n)
-			if stderr/math.Abs(mean) <= relStdErr {
-				break
-			}
-		}
 	}
-	n := float64(len(res.PerIteration))
-	res.Estimate = mean
-	if n > 1 {
-		res.StdErr = math.Sqrt(m2 / (n - 1) / n)
+	// The Welford accumulator above decides WHEN to stop (mirroring
+	// shard.StopIndex exactly, so stop indices agree across tiers), but
+	// the reported summary is recomputed with the fixed path's two-pass
+	// formula over prior+fresh: the two disagree in the last ulp, and an
+	// adaptive run's Estimate/StdErr must be bit-identical to a fixed
+	// run of the same length (the cache serves them interchangeably).
+	if n := len(prior) + len(res.PerIteration); n > 0 {
+		var sum float64
+		for _, x := range prior {
+			sum += x
+		}
+		for _, x := range res.PerIteration {
+			sum += x
+		}
+		res.Estimate = sum / float64(n)
+		if n > 1 {
+			var ss float64
+			for _, x := range prior {
+				d := x - res.Estimate
+				ss += d * d
+			}
+			for _, x := range res.PerIteration {
+				d := x - res.Estimate
+				ss += d * d
+			}
+			res.StdErr = math.Sqrt(ss / float64(n-1) / float64(n))
+		}
 	}
 	stats.Iterations = len(res.PerIteration)
 	kd1, ka1 := e.KernelStats()
@@ -437,6 +483,9 @@ func (e *Engine) RunConvergedContext(ctx context.Context, relStdErr float64, min
 	ah1, am1 := e.arena.Stats()
 	stats.ArenaHits, stats.ArenaMisses = ah1-ah0, am1-am0
 	stats.PeakTableBytes = res.PeakTableBytes
+	spillSlabs, spillBytes := e.arena.SpillStats()
+	stats.SpillSlabs, stats.SpillMappedBytes = int64(spillSlabs), spillBytes
+	stats.sampleRSS()
 	res.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
 		stats.Cancelled = true

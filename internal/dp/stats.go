@@ -79,6 +79,19 @@ type RunStats struct {
 	// LLCBudgetBytes is the resolved cache budget the tiling decisions
 	// used (0 = tiling disabled).
 	LLCBudgetBytes int64
+	// MemBudgetBytes is the resolved peak-memory budget the spill and
+	// batch-sizing decisions used (0 = unlimited, spilling off).
+	MemBudgetBytes int64
+	// PeakRSSBytes is the largest process resident-set size sampled from
+	// /proc/self/statm at iteration boundaries during the run (0 where
+	// /proc is unavailable). Unlike PeakTableBytes it measures the whole
+	// process — CSR, scratch, runtime — so it is the figure a memory
+	// budget actually bounds.
+	PeakRSSBytes int64
+	// SpillMappedBytes and SpillSlabs snapshot the arena's file-backed
+	// spill region at run end: bytes currently mapped and slabs live.
+	SpillMappedBytes int64
+	SpillSlabs       int64
 	// ReorderApplied reports whether the engine ran on a degree-bucketed
 	// vertex relabeling of the input graph.
 	ReorderApplied bool
@@ -110,6 +123,7 @@ func (e *Engine) newRunStats() RunStats {
 		Layout:         e.cfg.TableKind.String(),
 		Nodes:          make([]NodeStat, len(e.tree.Order)),
 		LLCBudgetBytes: e.llcBytes,
+		MemBudgetBytes: e.memBytes,
 		ReorderApplied: e.ord != nil,
 	}
 	for i, n := range e.tree.Order {
@@ -130,6 +144,15 @@ func (s *RunStats) mergeIter(st *iterState) {
 	s.TablesReleased += st.tablesReleased
 	s.TiledPasses += st.tiledPasses
 	s.TileSweeps += st.tileSweeps
+	s.sampleRSS()
+}
+
+// sampleRSS folds the current process resident-set size into the peak.
+// Called at iteration/batch boundaries under the caller's run lock.
+func (s *RunStats) sampleRSS() {
+	if r := readRSSBytes(); r > s.PeakRSSBytes {
+		s.PeakRSSBytes = r
+	}
 }
 
 // mergeBatch folds one lane batch's batchState accounting into the
@@ -144,6 +167,7 @@ func (s *RunStats) mergeBatch(st *batchState) {
 	s.TablesReleased += st.tablesReleased
 	s.TiledPasses += st.tiledPasses
 	s.TileSweeps += st.tileSweeps
+	s.sampleRSS()
 }
 
 // stopRequested is the iteration/batch-boundary cancellation check: it

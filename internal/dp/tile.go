@@ -32,6 +32,10 @@ const (
 	// auto batch picker shrinks B instead of tiling finer.
 	maxTileSweeps = 16
 	llcEnvVar     = "FASCIA_LLC_BYTES"
+	memEnvVar     = "FASCIA_MEM_BYTES"
+	// denseCellBytes is the storage cost of one dense float64 table
+	// cell, the default bytes-per-cell estimate for planners.
+	denseCellBytes = 8.0
 )
 
 // resolveLLCBytes lowers the Config.LLCBytes knob: >0 is an explicit
@@ -52,6 +56,24 @@ func resolveLLCBytes(cfg int64) int64 {
 	return defaultLLCBytes
 }
 
+// resolveMemBytes lowers the Config.MemBudgetBytes knob: >0 is an
+// explicit budget, <0 disables spilling (resolved 0), and 0 defers to
+// the FASCIA_MEM_BYTES environment variable, then unlimited.
+func resolveMemBytes(cfg int64) int64 {
+	if cfg > 0 {
+		return cfg
+	}
+	if cfg < 0 {
+		return 0
+	}
+	if s := os.Getenv(memEnvVar); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
 // tilePlan is the column tiling of one node's pass: bounds holds the
 // per-lane passive-column tile edges (bounds[t]..bounds[t+1] is tile t),
 // and blockVerts is the output-row block height the tile sweep uses.
@@ -70,8 +92,19 @@ func (p *tilePlan) tiles() int { return len(p.bounds) - 1 }
 // and benchmarks (>0 always tiles at that width, <0 never tiles, 0
 // auto).
 func planTiles(nc, ncP, lanes, nVerts int, llcBytes int64, forceCols int) *tilePlan {
+	return planTilesBytes(nc, ncP, lanes, nVerts, llcBytes, forceCols, denseCellBytes)
+}
+
+// planTilesBytes is planTiles parameterized by the selected layout's
+// bytes-per-cell estimate (table.Kind.BytesPerCellEstimate): a succinct
+// passive table packs several cells per float64's worth of bytes, so
+// the same cache budget admits wider tiles (often none at all).
+func planTilesBytes(nc, ncP, lanes, nVerts int, llcBytes int64, forceCols int, cellBytes float64) *tilePlan {
 	if ncP <= 0 || nVerts <= 0 || lanes <= 0 || forceCols < 0 {
 		return nil
+	}
+	if cellBytes <= 0 {
+		cellBytes = denseCellBytes
 	}
 	p := &tilePlan{blockVerts: blockVertsFor(nc, lanes)}
 	if forceCols > 0 {
@@ -90,7 +123,7 @@ func planTiles(nc, ncP, lanes, nVerts int, llcBytes int64, forceCols int) *tileP
 	if llcBytes <= 0 {
 		return nil
 	}
-	pasBytes := int64(nVerts) * int64(ncP) * int64(lanes) * 8
+	pasBytes := int64(float64(nVerts) * float64(ncP) * float64(lanes) * cellBytes)
 	if pasBytes <= llcBytes {
 		return nil
 	}
@@ -98,7 +131,10 @@ func planTiles(nc, ncP, lanes, nVerts int, llcBytes int64, forceCols int) *tileP
 	// columns evenly across that many tiles (widths differ by at most
 	// one) so the last tile is never a sliver. ceil(ncP/tiles) never
 	// exceeds the budget-derived width, so every tile still fits.
-	rowBytes := int64(nVerts) * int64(lanes) * 8
+	rowBytes := int64(float64(nVerts) * float64(lanes) * cellBytes)
+	if rowBytes < 1 {
+		rowBytes = 1
+	}
 	cols := int(llcBytes / rowBytes)
 	if cols < 1 {
 		cols = 1
@@ -224,10 +260,11 @@ func newTileCtx(shape *kernelShape, plan *tilePlan) *tileCtx {
 }
 
 // tilePlanFor builds the tile plan for one node's pass at the given
-// lane count, honoring the engine's resolved LLC budget and the
-// TileCols test override.
+// lane count, honoring the engine's resolved LLC budget, the selected
+// layout's bytes-per-cell estimate, and the TileCols test override.
 func (e *Engine) tilePlanFor(shape *kernelShape, lanes int) *tilePlan {
-	return planTiles(shape.nc, shape.ncP, lanes, e.g.N(), e.llcBytes, e.cfg.TileCols)
+	return planTilesBytes(shape.nc, shape.ncP, lanes, e.g.N(), e.llcBytes, e.cfg.TileCols,
+		e.cfg.TableKind.BytesPerCellEstimate())
 }
 
 // chunkForTiled rounds the standard work-stealing chunk size up to a

@@ -21,7 +21,7 @@ func TestTiledEquivalence(t *testing.T) {
 	g := randomGraph(rng, 90, 320)
 	tpl := randomTree(rng, 6)
 	const iters = 3
-	for _, kind := range []table.Kind{table.Lazy, table.Naive, table.Hash} {
+	for _, kind := range []table.Kind{table.Lazy, table.Naive, table.Hash, table.Succinct} {
 		for _, kern := range []KernelMode{KernelDirect, KernelAggregate} {
 			for _, workers := range []int{1, 4} {
 				base := DefaultConfig()

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"unsafe"
+)
+
+// Out-of-core loading: a v2 binary CSR file keeps its offsets array
+// 8-byte aligned at a fixed 32-byte header, so the whole file can be
+// mapped read-only and the Graph's slices reinterpreted in place. A
+// 10M-vertex graph then costs no anonymous RSS for the CSR — the kernel
+// pages adjacency in on demand and evicts it under memory pressure,
+// which is what keeps U10+ runs under a -mem budget.
+
+// errNotMappable marks files MapBinary cannot alias in place (v1 or
+// text formats, platforms without mmap); callers fall back to a full
+// read.
+var errNotMappable = errors.New("graph: file not mappable in place")
+
+// MapBinary opens a binary CSR file without copying it into memory:
+// v2 files (the format WriteBinary emits) are mapped read-only and the
+// returned graph's CSR arrays alias the mapping directly. v1 binaries,
+// text edge lists, and platforms without mmap support silently fall
+// back to LoadFile. The header and offsets array are validated; the
+// adjacency payload is trusted as written by WriteBinary, so only map
+// files from trusted sources (use LoadFile for hostile input — it runs
+// the full Validate pass). Call Unmap on a Mapped graph to release it.
+func MapBinary(path string) (*Graph, error) {
+	if !strings.HasSuffix(path, ".bin") {
+		return LoadFile(path)
+	}
+	g, err := mapBinary(path)
+	if errors.Is(err, errNotMappable) {
+		return LoadFile(path)
+	}
+	return g, err
+}
+
+func mapBinary(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < binV2HeaderBytes {
+		return nil, errNotMappable
+	}
+	var magic [4]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(magic[:]) != binMagic2 {
+		return nil, errNotMappable
+	}
+	m, err := mmapFileRO(int(f.Fd()), st.Size())
+	if err != nil {
+		return nil, errNotMappable
+	}
+	g, err := graphFromMapped(m)
+	if err != nil {
+		munmapBytes(m)
+		return nil, err
+	}
+	return g, nil
+}
+
+// graphFromMapped builds a Graph whose slices alias the mapped v2 file
+// image m. Validation is deliberately light — header sanity plus a
+// monotone sweep of the offsets array (one sequential touch of its
+// pages) — because the O(m) symmetric-edge Validate pass would fault in
+// the entire adjacency payload, defeating the point of mapping it.
+func graphFromMapped(m []byte) (*Graph, error) {
+	hasLabels := binary.LittleEndian.Uint32(m[4:])
+	n := int64(binary.LittleEndian.Uint64(m[8:]))
+	adjLen := int64(binary.LittleEndian.Uint64(m[16:]))
+	if hasLabels > 1 {
+		return nil, fmt.Errorf("graph: bad label flag %d", hasLabels)
+	}
+	if n < 0 || n > maxFileVertices {
+		return nil, fmt.Errorf("graph: binary declares %d vertices, above the %d limit", n, maxFileVertices)
+	}
+	if adjLen < 0 || adjLen > int64(maxFileVertices)*64 {
+		return nil, fmt.Errorf("graph: implausible adjacency length %d", adjLen)
+	}
+	need := int64(binV2HeaderBytes) + (n+1)*8 + adjLen*4
+	if hasLabels == 1 {
+		need += n * 4
+	}
+	if int64(len(m)) < need {
+		return nil, fmt.Errorf("graph: mapped file truncated: %d bytes, need %d", len(m), need)
+	}
+	g := &Graph{mapped: m}
+	off := int64(binV2HeaderBytes)
+	g.offsets = unsafe.Slice((*int64)(unsafe.Pointer(&m[off])), n+1)
+	off += (n + 1) * 8
+	if adjLen > 0 {
+		g.adj = unsafe.Slice((*int32)(unsafe.Pointer(&m[off])), adjLen)
+	}
+	off += adjLen * 4
+	if hasLabels == 1 && n > 0 {
+		g.Labels = unsafe.Slice((*int32)(unsafe.Pointer(&m[off])), n)
+	}
+	if g.offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets start at %d, want 0", g.offsets[0])
+	}
+	if g.offsets[n] != adjLen {
+		return nil, fmt.Errorf("graph: offsets end %d disagrees with declared adjacency length %d", g.offsets[n], adjLen)
+	}
+	for v := int64(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	return g, nil
+}

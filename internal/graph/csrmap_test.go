@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// sameGraph compares structure and labels against a reference.
+func sameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("size mismatch: n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for v := int32(0); v < int32(want.N()); v++ {
+		if got.Label(v) != want.Label(v) {
+			t.Fatalf("vertex %d label %d, want %d", v, got.Label(v), want.Label(v))
+		}
+		a, b := got.Adj(v), want.Adj(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree %d, want %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d neighbor %d: %d, want %d", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestMapBinaryRoundTrip checks that mapping a v2 binary file in place
+// yields the identical graph a full ReadBinary pass would, that the
+// mapping is reported and releasable, and that labels survive.
+func TestMapBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 200, 800)
+	g.Labels = make([]int32, g.N())
+	for i := range g.Labels {
+		g.Labels[i] = int32(rng.Intn(5))
+	}
+	path := t.TempDir() + "/g.bin"
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" && !m.Mapped() {
+		t.Fatal("v2 binary not mapped on linux")
+	}
+	sameGraph(t, m, g)
+	if err := m.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() {
+		t.Fatal("still Mapped after Unmap")
+	}
+	if err := m.Unmap(); err != nil {
+		t.Fatal("second Unmap not a no-op:", err)
+	}
+
+	// An unlabeled, empty-adjacency graph maps too (adjLen = 0).
+	lone := MustFromEdges(3, nil, nil)
+	if err := SaveFile(path, lone); err != nil {
+		t.Fatal(err)
+	}
+	m, err = MapBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, m, lone)
+	if err := m.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapBinaryFallback checks the silent LoadFile fallbacks: text edge
+// lists, legacy v1 binaries, and undersized files all load through the
+// copying path and are never reported as mapped.
+func TestMapBinaryFallback(t *testing.T) {
+	dir := t.TempDir()
+	g := pathGraph(10)
+
+	txt := dir + "/g.txt"
+	if err := SaveFile(txt, g); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapBinary(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() {
+		t.Fatal("text file reported as mapped")
+	}
+	sameGraph(t, m, g)
+
+	// A v1 binary: magic, n u32, hasLabels u32, offsets, adjacency.
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, binMagic)
+	binary.Write(&buf, binary.LittleEndian, uint32(g.N()))
+	binary.Write(&buf, binary.LittleEndian, uint32(0))
+	binary.Write(&buf, binary.LittleEndian, g.offsets)
+	binary.Write(&buf, binary.LittleEndian, g.adj)
+	v1 := dir + "/v1.bin"
+	if err := os.WriteFile(v1, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = MapBinary(v1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() {
+		t.Fatal("v1 binary reported as mapped")
+	}
+	sameGraph(t, m, g)
+
+	// Too short for a v2 header: falls back, and the fallback reports
+	// the real parse error.
+	short := dir + "/short.bin"
+	if err := os.WriteFile(short, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapBinary(short); err == nil {
+		t.Fatal("truncated binary accepted")
+	}
+}
+
+// TestMapBinaryCorruptHeader checks that in-place validation rejects
+// corrupted v2 files instead of silently aliasing garbage.
+func TestMapBinaryCorruptHeader(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("mapping path is linux-only")
+	}
+	g := pathGraph(10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name    string
+		corrupt func([]byte)
+	}{
+		{"label-flag", func(b []byte) { b[4] = 9 }},
+		{"vertex-count", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8:], uint64(maxFileVertices)+1)
+		}},
+		{"adj-len", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[16:], uint64(len(b))) // disagrees with offsets end
+		}},
+		{"offsets-start", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[binV2HeaderBytes:], 1)
+		}},
+		{"offsets-monotone", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[binV2HeaderBytes+8:], uint64(1<<40))
+		}},
+	} {
+		b := append([]byte(nil), good...)
+		tc.corrupt(b)
+		path := dir + "/" + tc.name + ".bin"
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MapBinary(path); err == nil || strings.Contains(err.Error(), "not mappable") {
+			t.Errorf("%s: corrupted v2 file not rejected (err %v)", tc.name, err)
+		}
+	}
+}

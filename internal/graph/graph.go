@@ -20,6 +20,25 @@ type Graph struct {
 	offsets []int64 // length N+1
 	adj     []int32 // length 2*M
 	Labels  []int32 // nil for unlabeled graphs
+	// mapped, when non-nil, is the read-only file mapping the slices
+	// above alias (MapBinary); Unmap releases it.
+	mapped []byte
+}
+
+// Mapped reports whether the graph's CSR arrays alias a read-only file
+// mapping established by MapBinary rather than heap memory.
+func (g *Graph) Mapped() bool { return g.mapped != nil }
+
+// Unmap releases the file mapping backing a MapBinary-loaded graph and
+// clears the aliasing slices; it is a no-op for heap-backed graphs. The
+// graph must not be used after a successful Unmap.
+func (g *Graph) Unmap() error {
+	if g.mapped == nil {
+		return nil
+	}
+	m := g.mapped
+	g.mapped, g.offsets, g.adj, g.Labels = nil, nil, nil, nil
+	return munmapBytes(m)
 }
 
 // N returns the number of vertices.

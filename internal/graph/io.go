@@ -142,21 +142,35 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	return FromEdges(n, edges, labels)
 }
 
-const binMagic = uint32(0xfa5c1a01)
+// binMagic identifies the legacy v1 binary CSR layout (12-byte packed
+// header of three uint32s); binMagic2 identifies the v2 layout whose
+// 32-byte header keeps the offsets array 8-byte aligned within the
+// file, so MapBinary can alias the arrays straight out of a read-only
+// mapping. WriteBinary emits v2; ReadBinary accepts both.
+const (
+	binMagic  = uint32(0xfa5c1a01)
+	binMagic2 = uint32(0xfa5c1a02)
+	// binV2HeaderBytes is the fixed v2 header size: magic u32,
+	// hasLabels u32, n i64, adjLen i64, 8 reserved bytes. 32 is a
+	// multiple of 8, and 32 + (n+1)*8 is too, so both the offsets and
+	// (4-aligned) adjacency arrays land naturally aligned in the file.
+	binV2HeaderBytes = 32
+)
 
-// WriteBinary writes g in a compact little-endian binary CSR format,
-// suitable for fast reloading of large generated networks.
+// WriteBinary writes g in the v2 little-endian binary CSR format,
+// suitable for fast reloading — or direct memory-mapping via MapBinary
+// — of large generated networks.
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
-	hasLabels := uint32(0)
+	var hdr [binV2HeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binMagic2)
 	if g.Labels != nil {
-		hasLabels = 1
+		binary.LittleEndian.PutUint32(hdr[4:], 1)
 	}
-	hdr := []uint32{binMagic, uint32(g.N()), hasLabels}
-	for _, v := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.N()))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(g.adj)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
 		return err
@@ -172,18 +186,31 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the format written by WriteBinary and validates the
-// result.
+// ReadBinary parses the formats written by current (v2) and older (v1)
+// WriteBinary and validates the result.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
-	var magic, n, hasLabels uint32
-	for _, p := range []*uint32{&magic, &n, &hasLabels} {
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	switch magic {
+	case binMagic:
+		return readBinaryV1(br)
+	case binMagic2:
+		return readBinaryV2(br)
+	}
+	return nil, fmt.Errorf("graph: bad binary magic %#x", magic)
+}
+
+// readBinaryV1 parses the legacy layout after its magic word: n u32,
+// hasLabels u32, then the arrays.
+func readBinaryV1(br io.Reader) (*Graph, error) {
+	var n, hasLabels uint32
+	for _, p := range []*uint32{&n, &hasLabels} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 			return nil, err
 		}
-	}
-	if magic != binMagic {
-		return nil, fmt.Errorf("graph: bad binary magic %#x", magic)
 	}
 	if n > maxFileVertices {
 		return nil, fmt.Errorf("graph: binary declares %d vertices, above the %d limit", n, maxFileVertices)
@@ -203,6 +230,49 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	if hasLabels == 1 {
 		if g.Labels, err = readInt32s(br, int64(n)); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// readBinaryV2 parses the v2 layout after its magic word: the header
+// remainder (hasLabels u32, n i64, adjLen i64, 8 reserved bytes), then
+// the arrays.
+func readBinaryV2(br io.Reader) (*Graph, error) {
+	var rest [binV2HeaderBytes - 4]byte
+	if _, err := io.ReadFull(br, rest[:]); err != nil {
+		return nil, err
+	}
+	hasLabels := binary.LittleEndian.Uint32(rest[0:])
+	n := int64(binary.LittleEndian.Uint64(rest[4:]))
+	adjLen := int64(binary.LittleEndian.Uint64(rest[12:]))
+	if hasLabels > 1 {
+		return nil, fmt.Errorf("graph: bad label flag %d", hasLabels)
+	}
+	if n < 0 || n > maxFileVertices {
+		return nil, fmt.Errorf("graph: binary declares %d vertices, above the %d limit", n, maxFileVertices)
+	}
+	if adjLen < 0 || adjLen > int64(maxFileVertices)*64 {
+		return nil, fmt.Errorf("graph: implausible adjacency length %d", adjLen)
+	}
+	g := &Graph{}
+	offsets, err := readInt64s(br, n+1)
+	if err != nil {
+		return nil, err
+	}
+	g.offsets = offsets
+	if g.offsets[n] != adjLen {
+		return nil, fmt.Errorf("graph: offsets end %d disagrees with declared adjacency length %d", g.offsets[n], adjLen)
+	}
+	if g.adj, err = readInt32s(br, adjLen); err != nil {
+		return nil, err
+	}
+	if hasLabels == 1 {
+		if g.Labels, err = readInt32s(br, n); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,20 @@
+//go:build linux
+
+package graph
+
+import "syscall"
+
+// mmapFileRO maps size bytes of the open file fd read-only and shared;
+// pages fault in on first touch and the kernel reclaims them under
+// pressure without ever writing to swap (the file itself is the
+// backing store).
+func mmapFileRO(fd int, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(fd, 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error {
+	return syscall.Munmap(b)
+}

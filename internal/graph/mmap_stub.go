@@ -1,0 +1,13 @@
+//go:build !linux
+
+package graph
+
+// Non-linux platforms have no in-place mapping; MapBinary degrades to a
+// full LoadFile read via errNotMappable.
+func mmapFileRO(fd int, size int64) ([]byte, error) {
+	return nil, errNotMappable
+}
+
+func munmapBytes(b []byte) error {
+	return nil
+}

@@ -154,6 +154,12 @@ func (l *Loader) Load(path string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
 			continue
 		}
+		// Respect build constraints (//go:build lines and _GOOS.go name
+		// suffixes) for the host platform, so platform-paired files
+		// (spill_linux.go / spill_stub.go) don't double-declare.
+		if match, merr := build.Default.MatchFile(dir, n); merr == nil && !match {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -25,7 +25,20 @@ var (
 	// worker refused the dispatch).
 	mShardIterations = expvar.NewInt("fascia.serve.shard_iterations")
 	mShardFallbacks  = expvar.NewInt("fascia.serve.shard_fallbacks")
+	// mPeakRSSBytes is a high-water gauge of the process resident-set
+	// size as sampled by query runs (RunStats.PeakRSSBytes) — the figure
+	// a -mem budget bounds, watchable at /debug/vars during soak tests.
+	mPeakRSSBytes = expvar.NewInt("fascia.serve.peak_rss_bytes")
 )
+
+// recordPeakRSS raises the peak-RSS high-water gauge. Benign race: two
+// concurrent raises can lose the smaller value, which the next sample
+// restores; the gauge is monotone enough for observability.
+func recordPeakRSS(b int64) {
+	if b > mPeakRSSBytes.Value() {
+		mPeakRSSBytes.Set(b)
+	}
+}
 
 // recordLookup folds a cache-lookup outcome into the global gauges.
 func recordLookup(kind HitKind, cached int) {

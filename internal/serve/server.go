@@ -37,6 +37,12 @@ type Config struct {
 	MaxRemoteConcurrent int
 	// CacheBytes budgets the seed-keyed result cache (0 = 64 MiB).
 	CacheBytes int64
+	// MemBudgetBytes is the per-query peak table-memory budget applied
+	// to every local DP run (Options.MemBudgetBytes: large table slabs
+	// spill to file-backed mappings; 0 = the FASCIA_MEM_BYTES env or
+	// unlimited). Execution-only — it never affects estimates or cache
+	// keys.
+	MemBudgetBytes int64
 	// DefaultIterations is used when a query omits iterations (0 = 32).
 	DefaultIterations int
 	// MaxIterations caps per-query iterations (0 = 100000).
@@ -249,6 +255,14 @@ type CountRequest struct {
 	// larger request on top of a cached smaller one computes only the
 	// residual iterations.
 	Iterations int `json:"iterations,omitempty"`
+	// Adaptive, when positive, replaces the fixed iteration count with
+	// variance-targeted stopping: iterations run until the relative
+	// standard error of the mean drops below this target, iterations
+	// capping the run (0 = the server's iteration cap). The adaptive
+	// stream follows the same seed schedule as a fixed run, so adaptive
+	// and fixed queries share cache entries, and a converged response is
+	// a bit-identical prefix of the fixed response.
+	Adaptive float64 `json:"adaptive,omitempty"`
 	// Seed bases the coloring seed stream; iteration i colors with
 	// Seed+i.
 	Seed int64 `json:"seed,omitempty"`
@@ -388,9 +402,19 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Adaptive < 0 {
+		s.httpError(w, http.StatusBadRequest, "adaptive %g must be positive", req.Adaptive)
+		return
+	}
 	iters := req.Iterations
 	if iters == 0 {
-		iters = s.cfg.DefaultIterations
+		if req.Adaptive > 0 {
+			// Adaptive queries default to the server cap: the variance
+			// target, not DefaultIterations, decides when to stop.
+			iters = s.cfg.MaxIterations
+		} else {
+			iters = s.cfg.DefaultIterations
+		}
 	}
 	if iters < 1 || iters > s.cfg.MaxIterations {
 		s.httpError(w, http.StatusBadRequest, "iterations %d out of range [1, %d]", iters, s.cfg.MaxIterations)
@@ -408,7 +432,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.MaxTimeout
 	}
 
-	opt := fascia.DefaultOptions().WithSeed(req.Seed)
+	opt := fascia.DefaultOptions().WithSeed(req.Seed).WithMemBudgetBytes(s.cfg.MemBudgetBytes)
 	opt.Colors = req.Colors
 	key := CacheKey{
 		GraphHash: info.Hash,
@@ -424,6 +448,17 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if !req.NoCache {
 		prior, kind = s.cache.Lookup(key, iters)
 		recordLookup(kind, len(prior))
+	}
+	// Adaptive fast path: if a prefix of the cached stream already meets
+	// the variance target, the bit-identical adaptive answer is that
+	// prefix — truncated at the exact stop index a from-scratch adaptive
+	// run would have halted at, however much more the cache holds.
+	if req.Adaptive > 0 && len(prior) > 0 {
+		if idx := shard.StopIndex(prior, req.Adaptive, 2); idx >= 0 {
+			res := fascia.MergeIterations(prior[:idx], fascia.Result{})
+			s.respondCount(w, req, key, res, Hit, nil, start, shardSummary{})
+			return
+		}
 	}
 	if kind == Hit {
 		res := fascia.MergeIterations(prior, fascia.Result{})
@@ -462,7 +497,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	var runErr error
 	if remaining > 0 && s.pool.Covers(info.Hash) > 0 {
 		if rerr := s.sched.acquireRemote(ctx); rerr == nil {
-			out, serr := s.pool.Count(ctx, shard.Query{
+			q := shard.Query{
 				GraphHash:  info.Hash,
 				GraphN:     info.N,
 				Template:   tr,
@@ -470,7 +505,14 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 				Strategy:   partStrategy(opt.Partition),
 				Seed:       req.Seed + int64(len(prior)),
 				Iterations: remaining,
-			})
+			}
+			if req.Adaptive > 0 {
+				// Adaptive dispatch: the pool sends doubling waves and
+				// stops (truncating at the exact stop index) once the
+				// cached prefix plus its waves meet the target.
+				q.Converge = &shard.ConvergeSpec{RelStdErr: req.Adaptive, MinIters: 2, Prior: prior}
+			}
+			out, serr := s.pool.Count(ctx, q)
 			s.sched.releaseRemote()
 			sh = shardSummary{iterations: len(out.PerIteration), shards: out.Shards, redispatches: out.Redispatches}
 			mShardIterations.Add(int64(sh.iterations))
@@ -495,11 +537,21 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		// path below reports that as "cancelled while queued".
 	}
 
+	// An adaptive query whose stream (cache prefix + shard waves) has
+	// met the variance target needs no local residual; the shard tier
+	// already truncated its contribution at the exact stop index.
+	if req.Adaptive > 0 && shard.StopIndex(prior, req.Adaptive, 2) >= 0 {
+		remaining = 0
+	}
+
 	// Residual local run: iteration i of a run colors with Seed+i, so a
 	// run based at Seed+len(prior) computes exactly the estimates the
 	// cache and the shard tier did not provide, and the merge is
-	// bit-identical to a from-scratch run.
+	// bit-identical to a from-scratch run. Adaptive queries run the
+	// residual under the variance target instead of a fixed count, with
+	// the prior stream seeding the convergence accumulator.
 	var res fascia.Result
+	localMerged := false
 	if remaining > 0 && runErr == nil {
 		slot, workers, err := s.sched.acquireSlot(ctx)
 		if err != nil {
@@ -507,31 +559,43 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", err)
 			return
 		}
-		runOpt := opt.WithSeed(req.Seed + int64(len(prior))).
-			WithIterations(remaining).
-			WithThreads(workers)
-		res, runErr = fascia.CountContext(ctx, g, tr, runOpt)
+		runOpt := opt.WithSeed(req.Seed + int64(len(prior))).WithThreads(workers)
+		if req.Adaptive > 0 {
+			res, runErr = fascia.CountConvergedResidualContext(ctx, g, tr, req.Adaptive, iters, runOpt, prior)
+			localMerged = true // res already spans prior + fresh
+		} else {
+			res, runErr = fascia.CountContext(ctx, g, tr, runOpt.WithIterations(remaining))
+		}
 		s.sched.releaseSlot(slot, time.Since(start))
 		if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
 			s.queryErrors.Add(1)
 			s.httpError(w, http.StatusInternalServerError, "count: %v", runErr)
 			return
 		}
-		mFreshIterations.Add(int64(len(res.PerIteration)))
+		fresh := len(res.PerIteration)
+		if localMerged {
+			fresh -= len(prior)
+		}
+		mFreshIterations.Add(int64(fresh))
 	}
-	merged := fascia.MergeIterations(prior, res)
+	merged := res
+	if !localMerged {
+		merged = fascia.MergeIterations(prior, res)
+	}
 	// MergeIterations attributes all of prior to the cache, but the
 	// shard tier's contribution was computed now; restore the true split
 	// so CachedIterations stays what the cache actually served.
 	merged.Stats.CachedIterations = cached
-	if !req.NoCache && (runErr == nil || len(res.PerIteration) == 0) {
+	if !req.NoCache && (runErr == nil || localMerged || len(res.PerIteration) == 0) {
 		// Complete runs always extend the cache, and so does a query cut
 		// short before any local iterations finished — the shard tier
 		// only ever returns a contiguous prefix of the seed stream. A
-		// cancelled local run with completed iterations cannot: its
-		// completed set may be a non-contiguous subset of the seed range
-		// under outer parallelism, and cache entries must be exact
-		// prefixes.
+		// cancelled fixed local run with completed iterations cannot:
+		// its completed set may be a non-contiguous subset of the seed
+		// range under outer parallelism, and cache entries must be exact
+		// prefixes. Adaptive residual runs are exempt from that rule —
+		// they execute strictly sequentially, so even a cancelled one
+		// leaves an exact prefix.
 		s.cache.Extend(key, merged.PerIteration)
 	}
 	s.respondCount(w, req, key, merged, kind, runErr, start, sh)
@@ -550,6 +614,7 @@ type shardSummary struct {
 func (s *Server) respondCount(w http.ResponseWriter, req CountRequest, key CacheKey, res fascia.Result, kind HitKind, runErr error, start time.Time, sh shardSummary) {
 	s.queries.Add(1)
 	mQueries.Add(1)
+	recordPeakRSS(res.Stats.PeakRSSBytes)
 	resp := CountResponse{
 		Graph:             req.Graph,
 		Template:          key.Template,

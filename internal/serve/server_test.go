@@ -14,6 +14,7 @@ import (
 	"time"
 
 	fascia "repro"
+	"repro/internal/shard"
 )
 
 // checkGoroutines fails the test if the goroutine count has not settled
@@ -237,6 +238,84 @@ func TestServerCacheHitAndOverlap(t *testing.T) {
 	bypass.NoCache = true
 	if code, out, _ := countQuery(t, ts, bypass); code != http.StatusOK || out.Cache != "bypass" || out.CachedIterations != 0 {
 		t.Fatalf("bypass: %d %+v", code, out)
+	}
+}
+
+// TestServerAdaptive covers the variance-targeted stopping rule end to
+// end: an adaptive query stops at exactly the shard.StopIndex of the
+// fixed-run seed stream (bit-identical prefix), repeats are pure cache
+// hits served from the shared (seed-keyed, adaptivity-blind) entry,
+// fixed queries reuse the same entry, and a tighter tolerance resumes
+// from the cached prefix instead of starting over.
+func TestServerAdaptive(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const seed, cap1, rel1, rel2 = 11, 400, 0.02, 0.01
+
+	// Fixed-run reference stream straight from the library.
+	g, _, _ := s.Registry().Get("g")
+	tr, _ := fascia.ParseTemplate("t", "0-1 1-2 1-3")
+	want, err := fascia.Count(g, tr, fascia.DefaultOptions().WithIterations(cap1).WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop1 := shard.StopIndex(want.PerIteration, rel1, 2)
+	stop2 := shard.StopIndex(want.PerIteration, rel2, 2)
+	if stop1 < 2 || stop2 <= stop1 {
+		t.Fatalf("degenerate workload: stops %d, %d", stop1, stop2)
+	}
+
+	base := CountRequest{Graph: "g", Template: "0-1 1-2 1-3", Seed: seed, Iterations: cap1, PerIteration: true}
+
+	// Adaptive miss: runs until converged, returns the exact prefix.
+	ad := base
+	ad.Adaptive = rel1
+	code, out, _ := countQuery(t, ts, ad)
+	if code != http.StatusOK || out.Cache != "miss" {
+		t.Fatalf("adaptive miss: %d %+v", code, out)
+	}
+	if out.Iterations != stop1 || len(out.PerIteration) != stop1 {
+		t.Fatalf("adaptive run stopped at %d iterations, want %d", out.Iterations, stop1)
+	}
+	for i, x := range out.PerIteration {
+		if x != want.PerIteration[i] {
+			t.Fatalf("adaptive iteration %d: %v != fixed run %v", i, x, want.PerIteration[i])
+		}
+	}
+
+	// Repeat: served from cache without recounting.
+	if code, hit, _ := countQuery(t, ts, ad); code != http.StatusOK || hit.Cache != "hit" || hit.Iterations != stop1 {
+		t.Fatalf("adaptive repeat: %d %+v", code, hit)
+	}
+
+	// The cache entry is shared with fixed queries at the same seed.
+	fixed := base
+	fixed.Iterations = stop1 - 1
+	if code, out, _ := countQuery(t, ts, fixed); code != http.StatusOK || out.Cache != "hit" {
+		t.Fatalf("fixed query on adaptive entry: %d %+v", code, out)
+	}
+
+	// Tighter tolerance: resumes from the cached prefix (partial, not
+	// miss) and lands on the tighter stopping point, still bit-identical.
+	tight := base
+	tight.Adaptive = rel2
+	code, out, _ = countQuery(t, ts, tight)
+	if code != http.StatusOK || out.Cache != "partial" || out.CachedIterations != stop1 {
+		t.Fatalf("tighter adaptive: %d %+v", code, out)
+	}
+	if out.Iterations != stop2 || len(out.PerIteration) != stop2 {
+		t.Fatalf("tighter adaptive stopped at %d iterations, want %d", out.Iterations, stop2)
+	}
+	for i, x := range out.PerIteration {
+		if x != want.PerIteration[i] {
+			t.Fatalf("tighter adaptive iteration %d: %v != fixed run %v", i, x, want.PerIteration[i])
+		}
+	}
+
+	// Validation: a negative tolerance is rejected.
+	bad := base
+	bad.Adaptive = -0.1
+	if code, _, _ := countQuery(t, ts, bad); code != http.StatusBadRequest {
+		t.Fatalf("negative adaptive tolerance accepted: %d", code)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"strings"
@@ -204,6 +205,53 @@ type Query struct {
 	Iterations int
 	// MaxShards caps the group size (0 = use every covering shard).
 	MaxShards int
+	// Converge, when non-nil, makes the dispatch adaptive: instead of
+	// running all Iterations up front, the coordinator sends
+	// doubling-sized waves and stops as soon as the estimate stream
+	// (Prior plus dispatched waves) meets the variance target.
+	// Iterations then caps the fresh iterations dispatched.
+	Converge *ConvergeSpec
+}
+
+// ConvergeSpec is the variance target of an adaptive dispatch.
+type ConvergeSpec struct {
+	// RelStdErr is the relative-standard-error-of-the-mean target over
+	// the full estimate stream.
+	RelStdErr float64
+	// MinIters is the minimum total stream length (counting Prior)
+	// before the target may stop the dispatch (< 2 is raised to 2).
+	MinIters int
+	// Prior holds per-iteration estimates already known for seeds
+	// [Seed-len(Prior), Seed) — a cache prefix the target counts.
+	Prior []float64
+}
+
+// StopIndex returns the length of the shortest prefix of ests at which
+// an adaptive run targeting relStdErr would stop — the first
+// n >= max(minIters, 2) whose relative standard error of the mean is at
+// or below the target — or -1 if no prefix converges. It mirrors the dp
+// engine's Welford stop rule exactly, so coordinators and caches can
+// truncate an over-complete estimate stream to the bit-identical
+// adaptive prefix.
+func StopIndex(ests []float64, relStdErr float64, minIters int) int {
+	if relStdErr <= 0 {
+		return -1
+	}
+	if minIters < 2 {
+		minIters = 2
+	}
+	var mean, m2 float64
+	for i, est := range ests {
+		n := float64(i + 1)
+		delta := est - mean
+		mean += delta / n
+		m2 += delta * (est - mean)
+		if i+1 >= minIters && mean != 0 &&
+			math.Sqrt(m2/(n-1)/n)/math.Abs(mean) <= relStdErr {
+			return i + 1
+		}
+	}
+	return -1
 }
 
 // Outcome reports a sharded dispatch.
@@ -255,19 +303,84 @@ func (p *Pool) Count(ctx context.Context, q Query) (Outcome, error) {
 	p.queries.Add(1)
 
 	excluded := map[string]bool{}
-	base := q.Seed
-	remaining := q.Iterations
+	if q.Converge != nil {
+		return p.countConverged(ctx, q, k, scale, excluded)
+	}
+	ests, err := p.dispatch(ctx, q, k, scale, excluded, q.Seed, q.Iterations, &out)
+	out.PerIteration = ests
+	return out, err
+}
+
+// countConverged is the adaptive dispatch loop: waves of iterations go
+// out until the estimate stream (Converge.Prior plus everything
+// dispatched) meets the variance target or q.Iterations fresh
+// iterations are exhausted. The first wave tops the stream up to
+// MinIters; each later wave doubles the stream, so the per-wave dial
+// overhead stays logarithmic in the total while the overshoot past the
+// exact stop point is bounded by 2x — and the overshoot is then
+// truncated at StopIndex, so the returned prefix is bit-identical to a
+// local adaptive run over the same seeds.
+func (p *Pool) countConverged(ctx context.Context, q Query, k int, scale float64, excluded map[string]bool) (Outcome, error) {
+	var out Outcome
+	c := q.Converge
+	minIters := c.MinIters
+	if minIters < 2 {
+		minIters = 2
+	}
+	stream := append([]float64(nil), c.Prior...)
+	finish := func(err error) (Outcome, error) {
+		keep := len(stream) - len(c.Prior)
+		if idx := StopIndex(stream, c.RelStdErr, minIters); idx >= 0 {
+			if f := idx - len(c.Prior); f < keep {
+				keep = max(f, 0)
+			}
+		}
+		out.PerIteration = append([]float64(nil), stream[len(c.Prior):len(c.Prior)+keep]...)
+		return out, err
+	}
+	for {
+		if StopIndex(stream, c.RelStdErr, minIters) >= 0 {
+			return finish(nil)
+		}
+		rem := q.Iterations - (len(stream) - len(c.Prior))
+		if rem <= 0 {
+			return finish(nil)
+		}
+		wave := minIters - len(stream)
+		if wave < 1 {
+			wave = len(stream)
+		}
+		if wave > rem {
+			wave = rem
+		}
+		base := q.Seed + int64(len(stream)-len(c.Prior))
+		ests, err := p.dispatch(ctx, q, k, scale, excluded, base, wave, &out)
+		stream = append(stream, ests...)
+		if err != nil {
+			return finish(err)
+		}
+	}
+}
+
+// dispatch runs iters iterations [base, base+iters) over the shard
+// tier, excluding lost shards and re-dispatching the remainder until
+// the range completes or no eligible shard remains. It returns the
+// completed contiguous per-iteration prefix and folds transport
+// accounting into out.
+func (p *Pool) dispatch(ctx context.Context, q Query, k int, scale float64, excluded map[string]bool, base int64, iters int, out *Outcome) ([]float64, error) {
+	var acc []float64
+	remaining := iters
 	for remaining > 0 {
 		if err := ctx.Err(); err != nil {
-			return out, err
+			return acc, err
 		}
 		group := p.group(q.GraphHash, excluded, q.MaxShards)
 		if len(group) == 0 {
-			return out, ErrNoShards
+			return acc, ErrNoShards
 		}
 		out.Shards = len(group)
 		ests, gs, failedAddr, err := p.runGroup(ctx, group, q, k, scale, base, remaining)
-		out.PerIteration = append(out.PerIteration, ests...)
+		acc = append(acc, ests...)
 		base += int64(len(ests))
 		remaining -= len(ests)
 		out.Messages += gs.messages
@@ -281,7 +394,7 @@ func (p *Pool) Count(ctx context.Context, q Query) (Outcome, error) {
 			break
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			return out, cerr
+			return acc, cerr
 		}
 		if failedAddr != "" {
 			p.logf("shard: lost %s mid-run (%v); re-dispatching %d iterations to %d survivors",
@@ -295,9 +408,9 @@ func (p *Pool) Count(ctx context.Context, q Query) (Outcome, error) {
 			}
 			continue
 		}
-		return out, err
+		return acc, err
 	}
-	return out, nil
+	return acc, nil
 }
 
 // groupStats aggregates one dispatch's transport accounting.

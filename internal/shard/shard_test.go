@@ -493,3 +493,105 @@ func TestPoolRegistry(t *testing.T) {
 		t.Fatalf("Covers(7) after deregister = %d", got)
 	}
 }
+
+// TestStopIndex pins the Welford stopping rule the adaptive tiers
+// share: constant streams stop at the floor, high-variance streams
+// never stop, zero means and non-positive targets disable stopping.
+func TestStopIndex(t *testing.T) {
+	constant := []float64{8, 8, 8, 8, 8, 8}
+	if got := StopIndex(constant, 0.1, 4); got != 4 {
+		t.Fatalf("constant stream: stop %d, want 4 (the floor)", got)
+	}
+	if got := StopIndex(constant, 0.1, 0); got != 2 {
+		t.Fatalf("minIters < 2 not clamped: stop %d, want 2", got)
+	}
+	if got := StopIndex([]float64{1, 100, 1, 100, 1, 100}, 0.01, 2); got != -1 {
+		t.Fatalf("high-variance stream converged at %d", got)
+	}
+	if got := StopIndex([]float64{5, -5, 5, -5}, 0.5, 2); got != -1 {
+		t.Fatalf("zero-mean stream converged at %d", got)
+	}
+	if got := StopIndex(constant, 0, 2); got != -1 {
+		t.Fatalf("non-positive target converged at %d", got)
+	}
+	if got := StopIndex(nil, 0.1, 2); got != -1 {
+		t.Fatalf("empty stream converged at %d", got)
+	}
+}
+
+// TestShardConverged drives the adaptive wave dispatcher over real TCP
+// workers: the converged stream must be the exact StopIndex prefix of
+// the fixed-run stream (bit-identical), a cached prior must shift the
+// dispatch without changing the stopping point, and an already-converged
+// prior must dispatch nothing.
+func TestShardConverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := randomGraph(rng, 40, 120)
+	tr := tmpl.MustNamed("U5-2")
+	const seed, cap1 = 9, 200
+	const relStdErr, minIters = 0.1, 5
+
+	pool, _, _ := startFleet(t, g, 2, WorkerOptions{})
+	base := Query{
+		GraphHash: graph.Hash(g), GraphN: g.N(),
+		Template: tr, Seed: seed, Iterations: cap1,
+	}
+	ref, err := pool.Count(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := StopIndex(ref.PerIteration, relStdErr, minIters)
+	if stop < minIters || stop >= cap1 {
+		t.Fatalf("degenerate workload: stop %d", stop)
+	}
+
+	// Adaptive from scratch: exactly the StopIndex prefix.
+	q := base
+	q.Converge = &ConvergeSpec{RelStdErr: relStdErr, MinIters: minIters}
+	out, err := pool.Count(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerIteration) != stop {
+		t.Fatalf("adaptive dispatch ran %d iterations, want %d", len(out.PerIteration), stop)
+	}
+	for i, x := range out.PerIteration {
+		if x != ref.PerIteration[i] {
+			t.Fatalf("EXACTNESS DISAGREEMENT adaptive iteration %d: %v != fixed %v", i, x, ref.PerIteration[i])
+		}
+	}
+
+	// A cached prior shifts the fresh seeds (the caller pre-offsets
+	// Seed, as the serving layer does) but not the stopping point; only
+	// the fresh iterations come back.
+	const p = 4
+	q = base
+	q.Seed = seed + p
+	q.Iterations = cap1 - p
+	q.Converge = &ConvergeSpec{RelStdErr: relStdErr, MinIters: minIters, Prior: ref.PerIteration[:p]}
+	out, err = pool.Count(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerIteration) != stop-p {
+		t.Fatalf("prior-seeded dispatch ran %d fresh iterations, want %d", len(out.PerIteration), stop-p)
+	}
+	for i, x := range out.PerIteration {
+		if x != ref.PerIteration[p+i] {
+			t.Fatalf("EXACTNESS DISAGREEMENT prior-seeded iteration %d: %v != fixed %v", i, x, ref.PerIteration[p+i])
+		}
+	}
+
+	// An already-converged prior dispatches nothing.
+	q = base
+	q.Seed = seed + int64(stop)
+	q.Iterations = cap1 - stop
+	q.Converge = &ConvergeSpec{RelStdErr: relStdErr, MinIters: minIters, Prior: ref.PerIteration[:stop]}
+	out, err = pool.Count(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerIteration) != 0 || out.Shards != 0 {
+		t.Fatalf("converged prior still dispatched: %d iterations over %d shards", len(out.PerIteration), out.Shards)
+	}
+}

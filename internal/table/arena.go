@@ -32,9 +32,17 @@ type Arena struct {
 	i32 map[int][][]int32
 	i8  map[int][][]int8
 	u64 map[int][][]uint64
+	bts map[int][][]byte
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// spill is the optional file-backed slab source installed by
+	// SetSpill; nil means every miss allocates on the Go heap.
+	spill *spillRegion
+	// spillMin is the smallest slab (in bytes) routed to the spill
+	// region; tiny slabs stay on the heap where they are cheap.
+	spillMin int64
 }
 
 // arenaMaxPerClass bounds retained slabs per (type, length) class so a
@@ -74,6 +82,60 @@ func putSlab[T any](pool map[int][][]T, s []T) map[int][][]T {
 	return pool
 }
 
+// SetSpill installs a file-backed spill source for large slabs: once
+// set, slab allocations of at least min bytes are served from mmapped
+// unlinked temp files instead of the Go heap, and returned slabs have
+// their pages advised away (MADV_DONTNEED), so the table working set
+// above the threshold is reclaimable by the kernel under memory
+// pressure rather than pinned in RSS. On platforms without mmap
+// support (or when the temp dir is unwritable) spill allocation
+// degrades silently to the heap. min <= 0 picks a default.
+func (a *Arena) SetSpill(min int64) {
+	if a == nil {
+		return
+	}
+	if min <= 0 {
+		min = defaultSpillMin
+	}
+	a.mu.Lock()
+	if a.spill == nil {
+		a.spill = newSpillRegion()
+	}
+	a.spillMin = min
+	a.mu.Unlock()
+}
+
+// SpillStats returns the number of live spill-backed slabs and their
+// total mapped bytes (zero when spill is not enabled).
+func (a *Arena) SpillStats() (slabs int, bytes int64) {
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	sp := a.spill
+	a.mu.Unlock()
+	if sp == nil {
+		return 0, 0
+	}
+	return sp.stats()
+}
+
+// spillFor returns the spill region when a fresh slab of nbytes should
+// be file-backed rather than heap-allocated.
+func (a *Arena) spillFor(nbytes int64) *spillRegion {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	sp := a.spill
+	min := a.spillMin
+	a.mu.Unlock()
+	if sp == nil || nbytes < min {
+		return nil
+	}
+	return sp
+}
+
 // F64 returns a float64 slab of length n (contents unspecified).
 func (a *Arena) F64(n int) []float64 {
 	if a == nil {
@@ -87,6 +149,11 @@ func (a *Arena) F64(n int) []float64 {
 		return s
 	}
 	a.misses.Add(1)
+	if sp := a.spillFor(int64(n) * 8); sp != nil {
+		if b := sp.alloc(int64(n) * 8); b != nil {
+			return bytesToF64(b, n)
+		}
+	}
 	return make([]float64, n)
 }
 
@@ -95,9 +162,36 @@ func (a *Arena) PutF64(s []float64) {
 	if a == nil || s == nil {
 		return
 	}
+	spillOwned := a.adviseIfSpill(f64Ptr(s), int64(len(s))*8)
 	a.mu.Lock()
-	a.f64 = putSlab(a.f64, s)
+	a.f64 = putSlabMaybeUncapped(a.f64, s, spillOwned)
 	a.mu.Unlock()
+}
+
+// adviseIfSpill reports whether the slab at ptr is spill-backed, and if
+// so releases its resident pages.
+func (a *Arena) adviseIfSpill(ptr uintptr, nbytes int64) bool {
+	a.mu.Lock()
+	sp := a.spill
+	a.mu.Unlock()
+	if sp == nil {
+		return false
+	}
+	return sp.release(ptr, nbytes)
+}
+
+// putSlabMaybeUncapped is putSlab, but spill-backed slabs are always
+// retained: dropping one would leak its file mapping, and their page
+// cost is already released.
+func putSlabMaybeUncapped[T any](pool map[int][][]T, s []T, uncapped bool) map[int][][]T {
+	if !uncapped {
+		return putSlab(pool, s)
+	}
+	if pool == nil {
+		pool = map[int][][]T{}
+	}
+	pool[len(s)] = append(pool[len(s)], s)
+	return pool
 }
 
 // I64 returns an int64 slab of length n (contents unspecified).
@@ -113,6 +207,11 @@ func (a *Arena) I64(n int) []int64 {
 		return s
 	}
 	a.misses.Add(1)
+	if sp := a.spillFor(int64(n) * 8); sp != nil {
+		if b := sp.alloc(int64(n) * 8); b != nil {
+			return bytesToI64(b, n)
+		}
+	}
 	return make([]int64, n)
 }
 
@@ -121,8 +220,9 @@ func (a *Arena) PutI64(s []int64) {
 	if a == nil || s == nil {
 		return
 	}
+	spillOwned := a.adviseIfSpill(i64Ptr(s), int64(len(s))*8)
 	a.mu.Lock()
-	a.i64 = putSlab(a.i64, s)
+	a.i64 = putSlabMaybeUncapped(a.i64, s, spillOwned)
 	a.mu.Unlock()
 }
 
@@ -139,6 +239,11 @@ func (a *Arena) I32(n int) []int32 {
 		return s
 	}
 	a.misses.Add(1)
+	if sp := a.spillFor(int64(n) * 4); sp != nil {
+		if b := sp.alloc(int64(n) * 4); b != nil {
+			return bytesToI32(b, n)
+		}
+	}
 	return make([]int32, n)
 }
 
@@ -147,8 +252,9 @@ func (a *Arena) PutI32(s []int32) {
 	if a == nil || s == nil {
 		return
 	}
+	spillOwned := a.adviseIfSpill(i32Ptr(s), int64(len(s))*4)
 	a.mu.Lock()
-	a.i32 = putSlab(a.i32, s)
+	a.i32 = putSlabMaybeUncapped(a.i32, s, spillOwned)
 	a.mu.Unlock()
 }
 
@@ -203,5 +309,38 @@ func (a *Arena) PutU64(s []uint64) {
 	}
 	a.mu.Lock()
 	a.u64 = putSlab(a.u64, s)
+	a.mu.Unlock()
+}
+
+// B returns a byte slab of length n (contents unspecified); the
+// succinct layout's compressed row blocks and encode scratch live here.
+func (a *Arena) B(n int) []byte {
+	if a == nil {
+		return make([]byte, n)
+	}
+	a.mu.Lock()
+	s, ok := getSlab(a, a.bts, n)
+	a.mu.Unlock()
+	if ok {
+		a.hits.Add(1)
+		return s
+	}
+	a.misses.Add(1)
+	if sp := a.spillFor(int64(n)); sp != nil {
+		if b := sp.alloc(int64(n)); b != nil {
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutB returns a byte slab to the arena.
+func (a *Arena) PutB(s []byte) {
+	if a == nil || s == nil {
+		return
+	}
+	spillOwned := a.adviseIfSpill(bPtr(s), int64(len(s)))
+	a.mu.Lock()
+	a.bts = putSlabMaybeUncapped(a.bts, s, spillOwned)
 	a.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package table
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -196,4 +197,69 @@ func TestArenaStress(t *testing.T) {
 	if h+m < 5000 {
 		t.Fatalf("stress accounting implausible: hits=%d misses=%d", h, m)
 	}
+}
+
+// TestArenaSpill checks the file-backed spill source end to end: slabs
+// at or above the threshold come from mmapped regions and are tracked
+// by SpillStats, sub-threshold slabs stay on the heap, returned spill
+// slabs keep their mapping (recycled through the free lists, resident
+// pages advised away), and writes to a spilled slab actually stick.
+func TestArenaSpill(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("spill mappings are linux-only")
+	}
+	const min = 1 << 16
+	a := &Arena{}
+	a.SetSpill(min)
+
+	small := a.F64(min / 16) // well under the byte threshold
+	if slabs, bytes := a.SpillStats(); slabs != 0 || bytes != 0 {
+		t.Fatalf("small slab spilled: %d slabs, %d bytes", slabs, bytes)
+	}
+	a.PutF64(small)
+
+	big := a.F64(min / 8) // exactly min bytes
+	if slabs, bytes := a.SpillStats(); slabs != 1 || bytes != min {
+		t.Fatalf("big slab not spilled: %d slabs, %d bytes", slabs, bytes)
+	}
+	for i := range big {
+		big[i] = float64(i)
+	}
+	for i := range big {
+		if big[i] != float64(i) {
+			t.Fatalf("spilled slab dropped a write at %d", i)
+		}
+	}
+
+	// Returning the slab advises its pages away but keeps the mapping:
+	// the next same-size request recycles it instead of mapping again.
+	a.PutF64(big)
+	if slabs, _ := a.SpillStats(); slabs != 1 {
+		t.Fatalf("mapping dropped on Put: %d slabs", slabs)
+	}
+	again := a.F64(min / 8)
+	if &again[0] != &big[0] {
+		t.Fatal("spilled slab not recycled through the free list")
+	}
+	if slabs, bytes := a.SpillStats(); slabs != 1 || bytes != min {
+		t.Fatalf("recycled get remapped: %d slabs, %d bytes", slabs, bytes)
+	}
+	// Contents are unspecified after Put/re-get (pages were advised
+	// away), but the slab must be writable and zero-filled pages are
+	// fine — touch it to prove the mapping is still valid.
+	again[0], again[len(again)-1] = 1, 2
+	if again[0] != 1 || again[len(again)-1] != 2 {
+		t.Fatal("recycled spill slab not writable")
+	}
+
+	// Typed variants share the same region.
+	k := a.I64(min / 8)
+	vs := a.I32(min / 4)
+	bs := a.B(min)
+	if slabs, bytes := a.SpillStats(); slabs != 4 || bytes != 4*min {
+		t.Fatalf("typed spills not tracked: %d slabs, %d bytes", slabs, bytes)
+	}
+	a.PutI64(k)
+	a.PutI32(vs)
+	a.PutB(bs)
 }

@@ -1,0 +1,74 @@
+package table
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// eqCell compares decoded cells the way the succinct codec defines
+// equality: bit-exact, except that the sign of zero is elided (zero
+// cells are skipped outright, so -0.0 legitimately decodes as +0.0).
+func eqCell(a, b float64) bool {
+	if a == 0 && b == 0 {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// FuzzSuccinctRow drives the succinct row codec from both ends: the
+// fuzz input is interpreted once as a row of raw float64 bits (encode →
+// decode must round-trip losslessly) and once as a hostile encoded
+// stream (decode must never panic, must agree with validSuccinctRow,
+// and anything it accepts must re-encode stably).
+func FuzzSuccinctRow(f *testing.F) {
+	f.Add([]byte{}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x3f}, uint8(1))       // 1.0
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0xff}, uint8(2))       // -inf
+	f.Add([]byte{1, 0xff, 2, 4, 1, 1, 1, 1, 1, 1, 1}, uint8(8)) // hostile-ish stream
+	f.Fuzz(func(t *testing.T, data []byte, w uint8) {
+		width := int(w)%64 + 1
+
+		// Lossless round-trip: raw bits -> row -> encode -> decode.
+		row := make([]float64, width)
+		for i := 0; i < width && (i+1)*8 <= len(data); i++ {
+			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		enc := appendSuccinctRow(nil, row)
+		if !validSuccinctRow(enc, width) {
+			t.Fatalf("encoder produced invalid stream %x for row %v", enc, row)
+		}
+		dec := make([]float64, width)
+		if !decodeSuccinctRow(enc, dec) {
+			t.Fatalf("decoder rejected encoder output %x for row %v", enc, row)
+		}
+		for i := range row {
+			if !eqCell(row[i], dec[i]) {
+				t.Fatalf("cell %d: %x -> %x not lossless", i, math.Float64bits(row[i]), math.Float64bits(dec[i]))
+			}
+		}
+
+		// Hostile decode: the raw input as an encoded stream. Must not
+		// panic, and accept/reject must match the validator.
+		dst := make([]float64, width)
+		ok := decodeSuccinctRow(data, dst)
+		if ok != validSuccinctRow(data, width) {
+			t.Fatalf("decode ok=%v disagrees with validator for %x", ok, data)
+		}
+		if ok {
+			// Accepted streams re-encode to something that decodes to the
+			// same row (the encoding itself may differ: Uvarint accepts
+			// non-minimal varints the encoder never emits).
+			enc2 := appendSuccinctRow(nil, dst)
+			dst2 := make([]float64, width)
+			if !decodeSuccinctRow(enc2, dst2) {
+				t.Fatalf("re-encode of accepted stream rejected: %x -> %x", data, enc2)
+			}
+			for i := range dst {
+				if !eqCell(dst[i], dst2[i]) {
+					t.Fatalf("re-encode changed cell %d: %x -> %x", i, math.Float64bits(dst[i]), math.Float64bits(dst2[i]))
+				}
+			}
+		}
+	})
+}

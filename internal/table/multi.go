@@ -65,14 +65,21 @@ func (m *Multi) StoreRow(v int32, row []float64) {
 }
 
 // MaterializeRow returns v's flat row directly when the layout has one,
-// otherwise copies it cell-by-cell into dst (hash layout; absent cells
-// read zero). dst must have capacity Width.
+// otherwise decodes it in one pass (succinct layout, via RowDecoder) or
+// copies it cell-by-cell into dst (hash layout; absent cells read
+// zero). dst must have capacity Width.
 func (m *Multi) MaterializeRow(v int32, dst []float64) []float64 {
 	if row := m.tab.Row(v); row != nil {
 		return row
 	}
 	w := m.Width()
 	dst = dst[:w]
+	if rd, ok := m.tab.(RowDecoder); ok {
+		if !rd.DecodeRowInto(v, dst) {
+			clear(dst)
+		}
+		return dst
+	}
 	for ci := 0; ci < w; ci++ {
 		dst[ci] = m.tab.Get(v, int32(ci))
 	}
@@ -101,6 +108,7 @@ func (m *Multi) AccumulateRowsRange(vs []int32, dst []float64, lo, hi int) {
 // batched form of the single-vertex-child per-color gather.
 func (m *Multi) GatherColors(vs []int32, colors []int8, dst []float64) {
 	L := m.lanes
+	sc, isSuccinct := m.tab.(*SuccinctTable)
 	for _, u := range vs {
 		if row := m.tab.Row(u); row != nil {
 			base := int(u) * L
@@ -108,6 +116,14 @@ func (m *Multi) GatherColors(vs []int32, colors []int8, dst []float64) {
 				o := int(colors[base+j])*L + j
 				dst[o] += row[o]
 			}
+		} else if isSuccinct { // succinct: one decode visits every lane
+			base := int(u) * L
+			sc.ForEachInRow(u, func(ci int32, val float64) {
+				j := int(ci) % L
+				if int(colors[base+j]) == int(ci)/L {
+					dst[ci] += val
+				}
+			})
 		} else if m.tab.Has(u) { // hash layout: probe per lane
 			base := int(u) * L
 			for j := 0; j < L; j++ {
@@ -124,6 +140,7 @@ func (m *Multi) GatherColors(vs []int32, colors []int8, dst []float64) {
 // lane) cell exactly once across tiles.
 func (m *Multi) GatherColorsRange(vs []int32, colors []int8, dst []float64, lo, hi int) {
 	L := m.lanes
+	sc, isSuccinct := m.tab.(*SuccinctTable)
 	for _, u := range vs {
 		if row := m.tab.Row(u); row != nil {
 			base := int(u) * L
@@ -135,6 +152,17 @@ func (m *Multi) GatherColorsRange(vs []int32, colors []int8, dst []float64, lo, 
 				o := c*L + j
 				dst[o] += row[o]
 			}
+		} else if isSuccinct { // succinct: one decode visits every lane
+			base := int(u) * L
+			sc.ForEachInRow(u, func(ci int32, val float64) {
+				c := int(ci) / L
+				if c < lo || c >= hi {
+					return
+				}
+				if int(colors[base+int(ci)%L]) == c {
+					dst[ci] += val
+				}
+			})
 		} else if m.tab.Has(u) { // hash layout: probe per lane
 			base := int(u) * L
 			for j := 0; j < L; j++ {
@@ -152,8 +180,13 @@ func (m *Multi) GatherColorsRange(vs []int32, colors []int8, dst []float64, lo, 
 // Lanes) — one colorful-mapping total per concurrent coloring.
 func (m *Multi) Totals(dst []float64) {
 	L := m.lanes
-	if h, ok := m.tab.(*HashTable); ok {
-		h.ForEach(func(key int64, val float64) {
+	// Hash and succinct layouts walk their stored cells directly; the
+	// flat key is v·Width + ci·L + lane, so key mod L is the lane.
+	// Counts are integer-valued float64s, so visiting only nonzero
+	// cells (in either walk order) sums bit-identically to the dense
+	// row sweep below.
+	if fe, ok := m.tab.(interface{ ForEach(func(int64, float64)) }); ok {
+		fe.ForEach(func(key int64, val float64) {
 			dst[int(key)%L] += val
 		})
 		return

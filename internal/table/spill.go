@@ -1,0 +1,102 @@
+package table
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// defaultSpillMin is the smallest slab routed to the spill region when
+// SetSpill is called without an explicit threshold: small slabs (index
+// vectors of tiny graphs, scratch rows) are cheap on the heap, while
+// anything at slab-block scale and above dominates RSS.
+const defaultSpillMin = 1 << 20
+
+// spillRegion serves large table slabs from mmapped unlinked temp
+// files (MAP_SHARED) instead of the Go heap. File-backed dirty pages
+// are writable back to disk, so under memory pressure the kernel can
+// evict them — which is what bounds peak RSS independent of table
+// size. Returned slabs are advised away (MADV_DONTNEED) immediately,
+// dropping their residency without unmapping; the mapping itself is
+// recycled through the arena free lists like any other slab.
+//
+// Each slab is its own mapping. Mappings live until process exit (the
+// backing files are unlinked at creation, so no cleanup is required);
+// the arena never drops a spill-backed slab from its free lists.
+type spillRegion struct {
+	mu sync.Mutex
+	// owned maps each mapping's base pointer to the original mapped
+	// slice (kept whole so release can madvise it without an
+	// uintptr->pointer round trip); guarded by mu.
+	owned  map[uintptr][]byte
+	mapped int64 // guarded by mu
+	broken bool  // mmap failed once: stop trying, guarded by mu
+}
+
+func newSpillRegion() *spillRegion {
+	return &spillRegion{owned: map[uintptr][]byte{}}
+}
+
+// alloc returns a file-backed slab of nbytes, or nil when the platform
+// (or the temp dir) cannot provide one — the caller falls back to the
+// heap.
+func (sp *spillRegion) alloc(nbytes int64) []byte {
+	sp.mu.Lock()
+	if sp.broken {
+		sp.mu.Unlock()
+		return nil
+	}
+	sp.mu.Unlock()
+	b, err := mmapFileBacked(nbytes)
+	if err != nil {
+		sp.mu.Lock()
+		sp.broken = true
+		sp.mu.Unlock()
+		return nil
+	}
+	sp.mu.Lock()
+	sp.owned[bPtr(b)] = b
+	sp.mapped += nbytes
+	sp.mu.Unlock()
+	return b
+}
+
+// release reports whether the slab at ptr is spill-backed, and if so
+// drops its resident pages (contents are unspecified after Put, so
+// nothing is lost).
+func (sp *spillRegion) release(ptr uintptr, nbytes int64) bool {
+	sp.mu.Lock()
+	b, ok := sp.owned[ptr]
+	sp.mu.Unlock()
+	if !ok || int64(len(b)) != nbytes {
+		return ok
+	}
+	adviseDontNeed(b)
+	return true
+}
+
+func (sp *spillRegion) stats() (slabs int, bytes int64) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.owned), sp.mapped
+}
+
+// Pointer and reinterpretation helpers for handing typed slabs out of
+// byte mappings. Mappings are page-aligned, so every element type here
+// is safely aligned.
+
+func bPtr(s []byte) uintptr      { return uintptr(unsafe.Pointer(unsafe.SliceData(s))) }
+func f64Ptr(s []float64) uintptr { return uintptr(unsafe.Pointer(unsafe.SliceData(s))) }
+func i64Ptr(s []int64) uintptr   { return uintptr(unsafe.Pointer(unsafe.SliceData(s))) }
+func i32Ptr(s []int32) uintptr   { return uintptr(unsafe.Pointer(unsafe.SliceData(s))) }
+
+func bytesToF64(b []byte, n int) []float64 {
+	return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+func bytesToI64(b []byte, n int) []int64 {
+	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+func bytesToI32(b []byte, n int) []int32 {
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}

@@ -1,0 +1,39 @@
+//go:build linux
+
+package table
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFileBacked maps nbytes of a fresh unlinked temp file MAP_SHARED
+// read-write. Being file-backed (not anonymous) is the point: dirty
+// pages have a writeback target, so the kernel can evict them under
+// memory pressure instead of pinning them in RSS or swapping.
+func mmapFileBacked(nbytes int64) ([]byte, error) {
+	f, err := os.CreateTemp("", "fascia-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	// Unlink immediately: the mapping keeps the inode alive, and the
+	// file vanishes on process exit no matter how we die.
+	os.Remove(f.Name())
+	defer f.Close()
+	if err := f.Truncate(nbytes); err != nil {
+		return nil, err
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(nbytes),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// adviseDontNeed drops the resident pages of a spill slab; subsequent
+// access faults them back in from the backing file. Failure is
+// harmless (the pages just stay resident), so the error is ignored.
+func adviseDontNeed(b []byte) {
+	_ = syscall.Madvise(b, syscall.MADV_DONTNEED)
+}

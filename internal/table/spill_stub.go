@@ -1,0 +1,13 @@
+//go:build !linux
+
+package table
+
+import "errors"
+
+// mmapFileBacked is unavailable off linux; the arena falls back to
+// heap allocation (SetSpill becomes a no-op after the first miss).
+func mmapFileBacked(nbytes int64) ([]byte, error) {
+	return nil, errors.New("table: file-backed spill is only supported on linux")
+}
+
+func adviseDontNeed(b []byte) {}

@@ -28,6 +28,10 @@ const (
 	Lazy
 	// Hash stores only nonzero cells in an open-addressed hash table.
 	Hash
+	// Succinct stores compressed rows: zero-run skipping plus varint
+	// packing of integer counts (raw IEEE-754 fallback keeps the codec
+	// lossless), the Motivo-style layout for memory-bound graphs.
+	Succinct
 )
 
 func (k Kind) String() string {
@@ -38,6 +42,8 @@ func (k Kind) String() string {
 		return "lazy"
 	case Hash:
 		return "hash"
+	case Succinct:
+		return "succinct"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -96,13 +102,37 @@ func NewInArena(kind Kind, n int, numSets int, a *Arena) Table {
 		return NewSparseArena(n, numSets, a)
 	case Hash:
 		return NewHashArena(n, numSets, a)
+	case Succinct:
+		return NewSuccinctArena(n, numSets, a)
 	default:
 		panic(fmt.Sprintf("table: unknown kind %d", int(kind)))
 	}
 }
 
 // Kinds lists all layouts, for cross-implementation tests and ablations.
-var Kinds = []Kind{Naive, Lazy, Hash}
+var Kinds = []Kind{Naive, Lazy, Hash, Succinct}
+
+// BytesPerCellEstimate returns the layout's expected storage cost per
+// (vertex, color-set) cell, the figure the dp batch and tile planners
+// size (B, tiles) with. Dense-backed layouts (and hash, whose occupancy
+// cannot be assumed small a priori) cost a full float64 per cell; the
+// succinct layout's zero-run skipping and varint packing average a few
+// bytes per cell on the integer-valued, mostly-zero DP tables, so the
+// same memory budget admits wider lane batches.
+func (k Kind) BytesPerCellEstimate() float64 {
+	if k == Succinct {
+		return succinctCellEstimateBytes
+	}
+	return float64Size
+}
+
+// RowDecoder is an optional fast path for layouts without flat rows:
+// DecodeRowInto zero-fills dst[:NumSets] and decodes vertex v's row
+// into it in one sequential pass, reporting presence. Callers fall
+// back to per-cell Get when a layout (hash) does not implement it.
+type RowDecoder interface {
+	DecodeRowInto(v int32, dst []float64) bool
+}
 
 // RowAccumulator is an optional fast path for neighbor aggregation:
 // AccumulateRow adds vertex v's row into dst (len >= NumSets), doing

@@ -7,7 +7,7 @@ import (
 )
 
 func TestKindString(t *testing.T) {
-	if Naive.String() != "naive" || Lazy.String() != "lazy" || Hash.String() != "hash" {
+	if Naive.String() != "naive" || Lazy.String() != "lazy" || Hash.String() != "hash" || Succinct.String() != "succinct" {
 		t.Fatal("kind strings wrong")
 	}
 	if Kind(7).String() == "" {
@@ -78,9 +78,9 @@ func TestStoreRowAndRow(t *testing.T) {
 			}
 		}
 		r := tab.Row(3)
-		if kind == Hash {
+		if kind == Hash || kind == Succinct {
 			if r != nil {
-				t.Fatal("hash Row should be nil")
+				t.Fatalf("%v Row should be nil", kind)
 			}
 		} else {
 			if len(r) != 4 || r[3] != 2.5 {

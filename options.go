@@ -21,6 +21,11 @@ const (
 	// TableHash stores only nonzero cells in a hash table keyed by
 	// vid·Nc + colorIndex (best for high-selectivity templates).
 	TableHash
+	// TableSuccinct stores compressed rows (zero-run skipping plus varint
+	// packing of integer counts, with a lossless raw-IEEE fallback), the
+	// Motivo-style layout for memory-bound graphs. Estimates are
+	// bit-identical to the other layouts.
+	TableSuccinct
 )
 
 func (l TableLayout) String() string {
@@ -31,6 +36,8 @@ func (l TableLayout) String() string {
 		return "naive"
 	case TableHash:
 		return "hash"
+	case TableSuccinct:
+		return "succinct"
 	default:
 		return fmt.Sprintf("TableLayout(%d)", int(l))
 	}
@@ -44,6 +51,8 @@ func (l TableLayout) kind() (table.Kind, error) {
 		return table.Naive, nil
 	case TableHash:
 		return table.Hash, nil
+	case TableSuccinct:
+		return table.Succinct, nil
 	default:
 		return 0, fmt.Errorf("fascia: unknown table layout %d", int(l))
 	}
@@ -227,6 +236,20 @@ type Options struct {
 	// variable and falls back to 64 MiB; negative disables tiling.
 	// Execution-only: estimates are bit-identical at any setting.
 	LLCBytes int64
+	// MemBudgetBytes bounds the engine's peak table memory: large table
+	// slabs spill to unlinked file-backed mappings the OS can page out,
+	// and the automatic batch sizer caps its lane budget, so peak RSS
+	// stays bounded independent of graph size. 0 consults the
+	// FASCIA_MEM_BYTES environment variable (unset = unlimited); negative
+	// disables spilling. Execution-only: estimates are bit-identical at
+	// any setting.
+	MemBudgetBytes int64
+	// Adaptive, when positive, replaces the fixed Iterations schedule
+	// with a variance-targeted stopping rule: iterations run (in seed
+	// order, so the estimate stream is a prefix of a fixed run's) until
+	// the relative standard error of the running mean drops below
+	// Adaptive. Iterations then acts as the iteration cap (0 = 1e6).
+	Adaptive float64
 	// Timeout, when positive, bounds every run of an Engine built from
 	// these options (each Run/Count call gets a fresh timeout). On expiry
 	// the run returns its partial result alongside the context error,
@@ -316,6 +339,21 @@ func (o Options) WithLLCBytes(b int64) Options {
 	return o
 }
 
+// WithMemBudgetBytes returns a copy of o with the given peak-memory
+// budget (see Options.MemBudgetBytes).
+func (o Options) WithMemBudgetBytes(b int64) Options {
+	o.MemBudgetBytes = b
+	return o
+}
+
+// WithAdaptive returns a copy of o running iterations adaptively until
+// the relative standard error drops below relStdErr (see
+// Options.Adaptive).
+func (o Options) WithAdaptive(relStdErr float64) Options {
+	o.Adaptive = relStdErr
+	return o
+}
+
 // WithTimeout returns a copy of o bounding every run to d.
 func (o Options) WithTimeout(d time.Duration) Options {
 	o.Timeout = d
@@ -338,17 +376,19 @@ func (o Options) WithOnIteration(fn func(i int, estimate float64, elapsed time.D
 // Only knobs that can change the floating-point estimate stream
 // participate: Colors (changes the colorful probability and the
 // coloring stream), Partition and ShareSubtemplates (change the
-// partition tree and hence summation order), and RootVertex (changes
-// the DP root). Execution knobs that are property-tested bit-identical
-// — Table, Kernel, Batch, Parallel, Threads, DisableLeafSpecial,
-// LLCBytes — and
-// lifecycle knobs (Iterations, Seed, Timeout, KeepTables, OnIteration,
-// Epsilon/Delta) are deliberately excluded so they do not fragment a
-// cache. The leading version tag must be bumped if estimate semantics
-// ever change.
+// partition tree and hence summation order), RootVertex (changes the
+// DP root), and Adaptive (changes how many estimates the stream holds,
+// so a cached adaptive entry records the iterations actually run
+// rather than masquerading as a fixed-length stream). Execution knobs
+// that are property-tested bit-identical — Table, Kernel, Batch,
+// Parallel, Threads, DisableLeafSpecial, LLCBytes, MemBudgetBytes —
+// and lifecycle knobs (Iterations, Seed, Timeout, KeepTables,
+// OnIteration, Epsilon/Delta) are deliberately excluded so they do not
+// fragment a cache. The leading version tag must be bumped if estimate
+// semantics ever change.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("v1|c=%d|part=%s|share=%t|root=%d",
-		o.Colors, o.Partition, o.ShareSubtemplates, o.RootVertex)
+	return fmt.Sprintf("v1|c=%d|part=%s|share=%t|root=%d|adapt=%g",
+		o.Colors, o.Partition, o.ShareSubtemplates, o.RootVertex, o.Adaptive)
 }
 
 // Every Options field must be classified into exactly one of the three
@@ -362,13 +402,13 @@ var (
 	// fingerprintResultFields can change the floating-point estimate
 	// stream and therefore participate in Fingerprint().
 	fingerprintResultFields = []string{
-		"Colors", "Partition", "ShareSubtemplates", "RootVertex",
+		"Colors", "Partition", "ShareSubtemplates", "RootVertex", "Adaptive",
 	}
 	// fingerprintExecutionOnly are knobs proven bit-identical across all
 	// settings by the kernel-equivalence and oracle-differential property
 	// tests; excluding them keeps equivalent queries on one cache entry.
 	fingerprintExecutionOnly = []string{
-		"Table", "Kernel", "Batch", "Parallel", "Threads", "DisableLeafSpecial", "LLCBytes",
+		"Table", "Kernel", "Batch", "Parallel", "Threads", "DisableLeafSpecial", "LLCBytes", "MemBudgetBytes",
 	}
 	// fingerprintLifecycle shape how many iterations run, which seed
 	// starts the stream, or what happens around the run — the cache keys
@@ -426,6 +466,7 @@ func (o Options) config() (dp.Config, error) {
 		KeepTables:         o.KeepTables,
 		Batch:              o.Batch,
 		LLCBytes:           o.LLCBytes,
+		MemBudgetBytes:     o.MemBudgetBytes,
 		OnIteration:        o.OnIteration,
 	}, nil
 }
