@@ -11,9 +11,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci lint vet build test race race-cancel difftest fuzz-smoke serve-smoke shard-smoke cover-serve metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record bench-mem bench-mem-full bench-mem-record bench-adaptive check-bce
+.PHONY: ci lint vet build test race race-cancel difftest difftest-nontree fuzz-smoke serve-smoke shard-smoke cover-serve cover-motif metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record bench-mem bench-mem-full bench-mem-record bench-adaptive check-bce
 
-ci: lint vet build check-bce test race race-cancel difftest metrics-smoke serve-smoke shard-smoke cover-serve fuzz-smoke bench-smoke bench-batch bench-tile bench-mem bench-adaptive
+ci: lint vet build check-bce test race race-cancel difftest difftest-nontree metrics-smoke serve-smoke shard-smoke cover-serve cover-motif fuzz-smoke bench-smoke bench-batch bench-tile bench-mem bench-adaptive
 
 # fasciavet, the project-specific static analyzer (determinism-critical
 # map iteration, cancellation polling, fingerprint/cache-key coverage,
@@ -62,6 +62,16 @@ race-cancel:
 difftest:
 	$(GO) test -race -run TestOracleDifferential .
 
+# The non-tree three-way matrix under the race detector, runnable on its
+# own: tree-decomposition bag DP within 6σ of the closed-form motif
+# counters, motif counters exactly equal to backtracking, the bag DP's
+# colorful totals exactly equal to rainbow enumeration — across every
+# layout × kernel × batch × parallel-mode combination. (Also part of
+# `make difftest`, which matches the whole TestOracleDifferential
+# prefix.)
+difftest-nontree:
+	$(GO) test -race -run TestOracleDifferentialNonTree .
+
 # One short fuzzing pass per target (seeds + $(FUZZTIME) of new inputs
 # each). Targets run one at a time because `go test -fuzz` requires a
 # single match per invocation.
@@ -69,6 +79,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/tmpl
+	$(GO) test -run='^$$' -fuzz=FuzzParseGraph -fuzztime=$(FUZZTIME) ./internal/tmpl
 	$(GO) test -run='^$$' -fuzz=FuzzTilePlan -fuzztime=$(FUZZTIME) ./internal/dp
 	$(GO) test -run='^$$' -fuzz=FuzzSuccinctRow -fuzztime=$(FUZZTIME) ./internal/table
 
@@ -92,6 +103,27 @@ cover-serve:
 	ok=$$(awk -v c="$$cov" 'BEGIN { print (c >= 80.0) ? 1 : 0 }'); \
 	if [ "$$ok" != 1 ]; then echo "cover-serve: internal/serve coverage $$cov% below the 80% floor"; exit 1; fi; \
 	echo "cover-serve: internal/serve coverage $$cov% (floor 80%)"
+
+# Coverage floor for the non-tree counting layer: the closed-form motif
+# counters (internal/exact/motifs.go) and the tree-decomposition bag DP
+# (internal/dp/bag.go) must each stay >= 80% statement-covered by their
+# packages' tests. Computed per file from the cover profiles, since the
+# package-level numbers would let an untested new file hide behind
+# well-covered neighbors.
+cover-motif:
+	@tmp=$$(mktemp -d); \
+	$(GO) test -coverprofile=$$tmp/exact.out ./internal/exact >/dev/null || { rm -rf $$tmp; exit 1; }; \
+	$(GO) test -coverprofile=$$tmp/dp.out ./internal/dp >/dev/null || { rm -rf $$tmp; exit 1; }; \
+	fail=0; \
+	for spec in "internal/exact/motifs.go $$tmp/exact.out" "internal/dp/bag.go $$tmp/dp.out"; do \
+	  set -- $$spec; file=$$1; prof=$$2; \
+	  cov=$$(awk -v f="$$file:" 'index($$1, f) { total += $$2; if ($$3 > 0) covered += $$2 } END { if (total == 0) print "none"; else printf "%.1f", 100 * covered / total }' $$prof); \
+	  if [ "$$cov" = none ]; then echo "cover-motif: no statements for $$file in $$prof"; fail=1; continue; fi; \
+	  ok=$$(awk -v c="$$cov" 'BEGIN { print (c >= 80.0) ? 1 : 0 }'); \
+	  if [ "$$ok" != 1 ]; then echo "cover-motif: $$file coverage $$cov% below the 80% floor"; fail=1; \
+	  else echo "cover-motif: $$file coverage $$cov% (floor 80%)"; fi; \
+	done; \
+	rm -rf $$tmp; exit $$fail
 
 # The -metrics-addr expvar/pprof endpoint end to end on an ephemeral port.
 metrics-smoke:

@@ -11,11 +11,25 @@ import (
 )
 
 // ExactCount returns the exact number of non-induced occurrences of the
-// tree template t in g by exhaustive backtracking — the paper's naïve
-// baseline. Running time grows exponentially with t's size; use it on
-// small graphs only.
+// template t (tree or not) in g by exhaustive backtracking — the paper's
+// naïve baseline. Running time grows exponentially with t's size; use it
+// on small graphs only.
 func ExactCount(g *Graph, t *Template) int64 {
 	return exact.Count(g, t)
+}
+
+// ExactMotifCount returns the exact non-induced count of a named zoo
+// motif (see MotifZooNames) via a direct combinatorial counter — an
+// oracle independent of both the color-coding DP and the backtracking
+// searcher, and fast enough for large graphs.
+func ExactMotifCount(g *Graph, name string) (int64, error) {
+	return exact.CountMotif(g, name)
+}
+
+// ExactZooCounts returns exact counts of every zoo motif, in
+// MotifZooNames order.
+func ExactZooCounts(g *Graph) []int64 {
+	return exact.ZooCounts(g)
 }
 
 // ExactVertexCounts returns, per vertex, the exact graphlet degree for
@@ -159,6 +173,35 @@ func FindMotifSignificanceContext(ctx context.Context, name string, g *Graph, k,
 		return MotifSignificance{}, err
 	}
 	return motif.FindSignificanceContext(ctx, name, g, k, iters, samples, cfg)
+}
+
+// MotifZooProfile holds exact counts of the size-3/4 motif zoo in one
+// network.
+type MotifZooProfile = motif.ZooProfile
+
+// MotifZooSignificance holds motif-zoo z-scores against the
+// degree-preserving null model, computed from exact counts on both
+// sides — the non-tree counterpart of MotifSignificance.
+type MotifZooSignificance = motif.ZooSignificance
+
+// FindMotifZoo computes the exact motif-zoo profile of g via the
+// closed-form counters (no sampling).
+func FindMotifZoo(name string, g *Graph) MotifZooProfile {
+	return motif.FindZoo(name, g)
+}
+
+// FindMotifZooSignificance computes exact zoo counts on g and an
+// ensemble of `samples` degree-preserving randomizations, returning
+// per-motif z-scores; positive z marks over-represented non-tree motifs
+// such as triangles in clustered networks.
+func FindMotifZooSignificance(name string, g *Graph, samples int, seed int64) (MotifZooSignificance, error) {
+	return motif.FindZooSignificance(name, g, samples, seed)
+}
+
+// FindMotifZooSignificanceContext is FindMotifZooSignificance with
+// cooperative cancellation, checked between null-model samples.
+func FindMotifZooSignificanceContext(ctx context.Context, name string, g *Graph, samples int, seed int64) (MotifZooSignificance, error) {
+	return motif.FindZooSignificanceContext(ctx, name, g, samples, seed)
 }
 
 // GraphletOrbit identifies one automorphism orbit of one template in a

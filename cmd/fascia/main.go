@@ -263,6 +263,11 @@ func loadGraph(path, network string, scale float64, seed int64, mem int64) (*fas
 }
 
 func parseTemplate(spec string) (*fascia.Template, error) {
+	// Zoo motif names first ("triangle", "c4", "paw", ...) — before the
+	// edge-list case, which would otherwise swallow "tailed-triangle".
+	if t, err := fascia.MotifZooTemplate(strings.ToLower(spec)); err == nil {
+		return t, nil
+	}
 	switch {
 	case strings.HasPrefix(spec, "path:"):
 		k, err := strconv.Atoi(strings.TrimPrefix(spec, "path:"))
@@ -276,9 +281,24 @@ func parseTemplate(spec string) (*fascia.Template, error) {
 			return nil, fmt.Errorf("bad star template %q", spec)
 		}
 		return fascia.StarTemplate(k), nil
+	case strings.HasPrefix(spec, "cycle:"), strings.HasPrefix(spec, "clique:"), isCompactGraphSpec(spec):
+		// "cycle:6", "clique:4", "c5", "k4" — keep the built-in names.
+		return fascia.ParseGraphTemplate("", spec)
 	case strings.Contains(spec, "-") && !strings.HasPrefix(spec, "U"):
-		return fascia.ParseTemplate("custom", spec)
+		// General edge lists — cyclic specs like "0-1 1-2 2-0" route to
+		// the tree-decomposition engine; tree specs stay tree templates.
+		return fascia.ParseGraphTemplate("custom", spec)
 	default:
 		return fascia.TemplateByName(spec)
 	}
+}
+
+// isCompactGraphSpec reports whether spec is bare cycle/clique notation:
+// "c" or "k" followed by digits only.
+func isCompactGraphSpec(spec string) bool {
+	if len(spec) < 2 || (spec[0] != 'c' && spec[0] != 'k') {
+		return false
+	}
+	_, err := strconv.Atoi(spec[1:])
+	return err == nil
 }

@@ -18,9 +18,20 @@ func TestParseTemplate(t *testing.T) {
 		{"path:5", 5, true},
 		{"star:4", 4, true},
 		{"0-1 1-2 1-3", 4, true},
+		{"triangle", 3, true},
+		{"c4", 4, true},
+		{"C4", 4, true},
+		{"cycle:6", 6, true},
+		{"k4", 4, true},
+		{"clique:4", 4, true},
+		{"paw", 4, true},
+		{"tailed-triangle", 4, true},
+		{"diamond", 4, true},
+		{"0-1 1-2 2-0", 3, true}, // cyclic edge list
 		{"path:x", 0, false},
 		{"star:1", 0, false},
 		{"U99-1", 0, false},
+		{"cycle:2", 0, false},
 		{"0-1 5-6", 0, false}, // disconnected
 	}
 	for _, c := range cases {

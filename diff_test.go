@@ -307,6 +307,107 @@ func TestOracleDifferentialDistributed(t *testing.T) {
 	}
 }
 
+// nonTreeDiffWorkloads returns the non-tree sweep: small but dense
+// random graphs crossed with the full size-3/4 motif zoo's non-tree
+// members. The graphs are dense enough that every motif — including
+// K4 — occurs, so a zero exact count marks a harness bug.
+func nonTreeDiffWorkloads() []diffWorkload {
+	er := ErdosRenyi(22, 90, 11)
+	ba := BarabasiAlbert(20, 4, 12)
+	var out []diffWorkload
+	for _, g := range []struct {
+		name string
+		g    *Graph
+	}{{"er22", er}, {"ba20", ba}} {
+		for _, name := range []string{"triangle", "c4", "diamond", "tailed-triangle", "k4"} {
+			tp, err := MotifZooTemplate(name)
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, diffWorkload{g.name, g.g, name, tp})
+		}
+	}
+	return out
+}
+
+// TestOracleDifferentialNonTreeMatrix is the three-way matrix for
+// non-tree templates: the direct combinatorial motif counter must agree
+// EXACTLY with exhaustive backtracking, and the tree-decomposition bag
+// DP's estimate must land within 6σ of that exact count — across every
+// layout × kernel × batch × parallel-mode combination, each of which
+// must be bit-identical to the reference run (the bag DP ignores those
+// knobs, and this pins that ignoring them never perturbs an estimate).
+func TestOracleDifferentialNonTreeMatrix(t *testing.T) {
+	combos := diffCombos()
+	for _, w := range nonTreeDiffWorkloads() {
+		w := w
+		t.Run(w.gName+"/"+w.tName, func(t *testing.T) {
+			motifCount, err := ExactMotifCount(w.g, w.tName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bruteCount := exact.Count(w.g, w.t)
+			if motifCount != bruteCount {
+				t.Fatalf("EXACT ORACLE DISAGREEMENT graph=%s motif=%s: combinatorial counter %d != backtracking %d",
+					w.gName, w.tName, motifCount, bruteCount)
+			}
+			if motifCount <= 0 {
+				t.Fatalf("degenerate workload %s/%s: exact count %d", w.gName, w.tName, motifCount)
+			}
+			ref := refRun(t, w)
+			assertOracle(t, fmt.Sprintf("Count graph=%s tmpl=%s config=defaults", w.gName, w.tName), ref, motifCount)
+
+			for _, c := range combos {
+				res, err := Count(w.g, w.t, c.opt)
+				if err != nil {
+					t.Fatalf("%s seed=%d: %v", c.name, diffSeed, err)
+				}
+				if len(res.PerIteration) != comboIters {
+					t.Fatalf("%s seed=%d: %d iterations, want %d", c.name, diffSeed, len(res.PerIteration), comboIters)
+				}
+				for i, x := range res.PerIteration {
+					if x != ref.PerIteration[i] {
+						t.Fatalf("EXACTNESS DISAGREEMENT graph=%s tmpl=%s %s seed=%d iteration=%d: %v != reference %v",
+							w.gName, w.tName, c.name, diffSeed, i, x, ref.PerIteration[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleDifferentialNonTreeColorfulExact is the zero-noise non-tree
+// oracle: under deterministic colorings the bag DP's raw colorful total
+// must equal brute-force rainbow enumeration exactly — no tolerance.
+// This pins the decomposition DP itself, independent of scaling and of
+// the closed-form motif counters.
+func TestOracleDifferentialNonTreeColorfulExact(t *testing.T) {
+	workloads := nonTreeDiffWorkloads()
+	// A 5-cycle exercises a decomposition with no closed-form oracle.
+	c5, err := CycleTemplate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, diffWorkload{"er22", ErdosRenyi(22, 90, 11), "c5", c5})
+	for _, w := range workloads {
+		w := w
+		t.Run(w.gName+"/"+w.tName, func(t *testing.T) {
+			e, err := NewEngine(w.g, w.t, DefaultOptions().WithSeed(diffSeed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := int64(diffSeed); s < diffSeed+5; s++ {
+				got := e.inner.ColorfulTotal(s)
+				want := exact.CountColorfulMappings(w.g, w.t, e.inner.ColoringFor(s))
+				if got != float64(want) {
+					t.Fatalf("COLORFUL DISAGREEMENT graph=%s tmpl=%s seed=%d: bag DP total %v != exact %d",
+						w.gName, w.tName, s, got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestOracleDifferentialColorfulExact is the zero-noise oracle: under a
 // deterministic coloring, the DP's raw colorful total must equal the
 // brute-force count of rainbow mappings exactly — no statistical

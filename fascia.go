@@ -17,7 +17,9 @@ import (
 // Adj, Degree, Label, ComputeStats, ...) are available to callers.
 type Graph = graph.Graph
 
-// Template is an undirected tree template with optional vertex labels.
+// Template is an undirected connected template with optional vertex
+// labels. Tree templates run the paper's partition-tree DP; non-tree
+// templates (treewidth <= 2, plus K4) run the tree-decomposition bag DP.
 type Template = tmpl.Template
 
 // Embedding is one occurrence of a template: Mapping[i] is the graph

@@ -1,0 +1,253 @@
+package dp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// TestBagColorfulExactEquivalence is the bag DP's keystone: under a
+// fixed coloring its colorful-mapping total must EXACTLY equal
+// brute-force colorful enumeration, for every zoo motif and longer
+// cycles, on random graphs.
+func TestBagColorfulExactEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	templates := []*tmpl.Template{}
+	for _, name := range tmpl.ZooNames() {
+		templates = append(templates, tmpl.MustZoo(name))
+	}
+	c5, err := tmpl.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c6, err := tmpl.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	templates = append(templates, c5, c6)
+	for trial := 0; trial < 4; trial++ {
+		n := 10 + rng.Intn(15)
+		g := randomGraph(rng, n, n*3)
+		seed := rng.Int63()
+		for _, tr := range templates {
+			e, err := New(g, tr, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exact.CountColorfulMappings(g, tr, e.ColoringFor(seed))
+			if got := e.ColorfulTotal(seed); got != float64(want) {
+				t.Fatalf("trial %d template %s: bag DP total %v, exact %d", trial, tr.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestBagTreeBitIdentity pins the reduction: on tree templates the bag
+// DP's per-iteration estimates are bit-identical to the partition-tree
+// DP's, across modes and extra colors.
+func TestBagTreeBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 4; trial++ {
+		g := randomGraph(rng, 12+rng.Intn(12), 40)
+		tr := randomTree(rng, 3+rng.Intn(4))
+		for _, colors := range []int{0, tr.K() + 2} {
+			for _, mode := range []Mode{Inner, Outer, Hybrid} {
+				cfg := DefaultConfig()
+				cfg.Colors = colors
+				cfg.Mode = mode
+				cfg.Seed = int64(trial)
+				treeEng, err := New(g, tr, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.ForceBagDP = true
+				bagEng, err := New(g, tr, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bagEng.Decomposition() == nil || bagEng.Tree() != nil {
+					t.Fatal("ForceBagDP engine did not take the bag path")
+				}
+				want, err := treeEng.Run(6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := bagEng.Run(6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.PerIteration) != len(want.PerIteration) {
+					t.Fatalf("iteration counts differ: %d vs %d", len(got.PerIteration), len(want.PerIteration))
+				}
+				for i := range got.PerIteration {
+					if got.PerIteration[i] != want.PerIteration[i] {
+						t.Fatalf("trial %d %s colors=%d mode=%v iter %d: bag %v != tree %v",
+							trial, tr.Name(), colors, mode, i, got.PerIteration[i], want.PerIteration[i])
+					}
+				}
+				if got.Estimate != want.Estimate {
+					t.Fatalf("estimates differ: bag %v != tree %v", got.Estimate, want.Estimate)
+				}
+			}
+		}
+	}
+}
+
+// TestBagEstimateApproachesExact runs enough iterations on a non-tree
+// template for the scaled mean to land near the exact count.
+func TestBagEstimateApproachesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 30, 120)
+	for _, name := range []string{"triangle", "c4", "diamond", "k4"} {
+		tr := tmpl.MustZoo(name)
+		exactCount, err := exact.CountMotif(g, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exactCount == 0 {
+			t.Fatalf("test graph has no %s; pick a denser graph", name)
+		}
+		cfg := DefaultConfig()
+		cfg.Seed = 77
+		e, err := New(g, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 6*res.StdErr + 1e-9
+		if diff := res.Estimate - float64(exactCount); diff > tol || -diff > tol {
+			t.Errorf("%s: estimate %v vs exact %d (tol %v)", name, res.Estimate, exactCount, tol)
+		}
+	}
+}
+
+// TestBagRejections pins the clear errors for features the bag DP does
+// not provide.
+func TestBagRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 10, 25)
+	tri := tmpl.Triangle()
+
+	cfg := DefaultConfig()
+	cfg.KeepTables = true
+	if _, err := New(g, tri, cfg); err == nil {
+		t.Error("KeepTables accepted on a non-tree template")
+	}
+
+	cfg = DefaultConfig()
+	cfg.RootVertex = 0
+	if _, err := New(g, tri, cfg); err == nil {
+		t.Error("RootVertex accepted on a non-tree template")
+	}
+
+	e, err := New(g, tri, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.VertexCounts(2); err == nil {
+		t.Error("VertexCounts accepted on a non-tree template")
+	}
+	if _, err := e.SampleEmbeddings(rng, 1); err == nil {
+		t.Error("SampleEmbeddings accepted without kept tables")
+	}
+	if e.Batch() != 1 {
+		t.Errorf("bag engine batch = %d, want 1", e.Batch())
+	}
+
+	// K5 exceeds the supported width and must fail at construction.
+	k5, err := tmpl.Clique(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, k5, DefaultConfig()); err == nil {
+		t.Error("treewidth-4 template accepted")
+	}
+}
+
+// TestBagCancellation checks the bag DP aborts promptly on context
+// cancellation and reports a partial result.
+func TestBagCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 60, 400)
+	e, err := New(g, tmpl.MustZoo("diamond"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.RunContext(ctx, 50)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !res.Stats.Cancelled {
+		t.Error("cancelled run did not set Stats.Cancelled")
+	}
+	if len(res.PerIteration) != 0 {
+		t.Errorf("pre-cancelled run completed %d iterations", len(res.PerIteration))
+	}
+}
+
+// TestBagConvergedAndProfile exercises the adaptive driver and profiler
+// through the bag path.
+func TestBagConvergedAndProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomGraph(rng, 25, 90)
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	e, err := New(g, tmpl.MustZoo("c4"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunConverged(0.5, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerIteration) < 2 {
+		t.Fatalf("converged run did %d iterations, want >= 2", len(res.PerIteration))
+	}
+	prof, est := e.ProfileIteration(11)
+	if prof.Compute <= 0 {
+		t.Error("profile recorded no compute time")
+	}
+	// The profiled iteration uses seed 11 = Seed+0, so its estimate must
+	// equal the first per-iteration estimate of the run.
+	if est != res.PerIteration[0] {
+		t.Errorf("profiled estimate %v != first iteration %v", est, res.PerIteration[0])
+	}
+}
+
+// TestBagLabeledTemplates checks labeled pruning through the bag DP
+// against the generalized exact counter.
+func TestBagLabeledTemplates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 16
+	edges := make([][2]int32, 50)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(rng.Intn(2))
+	}
+	g := graph.MustFromEdges(n, edges, labels)
+	tri, err := tmpl.Triangle().WithLabels("tri-aab", []int32{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, tri, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(29)
+	want := exact.CountColorfulMappings(g, tri, e.ColoringFor(seed))
+	if got := e.ColorfulTotal(seed); got != float64(want) {
+		t.Fatalf("labeled bag DP total %v, exact %d", got, want)
+	}
+}

@@ -125,8 +125,10 @@ func (e *Engine) newIterState(rng *rand.Rand, workers int) *iterState {
 			st.colors[i] = int8(rng.Intn(e.k))
 		}
 	}
-	for _, n := range e.tree.Nodes {
-		st.remaining[n] = n.Consumers
+	if e.tree != nil {
+		for _, n := range e.tree.Nodes {
+			st.remaining[n] = n.Consumers
+		}
 	}
 	return st
 }
@@ -144,6 +146,9 @@ func (st *iterState) recycleColors() {
 // aborted, and returns 0 — the caller must discard the iteration.
 func (st *iterState) run() float64 {
 	e := st.e
+	if e.bag != nil {
+		return st.runBag()
+	}
 	for ni, n := range e.tree.Order {
 		if st.cancelled() {
 			st.abort()
@@ -426,6 +431,14 @@ func (e *Engine) ProfileIteration(seed int64) (IterProfile, float64) {
 	start := time.Now()
 	st := e.newIterState(rand.New(rand.NewSource(seed)), 1)
 	prof.Coloring = time.Since(start)
+	if e.bag != nil {
+		// The bag DP has no leaf/internal split; its whole pass is the
+		// combination step.
+		t0 := time.Now()
+		total := st.runBag()
+		prof.Compute = time.Since(t0)
+		return prof, e.scale(total)
+	}
 
 	for _, n := range e.tree.Order {
 		nc := int(comb.Binomial(e.k, n.Size()))

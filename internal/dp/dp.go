@@ -145,6 +145,13 @@ type Config struct {
 	// of order; the callback must not block for long (it holds the
 	// run's result lock).
 	OnIteration func(i int, estimate float64, elapsed time.Duration)
+	// ForceBagDP routes tree templates through the tree-decomposition
+	// bag DP (the engine non-tree templates always use) instead of the
+	// partition-tree DP. It exists to pin the reduction: on a tree
+	// template the bag DP's per-iteration estimates must be bit-identical
+	// to the partition-tree DP's. Incompatible with KeepTables,
+	// RootVertex, and Batch > 1, like any non-tree run.
+	ForceBagDP bool
 }
 
 // DefaultConfig returns the paper-faithful defaults: k = template size,
@@ -178,8 +185,13 @@ type Engine struct {
 	t   *tmpl.Template
 	cfg Config
 
-	k      int // number of colors
-	tree   *part.Tree
+	k    int // number of colors
+	tree *part.Tree
+	// bag, when non-nil, is the nice tree decomposition driving the
+	// beyond-trees DP; tree is nil in that case, and iterations run
+	// through runBag instead of the partition-tree pass.
+	bag    *tmpl.Decomposition
+	bagOps []bagOp // per-decomposition-node evaluation plan
 	prob   float64 // probability a fixed template-size set is colorful
 	aut    int64   // |Aut(T)|
 	rAut   int64   // automorphisms fixing the partition root
@@ -237,6 +249,9 @@ func New(g *graph.Graph, t *tmpl.Template, cfg Config) (*Engine, error) {
 	}
 	if t.Labeled() && g.Labels == nil {
 		return nil, fmt.Errorf("dp: labeled template requires a labeled graph")
+	}
+	if !t.IsTree() || cfg.ForceBagDP {
+		return newBagEngine(g, t, cfg, k)
 	}
 	share := cfg.Share
 	if cfg.KeepTables {

@@ -69,7 +69,9 @@ func (e *Engine) RunContext(ctx context.Context, iters int) (Result, error) {
 	runIter := func(i, innerW int) (*iterState, time.Duration) {
 		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), innerW)
 		st.stop = stop
-		st.nodeTimes = make([]time.Duration, len(e.tree.Order))
+		if e.tree != nil {
+			st.nodeTimes = make([]time.Duration, len(e.tree.Order))
+		}
 		t0 := time.Now()
 		st.total = st.run()
 		return st, time.Since(t0)
@@ -296,6 +298,9 @@ func (e *Engine) VertexCountsContext(ctx context.Context, iters int) ([]float64,
 	if iters < 1 {
 		return nil, fmt.Errorf("dp: iterations must be >= 1, got %d", iters)
 	}
+	if e.bag != nil {
+		return nil, fmt.Errorf("dp: per-vertex rooted counts require a tree template; %s runs the bag DP", e.t.Name())
+	}
 	if e.cfg.Share {
 		return nil, fmt.Errorf("dp: per-vertex counts require Share=false (shared nodes lose root identity)")
 	}
@@ -425,7 +430,9 @@ func (e *Engine) RunConvergedPriorContext(ctx context.Context, relStdErr float64
 		}
 		st := e.newIterState(rand.New(rand.NewSource(e.cfg.Seed+int64(i))), workers)
 		st.stop = stop
-		st.nodeTimes = make([]time.Duration, len(e.tree.Order))
+		if e.tree != nil {
+			st.nodeTimes = make([]time.Duration, len(e.tree.Order))
+		}
 		t0 := time.Now()
 		total := st.run()
 		d := time.Since(t0)

@@ -121,13 +121,15 @@ func (s RunStats) NodeTimeTotal() time.Duration {
 func (e *Engine) newRunStats() RunStats {
 	st := RunStats{
 		Layout:         e.cfg.TableKind.String(),
-		Nodes:          make([]NodeStat, len(e.tree.Order)),
 		LLCBudgetBytes: e.llcBytes,
 		MemBudgetBytes: e.memBytes,
 		ReorderApplied: e.ord != nil,
 	}
-	for i, n := range e.tree.Order {
-		st.Nodes[i] = NodeStat{Index: i, Size: n.Size(), Leaf: n.IsLeaf()}
+	if e.tree != nil {
+		st.Nodes = make([]NodeStat, len(e.tree.Order))
+		for i, n := range e.tree.Order {
+			st.Nodes[i] = NodeStat{Index: i, Size: n.Size(), Leaf: n.IsLeaf()}
+		}
 	}
 	return st
 }

@@ -1,10 +1,15 @@
 // Package exact provides exhaustive (exponential-time) counting and
-// enumeration of non-induced tree-template occurrences by ordered
-// backtracking. It serves two roles in the reproduction: the paper's
-// "naïve exact count" baseline used in the error and comparison
-// experiments, and the ground-truth oracle for validating the
-// color-coding dynamic program (including exact colorful-count
-// equivalence under a fixed coloring).
+// enumeration of non-induced template occurrences by ordered
+// backtracking. Templates may be arbitrary connected graphs: tree edges
+// guide the search (each vertex after the first extends from its BFS
+// parent's adjacency) and the remaining template edges are enforced as
+// back-edge checks against already-placed vertices. The package serves
+// two roles in the reproduction: the paper's "naïve exact count"
+// baseline used in the error and comparison experiments, and the
+// ground-truth oracle for validating the color-coding dynamic programs
+// (including exact colorful-count equivalence under a fixed coloring).
+// For the size-3/4 motif zoo, motifs.go supplies independent
+// closed-form counters cross-checked against the searcher.
 package exact
 
 import (
@@ -20,6 +25,11 @@ type searcher struct {
 	t     *tmpl.Template
 	order []int // template vertices in BFS order from vertex 0
 	par   []int // par[i]: position in order of the BFS parent of order[i]
+
+	// backChecks[i]: positions of earlier-placed template neighbors of
+	// order[i] other than its BFS parent. Empty at every position for tree
+	// templates; for templates with cycles these carry the non-tree edges.
+	backChecks [][]int
 
 	assign []int32 // assign[i]: graph vertex for order[i]
 	used   map[int32]bool
@@ -58,6 +68,20 @@ func newSearcher(g *graph.Graph, t *tmpl.Template) *searcher {
 			}
 		}
 	}
+	// Record every template edge not covered by the BFS tree as a back
+	// check at the later endpoint's position.
+	s.backChecks = make([][]int, k)
+	pos := make([]int, k)
+	for i, v := range s.order {
+		pos[v] = i
+	}
+	for i, v := range s.order {
+		for _, u := range t.Adj(v) {
+			if j := pos[u]; j < i && j != s.par[i] {
+				s.backChecks[i] = append(s.backChecks[i], j)
+			}
+		}
+	}
 	return s
 }
 
@@ -87,6 +111,11 @@ func (s *searcher) recurse(pos int) {
 	try := func(gv int32) {
 		if s.used[gv] || !s.labelOK(tv, gv) {
 			return
+		}
+		for _, j := range s.backChecks[pos] {
+			if !s.g.HasEdge(gv, s.assign[j]) {
+				return
+			}
 		}
 		if s.colors != nil {
 			bit := uint64(1) << uint(s.colors[gv])
@@ -120,7 +149,7 @@ func (s *searcher) recurse(pos int) {
 }
 
 // CountMappings returns the exact number of injective homomorphisms
-// (mappings) of the tree template into g. Each non-induced occurrence is
+// (mappings) of the template into g. Each non-induced occurrence is
 // counted once per automorphism of the template.
 func CountMappings(g *graph.Graph, t *tmpl.Template) int64 {
 	s := newSearcher(g, t)
@@ -128,7 +157,7 @@ func CountMappings(g *graph.Graph, t *tmpl.Template) int64 {
 	return s.count
 }
 
-// Count returns the exact number of non-induced occurrences of the tree
+// Count returns the exact number of non-induced occurrences of the
 // template in g: CountMappings divided by |Aut(T)|.
 func Count(g *graph.Graph, t *tmpl.Template) int64 {
 	m := CountMappings(g, t)
@@ -179,7 +208,7 @@ func Enumerate(g *graph.Graph, t *tmpl.Template, visit func(mapping []int32) boo
 }
 
 // CountInducedMappings returns the number of injective mappings of the
-// tree template whose image is an induced copy: no graph edge may exist
+// template whose image is an induced copy: no graph edge may exist
 // between image vertices beyond those required by the template (the
 // distinction of the paper's Figure 1; color coding itself counts
 // non-induced occurrences).
@@ -207,7 +236,7 @@ func CountInducedMappings(g *graph.Graph, t *tmpl.Template) int64 {
 }
 
 // CountInduced returns the exact number of induced occurrences of the
-// tree template: CountInducedMappings divided by |Aut(T)|.
+// template: CountInducedMappings divided by |Aut(T)|.
 func CountInduced(g *graph.Graph, t *tmpl.Template) int64 {
 	m := CountInducedMappings(g, t)
 	aut := t.Automorphisms()

@@ -1,0 +1,204 @@
+// Direct combinatorial counters for the size-3/4 motif zoo. Each
+// counter is a closed-form or enumeration formula independent of the
+// backtracking searcher in exact.go, so the two act as mutual oracles:
+// the differential harness checks CountMotif == Count on small random
+// graphs, then uses CountMotif (cheap) as the reference the color-coding
+// estimates must approach. All counts are non-induced occurrences
+// (subgraph copies, not induced subgraphs), matching Count's semantics.
+
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// CountMotif returns the exact non-induced occurrence count of the named
+// zoo motif (any name accepted by tmpl.Zoo) using a direct combinatorial
+// counter rather than backtracking.
+func CountMotif(g *graph.Graph, name string) (int64, error) {
+	switch name {
+	case "triangle":
+		return CountTriangles(g), nil
+	case "path3":
+		return CountPaths3(g), nil
+	case "star3":
+		return CountStars3(g), nil
+	case "c4":
+		return CountCycles4(g), nil
+	case "diamond":
+		return CountDiamonds(g), nil
+	case "tailed-triangle", "paw":
+		return CountTailedTriangles(g), nil
+	case "k4":
+		return CountCliques4(g), nil
+	default:
+		return 0, fmt.Errorf("exact: no direct counter for motif %q (zoo: %v)", name, tmpl.ZooNames())
+	}
+}
+
+// ZooCounts returns the counts of every zoo motif, in tmpl.ZooNames()
+// order.
+func ZooCounts(g *graph.Graph) []int64 {
+	names := tmpl.ZooNames()
+	out := make([]int64, len(names))
+	for i, name := range names {
+		c, err := CountMotif(g, name)
+		if err != nil {
+			panic(err) // zoo names always have counters
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func choose2(n int64) int64 { return n * (n - 1) / 2 }
+func choose3(n int64) int64 { return n * (n - 1) * (n - 2) / 6 }
+
+// CountPaths3 counts 3-vertex paths: one wedge per choice of a center and
+// two distinct neighbors.
+func CountPaths3(g *graph.Graph) int64 {
+	var total int64
+	for v := int32(0); v < int32(g.N()); v++ {
+		total += choose2(int64(g.Degree(v)))
+	}
+	return total
+}
+
+// CountStars3 counts 3-leaf stars (K_{1,3}): a center and three distinct
+// neighbors.
+func CountStars3(g *graph.Graph) int64 {
+	var total int64
+	for v := int32(0); v < int32(g.N()); v++ {
+		total += choose3(int64(g.Degree(v)))
+	}
+	return total
+}
+
+// forEachTriangle calls fn once per triangle, with u < v < w. The
+// enumeration marks u's adjacency and scans each forward neighbor v's
+// forward adjacency for marked vertices.
+func forEachTriangle(g *graph.Graph, fn func(u, v, w int32)) {
+	n := int32(g.N())
+	mark := make([]bool, n)
+	for u := int32(0); u < n; u++ {
+		adjU := g.Adj(u)
+		for _, v := range adjU {
+			if v > u {
+				mark[v] = true
+			}
+		}
+		for _, v := range adjU {
+			if v <= u {
+				continue
+			}
+			for _, w := range g.Adj(v) {
+				if w > v && mark[w] {
+					fn(u, v, w)
+				}
+			}
+		}
+		for _, v := range adjU {
+			if v > u {
+				mark[v] = false
+			}
+		}
+	}
+}
+
+// CountTriangles counts triangles by direct enumeration — an independent
+// implementation of graph.Triangles (which rank-orders by degree) used to
+// cross-check it.
+func CountTriangles(g *graph.Graph) int64 {
+	var total int64
+	forEachTriangle(g, func(u, v, w int32) { total++ })
+	return total
+}
+
+// CountTailedTriangles counts paws (a triangle plus a pendant edge): for
+// each triangle, any neighbor of a corner other than the two remaining
+// corners provides the tail.
+func CountTailedTriangles(g *graph.Graph) int64 {
+	var total int64
+	forEachTriangle(g, func(u, v, w int32) {
+		total += int64(g.Degree(u)) + int64(g.Degree(v)) + int64(g.Degree(w)) - 6
+	})
+	return total
+}
+
+// CountCliques4 counts K4s: for each triangle u<v<w, each common
+// neighbor x > w completes a clique counted exactly once at its sorted
+// vertex order.
+func CountCliques4(g *graph.Graph) int64 {
+	var total int64
+	forEachTriangle(g, func(u, v, w int32) {
+		for _, x := range g.Adj(w) {
+			if x > w && g.HasEdge(x, u) && g.HasEdge(x, v) {
+				total++
+			}
+		}
+	})
+	return total
+}
+
+// CountDiamonds counts diamonds (K4 minus an edge): a chord edge (u,v)
+// plus an unordered pair of common neighbors. The chord is determined by
+// a diamond copy's edge set, so each copy is counted once.
+func CountDiamonds(g *graph.Graph) int64 {
+	n := int32(g.N())
+	mark := make([]bool, n)
+	var total int64
+	for u := int32(0); u < n; u++ {
+		for _, x := range g.Adj(u) {
+			mark[x] = true
+		}
+		for _, v := range g.Adj(u) {
+			if v <= u {
+				continue // one direction per edge
+			}
+			var codeg int64
+			for _, x := range g.Adj(v) {
+				if x != u && mark[x] {
+					codeg++
+				}
+			}
+			total += choose2(codeg)
+		}
+		for _, x := range g.Adj(u) {
+			mark[x] = false
+		}
+	}
+	return total
+}
+
+// CountCycles4 counts 4-cycles via two-hop path counting: for each
+// vertex u, paths2[x] is the number of length-2 walks u-w-x with x > u
+// (w unconstrained, w != u, w != x automatic on simple graphs); each
+// unordered diagonal pair {u,x} then closes C(paths2[x], 2) cycles, and
+// each 4-cycle owns two diagonal pairs.
+func CountCycles4(g *graph.Graph) int64 {
+	n := int32(g.N())
+	paths2 := make([]int64, n)
+	touched := make([]int32, 0, 64)
+	var twice int64
+	for u := int32(0); u < n; u++ {
+		touched = touched[:0]
+		for _, w := range g.Adj(u) {
+			for _, x := range g.Adj(w) {
+				if x > u {
+					if paths2[x] == 0 {
+						touched = append(touched, x)
+					}
+					paths2[x]++
+				}
+			}
+		}
+		for _, x := range touched {
+			twice += choose2(paths2[x])
+			paths2[x] = 0
+		}
+	}
+	return twice / 2
+}

@@ -1,0 +1,140 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// TestCountMotifMatchesBacktracking is the motif-oracle leg of the
+// differential matrix: every zoo motif's closed-form counter must agree
+// bit-for-bit with the generalized backtracking searcher on random
+// Erdős–Rényi and Barabási–Albert graphs up to 200 vertices.
+func TestCountMotifMatchesBacktracking(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er-40", gen.ErdosRenyiM(40, 120, 1)},
+		{"er-100", gen.ErdosRenyiM(100, 400, 2)},
+		{"er-200-sparse", gen.ErdosRenyiM(200, 500, 3)},
+		{"er-200-dense", gen.ErdosRenyiM(200, 1500, 4)},
+		{"ba-80", gen.BarabasiAlbert(80, 3, 5)},
+		{"ba-200", gen.BarabasiAlbert(200, 2, 6)},
+		{"k6", complete(6)},
+		{"path-10", pathG(10)},
+	}
+	for _, gc := range graphs {
+		for _, name := range tmpl.ZooNames() {
+			direct, err := CountMotif(gc.g, name)
+			if err != nil {
+				t.Fatalf("CountMotif(%s, %s): %v", gc.name, name, err)
+			}
+			want := Count(gc.g, tmpl.MustZoo(name))
+			if direct != want {
+				t.Errorf("%s on %s: direct counter = %d, backtracking = %d",
+					name, gc.name, direct, want)
+			}
+		}
+	}
+}
+
+// TestCountMotifPinned pins the counters on graphs with hand-computable
+// counts.
+func TestCountMotifPinned(t *testing.T) {
+	// K5: C(5,3)=10 triangles, C(5,4)=5 K4s, 5·C(4,2)=30 paths,
+	// 5·C(4,3)=20 stars, 3·C(5,4)=15 C4s (3 cycles per 4-set),
+	// diamonds: 6 per 4-set (choose the chord) = 30, paws: each
+	// triangle × 3 corners × 2 remaining vertices = 60.
+	k5 := complete(5)
+	pins := map[string]int64{
+		"triangle":        10,
+		"path3":           30,
+		"star3":           20,
+		"c4":              15,
+		"diamond":         30,
+		"tailed-triangle": 60,
+		"k4":              5,
+	}
+	for name, want := range pins {
+		got, err := CountMotif(k5, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s in K5 = %d, want %d", name, got, want)
+		}
+	}
+	// C6: no triangles, 6 wedges, no stars, one 4-cycle only in C4 itself
+	// (C6 has none), no diamonds, no K4s.
+	c6 := graph.MustFromEdges(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, nil)
+	for name, want := range map[string]int64{
+		"triangle": 0, "path3": 6, "star3": 0, "c4": 0,
+		"diamond": 0, "tailed-triangle": 0, "k4": 0,
+	} {
+		got, _ := CountMotif(c6, name)
+		if got != want {
+			t.Errorf("%s in C6 = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestCountTrianglesCrossCheck checks the motif counter's triangle
+// enumeration against graph.Triangles' degree-ordered implementation.
+func TestCountTrianglesCrossCheck(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := gen.ErdosRenyiM(150, 900, seed)
+		if a, b := CountTriangles(g), g.Triangles(); a != b {
+			t.Errorf("seed %d: CountTriangles = %d, graph.Triangles = %d", seed, a, b)
+		}
+	}
+}
+
+// TestZooCountsOrder checks ZooCounts aligns with tmpl.ZooNames.
+func TestZooCountsOrder(t *testing.T) {
+	g := gen.ErdosRenyiM(60, 200, 9)
+	counts := ZooCounts(g)
+	names := tmpl.ZooNames()
+	if len(counts) != len(names) {
+		t.Fatalf("ZooCounts has %d entries, zoo has %d", len(counts), len(names))
+	}
+	for i, name := range names {
+		want, _ := CountMotif(g, name)
+		if counts[i] != want {
+			t.Errorf("ZooCounts[%d] (%s) = %d, want %d", i, name, counts[i], want)
+		}
+	}
+}
+
+// TestCountMotifUnknown checks the error path names the zoo.
+func TestCountMotifUnknown(t *testing.T) {
+	if _, err := CountMotif(pathG(3), "pentagon"); err == nil {
+		t.Fatal("unknown motif accepted")
+	}
+}
+
+// TestCountNonTreeTemplates checks the generalized searcher directly on
+// non-zoo shapes: C5 in K6 and the 5-cycle graph, where counts are
+// hand-computable.
+func TestCountNonTreeTemplates(t *testing.T) {
+	c5, err := tmpl.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C5 in K6: C(6,5) · 5!/10 = 6 · 12 = 72.
+	if got := Count(complete(6), c5); got != 72 {
+		t.Errorf("C5 in K6 = %d, want 72", got)
+	}
+	// C5 in C5: exactly one occurrence.
+	g := graph.MustFromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, nil)
+	if got := Count(g, c5); got != 1 {
+		t.Errorf("C5 in C5 = %d, want 1", got)
+	}
+	// Colorful mappings under a rainbow coloring equal total mappings.
+	colors := []int8{0, 1, 2, 3, 4}
+	if got, want := CountColorfulMappings(g, c5, colors), CountMappings(g, c5); got != want {
+		t.Errorf("rainbow colorful C5 = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,114 @@
+package motif
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tmpl"
+)
+
+// ZooProfile holds EXACT counts of the size-3/4 motif zoo (triangle,
+// path3, star3, c4, diamond, tailed-triangle, k4) in one network,
+// computed by the closed-form counters in internal/exact — no sampling
+// error, so zoo significance needs no per-count iteration budget.
+type ZooProfile struct {
+	Network string
+	// Names lists the motifs in tmpl.ZooNames order; Counts is parallel.
+	Names  []string
+	Counts []int64
+}
+
+// FindZoo computes the exact motif-zoo profile of g.
+func FindZoo(name string, g *graph.Graph) ZooProfile {
+	return ZooProfile{
+		Network: name,
+		Names:   tmpl.ZooNames(),
+		Counts:  exact.ZooCounts(g),
+	}
+}
+
+// ZooSignificance holds motif-zoo z-scores against the degree-preserving
+// null model — the non-tree counterpart of Significance. Because both
+// the real profile and every null sample are exact counts, any nonzero
+// z reflects genuine structure, never estimator noise.
+type ZooSignificance struct {
+	// Real is the exact zoo profile of the input network.
+	Real ZooProfile
+	// NullMean and NullStd are the per-motif mean and standard deviation
+	// of exact counts over the randomized ensemble.
+	NullMean []float64
+	NullStd  []float64
+	// Z[i] = (Real.Counts[i] - NullMean[i]) / NullStd[i]; 0 when the
+	// ensemble shows no variance.
+	Z []float64
+	// Samples is the ensemble size used.
+	Samples int
+}
+
+// FindZooSignificance computes exact zoo counts on g and on an ensemble
+// of `samples` degree-preserving randomizations (double-edge swap null
+// model), returning per-motif z-scores. Positive z marks
+// over-represented motifs — e.g. triangles and their supergraphs in
+// clustered networks, which a degree-matched rewiring destroys.
+func FindZooSignificance(name string, g *graph.Graph, samples int, seed int64) (ZooSignificance, error) {
+	return FindZooSignificanceContext(context.Background(), name, g, samples, seed)
+}
+
+// FindZooSignificanceContext is FindZooSignificance with cooperative
+// cancellation, checked between ensemble samples.
+func FindZooSignificanceContext(ctx context.Context, name string, g *graph.Graph, samples int, seed int64) (ZooSignificance, error) {
+	if samples < 2 {
+		return ZooSignificance{}, fmt.Errorf("motif: zoo significance needs >= 2 null samples, got %d", samples)
+	}
+	real := FindZoo(name, g)
+	n := len(real.Names)
+	sum := make([]float64, n)
+	sumSq := make([]float64, n)
+	for s := 0; s < samples; s++ {
+		if err := ctx.Err(); err != nil {
+			return ZooSignificance{}, err
+		}
+		null := gen.Rewire(g, 10*g.M(), seed+int64(s)*7919+1)
+		for i, c := range exact.ZooCounts(null) {
+			sum[i] += float64(c)
+			sumSq[i] += float64(c) * float64(c)
+		}
+	}
+	sig := ZooSignificance{
+		Real:     real,
+		NullMean: make([]float64, n),
+		NullStd:  make([]float64, n),
+		Z:        make([]float64, n),
+		Samples:  samples,
+	}
+	for i := 0; i < n; i++ {
+		mean := sum[i] / float64(samples)
+		variance := sumSq[i]/float64(samples) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		std := math.Sqrt(variance * float64(samples) / float64(samples-1))
+		sig.NullMean[i] = mean
+		sig.NullStd[i] = std
+		if std > 0 {
+			sig.Z[i] = (float64(real.Counts[i]) - mean) / std
+		}
+	}
+	return sig, nil
+}
+
+// Motifs returns the names of zoo motifs with z-score at least
+// threshold — the significantly over-represented non-tree subgraphs.
+func (s ZooSignificance) Motifs(threshold float64) []string {
+	var out []string
+	for i, z := range s.Z {
+		if z >= threshold {
+			out = append(out, s.Real.Names[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package motif
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/tmpl"
+)
+
+func TestFindZooMatchesCounters(t *testing.T) {
+	g := gen.ErdosRenyiM(80, 400, 21)
+	p := FindZoo("er", g)
+	if p.Network != "er" {
+		t.Fatalf("network name %q", p.Network)
+	}
+	names := tmpl.ZooNames()
+	if len(p.Names) != len(names) || len(p.Counts) != len(names) {
+		t.Fatalf("malformed profile: %d names, %d counts", len(p.Names), len(p.Counts))
+	}
+	for i, name := range names {
+		if p.Names[i] != name {
+			t.Fatalf("name %d: %q, want %q", i, p.Names[i], name)
+		}
+		want, err := exact.CountMotif(g, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Counts[i] != want {
+			t.Fatalf("%s: profile %d, counter %d", name, p.Counts[i], want)
+		}
+	}
+}
+
+// TestZooSignificanceDetectsClustering: a small-world ring lattice is
+// heavily clustered — its triangle count vastly exceeds any
+// degree-preserving randomization's — so the triangle z-score (and its
+// supergraph tailed-triangle's) must come out strongly positive.
+func TestZooSignificanceDetectsClustering(t *testing.T) {
+	g := gen.WattsStrogatz(200, 4, 0.02, 5)
+	sig, err := FindZooSignificance("ws", g, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Samples != 8 || len(sig.Z) != len(tmpl.ZooNames()) {
+		t.Fatalf("malformed significance: %+v", sig)
+	}
+	zOf := func(name string) float64 {
+		for i, n := range sig.Real.Names {
+			if n == name {
+				return sig.Z[i]
+			}
+		}
+		t.Fatalf("motif %s missing", name)
+		return 0
+	}
+	if z := zOf("triangle"); z < 3 {
+		t.Errorf("triangle z = %.2f on a clustered ring, want strongly positive", z)
+	}
+	if z := zOf("tailed-triangle"); z < 3 {
+		t.Errorf("tailed-triangle z = %.2f on a clustered ring, want strongly positive", z)
+	}
+	for i, z := range sig.Z {
+		if z != z {
+			t.Fatalf("NaN z-score for %s", sig.Real.Names[i])
+		}
+	}
+	// Motifs() respects thresholds.
+	if got := sig.Motifs(-1e18); len(got) != len(sig.Z) {
+		t.Fatal("threshold filtering broken low")
+	}
+	if got := sig.Motifs(1e18); len(got) != 0 {
+		t.Fatal("threshold filtering broken high")
+	}
+	found := false
+	for _, name := range sig.Motifs(3) {
+		if name == "triangle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Motifs(3) does not include triangle")
+	}
+}
+
+func TestZooSignificanceValidation(t *testing.T) {
+	g := gen.ErdosRenyiM(30, 60, 1)
+	if _, err := FindZooSignificance("x", g, 1, 0); err == nil {
+		t.Fatal("one sample accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FindZooSignificanceContext(ctx, "x", g, 4, 0); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}

@@ -108,6 +108,13 @@ func BuildRooted(t *tmpl.Template, strategy Strategy, share bool, rootVertex int
 	if k < 1 {
 		return nil, fmt.Errorf("part: empty template")
 	}
+	if !t.IsTree() {
+		// Single-edge cuts only disconnect trees, and the rooted AHU codes
+		// driving table sharing are undefined on cycles. Non-tree templates
+		// run through the tree-decomposition DP instead (internal/dp bag
+		// engine); they never reach the partition machinery.
+		return nil, fmt.Errorf("part: template %s is not a tree (%d edges on %d vertices); non-tree templates use the tree-decomposition DP", t.Name(), t.NumEdges(), k)
+	}
 	if rootVertex >= k {
 		return nil, fmt.Errorf("part: root vertex %d out of range for k=%d", rootVertex, k)
 	}

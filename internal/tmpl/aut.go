@@ -1,0 +1,211 @@
+package tmpl
+
+// General-graph automorphism and isomorphism support for non-tree
+// templates. The tree paths in canon.go stay on the linear-time AHU
+// machinery; the routines here are only reached for templates with
+// cycles, where the counts stay small (k <= 64, and in practice the
+// motif zoo's k <= 4 plus parsed cycles/cliques).
+//
+// |Aut| is computed by an orbit-stabilizer chain instead of enumerating
+// the group: |Aut| = Π_i |orbit of v_i under the stabilizer of
+// v_0..v_{i-1}|, where each orbit membership is a single first-success
+// backtracking search. This keeps highly symmetric templates (cliques,
+// long cycles) polynomial in practice where full enumeration would walk
+// k! mappings.
+
+// generalAutomorphisms returns |Aut(T)| for an arbitrary connected
+// template via the orbit-stabilizer chain. pre lists vertices that every
+// counted automorphism must fix pointwise (empty for the full group; the
+// root for rooted automorphism counts).
+func (t *Template) generalAutomorphisms(pre []int) int64 {
+	k := t.K()
+	fixed := make([]bool, k)
+	for _, v := range pre {
+		fixed[v] = true
+	}
+	total := int64(1)
+	for v := 0; v < k; v++ {
+		if fixed[v] {
+			continue
+		}
+		orbit := int64(0)
+		for w := 0; w < k; w++ {
+			if t.existsAutomorphism(fixed, v, w) {
+				orbit++
+			}
+		}
+		total = mulAutSat(total, orbit)
+		fixed[v] = true
+	}
+	return total
+}
+
+// existsAutomorphism reports whether some automorphism fixes every
+// vertex marked in fixed pointwise and maps v to w.
+func (t *Template) existsAutomorphism(fixed []bool, v, w int) bool {
+	k := t.K()
+	img := make([]int, k) // template vertex -> image, -1 unset
+	used := make([]bool, k)
+	for i := range img {
+		img[i] = -1
+	}
+	assign := func(a, b int) bool {
+		if img[a] >= 0 {
+			return img[a] == b
+		}
+		if used[b] || t.Degree(a) != t.Degree(b) || t.Label(a) != t.Label(b) {
+			return false
+		}
+		// Every already-mapped neighbor must stay a neighbor. Checking
+		// edge preservation alone suffices: a bijection between graphs
+		// with equal finite edge counts that maps edges to edges is an
+		// isomorphism.
+		for _, u := range t.adj[a] {
+			if m := img[u]; m >= 0 && !t.HasEdge(b, m) {
+				return false
+			}
+		}
+		img[a] = b
+		used[b] = true
+		return true
+	}
+	for f := range fixed {
+		if fixed[f] && !assign(f, f) {
+			return false
+		}
+	}
+	if !assign(v, w) {
+		return false
+	}
+	// Complete the mapping over the remaining vertices, first success wins.
+	rest := make([]int, 0, k)
+	for u := 0; u < k; u++ {
+		if img[u] < 0 {
+			rest = append(rest, u)
+		}
+	}
+	var search func(i int) bool
+	search = func(i int) bool {
+		if i == len(rest) {
+			return true
+		}
+		a := rest[i]
+		for b := 0; b < k; b++ {
+			if used[b] || t.Degree(a) != t.Degree(b) || t.Label(a) != t.Label(b) {
+				continue
+			}
+			ok := true
+			for _, u := range t.adj[a] {
+				if m := img[u]; m >= 0 && !t.HasEdge(b, m) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			img[a] = b
+			used[b] = true
+			if search(i + 1) {
+				return true
+			}
+			img[a] = -1
+			used[b] = false
+		}
+		return false
+	}
+	return search(0)
+}
+
+// generalOrbits partitions an arbitrary connected template's vertices
+// into automorphism orbits by pairwise first-success searches.
+func (t *Template) generalOrbits() [][]int {
+	k := t.K()
+	rep := make([]int, k) // orbit representative (smallest member)
+	for v := range rep {
+		rep[v] = v
+	}
+	none := make([]bool, k)
+	for v := 0; v < k; v++ {
+		if rep[v] != v {
+			continue
+		}
+		for w := v + 1; w < k; w++ {
+			if rep[w] == w && t.existsAutomorphism(none, v, w) {
+				rep[w] = v
+			}
+		}
+	}
+	var out [][]int
+	for v := 0; v < k; v++ {
+		if rep[v] == v {
+			orbit := []int{v}
+			for w := v + 1; w < k; w++ {
+				if rep[w] == v {
+					orbit = append(orbit, w)
+				}
+			}
+			out = append(out, orbit)
+		}
+	}
+	return out
+}
+
+// generalIsomorphic reports whether two arbitrary connected templates of
+// equal size are isomorphic (label-aware), by first-success backtracking.
+func generalIsomorphic(a, b *Template) bool {
+	k := a.K()
+	if k != b.K() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	img := make([]int, k)
+	used := make([]bool, k)
+	for i := range img {
+		img[i] = -1
+	}
+	// Map in a BFS order from vertex 0 so every placed vertex after the
+	// first has a mapped neighbor constraining its candidates.
+	order := make([]int, 0, k)
+	seen := make([]bool, k)
+	order = append(order, 0)
+	seen[0] = true
+	for i := 0; i < len(order); i++ {
+		for _, u := range a.adj[order[i]] {
+			if !seen[u] {
+				seen[u] = true
+				order = append(order, int(u))
+			}
+		}
+	}
+	var search func(i int) bool
+	search = func(i int) bool {
+		if i == k {
+			return true
+		}
+		v := order[i]
+		for w := 0; w < k; w++ {
+			if used[w] || a.Degree(v) != b.Degree(w) || a.Label(v) != b.Label(w) {
+				continue
+			}
+			ok := true
+			for _, u := range a.adj[v] {
+				if m := img[u]; m >= 0 && !b.HasEdge(w, m) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			img[v] = w
+			used[w] = true
+			if search(i + 1) {
+				return true
+			}
+			img[v] = -1
+			used[w] = false
+		}
+		return false
+	}
+	return search(0)
+}

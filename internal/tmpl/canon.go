@@ -23,9 +23,20 @@ func mulAutSat(a, b int64) int64 {
 // CanonicalRooted returns the AHU canonical encoding of the template
 // rooted at root. Two rooted (optionally labeled) trees are isomorphic iff
 // their encodings are equal. Labels participate in the encoding, so
-// labeled templates only match when labels agree.
+// labeled templates only match when labels agree. Tree templates only
+// (AHU codes have no cheap general-graph analogue; non-tree callers use
+// IsIsomorphic, which branches to a backtracking search).
 func (t *Template) CanonicalRooted(root int) string {
+	t.mustTree("CanonicalRooted")
 	return t.encode(root, -1)
+}
+
+// mustTree guards the AHU-based entry points, which recurse by
+// parent-skipping and would loop forever on a cycle.
+func (t *Template) mustTree(fn string) {
+	if !t.tree {
+		panic(fmt.Sprintf("tmpl: %s requires a tree template (got %s with %d edges on %d vertices)", fn, t.name, t.NumEdges(), t.K()))
+	}
 }
 
 func (t *Template) encode(v, parent int) string {
@@ -111,6 +122,7 @@ func (t *Template) Centroids() []int {
 // (unrooted) tree: the lexicographically smallest rooted encoding over its
 // centroid(s). Two free trees are isomorphic iff their encodings match.
 func (t *Template) CanonicalFree() string {
+	t.mustTree("CanonicalFree")
 	cs := t.Centroids()
 	best := t.CanonicalRooted(cs[0])
 	for _, c := range cs[1:] {
@@ -160,19 +172,30 @@ func (t *Template) rootedAut(v, parent int) (string, int64) {
 	return string(sb), aut
 }
 
-// RootedAutomorphisms returns the number of automorphisms of the template
-// viewed as a tree rooted at root (automorphisms must fix the root and,
-// for labeled templates, preserve labels).
+// RootedAutomorphisms returns the number of automorphisms of the
+// template that fix root (and, for labeled templates, preserve labels).
+// Trees use the linear AHU multiplicity product; non-tree templates use
+// the orbit-stabilizer chain with the root pre-fixed.
 func (t *Template) RootedAutomorphisms(root int) int64 {
+	if !t.tree {
+		return t.generalAutomorphisms([]int{root})
+	}
 	_, a := t.rootedAut(root, -1)
 	return a
 }
 
-// Automorphisms returns |Aut(T)| for the free (optionally labeled) tree.
-// An automorphism either fixes the centroid (single-centroid case) or
-// fixes/swaps the two centroids (two-centroid case; swapping is possible
-// iff the two halves are isomorphic as rooted trees).
+// Automorphisms returns |Aut(T)| for the free (optionally labeled)
+// template. For trees an automorphism either fixes the centroid
+// (single-centroid case) or fixes/swaps the two centroids (two-centroid
+// case; swapping is possible iff the two halves are isomorphic as rooted
+// trees). Non-tree templates — where the sibling-subtree scan is
+// meaningless — use the general orbit-stabilizer count (C4 = 8, K4 = 24,
+// tailed triangle = 2, ...), which is what keeps the estimate's
+// 1/|Aut| scale factor correct beyond trees.
 func (t *Template) Automorphisms() int64 {
+	if !t.tree {
+		return t.generalAutomorphisms(nil)
+	}
 	cs := t.Centroids()
 	if len(cs) == 1 {
 		return t.RootedAutomorphisms(cs[0])
@@ -188,9 +211,13 @@ func (t *Template) Automorphisms() int64 {
 
 // Orbits partitions the template vertices into automorphism orbits. Two
 // tree vertices are in the same orbit iff the tree rooted at each has the
-// same canonical encoding. Each orbit lists its vertices ascending; orbits
+// same canonical encoding; non-tree templates fall back to pairwise
+// automorphism searches. Each orbit lists its vertices ascending; orbits
 // are ordered by smallest member.
 func (t *Template) Orbits() [][]int {
+	if !t.tree {
+		return t.generalOrbits()
+	}
 	byCode := map[string][]int{}
 	keys := make([]string, 0, t.K())
 	for v := 0; v < t.K(); v++ {
@@ -209,10 +236,18 @@ func (t *Template) Orbits() [][]int {
 }
 
 // IsIsomorphic reports whether two templates are isomorphic as free
-// (optionally labeled) trees.
+// (optionally labeled) graphs. Tree pairs compare canonical AHU codes;
+// pairs with a non-tree member use a backtracking isomorphism search
+// (a tree is never isomorphic to a non-tree).
 func IsIsomorphic(a, b *Template) bool {
 	if a.K() != b.K() {
 		return false
+	}
+	if a.tree != b.tree {
+		return false
+	}
+	if !a.tree {
+		return generalIsomorphic(a, b)
 	}
 	return a.CanonicalFree() == b.CanonicalFree()
 }

@@ -1,0 +1,393 @@
+package tmpl
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// This file builds nice tree decompositions of templates, the structure
+// driving the beyond-trees DP (Chakaravarthy et al., arXiv:1602.04478):
+// the colorful count of a non-tree template is computed bottom-up over
+// decomposition bags instead of partition-tree subtemplates. Bags are
+// found by greedy minimum-degree elimination, which is exact for
+// treewidth <= 2 (a connected graph has treewidth <= 2 iff it can be
+// reduced by repeatedly removing a vertex of degree <= 2 with fill-in)
+// and recognizes K4 (treewidth 3) exactly as well — enough for every
+// template the motif zoo or cycle/clique notation can produce within
+// the supported width.
+
+// MaxBagVerts is the largest bag the decomposition (and the bag DP built
+// on it) supports: width 3, i.e. treewidth <= 3 via the greedy bound.
+// Treewidth-2 templates (cycles, chordal cycles, tails) are the design
+// center; width-3 bags additionally admit K4 so the whole size-4 zoo
+// runs through one DP.
+const MaxBagVerts = 4
+
+// BagKind enumerates the node kinds of a nice tree decomposition.
+type BagKind int
+
+const (
+	// BagLeaf is an empty bag with no children.
+	BagLeaf BagKind = iota
+	// BagIntroduce adds one template vertex to its child's bag.
+	BagIntroduce
+	// BagForget removes one template vertex from its child's bag.
+	BagForget
+	// BagJoin merges two children holding identical bags.
+	BagJoin
+)
+
+func (k BagKind) String() string {
+	switch k {
+	case BagLeaf:
+		return "leaf"
+	case BagIntroduce:
+		return "introduce"
+	case BagForget:
+		return "forget"
+	case BagJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("BagKind(%d)", int(k))
+	}
+}
+
+// Bag is one node of a nice tree decomposition. Verts lists the bag's
+// template vertices ascending AFTER the node's operation; Vertex is the
+// vertex introduced or forgotten (unused for leaf/join nodes).
+type Bag struct {
+	Kind   BagKind
+	Vertex int
+	Verts  []int
+	Left   *Bag // only child of introduce/forget; first child of join
+	Right  *Bag // second child of join, nil otherwise
+}
+
+// Decomposition is a nice tree decomposition of a template: the root is
+// an empty bag (every vertex forgotten), every template vertex is
+// introduced at least once, every template edge is covered by some bag,
+// and the bags containing any fixed vertex form a connected subtree.
+type Decomposition struct {
+	Root *Bag
+	// Width is the decomposition width: max bag size - 1.
+	Width int
+	// Order lists every bag in post-order (children strictly before
+	// parents), the evaluation order of the bag DP.
+	Order []*Bag
+}
+
+// Decompose builds a nice tree decomposition of the template by greedy
+// minimum-degree elimination. Templates whose greedy width exceeds
+// MaxBagVerts-1 are rejected with a clear error; for treewidth <= 2 the
+// greedy bound is exact, so every cycle, chordal cycle, and tailed
+// template is accepted, as is K4 (width 3). Tree templates decompose at
+// width 1.
+func Decompose(t *Template) (*Decomposition, error) {
+	k := t.K()
+	// Fill-graph adjacency as bitmasks (k <= 64 by construction).
+	nb := make([]uint64, k)
+	for v := 0; v < k; v++ {
+		for _, u := range t.adj[v] {
+			nb[v] |= 1 << uint(u)
+		}
+	}
+	// elimBag[i]: {v_i} ∪ N(v_i) at elimination time; elimPos[v]: v's
+	// elimination step. Parent of step i is the step of the first-
+	// eliminated vertex of N(v_i) — eliminating v_i turns N(v_i) into a
+	// fill clique, so N(v_i) is contained in that vertex's bag and the
+	// bags form a valid tree decomposition.
+	elimBag := make([]uint64, k)
+	elimOrder := make([]int, 0, k)
+	elimPos := make([]int, k)
+	remaining := uint64(1)<<uint(k) - 1
+	if k == 64 {
+		remaining = ^uint64(0)
+	}
+	for step := 0; step < k; step++ {
+		best, bestDeg := -1, k+1
+		for v := 0; v < k; v++ {
+			if remaining&(1<<uint(v)) == 0 {
+				continue
+			}
+			if d := bits.OnesCount64(nb[v]); d < bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		if bestDeg > MaxBagVerts-1 {
+			return nil, fmt.Errorf("tmpl: template %s has treewidth > %d (greedy elimination stuck at degree %d); only templates of treewidth <= 2 plus K4 are supported",
+				t.name, MaxBagVerts-1, bestDeg)
+		}
+		elimBag[step] = nb[best] | 1<<uint(best)
+		elimPos[best] = step
+		elimOrder = append(elimOrder, best)
+		remaining &^= 1 << uint(best)
+		// Remove best and add fill edges among its neighbors.
+		rest := nb[best]
+		for m := rest; m != 0; m &= m - 1 {
+			u := bits.TrailingZeros64(m)
+			nb[u] |= rest &^ (1 << uint(u))
+			nb[u] &^= 1 << uint(best)
+			nb[u] &^= 1 << uint(u)
+		}
+	}
+	// Elimination-forest children: step i's parent is the step of the
+	// first-eliminated neighbor; the final step (empty neighborhood) is
+	// the root. Connected templates yield exactly one root.
+	children := make([][]int, k)
+	rootStep := -1
+	for step := 0; step < k; step++ {
+		rest := elimBag[step] &^ (1 << uint(elimOrder[step]))
+		if rest == 0 {
+			rootStep = step
+			continue
+		}
+		parent := k
+		for m := rest; m != 0; m &= m - 1 {
+			if p := elimPos[bits.TrailingZeros64(m)]; p < parent {
+				parent = p
+			}
+		}
+		children[parent] = append(children[parent], step)
+	}
+	if rootStep < 0 {
+		return nil, fmt.Errorf("tmpl: template %s produced no elimination root (disconnected?)", t.name)
+	}
+
+	b := &decompBuilder{elimBag: elimBag, elimOrder: elimOrder, children: children}
+	top := b.nice(rootStep)
+	// Forget the root bag down to the empty root.
+	for _, v := range bagVerts(elimBag[rootStep]) {
+		top = &Bag{Kind: BagForget, Vertex: v, Verts: removeVert(top.Verts, v), Left: top}
+	}
+	d := &Decomposition{Root: top}
+	var walk func(*Bag)
+	var maxBag int
+	walk = func(bg *Bag) {
+		if bg.Left != nil {
+			walk(bg.Left)
+		}
+		if bg.Right != nil {
+			walk(bg.Right)
+		}
+		if len(bg.Verts) > maxBag {
+			maxBag = len(bg.Verts)
+		}
+		d.Order = append(d.Order, bg)
+	}
+	walk(top)
+	d.Width = maxBag - 1
+	return d, nil
+}
+
+type decompBuilder struct {
+	elimBag   []uint64
+	elimOrder []int
+	children  [][]int
+}
+
+// nice builds the nice-decomposition subtree for elimination step i,
+// returning a node whose bag is exactly elimBag[i].
+func (b *decompBuilder) nice(step int) *Bag {
+	target := bagVerts(b.elimBag[step])
+	var cur *Bag
+	for _, ch := range b.children[step] {
+		sub := b.nice(ch)
+		// Adapt the child's bag to this step's bag: forget the child's
+		// eliminated vertex (the only vertex not in the parent bag), then
+		// introduce this bag's missing vertices ascending.
+		elim := b.elimOrder[ch]
+		sub = &Bag{Kind: BagForget, Vertex: elim, Verts: removeVert(sub.Verts, elim), Left: sub}
+		sub = introduceUpTo(sub, target)
+		if cur == nil {
+			cur = sub
+		} else {
+			cur = &Bag{Kind: BagJoin, Verts: target, Left: cur, Right: sub}
+		}
+	}
+	if cur == nil {
+		cur = introduceUpTo(&Bag{Kind: BagLeaf}, target)
+	}
+	return cur
+}
+
+// introduceUpTo wraps cur in introduce nodes until its bag equals target
+// (cur's bag must be a subset of target).
+func introduceUpTo(cur *Bag, target []int) *Bag {
+	have := map[int]bool{}
+	for _, v := range cur.Verts {
+		have[v] = true
+	}
+	verts := append([]int(nil), cur.Verts...)
+	for _, v := range target {
+		if have[v] {
+			continue
+		}
+		verts = insertVert(verts, v)
+		cur = &Bag{Kind: BagIntroduce, Vertex: v, Verts: verts, Left: cur}
+		verts = cur.Verts
+	}
+	return cur
+}
+
+// bagVerts expands a bag bitmask into an ascending vertex list.
+func bagVerts(mask uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(mask))
+	for m := mask; m != 0; m &= m - 1 {
+		out = append(out, bits.TrailingZeros64(m))
+	}
+	return out
+}
+
+// removeVert returns a fresh ascending copy of verts without v.
+func removeVert(verts []int, v int) []int {
+	out := make([]int, 0, len(verts))
+	for _, u := range verts {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// insertVert returns a fresh ascending copy of verts with v added.
+func insertVert(verts []int, v int) []int {
+	out := append(append([]int(nil), verts...), v)
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks the defining properties of a nice tree decomposition
+// against its template: bag sizes, introduce/forget/join shape, every
+// vertex introduced, every edge covered by some bag, and connectivity of
+// each vertex's bag set (each vertex is introduced exactly once per
+// connected stretch and never re-introduced after its final forget on
+// any root path). It is the oracle the decomposition fuzz target runs.
+func (d *Decomposition) Validate(t *Template) error {
+	if d.Root == nil || len(d.Root.Verts) != 0 {
+		return fmt.Errorf("tmpl: decomposition root bag not empty")
+	}
+	introduced := make([]bool, t.K())
+	edgeCovered := map[[2]int]bool{}
+	for _, bg := range d.Order {
+		if len(bg.Verts) > MaxBagVerts {
+			return fmt.Errorf("tmpl: bag %v exceeds %d vertices", bg.Verts, MaxBagVerts)
+		}
+		if !sort.IntsAreSorted(bg.Verts) {
+			return fmt.Errorf("tmpl: bag %v not sorted", bg.Verts)
+		}
+		for _, v := range bg.Verts {
+			if v < 0 || v >= t.K() {
+				return fmt.Errorf("tmpl: bag vertex %d out of range", v)
+			}
+		}
+		switch bg.Kind {
+		case BagLeaf:
+			if bg.Left != nil || bg.Right != nil || len(bg.Verts) != 0 {
+				return fmt.Errorf("tmpl: malformed leaf bag")
+			}
+		case BagIntroduce:
+			if bg.Left == nil || bg.Right != nil {
+				return fmt.Errorf("tmpl: malformed introduce bag")
+			}
+			if !sameVerts(removeVert(bg.Verts, bg.Vertex), bg.Left.Verts) || !containsVert(bg.Verts, bg.Vertex) || containsVert(bg.Left.Verts, bg.Vertex) {
+				return fmt.Errorf("tmpl: introduce %d does not extend child bag %v -> %v", bg.Vertex, bg.Left.Verts, bg.Verts)
+			}
+			introduced[bg.Vertex] = true
+			for _, u := range bg.Verts {
+				if u != bg.Vertex && t.HasEdge(bg.Vertex, u) {
+					a, b := bg.Vertex, u
+					if a > b {
+						a, b = b, a
+					}
+					edgeCovered[[2]int{a, b}] = true
+				}
+			}
+		case BagForget:
+			if bg.Left == nil || bg.Right != nil {
+				return fmt.Errorf("tmpl: malformed forget bag")
+			}
+			if !sameVerts(removeVert(bg.Left.Verts, bg.Vertex), bg.Verts) || containsVert(bg.Verts, bg.Vertex) || !containsVert(bg.Left.Verts, bg.Vertex) {
+				return fmt.Errorf("tmpl: forget %d does not shrink child bag %v -> %v", bg.Vertex, bg.Left.Verts, bg.Verts)
+			}
+		case BagJoin:
+			if bg.Left == nil || bg.Right == nil {
+				return fmt.Errorf("tmpl: malformed join bag")
+			}
+			if !sameVerts(bg.Verts, bg.Left.Verts) || !sameVerts(bg.Verts, bg.Right.Verts) {
+				return fmt.Errorf("tmpl: join bags disagree: %v / %v / %v", bg.Verts, bg.Left.Verts, bg.Right.Verts)
+			}
+		default:
+			return fmt.Errorf("tmpl: unknown bag kind %v", bg.Kind)
+		}
+	}
+	for v := 0; v < t.K(); v++ {
+		if !introduced[v] {
+			return fmt.Errorf("tmpl: vertex %d never introduced", v)
+		}
+	}
+	for _, e := range t.Edges() {
+		if !edgeCovered[[2]int{e[0], e[1]}] {
+			return fmt.Errorf("tmpl: edge %d-%d not covered by any bag", e[0], e[1])
+		}
+	}
+	// Vertex-subtree connectivity: on every root-to-leaf path, the bags
+	// containing a fixed vertex must form one contiguous run. Walk down
+	// tracking a per-vertex run state (unseen / in run / run ended) and
+	// reject any vertex that reappears after its run ended.
+	const (
+		unseen = iota
+		inRun
+		runEnded
+	)
+	var check func(bg *Bag, state []int8) error
+	check = func(bg *Bag, state []int8) error {
+		next := append([]int8(nil), state...)
+		inBag := make([]bool, len(state))
+		for _, v := range bg.Verts {
+			inBag[v] = true
+			if next[v] == runEnded {
+				return fmt.Errorf("tmpl: vertex %d reappears in bag %v after leaving an ancestor bag (disconnected subtree)", v, bg.Verts)
+			}
+			next[v] = inRun
+		}
+		for v := range next {
+			if next[v] == inRun && !inBag[v] {
+				next[v] = runEnded
+			}
+		}
+		if bg.Left != nil {
+			if err := check(bg.Left, next); err != nil {
+				return err
+			}
+		}
+		if bg.Right != nil {
+			if err := check(bg.Right, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(d.Root, make([]int8, t.K()))
+}
+
+func sameVerts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsVert(verts []int, v int) bool {
+	for _, u := range verts {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}

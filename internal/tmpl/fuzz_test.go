@@ -1,6 +1,9 @@
 package tmpl
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParse checks the template parser never panics and anything it
 // accepts is a valid tree whose canonical form is stable.
@@ -42,6 +45,91 @@ func FuzzParse(f *testing.F) {
 		}
 		if total != tr.K() {
 			t.Fatal("orbits do not partition vertices")
+		}
+	})
+}
+
+// FuzzParseGraph checks the extended (non-tree) parser and the tree
+// decomposition builder: hostile cycle/clique notation, disconnected
+// templates, and treewidth rejects must error cleanly; anything accepted
+// must be a connected simple graph whose decomposition either validates
+// against the nice-decomposition axioms or is rejected with a treewidth
+// error, and whose automorphism orbits partition the vertices.
+func FuzzParseGraph(f *testing.F) {
+	// Zoo names and compact notation, valid and hostile.
+	f.Add("triangle")
+	f.Add("c4")
+	f.Add("k4")
+	f.Add("diamond")
+	f.Add("tailed-triangle")
+	f.Add("c2")
+	f.Add("c-1")
+	f.Add("c64")
+	f.Add("c999999999999999999999")
+	f.Add("k2")
+	f.Add("k5")
+	f.Add("k16")
+	f.Add("k999999")
+	f.Add("cycle:")
+	f.Add("clique:x")
+	// Edge lists: cycles, cliques-as-lists, disconnected, self-loops,
+	// duplicates, a treewidth-3 reject (K5 as a list), multigraph-ish
+	// near misses, and unicode separators.
+	f.Add("0-1 1-2 2-0")
+	f.Add("0-1 1-2 2-0 0-3 1-3 2-3")
+	f.Add("0-1 1-2 2-0 3-4 4-5 5-3")
+	f.Add("0-1 1-2 2-0 2-3 3-4 4-2")
+	f.Add("0-0")
+	f.Add("0-1 1-0")
+	f.Add("0-1 2-3")
+	f.Add("0-1 0-2 0-3 0-4 1-2 1-3 1-4 2-3 2-4 3-4")
+	f.Add("0-1 1-2 2-3 3-0 0-2 1-3")
+	f.Add("-1-2")
+	f.Add("0–1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		tr, err := ParseGraph("fuzz", spec)
+		if err != nil {
+			return
+		}
+		k := tr.K()
+		if k < 1 || k > 64 {
+			t.Fatalf("accepted template size %d out of range", k)
+		}
+		m := tr.NumEdges()
+		if m < k-1 {
+			t.Fatalf("accepted template with %d edges on %d vertices (disconnected)", m, k)
+		}
+		if tr.IsTree() != (m == k-1) {
+			t.Fatalf("IsTree=%v but m=%d k=%d", tr.IsTree(), m, k)
+		}
+		d, err := Decompose(tr)
+		if err != nil {
+			if !strings.Contains(err.Error(), "treewidth") {
+				t.Fatalf("Decompose rejected %q without a treewidth error: %v", spec, err)
+			}
+			return
+		}
+		if err := d.Validate(tr); err != nil {
+			t.Fatalf("Decompose(%q) produced an invalid decomposition: %v", spec, err)
+		}
+		if tr.IsTree() && k > 1 && d.Width != 1 {
+			t.Fatalf("tree template decomposed at width %d", d.Width)
+		}
+		// The group-theoretic assertions run a backtracking search per
+		// vertex pair; keep them to small templates so hostile dense
+		// inputs stay cheap.
+		if k <= 8 {
+			if tr.Automorphisms() < 1 {
+				t.Fatal("automorphism count < 1")
+			}
+			total := 0
+			for _, o := range tr.Orbits() {
+				total += len(o)
+			}
+			if total != k {
+				t.Fatal("orbits do not partition vertices")
+			}
 		}
 	})
 }

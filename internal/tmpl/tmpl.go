@@ -1,8 +1,12 @@
-// Package tmpl implements tree templates for subgraph counting: template
-// construction and validation, the paper's named templates (U3-1 ...
-// U12-2), AHU canonical forms for rooted and free trees, automorphism and
-// orbit computation, and exhaustive enumeration of all free trees of a
-// given size for motif finding.
+// Package tmpl implements templates for subgraph counting: template
+// construction and validation (trees and general connected graphs up to
+// small treewidth), the paper's named templates (U3-1 ... U12-2), the
+// size-3/4 motif zoo (cycles, cliques, diamond, tailed triangle), nice
+// tree decompositions for the beyond-trees DP, AHU canonical forms for
+// rooted and free trees, automorphism and orbit computation (tree
+// specializations plus a general orbit-stabilizer fallback), and
+// exhaustive enumeration of all free trees of a given size for motif
+// finding.
 package tmpl
 
 import (
@@ -11,27 +15,40 @@ import (
 	"strings"
 )
 
-// Template is an undirected tree on K() vertices numbered 0..K()-1.
-// Labels, when non-nil, assigns an integer label per template vertex for
-// labeled counting. Templates are immutable after construction.
+// Template is an undirected connected graph on K() vertices numbered
+// 0..K()-1. Most templates are trees (the paper's case); NewGraph also
+// admits connected non-tree templates, which the engine counts via a
+// tree decomposition of the template. Labels, when non-nil, assigns an
+// integer label per template vertex for labeled counting. Templates are
+// immutable after construction.
 type Template struct {
 	name   string
 	adj    [][]int8
 	labels []int32
+	tree   bool
 }
 
 // NewTree builds a template from an undirected edge list over vertices
 // 0..k-1 and verifies it is a tree (connected, acyclic, no self-loops or
 // duplicate edges). labels may be nil or have length k.
 func NewTree(name string, k int, edges [][2]int, labels []int32) (*Template, error) {
+	if k >= 1 && len(edges) != k-1 {
+		return nil, fmt.Errorf("tmpl: a tree on %d vertices needs %d edges, got %d", k, k-1, len(edges))
+	}
+	return NewGraph(name, k, edges, labels)
+}
+
+// NewGraph builds a template from an undirected edge list over vertices
+// 0..k-1 and verifies it is a simple connected graph (no self-loops or
+// duplicate edges). Tree templates run the classic partition-tree DP;
+// non-tree templates run the tree-decomposition DP and must have small
+// treewidth (see Decompose). labels may be nil or have length k.
+func NewGraph(name string, k int, edges [][2]int, labels []int32) (*Template, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("tmpl: template must have at least 1 vertex, got %d", k)
 	}
 	if k > 64 {
 		return nil, fmt.Errorf("tmpl: template size %d unsupported (max 64)", k)
-	}
-	if len(edges) != k-1 {
-		return nil, fmt.Errorf("tmpl: a tree on %d vertices needs %d edges, got %d", k, k-1, len(edges))
 	}
 	if labels != nil && len(labels) != k {
 		return nil, fmt.Errorf("tmpl: %d labels for %d vertices", len(labels), k)
@@ -54,11 +71,11 @@ func NewTree(name string, k int, edges [][2]int, labels []int32) (*Template, err
 		adj[u] = append(adj[u], int8(v))
 		adj[v] = append(adj[v], int8(u))
 	}
-	t := &Template{name: name, adj: adj}
+	t := &Template{name: name, adj: adj, tree: len(edges) == k-1}
 	if labels != nil {
 		t.labels = append([]int32(nil), labels...)
 	}
-	// k-1 edges + connected => tree.
+	// Connectivity; with exactly k-1 edges it also certifies tree-ness.
 	visited := make([]bool, k)
 	stack := []int8{0}
 	visited[0] = true
@@ -90,6 +107,16 @@ func MustTree(name string, k int, edges [][2]int, labels []int32) *Template {
 	return t
 }
 
+// MustGraph is NewGraph for statically known-valid inputs; it panics on
+// error.
+func MustGraph(name string, k int, edges [][2]int, labels []int32) *Template {
+	t, err := NewGraph(name, k, edges, labels)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
 // K returns the number of template vertices.
 func (t *Template) K() int { return len(t.adj) }
 
@@ -106,6 +133,30 @@ func (t *Template) Degree(v int) int { return len(t.adj[v]) }
 // Labeled reports whether the template carries vertex labels.
 func (t *Template) Labeled() bool { return t.labels != nil }
 
+// IsTree reports whether the template is acyclic. Tree templates run the
+// classic partition-tree DP; non-tree templates run the bag DP over a
+// tree decomposition.
+func (t *Template) IsTree() bool { return t.tree }
+
+// NumEdges returns the number of template edges (K()-1 for trees).
+func (t *Template) NumEdges() int {
+	deg := 0
+	for v := range t.adj {
+		deg += len(t.adj[v])
+	}
+	return deg / 2
+}
+
+// HasEdge reports whether template vertices u and v are adjacent.
+func (t *Template) HasEdge(u, v int) bool {
+	for _, w := range t.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
 // Label returns the label of template vertex v (0 when unlabeled).
 func (t *Template) Label(v int) int32 {
 	if t.labels == nil {
@@ -114,9 +165,9 @@ func (t *Template) Label(v int) int32 {
 	return t.labels[v]
 }
 
-// Edges returns each tree edge once with smaller endpoint first.
+// Edges returns each template edge once with smaller endpoint first.
 func (t *Template) Edges() [][2]int {
-	out := make([][2]int, 0, t.K()-1)
+	out := make([][2]int, 0, t.NumEdges())
 	for v := range t.adj {
 		for _, u := range t.adj[v] {
 			if v < int(u) {
@@ -129,7 +180,7 @@ func (t *Template) Edges() [][2]int {
 
 // WithLabels returns a copy of t carrying the given vertex labels.
 func (t *Template) WithLabels(name string, labels []int32) (*Template, error) {
-	return NewTree(name, t.K(), t.Edges(), labels)
+	return NewGraph(name, t.K(), t.Edges(), labels)
 }
 
 // String renders the template as its name and edge list.
@@ -146,24 +197,23 @@ func (t *Template) String() string {
 	return sb.String()
 }
 
-// Parse builds a template from a compact edge-list string such as
-// "0-1 1-2 1-3". Vertex count is max id + 1.
-func Parse(name, s string) (*Template, error) {
+// scanEdges parses a compact edge-list string such as "0-1 1-2 1-3" into
+// an edge list; the implied vertex count is max id + 1.
+func scanEdges(s string) (edges [][2]int, k int, err error) {
 	fields := strings.Fields(s)
 	if len(fields) == 0 {
-		return nil, fmt.Errorf("tmpl: empty template spec")
+		return nil, 0, fmt.Errorf("tmpl: empty template spec")
 	}
-	edges := make([][2]int, 0, len(fields))
-	k := 0
+	edges = make([][2]int, 0, len(fields))
 	for _, f := range fields {
 		parts := strings.Split(f, "-")
 		if len(parts) != 2 {
-			return nil, fmt.Errorf("tmpl: malformed edge %q (want u-v)", f)
+			return nil, 0, fmt.Errorf("tmpl: malformed edge %q (want u-v)", f)
 		}
 		u, err1 := strconv.Atoi(parts[0])
 		v, err2 := strconv.Atoi(parts[1])
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("tmpl: malformed edge %q", f)
+			return nil, 0, fmt.Errorf("tmpl: malformed edge %q", f)
 		}
 		edges = append(edges, [2]int{u, v})
 		if u+1 > k {
@@ -172,6 +222,17 @@ func Parse(name, s string) (*Template, error) {
 		if v+1 > k {
 			k = v + 1
 		}
+	}
+	return edges, k, nil
+}
+
+// Parse builds a tree template from a compact edge-list string such as
+// "0-1 1-2 1-3". Vertex count is max id + 1. Edge lists with cycles are
+// rejected; use ParseGraph for general templates.
+func Parse(name, s string) (*Template, error) {
+	edges, k, err := scanEdges(s)
+	if err != nil {
+		return nil, err
 	}
 	return NewTree(name, k, edges, nil)
 }

@@ -48,5 +48,38 @@ func AllTrees(k int) []*Template { return tmpl.AllTrees(k) }
 func NumFreeTrees(k int) int { return tmpl.NumFreeTrees(k) }
 
 // TemplatesIsomorphic reports whether two templates are isomorphic as
-// free (optionally labeled) trees.
+// free (optionally labeled) graphs.
 func TemplatesIsomorphic(a, b *Template) bool { return tmpl.IsIsomorphic(a, b) }
+
+// NewGraphTemplate builds a general connected template — tree or not —
+// from an undirected edge list over vertices 0..k-1; labels may be nil.
+// Non-tree templates are counted through the tree-decomposition DP and
+// must have treewidth <= 2 (cycles, chordal cycles, tails) or be K4;
+// wider templates are rejected when an engine is built.
+func NewGraphTemplate(name string, k int, edges [][2]int, labels []int32) (*Template, error) {
+	return tmpl.NewGraph(name, k, edges, labels)
+}
+
+// ParseGraphTemplate builds a template from a motif-zoo name
+// ("triangle", "diamond", ...), compact cycle/clique notation ("c5",
+// "cycle:5", "k4", "clique:4"), or a general edge-list string such as
+// "0-1 1-2 2-0" — the non-tree counterpart of ParseTemplate.
+func ParseGraphTemplate(name, spec string) (*Template, error) {
+	return tmpl.ParseGraph(name, spec)
+}
+
+// CycleTemplate returns the k-cycle (k >= 3).
+func CycleTemplate(k int) (*Template, error) { return tmpl.Cycle(k) }
+
+// CliqueTemplate returns the complete graph on k vertices (3 <= k <= 16;
+// only K4 and below fit the counting engine's width limit, larger
+// cliques exist for exact baselines and tests).
+func CliqueTemplate(k int) (*Template, error) { return tmpl.Clique(k) }
+
+// MotifZooNames lists the size-3/4 motif zoo in canonical order:
+// triangle, path3, star3, c4, diamond, tailed-triangle, k4.
+func MotifZooNames() []string { return tmpl.ZooNames() }
+
+// MotifZooTemplate returns a zoo motif by name ("paw" is accepted as an
+// alias for tailed-triangle).
+func MotifZooTemplate(name string) (*Template, error) { return tmpl.Zoo(name) }
