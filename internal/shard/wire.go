@@ -409,7 +409,12 @@ func decodeRows(b []byte) (rowsMsg, error) {
 	r := rbuf{b: b}
 	m := rowsMsg{Iter: r.u32(), Step: r.u32()}
 	n := r.u32()
-	if r.err != nil || int(n) > len(b) {
+	// Every row costs at least its 4-byte width header on the wire, so
+	// the count can never exceed the remaining bytes over 4. The looser
+	// n <= len(b) floor let a 1 MiB frame force a 24 MiB row-header
+	// allocation (24 bytes per slice header) before the first width
+	// read failed.
+	if r.err != nil || int(n) > (len(b)-r.off)/4 {
 		r.fail()
 		return rowsMsg{}, r.err
 	}

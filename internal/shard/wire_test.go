@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"runtime"
+	"testing"
+)
+
+// allocBytes reports how many heap bytes fn allocates. TotalAlloc is
+// monotonic (GC never decreases it), so the delta is stable.
+func allocBytes(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestDecodeRowsHostileRowCount pins the per-element floor on the row
+// count: a 1 MiB frame claiming 2^20 rows must be rejected before the
+// 24-byte-per-row header slice is allocated (the old n <= len(b) floor
+// let it allocate ~24 MiB from ~1 MiB of input).
+func TestDecodeRowsHostileRowCount(t *testing.T) {
+	var w wbuf
+	w.u32(7)       // iter
+	w.u32(3)       // step
+	w.u32(1 << 20) // claimed row count
+	payload := append(w.b, make([]byte, 1<<20)...)
+
+	var err error
+	alloc := allocBytes(func() { _, err = decodeRows(payload) })
+	if err == nil {
+		t.Fatal("decodeRows accepted a row count exceeding the wire-byte floor")
+	}
+	if alloc > 4<<20 {
+		t.Errorf("decodeRows allocated %d bytes on a hostile 1 MiB frame; the length floor must reject it first", alloc)
+	}
+}
+
+// TestDecodeRowsTightFrame confirms the floor admits a frame with zero
+// slack: exactly the bytes its rows need.
+func TestDecodeRowsTightFrame(t *testing.T) {
+	m := rowsMsg{Iter: 1, Step: 2, Rows: [][]float64{{1.5}, nil, {2.5, -3.5}}}
+	got, err := decodeRows(encodeRows(m))
+	if err != nil {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+	if len(got.Rows) != 3 || got.Rows[1] != nil || got.Rows[2][1] != -3.5 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}
