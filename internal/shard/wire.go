@@ -313,7 +313,10 @@ func decodeRun(b []byte) (runRequest, error) {
 	}
 	if r.u8() == 1 {
 		n := r.u32()
-		if r.err == nil && int(n) <= len(b) {
+		// Each label is 4 wire bytes, so bound the count by the bytes
+		// actually remaining — n <= len(b) allowed a 4x allocation
+		// amplification from a truncated frame.
+		if r.err == nil && int(n) <= (len(b)-r.off)/4 {
 			q.Labels = make([]int32, 0, n)
 			for i := uint32(0); i < n; i++ {
 				q.Labels = append(q.Labels, int32(r.u32()))

@@ -36,6 +36,35 @@ func TestDecodeRowsHostileRowCount(t *testing.T) {
 	}
 }
 
+// TestDecodeRunHostileLabelCount pins the same floor on the label
+// array: labels are 4 wire bytes each, so a count beyond remaining/4
+// must fail before the backing array is sized.
+func TestDecodeRunHostileLabelCount(t *testing.T) {
+	var w wbuf
+	w.u64(1)       // run id
+	w.u64(2)       // graph hash
+	w.u32(0)       // rank
+	w.u32(1)       // ranks
+	w.u32(4)       // colors
+	w.u32(0)       // strategy
+	w.i64(42)      // seed
+	w.u32(1)       // iters
+	w.u32(0)       // tk
+	w.str("path3") // template
+	w.u8(1)        // labels present
+	w.u32(1 << 20) // claimed label count, 4 MiB worth
+	payload := append(w.b, make([]byte, 1<<20)...)
+
+	var err error
+	alloc := allocBytes(func() { _, err = decodeRun(payload) })
+	if err == nil {
+		t.Fatal("decodeRun accepted a label count exceeding the wire-byte floor")
+	}
+	if alloc > 2<<20 {
+		t.Errorf("decodeRun allocated %d bytes on a hostile 1 MiB frame; the length floor must reject it first", alloc)
+	}
+}
+
 // TestDecodeRowsTightFrame confirms the floor admits a frame with zero
 // slack: exactly the bytes its rows need.
 func TestDecodeRowsTightFrame(t *testing.T) {
