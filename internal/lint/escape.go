@@ -1,0 +1,139 @@
+package lint
+
+// escape.go is hotalloc's second half: the compiler is the only honest
+// judge of what escapes, so `fasciavet -escape` (wired as `make
+// check-escape`) compiles the annotated packages with -gcflags=-m
+// under a fresh GOCACHE — the check-bce technique, diagnostics only
+// print when compilation actually runs — and cross-references every
+// "escapes to heap" / "moved to heap" line against the //fascia:hotpath
+// function ranges collected here.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// HotRange is the source extent of one annotated function.
+type HotRange struct {
+	File  string // as recorded in the FileSet (absolute)
+	Start int    // first line of the declaration
+	End   int    // last line of the body
+	Func  string
+}
+
+// HotpathRanges collects the //fascia:hotpath function extents in the
+// given packages.
+func HotpathRanges(pkgs []*Package) []HotRange {
+	var out []HotRange
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || !isHotpath(fd) {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				out = append(out, HotRange{
+					File:  start.Filename,
+					Start: start.Line,
+					End:   end.Line,
+					Func:  fd.Name.Name,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// EscapeDiag is one parsed compiler escape diagnostic.
+type EscapeDiag struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+// escapeMarkers are the -m diagnostics that mean a heap allocation.
+// "does not escape" (which contains "escape") must stay excluded, so
+// matching is on these exact phrases.
+var escapeMarkers = []string{
+	"escapes to heap",
+	"moved to heap",
+}
+
+// ParseEscapeOutput extracts heap-escape diagnostics from `go build
+// -gcflags=-m` output. Lines look like
+//
+//	internal/dp/lane8.go:30:12: make([]float64, n) escapes to heap
+//	internal/table/bulk8.go:14:6: moved to heap: acc
+//
+// and everything else (package lines, inlining notes, "does not
+// escape") is ignored.
+func ParseEscapeOutput(out string) []EscapeDiag {
+	var diags []EscapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		marked := false
+		for _, m := range escapeMarkers {
+			if strings.Contains(line, m) {
+				marked = true
+				break
+			}
+		}
+		if !marked {
+			continue
+		}
+		// file:line:col: msg
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		diags = append(diags, EscapeDiag{
+			File: parts[0],
+			Line: ln,
+			Col:  col,
+			Msg:  strings.TrimSpace(parts[3]),
+		})
+	}
+	return diags
+}
+
+// EscapeFindings matches compiler escape diagnostics against hotpath
+// ranges, producing hotalloc diagnostics for every escape inside an
+// annotated function. Compiler paths are relative to the build
+// directory; ranges carry FileSet (absolute) paths — they are matched
+// by slash-normalized path suffix.
+func EscapeFindings(ranges []HotRange, diags []EscapeDiag) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		df := filepath.ToSlash(d.File)
+		for _, r := range ranges {
+			if d.Line < r.Start || d.Line > r.End {
+				continue
+			}
+			rf := filepath.ToSlash(r.File)
+			if rf != df && !strings.HasSuffix(rf, "/"+df) && !strings.HasSuffix(df, "/"+rf) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      token.Position{Filename: r.File, Line: d.Line, Column: d.Col},
+				Analyzer: "hotalloc",
+				Message: fmt.Sprintf(
+					"compiler reports %q inside hotpath function %s; the //fascia:hotpath contract is zero heap allocation — hoist it or restructure",
+					d.Msg, r.Func),
+			})
+			break
+		}
+	}
+	return out
+}

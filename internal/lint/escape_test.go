@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEscapeOutput(t *testing.T) {
+	out := `
+# repro/internal/dp
+internal/dp/lane8.go:30:12: make([]float64, n) escapes to heap
+internal/dp/lane8.go:31:2: inlining call to addTo
+internal/dp/kernel.go:44:7: s does not escape
+internal/table/bulk8.go:14:6: moved to heap: acc
+not a diagnostic line
+internal/dp/bad.go:xx:1: escapes to heap
+`
+	diags := ParseEscapeOutput(out)
+	if len(diags) != 2 {
+		t.Fatalf("expected 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+	if diags[0].File != "internal/dp/lane8.go" || diags[0].Line != 30 || diags[0].Col != 12 {
+		t.Errorf("bad first diagnostic: %+v", diags[0])
+	}
+	if !strings.Contains(diags[0].Msg, "escapes to heap") {
+		t.Errorf("bad first message: %q", diags[0].Msg)
+	}
+	if diags[1].File != "internal/table/bulk8.go" || diags[1].Line != 14 {
+		t.Errorf("bad second diagnostic: %+v", diags[1])
+	}
+}
+
+func TestEscapeFindings(t *testing.T) {
+	ranges := []HotRange{
+		{File: "/abs/repo/internal/dp/lane8.go", Start: 25, End: 40, Func: "laneMulAdd"},
+	}
+	diags := []EscapeDiag{
+		{File: "internal/dp/lane8.go", Line: 30, Col: 12, Msg: "make([]float64, n) escapes to heap"},
+		{File: "internal/dp/lane8.go", Line: 50, Col: 1, Msg: "escapes to heap"}, // outside the range
+		{File: "internal/dp/other.go", Line: 30, Col: 1, Msg: "escapes to heap"}, // other file
+	}
+	got := EscapeFindings(ranges, diags)
+	if len(got) != 1 {
+		t.Fatalf("expected 1 finding, got %d: %v", len(got), got)
+	}
+	f := got[0]
+	if f.Analyzer != "hotalloc" || f.Pos.Line != 30 || f.Pos.Column != 12 {
+		t.Errorf("bad finding: %+v", f)
+	}
+	if !strings.Contains(f.Message, "laneMulAdd") {
+		t.Errorf("finding does not name the hotpath function: %s", f.Message)
+	}
+}
+
+// TestHotpathRanges checks the //fascia:hotpath extents against the
+// hotalloc fixture, which annotates three functions.
+func TestHotpathRanges(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.Load(fixturePrefix + "hotalloc/internal/dp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := HotpathRanges([]*Package{pkg})
+	byFunc := map[string]HotRange{}
+	for _, r := range ranges {
+		byFunc[r.Func] = r
+	}
+	for _, fn := range []string{"hotBad", "hotClean", "hotSuppressed"} {
+		r, ok := byFunc[fn]
+		if !ok {
+			t.Errorf("missing hotpath range for %s (got %v)", fn, ranges)
+			continue
+		}
+		if r.Start <= 0 || r.End < r.Start || r.File == "" {
+			t.Errorf("degenerate range for %s: %+v", fn, r)
+		}
+	}
+	if len(ranges) != 3 {
+		t.Errorf("expected 3 hotpath ranges, got %d", len(ranges))
+	}
+}

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatFlow extends maporder from "no map ranges in deterministic
+// packages" to a dataflow property on the estimate path: a float
+// accumulation (`sum += x`, `sum = sum + x`) whose operand *order*
+// depends on an unordered iteration is a finding, because float
+// addition does not commute in the last bit and the whole differential
+// matrix (layout × kernel × batch × parallel mode, plus the seed-keyed
+// cache) rests on bit-identical estimate streams.
+//
+// Unordered contexts: map ranges and sync.Map.Range callbacks (Go
+// randomizes iteration), bodies of `go func` literals accumulating
+// into captured variables (goroutine completion order), range-over-
+// channel loops folding the received values (send interleaving), and
+// select statements with two or more receive cases (case choice is
+// random).
+//
+// Per-key accumulation (`m[k] += x` inside `for k := range src`) is
+// exempt — each cell receives its adds in a fixed per-key order — and
+// the check is interprocedural one level: a map-range loop that calls
+// a helper whose summary says it accumulates floats into a passed
+// accumulator is the same bug wearing a function call.
+var FloatFlow = &Analyzer{
+	Name: "floatflow",
+	Doc:  "float accumulation ordered by map/sync.Map iteration, unordered channel receives, or goroutine completion (breaks bit-identical estimates)",
+	Run:  runFloatFlow,
+}
+
+// floatFlowPkgs is the estimate path: the deterministic packages plus
+// the distributed tiers that merge per-rank and per-shard totals.
+var floatFlowPkgs = []string{
+	"internal/dp",
+	"internal/table",
+	"internal/comb",
+	"internal/serve",
+	"internal/dist",
+	"internal/shard",
+}
+
+func runFloatFlow(pass *Pass) {
+	gated := false
+	for _, s := range floatFlowPkgs {
+		if pathHasSuffix(pass.Pkg.Path, s) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return
+	}
+	eng := newFlowEngine(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ff := &floatFlowWalker{pass: pass, eng: eng}
+			ff.walk(fd.Body, nil)
+		}
+	}
+}
+
+// unorderedCtx describes why the enclosing iteration order is
+// nondeterministic.
+type unorderedCtx struct {
+	why string
+	// keyVars are the iteration variables; indexing an accumulator by
+	// one of them makes the accumulation per-key and exempt.
+	keyVars map[types.Object]bool
+	// outerOnly restricts findings to accumulators declared outside
+	// the given node (goroutine bodies: locals are fine).
+	outer ast.Node
+}
+
+type floatFlowWalker struct {
+	pass *Pass
+	eng  *flowEngine
+}
+
+// walk descends statements carrying the innermost unordered context.
+func (ff *floatFlowWalker) walk(n ast.Node, ctx *unorderedCtx) {
+	if n == nil {
+		return
+	}
+	info := ff.pass.Pkg.Info
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		switch m := m.(type) {
+		case *ast.RangeStmt:
+			ff.walkRange(m, ctx)
+			return false
+		case *ast.SelectStmt:
+			ff.walkSelect(m, ctx)
+			return false
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+				for _, a := range m.Call.Args {
+					ff.walk(a, ctx)
+				}
+				ff.walk(lit.Body, &unorderedCtx{
+					why:   "goroutine completion order",
+					outer: lit,
+				})
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			// sync.Map.Range(func(k, v) { … }): the callback body runs
+			// in randomized order.
+			if lit, keys, ok := syncMapRangeCallback(info, m); ok {
+				ff.walk(lit.Body, &unorderedCtx{
+					why:     "sync.Map iteration order",
+					keyVars: keys,
+				})
+				return false
+			}
+			if ctx != nil {
+				ff.checkCallAccumulates(m, ctx)
+			}
+			return true
+		case *ast.AssignStmt:
+			if ctx != nil {
+				ff.checkAccum(m, ctx)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (ff *floatFlowWalker) walkRange(rs *ast.RangeStmt, ctx *unorderedCtx) {
+	info := ff.pass.Pkg.Info
+	ff.walk(rs.X, ctx)
+	next := ctx
+	if why, ok := unorderedRange(info, rs); ok {
+		keys := map[types.Object]bool{}
+		for _, v := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := v.(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil {
+					keys[obj] = true
+				}
+			}
+		}
+		next = &unorderedCtx{why: why, keyVars: keys}
+	}
+	ff.walk(rs.Body, next)
+}
+
+func (ff *floatFlowWalker) walkSelect(sel *ast.SelectStmt, ctx *unorderedCtx) {
+	recvCases := 0
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if commIsReceive(cc.Comm) {
+			recvCases++
+		}
+	}
+	next := ctx
+	if recvCases >= 2 {
+		next = &unorderedCtx{why: "select receive order across multiple channels"}
+	}
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok {
+			// Wrap the clause body so walk's root-skip guard does not
+			// swallow a bare accumulation statement.
+			ff.walk(&ast.BlockStmt{List: cc.Body}, next)
+		}
+	}
+}
+
+func commIsReceive(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ue, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if ue, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			return true
+		}
+	}
+	return false
+}
+
+// unorderedRange classifies a range statement's iteration order.
+func unorderedRange(info *types.Info, rs *ast.RangeStmt) (string, bool) {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type.Underlying()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem().Underlying()
+	}
+	switch t.(type) {
+	case *types.Map:
+		return "map iteration order", true
+	case *types.Chan:
+		return "channel receive order", true
+	}
+	return "", false
+}
+
+// syncMapRangeCallback matches m.Range(func(k, v any) bool { … }) on a
+// sync.Map and returns the callback with its parameter objects.
+func syncMapRangeCallback(info *types.Info, call *ast.CallExpr) (*ast.FuncLit, map[types.Object]bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" || len(call.Args) != 1 {
+		return nil, nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil || !isSyncMap(tv.Type) {
+		return nil, nil, false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit)
+	if !ok {
+		return nil, nil, false
+	}
+	keys := map[types.Object]bool{}
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, n := range f.Names {
+				if obj := identObj(info, n); obj != nil {
+					keys[obj] = true
+				}
+			}
+		}
+	}
+	return lit, keys, true
+}
+
+func isSyncMap(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Map"
+}
+
+// checkAccum flags a float accumulation inside an unordered context.
+func (ff *floatFlowWalker) checkAccum(s *ast.AssignStmt, ctx *unorderedCtx) {
+	info := ff.pass.Pkg.Info
+	if !isFloatAccumAssign(info, s) {
+		return
+	}
+	lhs := s.Lhs[0]
+	if ff.perKeyExempt(lhs, ctx) {
+		return
+	}
+	if ctx.outer != nil && !ff.capturedFromOutside(lhs, ctx.outer) {
+		return
+	}
+	ff.pass.Reportf(s.Pos(),
+		"float accumulation into %s is ordered by %s, which is nondeterministic and breaks the bit-identical estimate stream; accumulate in a fixed order (sorted keys, indexed slots) instead",
+		exprString(lhs), ctx.why)
+}
+
+// checkCallAccumulates flags a call whose summary says it accumulates
+// floats into one of its arguments — the interprocedural form of the
+// same bug.
+func (ff *floatFlowWalker) checkCallAccumulates(call *ast.CallExpr, ctx *unorderedCtx) {
+	sum, fd := ff.eng.summaryFor(call)
+	if sum == nil || len(sum.floatAcc) == 0 {
+		return
+	}
+	info := ff.pass.Pkg.Info
+	recv, args := callParts(info, call)
+	hit := func(i int, arg ast.Expr) {
+		if !sum.floatAcc[i] || arg == nil {
+			return
+		}
+		if ff.perKeyExempt(arg, ctx) {
+			return
+		}
+		if ctx.outer != nil && !ff.capturedFromOutside(arg, ctx.outer) {
+			return
+		}
+		ff.pass.Reportf(call.Pos(),
+			"call to %s accumulates floats into %s in an order set by %s, which is nondeterministic and breaks the bit-identical estimate stream",
+			fd.Name.Name, exprString(arg), ctx.why)
+	}
+	hit(-1, recv)
+	for i, a := range args {
+		hit(i, a)
+	}
+}
+
+// perKeyExempt reports whether the accumulator is indexed by an
+// iteration variable (per-key cells receive their adds in a fixed
+// order, so the fold commutes at the cell level).
+func (ff *floatFlowWalker) perKeyExempt(lhs ast.Expr, ctx *unorderedCtx) bool {
+	if len(ctx.keyVars) == 0 {
+		return false
+	}
+	info := ff.pass.Pkg.Info
+	exempt := false
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		ie, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return !exempt
+		}
+		ast.Inspect(ie.Index, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil && ctx.keyVars[obj] {
+					exempt = true
+				}
+			}
+			return !exempt
+		})
+		return !exempt
+	})
+	return exempt
+}
+
+// capturedFromOutside reports whether the expression's root variable
+// is declared outside the given node (a goroutine literal): only
+// captured accumulators race on completion order.
+func (ff *floatFlowWalker) capturedFromOutside(e ast.Expr, outer ast.Node) bool {
+	k, ok := exprKeyOf(ff.pass.Pkg.Info, e)
+	if !ok || k.obj == nil {
+		return false
+	}
+	pos := k.obj.Pos()
+	return pos.IsValid() && (pos < outer.Pos() || pos > outer.End())
+}

@@ -1,0 +1,1034 @@
+package lint
+
+// flow.go is the shared dataflow substrate behind the v2 analyzers
+// (wiretrust, hotalloc, goleak, floatflow): a per-package function
+// index that resolves calls to in-package declarations, and a
+// lightweight taint walker with fixpoint function summaries so the
+// analyzers see one level (or more, via summary chaining) across calls
+// without importing x/tools. See DESIGN.md §8.
+//
+// The taint model is deliberately an approximation tuned to this
+// codebase:
+//
+//   - sources: integers produced by encoding/binary decodes, bufio
+//     reads, json/binary unmarshals, reads into []byte buffers, and —
+//     in the wire-parsing packages — the contents of []byte parameters
+//     (a []byte argument in internal/shard or internal/graph *is* wire
+//     or file data by construction);
+//   - sanitizers: any comparison that mentions the value (an if/for/
+//     switch condition), or rebinding it from an untainted expression.
+//     The model is branch-insensitive: comparing a value anywhere
+//     before the sink counts, including loop bounds;
+//   - sinks: make sizes, slice/array/string indexing, slice-expression
+//     bounds, and io.CopyN budgets.
+//
+// Summaries carry taint across calls: returnsTaint (calling it yields
+// a wire-derived value — the rbuf.u32 shape), paramToRet (a tainted
+// argument taints the result — passthrough helpers), and paramToSink
+// (a tainted argument reaches a sink inside the callee unchecked — the
+// alloc-helper shape). The summary fixpoint iterates until stable, so
+// helper chains deeper than one call still resolve.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function whose body must stay allocation
+// free (checked statically by hotalloc and against the compiler's
+// escape diagnostics by `fasciavet -escape` / `make check-escape`).
+const hotpathDirective = "//fascia:hotpath"
+
+// isHotpath reports whether the declaration carries the
+// //fascia:hotpath directive in its doc comment group.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcIndex maps every function and method declared in a package to
+// its declaration, so analyzers can follow calls one level deep.
+type funcIndex struct {
+	pkg   *Package
+	decls map[types.Object]*ast.FuncDecl
+}
+
+func newFuncIndex(pkg *Package) *funcIndex {
+	idx := &funcIndex{pkg: pkg, decls: make(map[types.Object]*ast.FuncDecl)}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					idx.decls[obj] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// callObj resolves the object a call invokes (function, method, or
+// builtin), or nil when the callee is dynamic.
+func (idx *funcIndex) callObj(call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	if obj := idx.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return idx.pkg.Info.Defs[id]
+}
+
+// callee resolves a call to an in-package declaration, or (nil, nil).
+func (idx *funcIndex) callee(call *ast.CallExpr) (*ast.FuncDecl, types.Object) {
+	obj := idx.callObj(call)
+	if obj == nil {
+		return nil, nil
+	}
+	return idx.decls[obj], obj
+}
+
+// callParts splits a call into its receiver argument (nil for plain
+// function calls) and ordinary arguments, matching the summary's
+// parameter indexing (receiver = -1, params = 0..n-1).
+func callParts(info *types.Info, call *ast.CallExpr) (recv ast.Expr, args []ast.Expr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			recv = sel.X
+		}
+	}
+	return recv, call.Args
+}
+
+// taintKind distinguishes an untrusted integer value from a buffer
+// whose contents are untrusted (indexing the latter yields the former;
+// its length, via len, is always trusted).
+type taintKind uint8
+
+const (
+	taintVal  taintKind = 1 << iota // a wire-derived scalar
+	taintData                       // a buffer holding wire bytes
+)
+
+// taintKey names a trackable lvalue: a variable, or a selector chain
+// rooted at one ("q", "q.Ranks", "r.b").
+type taintKey struct {
+	obj  types.Object
+	path string
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// exprKeyOf canonicalizes an lvalue-ish expression to a taint key,
+// unwrapping parens, derefs, and address-of.
+func exprKeyOf(info *types.Info, e ast.Expr) (taintKey, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := identObj(info, e); obj != nil {
+			return taintKey{obj: obj}, true
+		}
+	case *ast.SelectorExpr:
+		if k, ok := exprKeyOf(info, e.X); ok {
+			k.path += "." + e.Sel.Name
+			return k, true
+		}
+	case *ast.StarExpr:
+		return exprKeyOf(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprKeyOf(info, e.X)
+		}
+	}
+	return taintKey{}, false
+}
+
+// funcSummary is what the engine knows about one declared function.
+type funcSummary struct {
+	// returnsTaint: calling the function yields a wire-derived value
+	// (the rbuf.u32 / readFrame shape).
+	returnsTaint bool
+	// paramToRet[i]: a tainted argument in position i (receiver: -1)
+	// taints the result — passthrough and arithmetic helpers.
+	paramToRet map[int]bool
+	// paramToSink[i]: a tainted argument in position i reaches a
+	// make/index/slice sink inside the callee without a bounds
+	// comparison (the alloc-helper shape wiretrust chases).
+	paramToSink map[int]bool
+	// floatAcc[i]: the function accumulates float64/float32 (+=) into
+	// storage rooted at parameter i (receiver: -1) — floatflow's
+	// interprocedural hook.
+	floatAcc map[int]bool
+	// allocates: the body contains a composite literal, append, or
+	// closure — hotalloc's one-level callee check.
+	allocates bool
+	// hotpath: the declaration carries //fascia:hotpath.
+	hotpath bool
+}
+
+// flowEngine is the per-package analysis context shared by the v2
+// analyzers.
+type flowEngine struct {
+	pkg       *Package
+	idx       *funcIndex
+	summaries map[types.Object]*funcSummary
+	wireDone  bool
+}
+
+func newFlowEngine(pkg *Package) *flowEngine {
+	eng := &flowEngine{
+		pkg:       pkg,
+		idx:       newFuncIndex(pkg),
+		summaries: make(map[types.Object]*funcSummary),
+	}
+	for obj, fd := range eng.idx.decls {
+		sum := &funcSummary{
+			paramToRet:  make(map[int]bool),
+			paramToSink: make(map[int]bool),
+			floatAcc:    make(map[int]bool),
+			hotpath:     isHotpath(fd),
+		}
+		eng.fillSyntactic(sum, fd)
+		eng.summaries[obj] = sum
+	}
+	return eng
+}
+
+func (eng *flowEngine) summaryFor(call *ast.CallExpr) (*funcSummary, *ast.FuncDecl) {
+	fd, obj := eng.idx.callee(call)
+	if fd == nil {
+		return nil, nil
+	}
+	return eng.summaries[obj], fd
+}
+
+// paramObjs lists a declaration's receiver and parameter objects.
+func paramObjs(info *types.Info, fd *ast.FuncDecl) (recv types.Object, params []types.Object) {
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, n := range f.Names {
+				recv = identObj(info, n)
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, n := range f.Names {
+				params = append(params, identObj(info, n))
+			}
+		}
+	}
+	return recv, params
+}
+
+// fillSyntactic computes the fixpoint-free summary bits: floatAcc and
+// allocates.
+func (eng *flowEngine) fillSyntactic(sum *funcSummary, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	info := eng.pkg.Info
+	recv, params := paramObjs(info, fd)
+	indexOf := func(obj types.Object) (int, bool) {
+		if obj == nil {
+			return 0, false
+		}
+		if obj == recv {
+			return -1, true
+		}
+		for i, p := range params {
+			if obj == p {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit, *ast.FuncLit:
+			sum.allocates = true
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // don't attribute a closure's accumulation to the outer func
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsBuiltin() {
+					sum.allocates = true
+				}
+			}
+		case *ast.AssignStmt:
+			if !isFloatAccumAssign(info, n) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if k, ok := exprKeyOf(info, lhs); ok {
+					if i, ok := indexOf(k.obj); ok {
+						sum.floatAcc[i] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFloatAccumAssign reports whether the statement accumulates into a
+// float: `x += e`, `x -= e`, or `x = x + e` with float-typed x.
+func isFloatAccumAssign(info *types.Info, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 {
+		return false
+	}
+	if !isFloatExpr(info, s.Lhs[0]) {
+		return false
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return true
+	case token.ASSIGN:
+		be, ok := ast.Unparen(s.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+			return false
+		}
+		l := exprString(s.Lhs[0])
+		return exprString(be.X) == l || exprString(be.Y) == l
+	}
+	return false
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ensureWireSummaries runs the taint fixpoint (returnsTaint,
+// paramToRet, paramToSink). Only wiretrust pays for it; the other
+// analyzers use the syntactic summary bits.
+func (eng *flowEngine) ensureWireSummaries() {
+	if eng.wireDone {
+		return
+	}
+	eng.wireDone = true
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range eng.idx.decls {
+			if eng.updateWireSummary(eng.summaries[obj], fd) {
+				changed = true
+			}
+		}
+	}
+}
+
+func (eng *flowEngine) updateWireSummary(sum *funcSummary, fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	changed := false
+	// Intrinsic sources (plus callee summaries) to the return value.
+	w := eng.newWalker(modeFull, nil)
+	w.seedByteParams(fd)
+	w.walkBody(fd.Body)
+	if w.returnTainted && !sum.returnsTaint {
+		sum.returnsTaint = true
+		changed = true
+	}
+	// Each parameter in isolation: does it alone reach a sink or the
+	// return value? (Sources are off in modeParam so only the seeded
+	// parameter's flow is attributed.)
+	recv, params := paramObjs(eng.pkg.Info, fd)
+	seed := func(i int, obj types.Object) {
+		if obj == nil || sum.paramToSink[i] && sum.paramToRet[i] {
+			return
+		}
+		pw := eng.newWalker(modeParam, nil)
+		pw.tainted[taintKey{obj: obj}] = taintForType(obj.Type())
+		pw.walkBody(fd.Body)
+		if pw.sinkHit && !sum.paramToSink[i] {
+			sum.paramToSink[i] = true
+			changed = true
+		}
+		if pw.returnTainted && !sum.paramToRet[i] {
+			sum.paramToRet[i] = true
+			changed = true
+		}
+	}
+	seed(-1, recv)
+	for i, p := range params {
+		seed(i, p)
+	}
+	return changed
+}
+
+// taintForType: []byte parameters carry untrusted bytes; everything
+// else is seeded as an untrusted scalar.
+func taintForType(t types.Type) taintKind {
+	if isByteSlice(t) {
+		return taintData
+	}
+	return taintVal
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// taintMode selects the walker's source model. modeFull enables the
+// intrinsic sources (binary decodes, reads, byte params) and callee
+// returnsTaint; modeParam tracks only the explicitly seeded keys, so
+// summary bits attribute flows to a single parameter.
+type taintMode uint8
+
+const (
+	modeFull taintMode = iota
+	modeParam
+)
+
+// taintWalker walks one function body in statement order, maintaining
+// the tainted/sanitized key sets and reporting sinks.
+type taintWalker struct {
+	eng  *flowEngine
+	info *types.Info
+	mode taintMode
+
+	tainted   map[taintKey]taintKind
+	sanitized map[taintKey]bool
+
+	sinkHit       bool
+	returnTainted bool
+	report        func(pos token.Pos, msg string)
+}
+
+func (eng *flowEngine) newWalker(mode taintMode, report func(token.Pos, string)) *taintWalker {
+	return &taintWalker{
+		eng:       eng,
+		info:      eng.pkg.Info,
+		mode:      mode,
+		tainted:   make(map[taintKey]taintKind),
+		sanitized: make(map[taintKey]bool),
+		report:    report,
+	}
+}
+
+// seedByteParams marks []byte parameters (and []byte fields of struct
+// or pointer-to-struct receivers/parameters, the rbuf shape) as wire
+// data — the wire-parsing-package assumption.
+func (w *taintWalker) seedByteParams(fd *ast.FuncDecl) {
+	recv, params := paramObjs(w.info, fd)
+	seed := func(obj types.Object) {
+		if obj == nil {
+			return
+		}
+		t := obj.Type()
+		if isByteSlice(t) {
+			w.tainted[taintKey{obj: obj}] = taintData
+			return
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if isByteSlice(f.Type()) {
+					w.tainted[taintKey{obj: obj, path: "." + f.Name()}] = taintData
+				}
+			}
+		}
+	}
+	seed(recv)
+	for _, p := range params {
+		seed(p)
+	}
+}
+
+func (w *taintWalker) analyzeFunc(fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	w.seedByteParams(fd)
+	w.walkBody(fd.Body)
+}
+
+func (w *taintWalker) sink(pos token.Pos, format string, args ...any) {
+	w.sinkHit = true
+	if w.report != nil {
+		w.report(pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (w *taintWalker) walkBody(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	for _, s := range body.List {
+		w.walkStmt(s)
+	}
+}
+
+func (w *taintWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.walkAssign(s)
+	case *ast.ExprStmt:
+		w.scan(s.X)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.scan(v)
+			}
+			if len(vs.Values) == len(vs.Names) {
+				for i, name := range vs.Names {
+					w.assignOne(name, vs.Values[i], token.DEFINE)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.scan(s.Cond)
+		w.sanitizeFromCond(s.Cond)
+		w.walkBody(s.Body)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		w.walkBody(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond)
+			w.sanitizeFromCond(s.Cond)
+		}
+		w.walkBody(s.Body)
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.scan(s.X)
+		if w.taintOf(s.X)&taintData != 0 && s.Value != nil {
+			w.setTaint(s.Value, taintVal, token.DEFINE)
+		}
+		w.walkBody(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag)
+			w.sanitizeExprTree(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				w.scan(e)
+			}
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Assign)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				w.walkStmt(st)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scan(r)
+			if w.taintOf(r) != 0 {
+				w.returnTainted = true
+			}
+		}
+	case *ast.GoStmt:
+		w.scanCall(s.Call)
+	case *ast.DeferStmt:
+		w.scanCall(s.Call)
+	case *ast.SendStmt:
+		w.scan(s.Chan)
+		w.scan(s.Value)
+	case *ast.IncDecStmt:
+		w.scan(s.X)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	}
+}
+
+func (w *taintWalker) walkAssign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		w.scan(r)
+	}
+	switch {
+	case len(s.Lhs) == len(s.Rhs):
+		for i := range s.Lhs {
+			w.assignOne(s.Lhs[i], s.Rhs[i], s.Tok)
+		}
+	case len(s.Rhs) == 1:
+		// Multi-value form (call, map read, type assert): the result
+		// kind applies to every binding.
+		kind := w.taintOf(s.Rhs[0])
+		for _, l := range s.Lhs {
+			w.setTaint(l, kind, s.Tok)
+		}
+	}
+}
+
+func (w *taintWalker) assignOne(lhs, rhs ast.Expr, tok token.Token) {
+	// Struct literals carry field-level taint: `r := rbuf{b: data}`
+	// taints r.b rather than r wholesale.
+	if cl, ok := compositeLitOf(rhs); ok {
+		if k, okk := exprKeyOf(w.info, lhs); okk {
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				fid, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if fk := w.taintOf(kv.Value); fk != 0 {
+					sub := taintKey{obj: k.obj, path: k.path + "." + fid.Name}
+					w.tainted[sub] = fk
+					delete(w.sanitized, sub)
+				}
+			}
+		}
+	}
+	w.setTaint(lhs, w.taintOf(rhs), tok)
+}
+
+func compositeLitOf(e ast.Expr) (*ast.CompositeLit, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return e, true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return cl, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func (w *taintWalker) setTaint(lhs ast.Expr, kind taintKind, tok token.Token) {
+	k, ok := exprKeyOf(w.info, lhs)
+	if !ok {
+		return
+	}
+	switch tok {
+	case token.ASSIGN, token.DEFINE:
+		if kind != 0 {
+			w.tainted[k] = kind
+			delete(w.sanitized, k)
+		} else {
+			delete(w.tainted, k)
+			delete(w.sanitized, k)
+		}
+	default: // op= merges taint in, never launders it out
+		if kind != 0 {
+			w.tainted[k] |= kind
+			delete(w.sanitized, k)
+		}
+	}
+}
+
+// taintExpr marks the key behind e (unwrapping &x) with kind — the
+// out-parameter side effect of binary.Read / json Decode / io.ReadFull.
+func (w *taintWalker) taintExpr(e ast.Expr, kind taintKind) {
+	if k, ok := exprKeyOf(w.info, e); ok {
+		w.tainted[k] |= kind
+		delete(w.sanitized, k)
+	}
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// sanitizeFromCond treats every comparison inside a condition as a
+// bounds check for the values it mentions.
+func (w *taintWalker) sanitizeFromCond(cond ast.Expr) {
+	if cond == nil {
+		return
+	}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && isComparison(be.Op) {
+			w.sanitizeExprTree(be.X)
+			w.sanitizeExprTree(be.Y)
+		}
+		return true
+	})
+}
+
+// sanitizeExprTree clears taint for every key mentioned in the tree.
+func (w *taintWalker) sanitizeExprTree(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if k, ok := exprKeyOf(w.info, ex); ok {
+			w.sanitized[k] = true
+			delete(w.tainted, k)
+		}
+		return true
+	})
+}
+
+// taintOf computes the taint kind of an expression (pure; side effects
+// and sinks live in scan/scanCall).
+func (w *taintWalker) taintOf(e ast.Expr) taintKind {
+	if e == nil {
+		return 0
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+		k, ok := exprKeyOf(w.info, e.(ast.Expr))
+		if !ok {
+			return 0
+		}
+		if w.sanitized[k] {
+			return 0
+		}
+		if kind, ok := w.tainted[k]; ok {
+			return kind
+		}
+		// A selector under a tainted root (a struct decoded wholesale)
+		// is tainted unless that exact field was sanitized.
+		for path := k.path; path != ""; {
+			i := strings.LastIndex(path, ".")
+			if i < 0 {
+				break
+			}
+			path = path[:i]
+			pk := taintKey{obj: k.obj, path: path}
+			if w.sanitized[pk] {
+				return 0
+			}
+			if kind, ok := w.tainted[pk]; ok && kind&taintVal != 0 {
+				return taintVal
+			}
+		}
+		return 0
+	case *ast.BinaryExpr:
+		if isComparison(e.Op) || e.Op == token.LAND || e.Op == token.LOR {
+			return 0
+		}
+		return w.taintOf(e.X) | w.taintOf(e.Y)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return 0
+		}
+		return w.taintOf(e.X)
+	case *ast.CallExpr:
+		return w.callResultTaint(e)
+	case *ast.IndexExpr:
+		if w.taintOf(e.X)&taintData != 0 {
+			return taintVal
+		}
+		return 0
+	case *ast.SliceExpr:
+		return w.taintOf(e.X) & taintData
+	case *ast.TypeAssertExpr:
+		return w.taintOf(e.X)
+	}
+	return 0
+}
+
+// wireSourceFuncs are the stdlib calls whose results are wire-derived.
+var wireSourceFuncs = map[string]map[string]bool{
+	"encoding/binary": {
+		"Uint16": true, "Uint32": true, "Uint64": true,
+		"ReadUvarint": true, "ReadVarint": true,
+		"Uvarint": true, "Varint": true,
+	},
+	"bufio": {
+		"ReadByte": true, "ReadBytes": true, "ReadSlice": true,
+		"ReadString": true, "ReadRune": true,
+	},
+}
+
+func (w *taintWalker) callResultTaint(call *ast.CallExpr) taintKind {
+	info := w.info
+	if tv, ok := info.Types[call.Fun]; ok {
+		if tv.IsType() { // conversion: int(n), string(b) — passthrough
+			if len(call.Args) == 1 {
+				return w.taintOf(call.Args[0])
+			}
+			return 0
+		}
+		if tv.IsBuiltin() {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				var kind taintKind
+				for _, a := range call.Args {
+					kind |= w.taintOf(a)
+				}
+				return kind
+			}
+			return 0 // len, cap, min, max, make, … are trusted
+		}
+	}
+	obj := w.eng.idx.callObj(call)
+	if obj != nil && obj.Pkg() != nil && w.mode == modeFull {
+		pkgPath := obj.Pkg().Path()
+		if names, ok := wireSourceFuncs[pkgPath]; ok && names[obj.Name()] {
+			return taintVal
+		}
+		if pkgPath == "math" && (obj.Name() == "Float64frombits" || obj.Name() == "Float32frombits") {
+			if len(call.Args) == 1 {
+				return w.taintOf(call.Args[0])
+			}
+		}
+	}
+	// In-package callee: returnsTaint and paramToRet summaries.
+	if sum, _ := w.eng.summaryFor(call); sum != nil {
+		if w.mode == modeFull && sum.returnsTaint {
+			return taintVal
+		}
+		recv, args := callParts(info, call)
+		if recv != nil && sum.paramToRet[-1] && w.taintOf(recv) != 0 {
+			return taintVal
+		}
+		for i, a := range args {
+			if sum.paramToRet[i] && w.taintOf(a) != 0 {
+				return taintVal
+			}
+		}
+	}
+	return 0
+}
+
+// scan descends an expression, reporting sinks and applying call side
+// effects in evaluation order.
+func (w *taintWalker) scan(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.scanCall(e)
+	case *ast.IndexExpr:
+		w.scan(e.X)
+		w.scan(e.Index)
+		if w.taintOf(e.Index)&taintVal != 0 && !w.isMapOrTypeParamIndex(e) {
+			w.sink(e.Index.Pos(),
+				"wire-derived index %s reaches %s[...] without a bounds comparison; validate it against the length first",
+				exprString(e.Index), exprString(e.X))
+		}
+	case *ast.SliceExpr:
+		w.scan(e.X)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b == nil {
+				continue
+			}
+			w.scan(b)
+			if w.taintOf(b)&taintVal != 0 {
+				w.sink(b.Pos(),
+					"wire-derived size %s bounds a slice of %s without a bounds comparison; validate it against the available bytes first",
+					exprString(b), exprString(e.X))
+			}
+		}
+	case *ast.BinaryExpr:
+		w.scan(e.X)
+		w.scan(e.Y)
+	case *ast.UnaryExpr:
+		w.scan(e.X)
+	case *ast.ParenExpr:
+		w.scan(e.X)
+	case *ast.StarExpr:
+		w.scan(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.scan(kv.Value)
+			} else {
+				w.scan(el)
+			}
+		}
+	case *ast.FuncLit:
+		w.walkBody(e.Body)
+	case *ast.TypeAssertExpr:
+		w.scan(e.X)
+	case *ast.KeyValueExpr:
+		w.scan(e.Value)
+	}
+}
+
+func (w *taintWalker) isMapOrTypeParamIndex(e *ast.IndexExpr) bool {
+	tv, ok := w.info.Types[e.X]
+	if !ok || tv.Type == nil {
+		return true // no type info (broken package): stay quiet
+	}
+	if tv.IsType() {
+		return true // generic instantiation, not an index
+	}
+	t := tv.Type.Underlying()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem().Underlying()
+	}
+	switch t.(type) {
+	case *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func (w *taintWalker) scanCall(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.scan(sel.X)
+	}
+	for _, a := range call.Args {
+		w.scan(a)
+	}
+
+	info := w.info
+	if tv, ok := info.Types[call.Fun]; ok {
+		if tv.IsType() {
+			return
+		}
+		if tv.IsBuiltin() {
+			id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+			if id != nil && id.Name == "make" && len(call.Args) > 1 {
+				for _, sz := range call.Args[1:] {
+					if w.taintOf(sz)&taintVal != 0 {
+						w.sink(sz.Pos(),
+							"wire-derived length %s sizes a make without a bounds comparison; validate it against a protocol limit first",
+							exprString(sz))
+					}
+				}
+			}
+			return
+		}
+	}
+
+	if obj := w.eng.idx.callObj(call); obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "io":
+			switch obj.Name() {
+			case "ReadFull", "ReadAtLeast":
+				if len(call.Args) >= 2 && w.mode == modeFull {
+					w.taintExpr(call.Args[1], taintData)
+				}
+			case "CopyN":
+				if len(call.Args) == 3 && w.taintOf(call.Args[2])&taintVal != 0 {
+					w.sink(call.Args[2].Pos(),
+						"wire-derived size %s budgets io.CopyN without a bounds comparison; validate it against a protocol limit first",
+						exprString(call.Args[2]))
+				}
+			}
+		case "encoding/binary":
+			if obj.Name() == "Read" && len(call.Args) == 3 && w.mode == modeFull {
+				w.taintExpr(call.Args[2], taintVal)
+			}
+		case "encoding/json":
+			if w.mode == modeFull {
+				switch obj.Name() {
+				case "Unmarshal":
+					if len(call.Args) == 2 {
+						w.taintExpr(call.Args[1], taintVal)
+					}
+				case "Decode":
+					if len(call.Args) == 1 {
+						w.taintExpr(call.Args[0], taintVal)
+					}
+				}
+			}
+		}
+		// A Read(buf)-shaped method on any reader fills buf with wire
+		// or file bytes.
+		if w.mode == modeFull && (obj.Name() == "Read" || obj.Name() == "ReadAt") &&
+			len(call.Args) >= 1 && obj.Pkg().Path() != w.eng.pkg.Path {
+			if tv, ok := info.Types[call.Args[0]]; ok && tv.Type != nil && isByteSlice(tv.Type) {
+				w.taintExpr(call.Args[0], taintData)
+			}
+		}
+	}
+
+	// In-package callee: tainted arguments reaching its sinks.
+	if sum, fd := w.eng.summaryFor(call); sum != nil {
+		recv, args := callParts(info, call)
+		if recv != nil && sum.paramToSink[-1] && w.taintOf(recv) != 0 {
+			w.sink(recv.Pos(),
+				"wire-derived value %s is the receiver of %s, which sizes an allocation or indexes with it without a bounds comparison",
+				exprString(recv), fd.Name.Name)
+		}
+		for i, a := range args {
+			if sum.paramToSink[i] && w.taintOf(a) != 0 {
+				w.sink(a.Pos(),
+					"wire-derived value %s is passed to %s, which sizes an allocation or indexes with it without a bounds comparison",
+					exprString(a), fd.Name.Name)
+			}
+		}
+	}
+}

@@ -2,9 +2,13 @@
 // analyzer (go/parser + go/types, no x/tools) that mechanizes the
 // invariants FASCIA's runtime tests establish — deterministic summation
 // order, sub-100ms cancellation, cache-key completeness, CSR
-// immutability, and mutex discipline — so a violation fails `make lint`
-// the moment it is written instead of the night a cache serves a wrong
-// count. See DESIGN.md §8 "Static analysis".
+// immutability, mutex discipline, bounds-checked wire lengths,
+// allocation-free hotpaths, reachable goroutine exits, and ordered
+// float accumulation — so a violation fails `make lint` the moment it
+// is written instead of the night a cache serves a wrong count. The
+// dataflow analyzers (wiretrust, hotalloc, goleak, floatflow) share
+// the interprocedural flow engine in flow.go. See DESIGN.md §8
+// "Static analysis".
 //
 // Findings are suppressed with a mandatory-reason comment on the
 // offending line or the line above:
@@ -63,19 +67,36 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All is the fasciavet analyzer suite.
-var All = []*Analyzer{MapOrder, CtxPoll, FingerprintCover, CSRMut, GuardedBy}
+// All is the fasciavet analyzer suite. The first five are PR 5's
+// single-function checks; wiretrust, hotalloc, goleak, and floatflow
+// are the v2 dataflow analyzers built on the flow engine (flow.go).
+var All = []*Analyzer{
+	MapOrder, CtxPoll, FingerprintCover, CSRMut, GuardedBy,
+	WireTrust, HotAlloc, GoLeak, FloatFlow,
+}
 
 // Run applies the analyzers to every package, resolves suppression
 // comments (dropping suppressed findings, reporting malformed or unknown
 // suppressions), and returns the surviving diagnostics sorted by
 // position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := run(pkgs, analyzers)
+	return diags
+}
+
+// RunWithUnused is Run plus the -unused-suppressions report: the
+// second slice holds one diagnostic per well-formed suppression
+// comment that matched no finding on its line or the next (a stale
+// suppression is dead weight that hides nothing and misleads readers).
+func RunWithUnused(pkgs []*Package, analyzers []*Analyzer) (diags, unused []Diagnostic) {
+	return run(pkgs, analyzers)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer) (out, unused []Diagnostic) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var out []Diagnostic
 	for _, pkg := range pkgs {
 		sup, supDiags := collectSuppressions(pkg, known)
 		var raw []Diagnostic
@@ -89,7 +110,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		out = append(out, supDiags...)
+		unused = append(unused, sup.unused()...)
 	}
+	sortDiags(out)
+	sortDiags(unused)
+	return out, unused
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -103,14 +131,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }
 
 // suppressions maps file -> comment line -> analyzer names suppressed
 // there. A suppression on line L covers findings on L (trailing comment)
-// and L+1 (comment on its own line above the statement).
+// and L+1 (comment on its own line above the statement). Each entry
+// remembers whether it ever matched a finding, feeding the
+// -unused-suppressions report.
+type supEntry struct {
+	pos  token.Position // of the suppression comment
+	used bool
+}
+
 type suppressions struct {
-	byFile map[string]map[int]map[string]bool
+	byFile map[string]map[int]map[string]*supEntry
 }
 
 func (s *suppressions) covers(file string, line int, analyzer string) bool {
@@ -118,7 +152,34 @@ func (s *suppressions) covers(file string, line int, analyzer string) bool {
 	if lines == nil {
 		return false
 	}
-	return lines[line][analyzer] || lines[line-1][analyzer]
+	for _, l := range []int{line, line - 1} {
+		if e := lines[l][analyzer]; e != nil {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused reports every well-formed suppression that covered nothing.
+func (s *suppressions) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range s.byFile {
+		for _, set := range lines {
+			for name, e := range set {
+				if e.used {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      e.pos,
+					Analyzer: "suppress",
+					Message: fmt.Sprintf(
+						"suppression for %q matches no finding on this or the next line; remove it (stale suppressions hide nothing and mislead readers)", name),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // suppressPrefix introduces a suppression comment. The full syntax is
@@ -132,7 +193,12 @@ const suppressPrefix = "lint:"
 // — an unexplained suppression is as much a finding as the thing it
 // hides.
 func collectSuppressions(pkg *Package, known map[string]bool) (*suppressions, []Diagnostic) {
-	sup := &suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	sup := &suppressions{byFile: make(map[string]map[int]map[string]*supEntry)}
+	knownNames := make([]string, 0, len(known))
+	for n := range known {
+		knownNames = append(knownNames, n)
+	}
+	sort.Strings(knownNames)
 	var diags []Diagnostic
 	report := func(pos token.Pos, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -156,7 +222,7 @@ func collectSuppressions(pkg *Package, known map[string]bool) (*suppressions, []
 				name, reason, _ := strings.Cut(rest, " ")
 				name = strings.TrimSpace(name)
 				if !known[name] {
-					report(c.Pos(), "suppression names unknown analyzer %q (known: maporder, ctxpoll, fingerprintcover, csrmut, guardedby)", name)
+					report(c.Pos(), "suppression names unknown analyzer %q (known: %s)", name, strings.Join(knownNames, ", "))
 					continue
 				}
 				if !validSuppressionTail(reason) {
@@ -166,15 +232,15 @@ func collectSuppressions(pkg *Package, known map[string]bool) (*suppressions, []
 				pos := pkg.Fset.Position(c.Pos())
 				lines := sup.byFile[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]map[string]*supEntry)
 					sup.byFile[pos.Filename] = lines
 				}
 				set := lines[pos.Line]
 				if set == nil {
-					set = make(map[string]bool)
+					set = make(map[string]*supEntry)
 					lines[pos.Line] = set
 				}
-				set[name] = true
+				set[name] = &supEntry{pos: pos}
 			}
 		}
 	}

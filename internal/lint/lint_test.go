@@ -138,6 +138,40 @@ func TestCSRMutExemptFixture(t *testing.T) {
 }
 func TestGuardedByFixture(t *testing.T)   { runFixture(t, "guardedby") }
 func TestSuppressionFixture(t *testing.T) { runFixture(t, "suppress/internal/serve") }
+func TestWireTrustFixture(t *testing.T)   { runFixture(t, "wiretrust/internal/shard") }
+func TestWireTrustCleanFixture(t *testing.T) {
+	// Bounds-checked decodes — the real codec's discipline — must stay
+	// silent: the fixture has no want comments.
+	runFixture(t, "wiretrustok/internal/shard")
+}
+func TestGoLeakFixture(t *testing.T)    { runFixture(t, "goleak/internal/serve") }
+func TestHotAllocFixture(t *testing.T)  { runFixture(t, "hotalloc/internal/dp") }
+func TestFloatFlowFixture(t *testing.T) { runFixture(t, "floatflow/internal/dp") }
+
+// TestUnusedSuppressions pins the -unused-suppressions contract: a
+// suppression that covers a live finding is silent, one that covers
+// nothing is reported as stale.
+func TestUnusedSuppressions(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.Load(fixturePrefix + "unusedsup/internal/serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, unused := RunWithUnused([]*Package{pkg}, All)
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+	if len(unused) != 1 {
+		t.Fatalf("expected exactly one unused suppression, got %d: %v", len(unused), unused)
+	}
+	u := unused[0]
+	if u.Analyzer != "suppress" || !strings.Contains(u.Message, `"maporder"`) {
+		t.Errorf("unexpected unused-suppression diagnostic: %s", u)
+	}
+	if !strings.Contains(filepath.ToSlash(u.Pos.Filename), "unusedsup/internal/serve") {
+		t.Errorf("unused suppression reported outside the fixture: %s", u.Pos.Filename)
+	}
+}
 
 // TestBrokenPackageDoesNotPanic feeds fasciavet a package with a
 // deliberate compile error: the loader must degrade (recording the type
@@ -159,6 +193,10 @@ func TestEachAnalyzerFires(t *testing.T) {
 		"csrmut",
 		"guardedby",
 		"suppress/internal/serve",
+		"wiretrust/internal/shard",
+		"goleak/internal/serve",
+		"hotalloc/internal/dp",
+		"floatflow/internal/dp",
 	}
 	l := newTestLoader(t)
 	var pkgs []*Package

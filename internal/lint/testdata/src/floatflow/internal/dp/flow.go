@@ -1,0 +1,122 @@
+// Package dp is the floatflow golden fixture: float accumulations
+// whose operand order depends on an unordered iteration break the
+// bit-identical estimate stream. Map ranges here also trip maporder —
+// the two analyzers are deliberately complementary.
+package dp
+
+import "sync"
+
+// mapSum is the canonical bug: map-ordered float accumulation.
+func mapSum(weights map[string]float64) float64 {
+	sum := 0.0
+	for _, w := range weights { // want "maporder: range over map weights"
+		sum += w // want "floatflow: float accumulation into sum is ordered by map iteration order"
+	}
+	return sum
+}
+
+// perKey accumulates into cells indexed by the iteration key: exempt
+// from floatflow (each cell sees a fixed per-key order), though the
+// map range itself still trips maporder.
+func perKey(src map[int]float64, dst []float64) {
+	for k, v := range src { // want "maporder: range over map src"
+		dst[k] += v
+	}
+}
+
+// chanSum folds receives in arrival order — unordered when multiple
+// senders interleave.
+func chanSum(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum += v // want "floatflow: float accumulation into sum is ordered by channel receive order"
+	}
+	return sum
+}
+
+// syncMapSum ranges a sync.Map, randomized like the built-in map.
+func syncMapSum(m *sync.Map) float64 {
+	sum := 0.0
+	m.Range(func(k, v any) bool {
+		sum += v.(float64) // want "floatflow: float accumulation into sum is ordered by sync.Map iteration order"
+		return true
+	})
+	return sum
+}
+
+// selectSum merges two result streams in select order: case choice is
+// random when both are ready.
+func selectSum(a, b chan float64, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		select {
+		case v := <-a:
+			sum += v // want "floatflow: float accumulation into sum is ordered by select receive order across multiple channels"
+		case v := <-b:
+			sum += v // want "floatflow: float accumulation into sum is ordered by select receive order across multiple channels"
+		}
+	}
+	return sum
+}
+
+// goSum races goroutine completion order into the shared accumulator;
+// the goroutine-local partial sum s is fine.
+func goSum(parts [][]float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []float64) {
+			defer wg.Done()
+			s := 0.0
+			for _, x := range p {
+				s += x
+			}
+			mu.Lock()
+			sum += s // want "floatflow: float accumulation into sum is ordered by goroutine completion order"
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return sum
+}
+
+type acc struct{ total float64 }
+
+// add accumulates into its receiver; its summary records that, so
+// calling it from an unordered loop is the same bug one call away.
+func (a *acc) add(x float64) { a.total += x }
+
+// mapSumViaHelper is the interprocedural case: the accumulation hides
+// behind a method call.
+func mapSumViaHelper(weights map[string]float64) float64 {
+	var a acc
+	for _, w := range weights { // want "maporder: range over map weights"
+		a.add(w) // want "floatflow: call to add accumulates floats into a"
+	}
+	return a.total
+}
+
+// sortedSum walks materialized keys in slice order: deterministic,
+// clean for both analyzers.
+func sortedSum(weights map[string]float64, keys []string) float64 {
+	sum := 0.0
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	return sum
+}
+
+// suppressed pairs a valid maporder suppression with a malformed
+// floatflow one: the floatflow finding survives.
+func suppressed(m map[string]float64) float64 {
+	sum := 0.0
+	//lint:maporder ok — fixture: exercising floatflow's suppression path in isolation
+	for _, w := range m {
+		// want "suppress: malformed suppression for .floatflow."
+		//lint:floatflow ok
+		sum += w // want "floatflow: float accumulation into sum is ordered by map iteration order"
+	}
+	return sum
+}

@@ -1,0 +1,64 @@
+// Package dp is the hotalloc golden fixture: //fascia:hotpath
+// functions run per vertex × per lane and must stay allocation free.
+package dp
+
+// Summer is the boxing target for the interface-conversion case.
+type Summer interface{ Sum() float64 }
+
+type lanes struct{ v [8]float64 }
+
+func (l lanes) Sum() float64 {
+	s := 0.0
+	for _, x := range l.v {
+		s += x
+	}
+	return s
+}
+
+// grow is unannotated and allocates: hotpath callers are flagged at
+// the call site, one level deep.
+func grow(dst []float64, x float64) []float64 {
+	return append(dst, x)
+}
+
+//fascia:hotpath
+func hotBad(dst []float64, l lanes) float64 {
+	buf := []float64{1, 2} // want "hotalloc: composite literal allocates in hotpath function hotBad"
+	dst = grow(dst, 1)     // want "hotalloc: hotpath function hotBad calls grow, which allocates"
+	dst = append(dst, 2)   // want "hotalloc: append may grow and reallocate in hotpath function hotBad"
+	s := Summer(l)         // want "hotalloc: conversion to interface .*Summer boxes its operand in hotpath function hotBad"
+	f := func() float64 {  // want "hotalloc: closure captures dst in hotpath function hotBad"
+		return dst[0] + buf[0]
+	}
+	return f() + s.Sum()
+}
+
+// hotClean is the 8-wide kernel shape: value arrays, fixed bounds, no
+// allocation. Zero findings.
+//
+//fascia:hotpath
+func hotClean(dst, src []float64) {
+	var acc [8]float64
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		for j := 0; j < 8; j++ {
+			acc[j] += src[i+j]
+		}
+	}
+	for j := 0; j < 8; j++ {
+		dst[j] += acc[j]
+	}
+}
+
+// hotSuppressed documents a measured, accepted slow path with a
+// reason; the second suppression has no reason and is rejected.
+//
+//fascia:hotpath
+func hotSuppressed(dst []float64) []float64 {
+	//lint:hotalloc ok — fixture: cold resize path, runs once per epoch, measured
+	dst = append(dst, 1)
+	// want "suppress: malformed suppression for .hotalloc."
+	//lint:hotalloc ok
+	dst = append(dst, 2) // want "hotalloc: append may grow and reallocate in hotpath function hotSuppressed"
+	return dst
+}

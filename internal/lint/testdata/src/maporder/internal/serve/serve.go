@@ -15,7 +15,7 @@ type set map[string]bool
 func totals(weights map[string]float64) float64 {
 	sum := 0.0
 	for _, w := range weights { // want "maporder: range over map weights"
-		sum += w
+		sum += w // want "floatflow: float accumulation into sum is ordered by map iteration order"
 	}
 	return sum
 }

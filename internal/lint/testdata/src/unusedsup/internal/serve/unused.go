@@ -1,0 +1,26 @@
+// Package serve is the -unused-suppressions fixture: one suppression
+// covers a live finding (not reported), one covers nothing (reported
+// as stale).
+package serve
+
+// used covers a live maporder finding: counting keys is order-free,
+// and the suppression earns its keep.
+func used(m map[string]int) int {
+	n := 0
+	//lint:maporder ok — fixture: integer key count, iteration order cannot matter
+	for range m {
+		n++
+	}
+	return n
+}
+
+// stale suppresses a finding that no longer exists — the loop ranges a
+// slice now. -unused-suppressions flags it for removal.
+func stale(xs []int) int {
+	n := 0
+	//lint:maporder ok — fixture: stale on purpose, nothing here ranges a map
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+// Package shard is the wiretrust golden fixture: its import path ends
+// in internal/shard, so integers decoded off the wire must pass a
+// bounds comparison before they size an allocation, index a table, or
+// bound a read.
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// rbuf mirrors the real wire codec's decode buffer: u32's result is
+// wire-derived at every call site through its function summary.
+type rbuf struct {
+	b   []byte
+	off int
+}
+
+func (r *rbuf) u32() uint32 {
+	x := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return x
+}
+
+// alloc sizes a slice straight from its argument with no check: its
+// summary (param 0 reaches a make) turns tainted call sites into
+// findings — the finding lands at the caller, where the fix belongs.
+func alloc(n uint32) []float64 {
+	return make([]float64, n)
+}
+
+// decodeBad is the fuzz-crash shape: lengths straight off the wire
+// sizing allocations, 8 bytes of input forcing gigabyte allocations.
+func decodeBad(b []byte) [][]float64 {
+	r := &rbuf{b: b}
+	n := r.u32()
+	rows := make([][]float64, n) // want "wiretrust: wire-derived length n sizes a make"
+	for i := range rows {
+		w := r.u32()
+		rows[i] = make([]float64, w) // want "wiretrust: wire-derived length w sizes a make"
+	}
+	return rows
+}
+
+// decodeViaHelper launders the tainted length through a helper — the
+// interprocedural case. Still flagged, at the call site.
+func decodeViaHelper(b []byte) []float64 {
+	r := &rbuf{b: b}
+	return alloc(r.u32()) // want "wiretrust: wire-derived value r.u32.* is passed to alloc"
+}
+
+// pick indexes a table with an unvalidated wire byte.
+func pick(br *bufio.Reader, table []int) int {
+	c, _ := br.ReadByte()
+	return table[c] // want "wiretrust: wire-derived index c reaches table"
+}
+
+// readBody sizes an io.ReadFull window straight from the frame header.
+func readBody(r io.Reader, hdr []byte, buf []byte) error {
+	n := binary.LittleEndian.Uint32(hdr)
+	_, err := io.ReadFull(r, buf[:n]) // want "wiretrust: wire-derived size n bounds a slice of buf"
+	return err
+}
+
+// suppressed documents an accepted risk with a written reason:
+// silenced.
+func suppressed(b []byte) []byte {
+	r := &rbuf{b: b}
+	n := r.u32()
+	//lint:wiretrust ok — fixture: upstream framing already caps the payload at 64 KiB
+	return make([]byte, n)
+}
+
+// missingReason's suppression carries no reason: the suppression is
+// rejected as malformed and the finding survives.
+func missingReason(b []byte) []uint32 {
+	r := &rbuf{b: b}
+	n := r.u32()
+	// want "suppress: malformed suppression for .wiretrust."
+	//lint:wiretrust ok
+	return make([]uint32, n) // want "wiretrust: wire-derived length n sizes a make"
+}

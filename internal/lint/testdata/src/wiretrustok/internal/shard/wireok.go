@@ -1,0 +1,58 @@
+// Package shard is wiretrust's clean-negative fixture: every decoded
+// length passes a bounds comparison before it sizes anything, matching
+// the real wire codec's discipline. Zero findings expected.
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxFrame = 1 << 20
+
+var errFrame = errors.New("bad frame")
+
+// readFrame is the real codec's shape: the length is checked against
+// the protocol cap before the payload is allocated.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return nil, errFrame
+	}
+	payload := make([]byte, n)
+	_, err := io.ReadFull(r, payload)
+	return payload, err
+}
+
+// decodeChecked validates the element count against the bytes actually
+// present before allocating — the per-element floor idiom.
+func decodeChecked(b []byte) []uint32 {
+	if len(b) < 4 {
+		return nil
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if int(n) > (len(b)-4)/4 {
+		return nil
+	}
+	out := make([]uint32, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, binary.LittleEndian.Uint32(b[4+4*i:]))
+	}
+	return out
+}
+
+// loopOnly never sizes anything with the decoded value; a loop-bound
+// comparison sanitizes it too.
+func loopOnly(b []byte) uint64 {
+	n := binary.LittleEndian.Uint32(b)
+	total := uint64(0)
+	for i := uint32(0); i < n; i++ {
+		total += uint64(i)
+	}
+	return total
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// WireTrust is the taint analyzer for the packages that parse bytes
+// nobody vouched for: internal/shard (the TCP wire), internal/serve
+// (HTTP bodies), and internal/graph (binary file headers). Any integer
+// decoded from a net.Conn, bufio.Reader, HTTP body, or file header is
+// tainted; it must flow through an explicit bounds comparison before
+// it sizes a make, indexes a slice, bounds a slice expression, or
+// budgets an io read — the exact bug class the ReadBinary fuzz crash
+// exposed (a hostile length prefix forcing an unbounded allocation).
+//
+// The analysis is interprocedural through the flow engine's function
+// summaries: a length decoded by rbuf.u32 is tainted at every call
+// site because u32's summary says its result is wire-derived, and a
+// tainted length passed to a helper that allocates with it unchecked
+// is reported at the call site because the helper's summary says the
+// parameter reaches a sink. Comparisons sanitize branch-insensitively
+// (comparing a value anywhere, including a loop bound, counts), so the
+// analyzer enforces "a check exists", not "the check is tight" — bound
+// quality stays a review concern.
+var WireTrust = &Analyzer{
+	Name: "wiretrust",
+	Doc:  "wire-decoded integer reaches make/index/read sizing without a bounds comparison (the ReadBinary fuzz-crash class)",
+	Run:  runWireTrust,
+}
+
+// wireTrustPkgs are the package suffixes where untrusted bytes enter
+// the process.
+var wireTrustPkgs = []string{
+	"internal/shard",
+	"internal/serve",
+	"internal/graph",
+}
+
+func runWireTrust(pass *Pass) {
+	gated := false
+	for _, s := range wireTrustPkgs {
+		if pathHasSuffix(pass.Pkg.Path, s) {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return
+	}
+	eng := newFlowEngine(pass.Pkg)
+	eng.ensureWireSummaries()
+	report := func(pos token.Pos, msg string) {
+		pass.Reportf(pos, "%s", msg)
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			w := eng.newWalker(modeFull, report)
+			w.analyzeFunc(fd)
+		}
+	}
+}
