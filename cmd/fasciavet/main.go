@@ -1,6 +1,6 @@
 // Command fasciavet is FASCIA's project-specific static-analysis
 // driver. It loads every package in the module (stdlib go/parser +
-// go/types only — no x/tools, no network) and runs five analyzers that
+// go/types only — no x/tools, no network) and runs nine analyzers that
 // mechanize the invariants the runtime test suite establishes:
 //
 //	maporder         no map iteration in determinism-critical packages
@@ -8,6 +8,13 @@
 //	fingerprintcover every Options field classified for the cache key
 //	csrmut           no writes to shared CSR storage outside graph/gen
 //	guardedby        '// guarded by <mu>' fields only touched under the lock
+//	wiretrust        wire-decoded integers must pass a bounds comparison before
+//	                 sizing a make, indexing, or bounding a read (interprocedural)
+//	hotalloc         //fascia:hotpath functions must not heap-allocate
+//	goleak           goroutines need a statically-reachable exit on
+//	                 ctx.Done/stop/conn-close; context cancel funcs must be used
+//	floatflow        float accumulation must not be ordered by map/sync.Map
+//	                 iteration, unordered receives, or goroutine completion
 //
 // Diagnostics print as file:line:col: analyzer: message and any finding
 // exits non-zero. Suppress a finding on its line (or the line above)
@@ -18,7 +25,20 @@
 // Usage:
 //
 //	go run ./cmd/fasciavet ./...
-//	go run ./cmd/fasciavet ./internal/dp ./internal/serve
+//	go run ./cmd/fasciavet -json ./...
+//	go run ./cmd/fasciavet -unused-suppressions ./...
+//	go run ./cmd/fasciavet -escape ./internal/dp ./internal/table
+//
+// -json emits findings as a JSON array (file/line/col/analyzer/message)
+// for editor and CI integration. -unused-suppressions additionally
+// reports //lint: comments that match no finding — stale suppressions
+// hide nothing and mislead readers, so they fail the run too. -escape
+// compiles the requested packages with -gcflags=-m under a fresh
+// GOCACHE (the check-bce technique: diagnostics only print when
+// compilation actually runs) and cross-references every "escapes to
+// heap" / "moved to heap" line against //fascia:hotpath function
+// ranges, catching the allocations the static hotalloc rules cannot
+// prove.
 //
 // Type-check errors in the tree are reported as warnings on stderr and
 // do not stop analysis (the build gate owns compilability; fasciavet
@@ -26,10 +46,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -37,6 +61,9 @@ import (
 func main() {
 	dir := flag.String("C", ".", "directory inside the module to analyze")
 	listAnalyzers := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	unusedSup := flag.Bool("unused-suppressions", false, "also report //lint: suppressions that match no finding")
+	escape := flag.Bool("escape", false, "cross-check //fascia:hotpath functions against go build -gcflags=-m escape diagnostics (fresh GOCACHE)")
 	flag.Parse()
 
 	if *listAnalyzers {
@@ -65,18 +92,99 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(pkgs, lint.All)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-			pos.Filename = rel
+	diags, unused := lint.RunWithUnused(pkgs, lint.All)
+	if *unusedSup {
+		diags = append(diags, unused...)
+	}
+	if *escape {
+		ediags, err := runEscapeCheck(root, lint.HotpathRanges(pkgs), flag.Args())
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		diags = append(diags, ediags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		printJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fasciavet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the machine-readable finding shape: flat, stable field
+// names, one object per finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(diags []lint.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags)) // empty array, not null, on a clean run
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// runEscapeCheck compiles the requested packages with -gcflags=-m under
+// a fresh GOCACHE and matches the compiler's escape diagnostics against
+// the //fascia:hotpath ranges. The fresh cache matters: cached packages
+// compile silently, and a silent check is a check that always passes.
+func runEscapeCheck(root string, ranges []lint.HotRange, patterns []string) ([]lint.Diagnostic, error) {
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	cache, err := os.MkdirTemp("", "fasciavet-escape-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cache)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "GOCACHE="+cache)
+	out, runErr := cmd.CombinedOutput()
+	if runErr != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m failed: %v\n%s", runErr, out)
+	}
+	return lint.EscapeFindings(ranges, lint.ParseEscapeOutput(string(out))), nil
 }
 
 func fatal(err error) {

@@ -149,7 +149,6 @@ func (e *Engine) RunRank(r int, colors []int8, ex Exchange, stop *atomic.Bool) (
 		remaining[n] = n.Consumers
 	}
 	var rr RankResult
-	//lint:ctxpoll ok — the exchange protocol must run to completion even when cancelled (computeRank fast-forwards via st.cancelled() per vertex); breaking out of the step loop would strand peers mid-exchange
 	for i, node := range e.tree.Order {
 		if node.IsLeaf() {
 			e.initLeafRank(st, node, colors)

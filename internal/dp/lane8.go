@@ -7,7 +7,11 @@ package dp
 // (eight independent FMAs in flight instead of one checked multiply-add
 // per cycle). This file must stay free of IsInBounds checks — `make
 // check-bce` builds it with -gcflags=-d=ssa/check_bce and fails if any
-// reappear.
+// reappear. The //fascia:hotpath annotation holds it to zero heap
+// allocation: fasciavet's hotalloc rules statically, and `make
+// check-escape` against the compiler's -m escape diagnostics.
+//
+//fascia:hotpath
 func laneMulAdd(out, a, p []float64) {
 	if len(a) > len(out) {
 		a = a[:len(out)]

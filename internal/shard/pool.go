@@ -136,10 +136,8 @@ func (p *Pool) Deregister(addr string) bool {
 func (p *Pool) List() []ShardInfo {
 	p.mu.Lock()
 	out := make([]ShardInfo, 0, len(p.shards))
-	//lint:maporder ok — collection order is erased by the sorts below
 	for _, e := range p.shards {
 		info := ShardInfo{Addr: e.addr, Graphs: make([]uint64, 0, len(e.graphs))}
-		//lint:maporder ok — collection order is erased by the sort below
 		for h := range e.graphs {
 			info.Graphs = append(info.Graphs, h)
 		}
@@ -176,7 +174,6 @@ func (p *Pool) Stats() PoolStats {
 func (p *Pool) group(hash uint64, excluded map[string]bool, max int) []string {
 	p.mu.Lock()
 	out := make([]string, 0, len(p.shards))
-	//lint:maporder ok — collection order is erased by the sort below
 	for addr, e := range p.shards {
 		if e.graphs[hash] && !excluded[addr] {
 			out = append(out, addr)

@@ -125,7 +125,6 @@ func (w *Worker) AddGraph(g *graph.Graph) uint64 {
 func (w *Worker) GraphHashes() []uint64 {
 	w.mu.Lock()
 	out := make([]uint64, 0, len(w.graphs))
-	//lint:maporder ok — collection order is erased by the sort below
 	for h := range w.graphs {
 		out = append(out, h)
 	}
@@ -191,12 +190,10 @@ func (w *Worker) Close() {
 	close(w.closedCh)
 	ln := w.ln
 	runs := make([]*workerRun, 0, len(w.runs))
-	//lint:maporder ok — cancellation fan-out; order is irrelevant
 	for _, r := range w.runs {
 		runs = append(runs, r)
 	}
 	conns := make([]net.Conn, 0, len(w.ctrl))
-	//lint:maporder ok — teardown fan-out; order is irrelevant
 	for c := range w.ctrl {
 		conns = append(conns, c)
 	}

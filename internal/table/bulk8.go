@@ -10,6 +10,10 @@ package table
 // -gcflags=-d=ssa/check_bce and fails if any reappear.
 
 // addTo adds src into dst element-wise over min(len(dst), len(src)).
+// //fascia:hotpath holds it to zero heap allocation — hotalloc checks
+// the static rules, `make check-escape` checks the compiler's verdict.
+//
+//fascia:hotpath
 func addTo(dst, src []float64) {
 	if len(src) > len(dst) {
 		src = src[:len(dst)]
