@@ -1,9 +1,10 @@
 # Developer entry points. `make ci` is the tier-1+ verification gate:
-# fasciavet lint, vet, build, full tests, race coverage of the concurrent packages
-# (including the cancellation tests, which exercise mid-run aborts in
-# every parallel mode), the oracle-differential harness under -race,
-# the metrics-endpoint, fasciad serve, and multi-process shard smoke
-# tests, a fuzz smoke pass
+# the strict-build matrix (fasciavet's nine analyzers with stale-
+# suppression detection, go vet, a checkptr-instrumented build, race
+# coverage of the concurrent packages), full tests, the cancellation
+# tests (which exercise mid-run aborts in every parallel mode), the
+# oracle-differential harness under -race, the metrics-endpoint,
+# fasciad serve, and multi-process shard smoke tests, a fuzz smoke pass
 # over every fuzz target, a coverage floor on internal/serve, and a
 # one-shot smoke run of the kernel benchmarks (compiles and exercises
 # the direct/aggregate/auto matrix without timing anything meaningful).
@@ -11,21 +12,50 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci lint vet build test race race-cancel difftest difftest-nontree fuzz-smoke serve-smoke shard-smoke cover-serve cover-motif metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record bench-mem bench-mem-full bench-mem-record bench-adaptive check-bce
+.PHONY: ci lint lint-strict vet build test race race-cancel difftest difftest-nontree fuzz-smoke serve-smoke shard-smoke cover-serve cover-motif metrics-smoke bench-smoke bench-kernel bench-batch bench-tile bench-batch-full bench-batch-record bench-mem bench-mem-full bench-mem-record bench-adaptive check-bce check-escape check-checkptr
 
-ci: lint vet build check-bce test race race-cancel difftest difftest-nontree metrics-smoke serve-smoke shard-smoke cover-serve cover-motif fuzz-smoke bench-smoke bench-batch bench-tile bench-mem bench-adaptive
+ci: lint-strict build check-bce check-escape test race-cancel difftest difftest-nontree metrics-smoke serve-smoke shard-smoke cover-serve cover-motif fuzz-smoke bench-smoke bench-batch bench-tile bench-mem bench-adaptive
+
+# The strict-build matrix, first in `make ci`: fasciavet's analyzers
+# (any finding or stale suppression fails), go vet, a fresh-cache build
+# with the checkptr unsafe-pointer instrumentation, and the race tier.
+# Everything here is a *build-time* gate — it runs before the slower
+# end-to-end smoke targets get a chance to hide a regression.
+lint-strict: lint vet check-checkptr race
 
 # fasciavet, the project-specific static analyzer (determinism-critical
 # map iteration, cancellation polling, fingerprint/cache-key coverage,
-# CSR immutability, guarded-by mutex discipline — see DESIGN.md §8),
-# plus gofmt cleanliness. Any finding fails the build; suppressions
-# require an inline reason (//lint:<analyzer> ok — <reason>).
+# CSR immutability, guarded-by mutex discipline, wire-length taint
+# tracking, hotpath allocation rules, goroutine-exit reachability,
+# float-accumulation ordering — see DESIGN.md §8), plus gofmt
+# cleanliness. Any finding fails the build; suppressions require an
+# inline reason (//lint:<analyzer> ok — <reason>) and a suppression
+# that no longer matches a finding fails too (-unused-suppressions).
 lint:
-	$(GO) run ./cmd/fasciavet ./...
+	$(GO) run ./cmd/fasciavet -unused-suppressions ./...
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "lint: gofmt needed on:"; echo "$$fmt"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# Compile the whole tree with checkptr instrumentation in a throwaway
+# build cache (mirroring check-bce: diagnostics and instrumentation
+# only happen when compilation actually runs). This catches invalid
+# unsafe.Pointer alignment/arithmetic at compile time and instruments
+# the rest for the race tier, which runs with checkptr enabled.
+check-checkptr:
+	@tmp=$$(mktemp -d); \
+	GOCACHE=$$tmp $(GO) build -gcflags=all=-d=checkptr ./... || { rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "check-checkptr: tree compiles under -d=checkptr"
+
+# Escape-analysis gate for //fascia:hotpath functions: fasciavet
+# -escape recompiles the kernel packages with -gcflags=-m under a fresh
+# GOCACHE and fails if the compiler reports a heap escape inside any
+# annotated range (the static hotalloc rules are necessary; the
+# compiler's verdict is sufficient).
+check-escape:
+	$(GO) run ./cmd/fasciavet -escape ./internal/dp ./internal/table
 
 build:
 	$(GO) build ./...
